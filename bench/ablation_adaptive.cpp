@@ -1,0 +1,117 @@
+// Ablation A8 — closed-loop theta_div adaptation vs. static settings.
+//
+// Workload: a "day in the life" stream alternating near-silence, speech-
+// band activity, and dense noise bursts. Static theta_div must pick one
+// point on the power/accuracy trade; the MCU-side adaptive controller
+// (SPI retuning from the decoded rate estimate) follows the workload and
+// should approach the accuracy of theta=64 at the power of the small-theta
+// settings during quiet stretches.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "aer/agents.hpp"
+#include "analysis/error.hpp"
+#include "core/interface.hpp"
+#include "gen/scenario.hpp"
+#include "gen/sources.hpp"
+#include "mcu/adaptive.hpp"
+#include "mcu/consumer.hpp"
+#include "spi/spi.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+namespace {
+
+aer::EventStream day_in_the_life() {
+  gen::ScenarioBuilder sb{128, /*seed=*/1, Time::ns(300.0)};
+  sb.poisson("silence", 100.0, 500_ms)
+      .poisson("speech", 60e3, 150_ms)
+      .poisson("silence", 100.0, 500_ms)
+      .poisson("noise transient", 400e3, 60_ms)
+      .poisson("silence", 100.0, 500_ms)
+      .poisson("speech", 30e3, 150_ms)
+      .poisson("silence", 100.0, 500_ms);
+  return sb.build();
+}
+
+struct Outcome {
+  double power_mw;
+  double error_pct;
+  std::uint64_t retunes;
+};
+
+Outcome run(const aer::EventStream& events, bool adaptive,
+            std::uint32_t static_theta, std::uint32_t static_n) {
+  sim::Scheduler sched;
+  core::InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 64;
+  cfg.drain_timeout = 5_ms;  // bound the controller's feedback latency
+  cfg.clock.theta_div = adaptive ? 16 : static_theta;
+  cfg.clock.n_div = adaptive ? 6 : static_n;
+  core::AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  spi::SpiMaster master{sched, iface.spi()};
+
+  mcu::AdaptiveController ctl;
+  mcu::AetrDecoder decoder{iface.tick_unit(), iface.saturation_span()};
+  if (adaptive) {
+    ctl.on_apply([&](std::uint32_t theta, std::uint32_t n) {
+      master.write(spi::Reg::kThetaDiv, static_cast<std::uint8_t>(theta));
+      master.write(spi::Reg::kNDiv, static_cast<std::uint8_t>(n));
+    });
+    iface.on_i2s_word([&](aer::AetrWord w, Time) {
+      const auto ev = decoder.decode(w);
+      ctl.observe(ev.reconstructed_time, ev.saturated);
+    });
+  }
+
+  sender.submit_stream(events);
+  sched.run();
+  if (!iface.fifo().empty()) iface.i2s_master().request_drain(sched.now());
+  sched.run();
+
+  const auto err = analysis::analyze_records(
+      iface.front_end().records(), iface.tick_unit(),
+      iface.saturation_span());
+  return Outcome{iface.average_power_w() * 1e3,
+                 100.0 * err.weighted_rel_error_unsaturated(),
+                 adaptive ? ctl.retunes() : 0};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A8 -- adaptive theta_div vs. static settings\n");
+  const auto events = day_in_the_life();
+  std::printf("workload: %zu events over ~1.16 s (silence / speech / noise"
+              " phases)\n\n",
+              events.size());
+
+  Table table{{"configuration", "power (mW)", "err % (correlated)",
+               "retunes"}};
+  const auto s16 = run(events, false, 16, 6);
+  const auto s64 = run(events, false, 64, 8);
+  const auto s128 = run(events, false, 128, 8);
+  const auto ad = run(events, true, 0, 0);
+  table.add_row({"static theta=16, N=6", Table::num(s16.power_mw, 4),
+                 Table::num(s16.error_pct, 3), "0"});
+  table.add_row({"static theta=64, N=8", Table::num(s64.power_mw, 4),
+                 Table::num(s64.error_pct, 3), "0"});
+  table.add_row({"static theta=128, N=8", Table::num(s128.power_mw, 4),
+                 Table::num(s128.error_pct, 3), "0"});
+  table.add_row({"adaptive (closed loop)", Table::num(ad.power_mw, 4),
+                 Table::num(ad.error_pct, 3), std::to_string(ad.retunes)});
+  table.print(std::cout);
+  table.write_csv("aetr_ablation_adaptive.csv");
+
+  std::printf(
+      "\nreading: the controller rides the workload — small theta while\n"
+      "quiet, large theta during bursts — landing near the accuracy of the\n"
+      "large static setting at noticeably lower energy. Each retune costs a\n"
+      "schedule restart (one partially mistimed interval), visible as a\n"
+      "slight error penalty versus the oracle static choice per phase.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A2 — buffer size and batch threshold (paper §3: "the actual
+// achievable energy saving depends on two main factors: i) the ratio
+// between the input and output bitrate; ii) the buffer size").
+//
+// Part 1: batch-threshold sweep at a fixed input rate — larger batches mean
+// fewer MCU wakeups (batches) at the cost of buffer occupancy and latency.
+// Part 2: input rate vs. I2S drain rate — once the input bitrate exceeds
+// the output bitrate, the finite 9.2 kB buffer overflows; the onset moves
+// with the buffer size.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  std::printf("Ablation A2 -- batching and buffer sizing\n\n");
+
+  // --- Part 1: batch threshold sweep ---------------------------------------
+  std::printf("part 1: batch threshold at 100 kevt/s (buffer 2300 words)\n");
+  gen::PoissonSource make{100e3, 128, 7};
+  const auto events = gen::take(make, 20000);
+  Table t1{{"threshold", "batches", "max occupancy", "words out",
+            "overflows"}};
+  for (const std::size_t threshold : {16u, 64u, 256u, 1024u, 2048u}) {
+    core::InterfaceConfig cfg;
+    cfg.fifo.batch_threshold = threshold;
+    cfg.front_end.keep_records = false;
+    sim::Scheduler sched;
+    core::AerToI2sInterface iface{sched, cfg};
+    aer::AerSender sender{sched, iface.aer_in()};
+    sender.submit_stream(events);
+    sched.run();
+    if (!iface.fifo().empty()) iface.i2s_master().request_drain(sched.now());
+    sched.run();
+    t1.add_row({std::to_string(threshold),
+                std::to_string(iface.i2s_master().drains()),
+                std::to_string(iface.fifo().max_occupancy()),
+                std::to_string(iface.i2s_master().words_sent()),
+                std::to_string(iface.fifo().overflows())});
+  }
+  t1.print(std::cout);
+  t1.write_csv("aetr_ablation_batching.csv");
+
+  // --- Part 2: overflow onset ------------------------------------------------
+  std::printf("\npart 2: input rate vs. buffer size at a 1 MHz I2S clock"
+              " (~31 kwords/s drain)\n");
+  Table t2{{"rate (kevt/s)", "buf 512: drop%%", "buf 2300: drop%%",
+            "buf 9200: drop%%"}};
+  for (const double rate : {10e3, 25e3, 31e3, 50e3, 100e3}) {
+    std::vector<std::string> row{Table::num(rate / 1e3, 4)};
+    for (const std::size_t capacity : {512u, 2300u, 9200u}) {
+      core::InterfaceConfig cfg;
+      cfg.fifo.capacity_words = capacity;
+      cfg.fifo.batch_threshold = capacity / 4;
+      cfg.i2s.sck = Frequency::mhz(1.0);
+      cfg.front_end.keep_records = false;
+      gen::PoissonSource src{rate, 128, 11};
+      const auto r =
+          core::run_source(cfg, src, static_cast<std::size_t>(rate * 0.4));
+      row.push_back(Table::num(
+          100.0 * static_cast<double>(r.fifo_overflows) /
+              static_cast<double>(r.events_in), 3));
+    }
+    t2.add_row(std::move(row));
+  }
+  t2.print(std::cout);
+  t2.write_csv("aetr_ablation_buffer.csv");
+
+  std::printf(
+      "\nreading: below the drain rate all buffers survive transients; the\n"
+      "bigger the buffer the longer the burst it can absorb, but sustained\n"
+      "input above the output bitrate overflows any finite buffer —\n"
+      "the input/output bitrate ratio bounds the achievable batching.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation A7 — ring-oscillator non-idealities vs. timestamp accuracy.
+//
+// The paper's accuracy model assumes "a perfect clock with constant
+// frequency and 50 % duty cycle"; a real inverter ring on an IGLOO nano has
+// cycle-to-cycle jitter and a PVT-dependent mean frequency. Using the
+// cycle-by-cycle RTL clock unit we quantify both:
+//   * random jitter (sigma as a fraction of the period) — averages out
+//     across the many cycles of an interval, so its impact is tiny;
+//   * static frequency drift — biases *every* timestamp by the same
+//     fraction, directly adding |drift| to the relative error, which is
+//     why a deployed interface must trim the ring (or calibrate Tmin on
+//     the MCU side).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "gen/sources.hpp"
+#include "rtl/clock_unit.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+namespace {
+
+struct ErrorResult {
+  double mean_rel{0.0};
+  double weighted{0.0};
+};
+
+/// Push a Poisson stream through the RTL clock unit and score timestamps
+/// against the nominal Tmin (what the MCU would assume).
+ErrorResult measure(double rate_hz, double jitter, double drift_fraction,
+                    Time nominal_tmin) {
+  sim::Scheduler sched;
+  rtl::ClockUnitConfig cfg;
+  cfg.ring.jitter_stddev = jitter;
+  cfg.ring.stage_delay =
+      Time::sec(463e-12 * (1.0 + drift_fraction));  // PVT-shifted ring
+  rtl::RtlClockUnit unit{sched, cfg};
+
+  gen::PoissonSource src{rate_hz, 128, 404, Time::ns(500.0)};
+  auto events = gen::take(src, 2500);
+  for (auto& ev : events) ev.time += 1_us;
+
+  RunningStats rel;
+  double abs_err = 0.0, true_sum = 0.0;
+  std::size_t next = 0;
+  Time last_req;
+  Time prev_req;
+  bool have_prev = false;
+
+  std::function<void()> issue = [&] {
+    if (next >= events.size()) return;
+    const Time at = std::max(events[next].time, sched.now() + Time::ps(1));
+    ++next;
+    last_req = at;
+    sched.schedule_at(at, [&] { unit.set_request(true); });
+  };
+  unit.on_sample([&](Time, std::uint64_t ticks, bool sat) {
+    unit.set_request(false);
+    if (have_prev && !sat) {
+      const double true_delta = (last_req - prev_req).to_sec();
+      const double measured =
+          static_cast<double>(ticks) * nominal_tmin.to_sec();
+      if (true_delta > 0.0) {
+        const double e = std::abs(measured - true_delta);
+        rel.add(e / true_delta);
+        abs_err += e;
+        true_sum += true_delta;
+      }
+    }
+    prev_req = last_req;
+    have_prev = true;
+    issue();
+  });
+
+  unit.start();
+  issue();
+  sched.run();
+  return ErrorResult{rel.mean(), true_sum > 0.0 ? abs_err / true_sum : 0.0};
+}
+
+}  // namespace
+
+int main() {
+  const Time nominal_tmin = Time::ps(463 * 18 * 8);  // 66.67 ns
+  std::printf("Ablation A7 -- ring jitter and frequency drift vs. accuracy\n");
+  std::printf("(RTL clock unit, 30 kevt/s Poisson, errors vs. nominal Tmin)\n\n");
+
+  Table jt{{"cycle jitter sigma", "weighted err", "per-event err"}};
+  for (const double jitter : {0.0, 0.01, 0.03, 0.10}) {
+    const auto r = measure(30e3, jitter, 0.0, nominal_tmin);
+    jt.add_row({Table::num(jitter, 3), Table::num(r.weighted, 3),
+                Table::num(r.mean_rel, 3)});
+  }
+  jt.print(std::cout);
+
+  std::printf("\n");
+  Table dt{{"frequency drift", "weighted err", "expected (|drift|+q)"}};
+  const double q = measure(30e3, 0.0, 0.0, nominal_tmin).weighted;
+  for (const double drift : {-0.05, -0.02, 0.0, 0.02, 0.05}) {
+    const auto r = measure(30e3, 0.0, drift, nominal_tmin);
+    dt.add_row({Table::num(drift, 3), Table::num(r.weighted, 3),
+                Table::num(std::abs(drift) + q, 3)});
+  }
+  dt.print(std::cout);
+  dt.write_csv("aetr_ablation_jitter.csv");
+
+  std::printf(
+      "\nreading: cycle jitter is harmless (it averages over the interval);\n"
+      "static drift adds its full magnitude to every timestamp — at 2 %%\n"
+      "ring drift the error budget is already blown, so Tmin calibration\n"
+      "matters more than jitter for this architecture.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation A5 — system-level energy: interface + MCU, batch vs. always-on.
+//
+// The paper's §3 argument quantified end to end: the AETR interface lets
+// the MCU sleep between batch transfers, so total system power is the
+// interface's (this work) plus a batch-duty MCU — versus the naive system
+// where a constant-clock interface feeds an always-on MCU. The batch size
+// knob trades MCU wakeups against buffering latency.
+#include <cstdio>
+#include <iostream>
+
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "mcu/power.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  std::printf("Ablation A5 -- end-to-end system energy (interface + MCU)\n\n");
+
+  const mcu::McuPowerCalibration mcu_cal;
+  std::printf("MCU model: %.0f mW run, %.1f uW stop, %.0f us wake, "
+              "%.0f cycles/word @ %.0f MHz\n\n",
+              mcu_cal.run_w * 1e3, mcu_cal.stop_w * 1e6,
+              mcu_cal.wake_time.to_us(), mcu_cal.cycles_per_word,
+              mcu_cal.run_clock_hz / 1e6);
+
+  Table table{{"rate (evt/s)", "batch", "MCU duty %", "MCU mW (batch)",
+               "system mW", "system mW (naive+always-on)", "saving"}};
+
+  for (const double rate : {1e3, 10e3, 100e3}) {
+    for (const std::size_t batch : {64u, 1024u}) {
+      // Batch-mode system: divided interface + batch MCU.
+      core::InterfaceConfig cfg;
+      cfg.fifo.batch_threshold = batch;
+      cfg.front_end.keep_records = false;
+      gen::PoissonSource src{rate, 128, 31};
+      const auto n = static_cast<std::size_t>(
+          std::clamp(rate * 0.5, 500.0, 20000.0));
+      const auto r = core::run_source(cfg, src, n);
+
+      mcu::McuDuty duty;
+      duty.window = r.sim_end;
+      duty.words = r.words_out;
+      duty.batches = r.batches;
+      const auto batch_mcu = mcu::batch_mcu_energy(duty, mcu_cal);
+      const double system = r.average_power_w + batch_mcu.average_power_w;
+
+      // Naive system: constant-clock interface + always-on MCU.
+      core::InterfaceConfig naive_cfg = cfg;
+      naive_cfg.clock.divide_enabled = false;
+      naive_cfg.clock.shutdown_enabled = false;
+      gen::PoissonSource src2{rate, 128, 31};
+      const auto rn = core::run_source(naive_cfg, src2, n);
+      const auto on_mcu = mcu::always_on_mcu_energy(duty, mcu_cal);
+      const double naive_system = rn.average_power_w + on_mcu.average_power_w;
+
+      table.add_row(
+          {Table::num(rate, 4), std::to_string(batch),
+           Table::num(100.0 * batch_mcu.duty, 3),
+           Table::num(batch_mcu.average_power_w * 1e3, 4),
+           Table::num(system * 1e3, 4), Table::num(naive_system * 1e3, 4),
+           Table::num(100.0 * (1.0 - system / naive_system), 3) + " %"});
+    }
+  }
+  table.print(std::cout);
+  table.write_csv("aetr_ablation_mcu.csv");
+
+  std::printf(
+      "\nreading: explicit AETR timestamps let the MCU batch-process and\n"
+      "sleep, collapsing system power by an order of magnitude at low and\n"
+      "mid rates; bigger batches help most when the per-batch wake overhead\n"
+      "dominates (high rates shrink the relative benefit because decode\n"
+      "time, not wake count, sets the MCU duty).\n");
+  return 0;
+}

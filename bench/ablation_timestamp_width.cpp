@@ -1,0 +1,78 @@
+// Ablation A6 — AETR timestamp width vs. carrier bandwidth.
+//
+// The paper fixes a 32-bit AETR word; this study asks what the right
+// timestamp width is: narrow fields waste words on overflow markers for
+// sparse streams, wide fields waste bits on dense ones. For Poisson
+// traffic at each rate we measure words/event and effective bandwidth on
+// the I2S carrier across widths, and report the bandwidth-optimal width —
+// the kind of sizing table a designer adapting this interface would want.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "aer/codec.hpp"
+#include "gen/sources.hpp"
+#include "util/table.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  std::printf("Ablation A6 -- timestamp field width vs. carrier load\n");
+  std::printf("(words are 10-bit address + W-bit delta; deltas in 66.7 ns"
+              " ticks;\n overflow words extend the range, as in jAER wrap"
+              " events)\n\n");
+
+  const Time tmin = Time::ns(1e3 / 15.0);
+  const std::vector<unsigned> widths{8, 12, 16, 22};
+
+  Table table{{"rate (evt/s)", "W=8 w/evt", "W=12 w/evt", "W=16 w/evt",
+               "W=22 w/evt", "best W", "kbit/s @ best"}};
+
+  for (const double rate : {100.0, 1e3, 10e3, 100e3, 550e3}) {
+    gen::PoissonSource src{rate, 128, 13, Time::ns(130.0)};
+    const auto events = gen::take(src, 20000);
+    std::vector<aer::CodedEvent> coded;
+    coded.reserve(events.size());
+    Time prev = Time::zero();
+    for (const auto& ev : events) {
+      coded.push_back(aer::CodedEvent{
+          static_cast<std::uint16_t>(ev.address % 512),
+          static_cast<std::uint64_t>((ev.time - prev) / tmin)});
+      prev = ev.time;
+    }
+
+    std::vector<std::string> row{Table::num(rate, 4)};
+    double best_bits_per_event = 1e18;
+    unsigned best_w = 0;
+    for (const unsigned w : widths) {
+      aer::AetrCodec codec{w};
+      const auto words = codec.encode_stream(coded);
+      const double words_per_event =
+          static_cast<double>(words.size()) /
+          static_cast<double>(coded.size());
+      row.push_back(Table::num(words_per_event, 4));
+      const double bits_per_event = words_per_event * (10.0 + w);
+      if (bits_per_event < best_bits_per_event) {
+        best_bits_per_event = bits_per_event;
+        best_w = w;
+      }
+    }
+    row.push_back(std::to_string(best_w));
+    row.push_back(Table::num(best_bits_per_event * rate / 1e3, 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  table.write_csv("aetr_ablation_width.csv");
+
+  std::printf(
+      "\nreading: dense streams (>=100 kevt/s) are happiest with narrow\n"
+      "timestamps (deltas are small; fewer bits per word); sparse streams\n"
+      "need width to avoid overflow chains. The paper's 22-bit field is the\n"
+      "no-overflow-ever choice for its <=550 kevt/s envelope; a 12-16 bit\n"
+      "field would shave 20-35 %% of carrier bandwidth at the busy end at\n"
+      "the cost of overflow words during silences.\n");
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Google-benchmark microbenchmarks for the simulator substrates: scheduler
+// throughput, schedule quantisation, stimulus generation, cochlea filtering,
+// and the end-to-end interface pipeline.
+#include <benchmark/benchmark.h>
+
+#include "aer/codec.hpp"
+#include "analysis/error.hpp"
+#include "analysis/power_curve.hpp"
+#include "clockgen/schedule.hpp"
+#include "cochlea/audio.hpp"
+#include "cochlea/cochlea.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "i2s/framing.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "vision/dvs.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule_at(Time::ns(i), [] {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_ScheduleMeasure(benchmark::State& state) {
+  clockgen::ScheduleConfig cfg;
+  cfg.theta_div = static_cast<std::uint32_t>(state.range(0));
+  const clockgen::SamplingSchedule schedule{cfg};
+  Xoshiro256StarStar rng{7};
+  for (auto _ : state) {
+    const auto m = schedule.measure(Time::us(rng.uniform(0.2, 2000.0)), 2);
+    benchmark::DoNotOptimize(m.ticks);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleMeasure)->Arg(16)->Arg(64);
+
+void BM_PoissonGeneration(benchmark::State& state) {
+  gen::PoissonSource src{100e3, 128, 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoissonGeneration);
+
+void BM_LfsrGeneration(benchmark::State& state) {
+  gen::LfsrRateSource src{100e3, Frequency::mhz(30.0), 128, 0xACE1, 0x1234};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(src.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LfsrGeneration);
+
+void BM_CochleaAudioSecond(benchmark::State& state) {
+  cochlea::CochleaConfig ccfg;
+  ccfg.channels = static_cast<std::size_t>(state.range(0));
+  ccfg.ears = 2;
+  cochlea::CochleaModel model{ccfg};
+  cochlea::AudioSynth synth{ccfg.sample_rate, 5};
+  const auto audio = synth.tone(1000.0, 0.4, 50_ms);
+  Time t = Time::zero();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.process(audio, t));
+    t += 50_ms;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(audio.size()));
+}
+BENCHMARK(BM_CochleaAudioSecond)->Arg(16)->Arg(64);
+
+void BM_ErrorSweepPoint(benchmark::State& state) {
+  clockgen::ScheduleConfig cfg;
+  cfg.theta_div = 64;
+  for (auto _ : state) {
+    const auto stats =
+        analysis::sweep_error(cfg, 50e3, {.n_events = 1000, .seed = 1});
+    benchmark::DoNotOptimize(stats.events);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ErrorSweepPoint);
+
+void BM_EndToEndInterface(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0));
+  gen::PoissonSource src{rate, 128, 9, Time::ns(130.0)};
+  const auto events = gen::take(src, 2000);
+  core::InterfaceConfig cfg;
+  cfg.front_end.keep_records = false;
+  cfg.fifo.batch_threshold = 512;
+  for (auto _ : state) {
+    const auto r = core::run_stream(cfg, events);
+    benchmark::DoNotOptimize(r.words_out);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EndToEndInterface)->Arg(1000)->Arg(100000)->Arg(550000);
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  aer::AetrCodec codec{static_cast<unsigned>(state.range(0))};
+  Xoshiro256StarStar rng{5};
+  std::vector<aer::CodedEvent> events;
+  for (int i = 0; i < 1000; ++i) {
+    events.push_back(aer::CodedEvent{
+        static_cast<std::uint16_t>(rng.uniform_int(512)),
+        rng.uniform_int(1u << 17)});
+  }
+  for (auto _ : state) {
+    const auto words = codec.encode_stream(events);
+    benchmark::DoNotOptimize(codec.decode_stream(words));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CodecEncodeDecode)->Arg(12)->Arg(22);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  std::vector<aer::AetrWord> payload;
+  for (int i = 0; i < 256; ++i) {
+    payload.push_back(aer::AetrWord::make(static_cast<std::uint16_t>(i),
+                                          static_cast<std::uint64_t>(i)));
+  }
+  i2s::FrameEncoder enc;
+  i2s::FrameDecoder dec{[](std::uint8_t, const std::vector<aer::AetrWord>&) {}};
+  for (auto _ : state) {
+    for (const auto w : enc.encode(payload)) dec.feed(w);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FrameEncodeDecode);
+
+void BM_DvsFrameDiff(benchmark::State& state) {
+  vision::DvsConfig cfg;
+  cfg.background_rate_hz = 1.0;
+  vision::DvsSensor sensor{cfg};
+  vision::SceneGenerator scene{cfg.width, cfg.height};
+  const auto a = scene.vertical_bar(10.0);
+  const auto b = scene.vertical_bar(11.0);
+  Time t = Time::zero();
+  (void)sensor.process_frame(a, t);
+  for (auto _ : state) {
+    t += Time::ms(1.0);
+    benchmark::DoNotOptimize(sensor.process_frame(b, t));
+    t += Time::ms(1.0);
+    benchmark::DoNotOptimize(sensor.process_frame(a, t));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DvsFrameDiff);
+
+void BM_ExpectedPowerClosedForm(benchmark::State& state) {
+  clockgen::ScheduleConfig cfg;
+  const auto cal = power::PowerCalibration::paper();
+  double rate = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::expected_power(cfg, cal, rate));
+    rate = rate < 1e6 ? rate * 1.5 : 10.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpectedPowerClosedForm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

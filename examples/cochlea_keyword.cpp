@@ -1,0 +1,127 @@
+// Cochlea keyword scenario: the paper's motivating application.
+//
+// A DAS1-style silicon cochlea listens to a spoken word over background
+// noise; its AER spike stream passes through the AER-to-I2S interface, is
+// batched in the FIFO, carried over I2S, and decoded by the MCU model —
+// which then rebuilds the time-frequency representation ("the predistilled
+// time-frequency representation of the original sensor signal", §1) from
+// nothing but the AETR words, and runs a trivial energy-based keyword
+// detector on it.
+//
+//   $ ./example_cochlea_keyword
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cochlea/audio.hpp"
+#include "cochlea/cochlea.hpp"
+#include "core/runner.hpp"
+#include "mcu/consumer.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  // --- the acoustic scene: noise, the word, noise --------------------------
+  cochlea::CochleaModel sensor;
+  cochlea::AudioSynth synth{sensor.config().sample_rate, 7};
+  auto audio = synth.silence(150_ms);
+  const auto word = synth.word(cochlea::AudioSynth::demo_word());
+  audio.insert(audio.end(), word.begin(), word.end());
+  const auto tail = synth.silence(200_ms);
+  audio.insert(audio.end(), tail.begin(), tail.end());
+  synth.add_background(audio, 0.015);
+
+  const auto spikes = sensor.process(audio);
+  std::printf("cochlea produced %zu spikes over %.0f ms\n", spikes.size(),
+              static_cast<double>(audio.size()) /
+                  sensor.config().sample_rate * 1e3);
+
+  // --- through the interface -------------------------------------------------
+  core::InterfaceConfig config;
+  config.fifo.batch_threshold = 256;
+  const auto result = core::run_stream(config, spikes);
+  std::printf("interface: %llu words out, %llu batches, %.3f mW average, "
+              "error %.2f %%\n",
+              static_cast<unsigned long long>(result.words_out),
+              static_cast<unsigned long long>(result.batches),
+              result.average_power_w * 1e3,
+              100.0 * result.error.weighted_rel_error());
+
+  // --- MCU side: rebuild the cochleagram from the AETR stream ----------------
+  const std::size_t channels = sensor.config().channels;
+  mcu::TimeFrequencyMap tf{channels, 20_ms,
+                           [channels](std::uint16_t a) {
+                             return static_cast<std::size_t>(a) % channels;
+                           }};
+  mcu::RateEstimator rate{10_ms};
+  for (const auto& ev : result.decoded) {
+    tf.add(ev);
+    rate.add(ev.reconstructed_time);
+  }
+
+  // Collapse to 8 frequency bands for terminal display.
+  std::printf("\nreconstructed cochleagram (low band at the bottom):\n");
+  const std::size_t bands = 8;
+  const std::size_t bins = tf.bins();
+  std::uint64_t peak = 1;
+  std::vector<std::vector<std::uint64_t>> grid(bands,
+                                               std::vector<std::uint64_t>(bins));
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      grid[ch * bands / channels][b] += tf.count(ch, b);
+    }
+  }
+  for (const auto& row : grid) {
+    for (auto c : row) peak = std::max(peak, c);
+  }
+  static constexpr char kShades[] = " .:-=+*#%@";
+  for (std::size_t g = bands; g-- > 0;) {
+    std::printf("  %5.0f Hz |", sensor.centres()[g * channels / bands]);
+    for (std::size_t b = 0; b < bins; ++b) {
+      std::printf("%c", kShades[grid[g][b] * 9 / peak]);
+    }
+    std::printf("|\n");
+  }
+
+  // --- a toy always-on keyword trigger ---------------------------------------
+  // Word present = sustained event-rate excursion well above the noise
+  // floor: flag 20 ms bins whose total count exceeds a quarter of the peak
+  // bin.
+  std::vector<std::uint64_t> totals(bins, 0);
+  std::uint64_t bin_peak = 1;
+  for (std::size_t b = 0; b < bins; ++b) {
+    for (std::size_t g = 0; g < bands; ++g) totals[b] += grid[g][b];
+    bin_peak = std::max(bin_peak, totals[b]);
+  }
+  std::size_t voiced_bins = 0, onset_bin = bins, last_bin = 0;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (totals[b] > bin_peak / 4) {
+      ++voiced_bins;
+      onset_bin = std::min(onset_bin, b);
+      last_bin = b;
+    }
+  }
+  if (voiced_bins >= 5) {
+    std::printf("\nkeyword trigger: WORD detected, t = %.0f..%.0f ms "
+                "(%zu voiced bins)\n",
+                static_cast<double>(onset_bin) * 20.0,
+                static_cast<double>(last_bin + 1) * 20.0, voiced_bins);
+  } else {
+    std::printf("\nkeyword trigger: nothing detected\n");
+  }
+  std::printf("peak instantaneous rate (MCU estimate): %.1f kevt/s\n",
+              rate.rate_hz(result.decoded.empty()
+                               ? Time::zero()
+                               : result.decoded[result.decoded.size() / 2]
+                                     .reconstructed_time) / 1e3);
+  std::printf("\nnote: times are MCU-reconstructed; quiet gaps longer than"
+              " T_max = %s are\ncompressed to T_max because their events carry"
+              " the saturated timestamp —\nexactly the \"uncorrelated events\""
+              " semantics of the paper.\n",
+              result.saturation_span.to_string().c_str());
+  std::printf("\nthe MCU slept between %llu batch transfers; everything above"
+              " was computed\nfrom delta timestamps alone.\n",
+              static_cast<unsigned long long>(result.batches));
+  return 0;
+}

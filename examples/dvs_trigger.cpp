@@ -1,0 +1,109 @@
+// Smart visual trigger: the Rusci-et-al.-style always-on vision scenario
+// the paper cites as its closest related work (§2), rebuilt on this
+// interface.
+//
+// An event camera watches a scene. While nothing moves, only sensor noise
+// reaches the interface, the divided clock sleeps nearly all the time, and
+// the system idles near the static floor. When an object crosses the field
+// of view the event rate jumps three orders of magnitude, the interface
+// wakes per event, batches the stream, and the MCU-side trigger fires —
+// with per-phase power telling the energy-proportionality story.
+//
+//   $ ./example_dvs_trigger
+#include <cstdio>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "mcu/consumer.hpp"
+#include "vision/dvs.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main() {
+  // --- scene: 1 s static, 0.5 s moving bar, 1 s static ----------------------
+  vision::DvsConfig dvs_cfg;
+  dvs_cfg.background_rate_hz = 0.1;  // per-pixel noise -> ~50 evt/s idle
+  vision::DvsSensor camera{dvs_cfg};
+  vision::SceneGenerator scene{dvs_cfg.width, dvs_cfg.height};
+
+  std::vector<vision::Frame> frames = scene.static_scene(1e3, 1_sec);
+  const auto sweep = scene.sweeping_bar(1e3, 500_ms);
+  frames.insert(frames.end(), sweep.begin(), sweep.end());
+  const auto tail = scene.static_scene(1e3, 1_sec);
+  frames.insert(frames.end(), tail.begin(), tail.end());
+
+  const auto spikes = camera.process(frames);
+  std::printf("camera: %zu events over 2.5 s (%llu clipped by pixel"
+              " refractory)\n",
+              spikes.size(),
+              static_cast<unsigned long long>(camera.refractory_drops()));
+
+  // --- through the interface, phase by phase ---------------------------------
+  // A trigger does not need fine timestamps, so trade accuracy for power:
+  // theta_div = 16 divides (and sleeps) four times sooner than the
+  // accuracy-oriented default of 64.
+  core::InterfaceConfig cfg;
+  cfg.clock.theta_div = 16;
+  cfg.fifo.batch_threshold = 64;
+  cfg.front_end.keep_records = false;
+
+  sim::Scheduler sched;
+  core::AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  mcu::McuConsumer mcu{iface.tick_unit(), iface.saturation_span()};
+  mcu::RateEstimator rate{20_ms};
+  bool triggered = false;
+  Time trigger_time;
+  iface.on_i2s_word([&](aer::AetrWord w, Time t) {
+    mcu.on_word(w, t);
+    rate.add(mcu.events().back().reconstructed_time);
+    if (!triggered &&
+        rate.rate_hz(mcu.events().back().reconstructed_time) > 5e3) {
+      triggered = true;
+      trigger_time = t;
+    }
+  });
+  sender.submit_stream(spikes);
+
+  // Measure power per 100 ms phase window.
+  struct Phase {
+    Time end;
+    power::ActivityTotals at_end;
+  };
+  std::vector<Phase> phases;
+  for (int i = 1; i <= 25; ++i) {
+    sched.run_until(Time::ms(100.0 * i));
+    phases.push_back({Time::ms(100.0 * i), iface.activity()});
+  }
+  sched.run();
+  if (!iface.fifo().empty()) iface.i2s_master().request_drain(sched.now());
+  sched.run();
+
+  std::printf("\n  window        power      events   state\n");
+  std::printf("  ----------------------------------------------\n");
+  power::ActivityTotals prev;
+  const power::PowerModel model{cfg.calibration};
+  for (const auto& ph : phases) {
+    const auto slice = ph.at_end.since(prev);
+    const double p = model.average_power_w(slice);
+    const bool active = slice.events > 300;
+    std::printf("  %4.1f-%4.1f s  %7.1f uW  %6llu   %s\n",
+                ph.end.to_sec() - 0.1, ph.end.to_sec(), p * 1e6,
+                static_cast<unsigned long long>(slice.events),
+                active ? "MOTION" : "idle");
+    prev = ph.at_end;
+  }
+
+  if (triggered) {
+    std::printf("\nMCU trigger fired at t = %s (bus time), rate threshold"
+                " 5 kevt/s\n",
+                trigger_time.to_string().c_str());
+  } else {
+    std::printf("\nMCU trigger never fired\n");
+  }
+  std::printf("events decoded by MCU: %zu in %llu batches\n",
+              mcu.events().size(),
+              static_cast<unsigned long long>(mcu.batches()));
+  return 0;
+}

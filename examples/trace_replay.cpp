@@ -1,0 +1,89 @@
+// Trace record & replay, with waveform capture.
+//
+// Records a bursty sensor session to an AER trace file, replays it through
+// two interface configurations (paper defaults vs. naive constant clock),
+// compares them, and dumps a VCD of the divided sampling clock plus the
+// AER handshake lines around the first burst for inspection in GTKWave.
+//
+//   $ ./example_trace_replay [trace.txt]
+#include <cstdio>
+#include <string>
+
+#include "aer/trace.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "sim/vcd.hpp"
+
+using namespace aetr;
+using namespace aetr::time_literals;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "aetr_session.trace";
+
+  // --- record -----------------------------------------------------------------
+  gen::BurstSource sensor{120e3, 8_ms, 40_ms, 128, 77};
+  const auto recorded = gen::take_until(sensor, 300_ms);
+  aer::save_trace(path, recorded);
+  std::printf("recorded %zu events to %s\n", recorded.size(), path.c_str());
+
+  // --- replay through two configurations --------------------------------------
+  const auto replayed = aer::load_trace(path);
+  core::InterfaceConfig divided;
+  divided.fifo.batch_threshold = 256;
+  core::InterfaceConfig naive = divided;
+  naive.clock.divide_enabled = false;
+  naive.clock.shutdown_enabled = false;
+
+  const auto r_div = core::run_stream(divided, replayed);
+  const auto r_naive = core::run_stream(naive, replayed);
+
+  std::printf("\n%-22s %12s %12s\n", "", "divided", "naive");
+  std::printf("%-22s %11.3f%% %11.3f%%\n", "timestamp error",
+              100.0 * r_div.error.weighted_rel_error(),
+              100.0 * r_naive.error.weighted_rel_error());
+  std::printf("%-22s %10.3fmW %10.3fmW\n", "average power",
+              r_div.average_power_w * 1e3, r_naive.average_power_w * 1e3);
+  std::printf("%-22s %12llu %12llu\n", "oscillator wakeups",
+              static_cast<unsigned long long>(r_div.activity.wakeups),
+              static_cast<unsigned long long>(r_naive.activity.wakeups));
+  std::printf("%-22s %11.1f%% %11.1f%%\n", "oscillator awake",
+              100.0 * r_div.activity.osc_awake.to_sec() /
+                  r_div.activity.window.to_sec(),
+              100.0 * r_naive.activity.osc_awake.to_sec() /
+                  r_naive.activity.window.to_sec());
+  std::printf("-> %.0f%% power saving on this bursty session, same data out\n",
+              100.0 * (1.0 - r_div.average_power_w / r_naive.average_power_w));
+
+  // --- waveform dump of the first inter-burst gap ------------------------------
+  // Re-simulate the first 60 ms capturing the divided clock, REQ and ACK.
+  sim::Scheduler sched;
+  core::AerToI2sInterface iface{sched, divided};
+  aer::AerSender sender{sched, iface.aer_in()};
+  sim::VcdWriter vcd{"aetr_replay.vcd"};
+  const auto v_req = vcd.add_signal("aer", "req");
+  const auto v_ack = vcd.add_signal("aer", "ack");
+  const auto v_level = vcd.add_signal("clockgen", "div_level", 4);
+  const auto v_asleep = vcd.add_signal("clockgen", "asleep");
+  iface.aer_in().on_req_change(
+      [&](bool level, Time t) { vcd.change(v_req, level, t); });
+  iface.aer_in().on_ack_change([&](bool level, Time t) {
+    vcd.change(v_ack, level, t);
+    vcd.change(v_level, iface.clock_generator().level(), t);
+    vcd.change(v_asleep, iface.clock_generator().asleep() ? 1 : 0, t);
+  });
+  // Also sample the clock state on a 100 us grid so the division staircase
+  // between bursts is visible.
+  for (Time t = Time::zero(); t < 60_ms; t += 100_us) {
+    sched.schedule_at(t, [&, t] {
+      vcd.change(v_level, iface.clock_generator().level(), t);
+      vcd.change(v_asleep, iface.clock_generator().asleep() ? 1 : 0, t);
+    });
+  }
+  for (const auto& ev : replayed) {
+    if (ev.time >= 60_ms) break;
+    sender.submit(ev);
+  }
+  sched.run();
+  std::printf("\nwaveform of the first 60 ms written to aetr_replay.vcd\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+# Gnuplot script regenerating the paper-style figures from the CSVs the
+# benches write (run the benches first; then: gnuplot results/plot_figures.gp).
+# Produces fig6.png, fig7b.png, fig8.png alongside the CSVs.
+
+set datafile separator ','
+set terminal pngcairo size 900,600 font 'sans,11'
+set key top left
+set grid
+
+# ---- Fig. 6: average relative timestamp error vs. event rate ---------------
+set output 'fig6.png'
+set title 'Fig. 6 — average relative error of AER-to-AETR conversion'
+set logscale xy
+set xlabel 'Event rate (evt/s)'
+set ylabel 'Average relative error (time-weighted)'
+set yrange [0.001:1]
+plot 'aetr_fig6.csv' skip 1 using 1:2 with linespoints title 'theta_{div} = 16', \
+     ''              skip 1 using 1:3 with linespoints title 'theta_{div} = 32', \
+     ''              skip 1 using 1:4 with linespoints title 'theta_{div} = 64', \
+     0.03125 with lines dashtype 2 lc 'black' title 'analytic bound (theta = 64)'
+
+# ---- Fig. 7b: timestamp error distribution ---------------------------------
+set output 'fig7b.png'
+set title 'Fig. 7b — timestamp error distribution for the cochlea word'
+unset logscale
+set xlabel 'Timestamp error bin'
+set ylabel 'Probability'
+set style data histograms
+set style histogram clustered
+set style fill solid 0.7
+set xtics rotate by -45 font ',8'
+set yrange [0:*]
+plot 'aetr_fig7b_errors.csv' skip 1 using 2:xtic(1) title 'theta_{div} = 16', \
+     ''                      skip 1 using 3 title 'theta_{div} = 32', \
+     ''                      skip 1 using 4 title 'theta_{div} = 64'
+
+# ---- Fig. 8: power consumption ----------------------------------------------
+set output 'fig8.png'
+set title 'Fig. 8 — power consumption vs. event rate'
+set style data linespoints
+unset xtics
+set xtics auto norotate
+set logscale x
+unset logscale y
+set xlabel 'Event rate (evt/s)'
+set ylabel 'Power consumption (mW)'
+set yrange [0:5]
+set key bottom right
+plot 'aetr_fig8.csv' skip 2 using 1:2 title 'theta_{div} = 64', \
+     ''              skip 2 using 1:3 title 'theta_{div} = 32', \
+     ''              skip 2 using 1:4 title 'theta_{div} = 16', \
+     ''              skip 2 using 1:5 with lines dashtype 2 title 'no division', \
+     ''              skip 2 using 1:6 with lines dashtype 3 title 'ideal (Eq. 1)'

@@ -1,0 +1,98 @@
+#include "aer/aedat.hpp"
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace aetr::aer {
+namespace {
+
+void put_be32(std::ostream& os, std::uint32_t v) {
+  const std::array<char, 4> bytes{
+      static_cast<char>((v >> 24) & 0xFF), static_cast<char>((v >> 16) & 0xFF),
+      static_cast<char>((v >> 8) & 0xFF), static_cast<char>(v & 0xFF)};
+  os.write(bytes.data(), bytes.size());
+}
+
+bool get_be32(std::istream& is, std::uint32_t& v) {
+  std::array<char, 4> bytes{};
+  is.read(bytes.data(), bytes.size());
+  if (is.gcount() == 0) return false;  // clean EOF
+  if (is.gcount() != 4) {
+    throw std::runtime_error("aedat: truncated record");
+  }
+  v = (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[0])) << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[1])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[2])) << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[3]));
+  return true;
+}
+
+}  // namespace
+
+void write_aedat(std::ostream& os, const EventStream& events) {
+  os << kAedatMagic << "\r\n"
+     << "# This is a raw AE data file created by the aetr simulator\r\n"
+     << "# Data format is int32 address, int32 timestamp (4 bytes total),"
+        " big-endian\r\n"
+     << "# Timestamps tick is 1 us\r\n";
+  for (const auto& ev : events) {
+    put_be32(os, ev.address);
+    // Round to the microsecond grid.
+    const auto us = static_cast<std::uint32_t>(
+        (ev.time.count_ps() + 500'000) / 1'000'000);
+    put_be32(os, us);
+  }
+}
+
+void save_aedat(const std::string& path, const EventStream& events) {
+  std::ofstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error("save_aedat: cannot open " + path);
+  write_aedat(f, events);
+  if (!f) throw std::runtime_error("save_aedat: write failed for " + path);
+}
+
+EventStream read_aedat(std::istream& is) {
+  // Header: consume '#' lines (CRLF or LF terminated).
+  std::string line;
+  bool first = true;
+  while (is.peek() == '#') {
+    std::getline(is, line);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first) {
+      if (line != kAedatMagic) {
+        throw std::runtime_error("aedat: bad magic line: " + line);
+      }
+      first = false;
+    }
+  }
+  if (first) throw std::runtime_error("aedat: missing header");
+
+  EventStream events;
+  std::uint32_t addr = 0;
+  std::uint32_t us = 0;
+  while (get_be32(is, addr)) {
+    if (!get_be32(is, us)) {
+      throw std::runtime_error("aedat: record missing timestamp");
+    }
+    const Event ev{static_cast<std::uint16_t>(addr & kAddressMask),
+                   Time::us(static_cast<double>(us))};
+    if (!events.empty() && ev.time < events.back().time) {
+      throw std::runtime_error("aedat: timestamps out of order");
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+EventStream load_aedat(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error("load_aedat: cannot open " + path);
+  return read_aedat(f);
+}
+
+}  // namespace aetr::aer

@@ -1,0 +1,36 @@
+// AEDAT 2.0 binary trace I/O.
+//
+// The de-facto interchange format of the AER ecosystem (jAER, the iniLabs /
+// iniVation toolchains that host the DAS1 cochlea and DVS cameras this
+// interface targets): a '#'-prefixed ASCII header, then big-endian records
+// of 32-bit address + 32-bit timestamp in microseconds.
+//
+// Our simulator keeps picosecond times, so exporting quantises to 1 us
+// (documented, lossy) while importing is exact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aer/event.hpp"
+
+namespace aetr::aer {
+
+/// Magic first header line identifying the format version.
+inline constexpr const char* kAedatMagic = "#!AER-DAT2.0";
+
+/// Write the stream to `os` as AEDAT 2.0. Timestamps are rounded to the
+/// microsecond grid (the format's resolution).
+void write_aedat(std::ostream& os, const EventStream& events);
+
+/// Save to file; throws std::runtime_error on I/O failure.
+void save_aedat(const std::string& path, const EventStream& events);
+
+/// Parse an AEDAT 2.0 stream; throws std::runtime_error on bad magic,
+/// truncated records, or out-of-order timestamps.
+EventStream read_aedat(std::istream& is);
+
+/// Load from file; throws std::runtime_error on failure.
+EventStream load_aedat(const std::string& path);
+
+}  // namespace aetr::aer

@@ -1,0 +1,77 @@
+#include "aer/agents.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aetr::aer {
+
+AerSender::AerSender(sim::Scheduler& sched, AerChannel& channel,
+                     SenderTiming timing)
+    : sched_{sched}, channel_{channel}, timing_{timing} {
+  channel_.on_ack_change([this](bool level, Time t) {
+    if (level) {
+      // Phase 2 done: receiver latched the address; release REQ.
+      sched_.schedule_after(timing_.req_release,
+                            [this] { channel_.deassert_req(); });
+    } else {
+      // Phase 4 done: handshake closed.
+      latency_.add((t - req_rise_time_).to_sec());
+      busy_ = false;
+      earliest_next_launch_ = t + timing_.min_gap;
+      maybe_launch();
+    }
+  });
+}
+
+void AerSender::submit(const Event& ev) {
+  assert(queue_.empty() || queue_.back().time <= ev.time);
+  queue_.push_back(ev);
+  maybe_launch();
+}
+
+void AerSender::submit_stream(const EventStream& events) {
+  for (const auto& ev : events) submit(ev);
+}
+
+void AerSender::maybe_launch() {
+  if (busy_ || queue_.empty() || pending_launch_.valid()) return;
+  const Event ev = queue_.front();
+  const Time launch_at =
+      std::max({ev.time, earliest_next_launch_, sched_.now()});
+  pending_launch_ = sched_.schedule_at(launch_at, [this] {
+    pending_launch_ = sim::EventId{};
+    if (busy_ || queue_.empty()) return;
+    const Event ev2 = queue_.front();
+    queue_.pop_front();
+    launch(ev2);
+  });
+}
+
+void AerSender::launch(const Event& ev) {
+  busy_ = true;
+  channel_.drive_addr(ev.address);
+  sched_.schedule_after(timing_.addr_setup, [this, ev] {
+    req_rise_time_ = sched_.now();
+    sent_.push_back(Event{ev.address, req_rise_time_});
+    channel_.assert_req();
+  });
+}
+
+ImmediateAckReceiver::ImmediateAckReceiver(sim::Scheduler& sched,
+                                           AerChannel& channel, Time ack_delay,
+                                           Time ack_release)
+    : sched_{sched},
+      channel_{channel},
+      ack_delay_{ack_delay},
+      ack_release_{ack_release} {
+  channel_.on_req_change([this](bool level, Time t) {
+    if (level) {
+      received_.push_back(Event{channel_.addr(), t});
+      sched_.schedule_after(ack_delay_, [this] { channel_.assert_ack(); });
+    } else {
+      sched_.schedule_after(ack_release_, [this] { channel_.deassert_ack(); });
+    }
+  });
+}
+
+}  // namespace aetr::aer

@@ -1,0 +1,90 @@
+// Behavioural agents for the two ends of an AER link.
+//
+// AerSender models the sensor side: it serialises queued spikes into
+// 4-phase handshakes, applying realistic wire/driver delays and sensor-side
+// backpressure (a spike cannot launch until the previous handshake closed —
+// exactly why CAVIAR bounds handshake completion time).
+//
+// ImmediateAckReceiver is a test-bench consumer that acknowledges after a
+// configurable delay, standing in for the synchronous front-end when a
+// module is tested in isolation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "aer/channel.hpp"
+#include "aer/event.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+
+namespace aetr::aer {
+
+/// Sender-side timing parameters (wire + pad driver delays).
+struct SenderTiming {
+  Time addr_setup = Time::ns(5);    ///< ADDR stable before REQ rises
+  Time req_release = Time::ns(5);   ///< REQ falls this long after ACK rises
+  Time min_gap = Time::ns(10);      ///< idle time after handshake completes
+};
+
+/// Drives the sensor side of an AerChannel from a queue of events.
+class AerSender {
+ public:
+  AerSender(sim::Scheduler& sched, AerChannel& channel,
+            SenderTiming timing = {});
+
+  /// Queue a spike for transmission at (or after) its nominal time.
+  void submit(const Event& ev);
+
+  /// Queue a whole stream (must be time-sorted).
+  void submit_stream(const EventStream& events);
+
+  /// Events whose REQ edge has been emitted, stamped with the *actual* REQ
+  /// rise time — the ground truth against which AETR timestamps are scored.
+  [[nodiscard]] const EventStream& sent() const { return sent_; }
+
+  /// Spikes queued but not yet launched (sensor-side backlog).
+  [[nodiscard]] std::size_t backlog() const { return queue_.size(); }
+
+  /// Statistics of handshake completion latency (REQ rise -> ACK fall).
+  [[nodiscard]] const RunningStats& handshake_latency() const {
+    return latency_;
+  }
+
+ private:
+  void maybe_launch();
+  void launch(const Event& ev);
+
+  sim::Scheduler& sched_;
+  AerChannel& channel_;
+  SenderTiming timing_;
+  std::deque<Event> queue_;
+  EventStream sent_;
+  RunningStats latency_;
+  Time req_rise_time_{Time::zero()};
+  Time earliest_next_launch_{Time::zero()};
+  bool busy_{false};
+  sim::EventId pending_launch_{};
+};
+
+/// Test receiver: acknowledges every request after `ack_delay`, releases ACK
+/// `ack_release` after REQ falls, and records what it saw.
+class ImmediateAckReceiver {
+ public:
+  ImmediateAckReceiver(sim::Scheduler& sched, AerChannel& channel,
+                       Time ack_delay = Time::ns(10),
+                       Time ack_release = Time::ns(5));
+
+  [[nodiscard]] const EventStream& received() const { return received_; }
+
+ private:
+  sim::Scheduler& sched_;
+  AerChannel& channel_;
+  Time ack_delay_;
+  Time ack_release_;
+  EventStream received_;
+};
+
+}  // namespace aetr::aer

@@ -1,0 +1,22 @@
+#include "aer/caviar.hpp"
+
+namespace aetr::aer {
+
+CaviarChecker::CaviarChecker(AerChannel& channel, Time bound) : bound_{bound} {
+  channel.on_req_change([this](bool level, Time t) {
+    if (level) {
+      req_rise_ = t;
+      in_flight_ = true;
+    }
+  });
+  channel.on_ack_change([this](bool level, Time t) {
+    if (!level && in_flight_) {
+      in_flight_ = false;
+      ++checked_;
+      durations_.add((t - req_rise_).to_sec());
+      if (t - req_rise_ > bound_) violations_.push_back({req_rise_, t});
+    }
+  });
+}
+
+}  // namespace aetr::aer

@@ -1,0 +1,50 @@
+// CAVIAR AER hardware-interface-standard timing checker.
+//
+// The paper (§5) dimensions the interface so that "each event [is] completed
+// within 700 ns", the bound from the CAVIAR standard v2.01. This monitor
+// watches a channel and verifies the bound on every handshake.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aer/channel.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace aetr::aer {
+
+/// One handshake that exceeded the completion bound.
+struct CaviarViolation {
+  Time req_rise{Time::zero()};
+  Time completed{Time::zero()};
+  [[nodiscard]] Time duration() const { return completed - req_rise; }
+};
+
+/// Passive monitor: attach to a channel, read back compliance statistics.
+class CaviarChecker {
+ public:
+  /// CAVIAR v2.01 handshake completion bound.
+  static constexpr Time kDefaultBound = Time::ns(700);
+
+  explicit CaviarChecker(AerChannel& channel, Time bound = kDefaultBound);
+
+  [[nodiscard]] std::uint64_t checked() const { return checked_; }
+  [[nodiscard]] const std::vector<CaviarViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool compliant() const { return violations_.empty(); }
+
+  /// Handshake duration statistics (seconds).
+  [[nodiscard]] const RunningStats& durations() const { return durations_; }
+
+ private:
+  Time bound_;
+  Time req_rise_{Time::zero()};
+  bool in_flight_{false};
+  std::uint64_t checked_{0};
+  std::vector<CaviarViolation> violations_;
+  RunningStats durations_;
+};
+
+}  // namespace aetr::aer

@@ -1,0 +1,51 @@
+#include "aer/channel.hpp"
+
+#include <stdexcept>
+
+namespace aetr::aer {
+
+void AerChannel::violation(const std::string& what) {
+  if (strict_) {
+    throw std::logic_error("AER protocol violation @" +
+                           sched_.now().to_string() + ": " + what);
+  }
+  violations_.push_back({sched_.now(), what});
+  for (auto& fn : violation_observers_) fn(violations_.back());
+}
+
+void AerChannel::drive_addr(std::uint16_t addr) {
+  if (req_) violation("ADDR changed while REQ asserted");
+  addr_ = addr & kAddressMask;
+}
+
+void AerChannel::assert_req() {
+  if (req_) violation("REQ asserted twice");
+  if (ack_) violation("REQ asserted while ACK still high (phase overlap)");
+  req_ = true;
+  last_req_rise_ = sched_.now();
+  for (auto& fn : req_observers_) fn(true, sched_.now());
+}
+
+void AerChannel::deassert_req() {
+  if (!req_) violation("REQ deasserted while already low");
+  if (!ack_) violation("REQ deasserted before ACK (4-phase order broken)");
+  req_ = false;
+  for (auto& fn : req_observers_) fn(false, sched_.now());
+}
+
+void AerChannel::assert_ack() {
+  if (ack_) violation("ACK asserted twice");
+  if (!req_) violation("ACK asserted without pending REQ");
+  ack_ = true;
+  for (auto& fn : ack_observers_) fn(true, sched_.now());
+}
+
+void AerChannel::deassert_ack() {
+  if (!ack_) violation("ACK deasserted while already low");
+  if (req_) violation("ACK deasserted before REQ released (4-phase order broken)");
+  ack_ = false;
+  ++handshakes_;
+  for (auto& fn : ack_observers_) fn(false, sched_.now());
+}
+
+}  // namespace aetr::aer

@@ -1,0 +1,73 @@
+#include "aer/codec.hpp"
+
+#include <stdexcept>
+
+namespace aetr::aer {
+
+AetrCodec::AetrCodec(unsigned timestamp_bits) : ts_bits_{timestamp_bits} {
+  if (timestamp_bits < 4 || timestamp_bits > 22) {
+    throw std::invalid_argument("AetrCodec: timestamp width must be 4..22");
+  }
+  ts_mask_ = (std::uint64_t{1} << ts_bits_) - 1;
+}
+
+void AetrCodec::encode(const CodedEvent& ev,
+                       std::vector<std::uint32_t>& out) const {
+  if (ev.address >= kOverflowAddr) {
+    throw std::invalid_argument(
+        "AetrCodec: address collides with the overflow marker");
+  }
+  std::uint64_t overflows = ev.delta_ticks >> ts_bits_;
+  if ((overflows + ts_mask_ - 1) / ts_mask_ > kMaxOverflowWords) {
+    throw std::invalid_argument(
+        "AetrCodec: delta exceeds the bounded overflow-run length; saturate "
+        "upstream");
+  }
+  // Each overflow word carries up to ts_mask_ wraps.
+  while (overflows > 0) {
+    const std::uint64_t chunk = overflows > ts_mask_ ? ts_mask_ : overflows;
+    out.push_back(static_cast<std::uint32_t>(
+        (static_cast<std::uint32_t>(kOverflowAddr) << ts_bits_) | chunk));
+    overflows -= chunk;
+  }
+  out.push_back(static_cast<std::uint32_t>(
+      (static_cast<std::uint32_t>(ev.address) << ts_bits_) |
+      (ev.delta_ticks & ts_mask_)));
+}
+
+std::vector<std::uint32_t> AetrCodec::encode_stream(
+    const std::vector<CodedEvent>& events) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(events.size());
+  for (const auto& ev : events) encode(ev, out);
+  return out;
+}
+
+std::vector<CodedEvent> AetrCodec::decode_stream(
+    const std::vector<std::uint32_t>& words) const {
+  std::vector<CodedEvent> events;
+  std::uint64_t pending_wraps = 0;
+  for (const std::uint32_t w : words) {
+    const auto addr = static_cast<std::uint16_t>((w >> ts_bits_) & kAddressMask);
+    const std::uint64_t field = w & ts_mask_;
+    if (addr == kOverflowAddr) {
+      pending_wraps += field;
+      continue;
+    }
+    events.push_back(CodedEvent{
+        addr, (pending_wraps << ts_bits_) + field});
+    pending_wraps = 0;
+  }
+  if (pending_wraps != 0) {
+    throw std::runtime_error(
+        "AetrCodec: stream ends inside an overflow run");
+  }
+  return events;
+}
+
+std::uint64_t AetrCodec::words_for(std::uint64_t delta_ticks) const {
+  const std::uint64_t wraps = delta_ticks >> ts_bits_;
+  return 1 + (wraps + ts_mask_ - 1) / ts_mask_;
+}
+
+}  // namespace aetr::aer

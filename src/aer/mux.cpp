@@ -1,0 +1,88 @@
+#include "aer/mux.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aetr::aer {
+
+AerChannelMux::AerChannelMux(sim::Scheduler& sched,
+                             std::vector<AerChannel*> inputs,
+                             AerChannel& output, MuxConfig config)
+    : sched_{sched},
+      inputs_{std::move(inputs)},
+      output_{output},
+      cfg_{config},
+      pending_(inputs_.size(), false),
+      grants_(inputs_.size(), 0),
+      native_bits_{kAddressBits - config.source_bits} {
+  if (inputs_.empty()) {
+    throw std::invalid_argument("AerChannelMux: needs at least one input");
+  }
+  if ((std::size_t{1} << cfg_.source_bits) < inputs_.size()) {
+    throw std::invalid_argument(
+        "AerChannelMux: source_bits too small for the input count");
+  }
+
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    inputs_[i]->on_req_change([this, i](bool level, Time) {
+      if (level) {
+        pending_[i] = true;
+        try_grant();
+      } else if (busy_ && last_granted_ == i && output_.req()) {
+        // Phase 3 relay: the granted sensor released its request.
+        sched_.schedule_after(cfg_.relay_delay,
+                              [this] { output_.deassert_req(); });
+      }
+    });
+  }
+
+  output_.on_ack_change([this](bool level, Time) {
+    if (!busy_) return;
+    AerChannel& up = *inputs_[last_granted_];
+    if (level) {
+      // Phase 2 relay: downstream latched; acknowledge the sensor.
+      sched_.schedule_after(cfg_.relay_delay, [&up] { up.assert_ack(); });
+    } else {
+      // Phase 4 relay: handshake closed; release the sensor and re-arb.
+      sched_.schedule_after(cfg_.relay_delay, [this, &up] {
+        up.deassert_ack();
+        busy_ = false;
+        try_grant();
+      });
+    }
+  });
+}
+
+std::pair<std::size_t, std::uint16_t> AerChannelMux::split(
+    std::uint16_t downstream_address) const {
+  const std::size_t source = downstream_address >> native_bits_;
+  const auto native = static_cast<std::uint16_t>(
+      downstream_address & ((1u << native_bits_) - 1u));
+  return {source, native};
+}
+
+void AerChannelMux::try_grant() {
+  if (busy_) return;
+  // Round-robin starting after the last granted input.
+  for (std::size_t k = 1; k <= inputs_.size(); ++k) {
+    const std::size_t i = (last_granted_ + k) % inputs_.size();
+    if (pending_[i]) {
+      busy_ = true;
+      pending_[i] = false;
+      last_granted_ = i;
+      ++grants_[i];
+      sched_.schedule_after(cfg_.arbitration_delay, [this, i] { begin(i); });
+      return;
+    }
+  }
+}
+
+void AerChannelMux::begin(std::size_t input) {
+  AerChannel& up = *inputs_[input];
+  const auto tagged = static_cast<std::uint16_t>(
+      (input << native_bits_) | (up.addr() & ((1u << native_bits_) - 1u)));
+  output_.drive_addr(tagged);
+  sched_.schedule_after(cfg_.relay_delay, [this] { output_.assert_req(); });
+}
+
+}  // namespace aetr::aer

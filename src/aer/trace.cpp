@@ -1,0 +1,54 @@
+#include "aer/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aetr::aer {
+
+void write_trace(std::ostream& os, const EventStream& events) {
+  os << "# aetr trace v1: <time_ps> <address>\n";
+  for (const auto& ev : events) {
+    os << ev.time.count_ps() << ' ' << ev.address << '\n';
+  }
+}
+
+void save_trace(const std::string& path, const EventStream& events) {
+  std::ofstream f{path};
+  if (!f) throw std::runtime_error("save_trace: cannot open " + path);
+  write_trace(f, events);
+  if (!f) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+EventStream read_trace(std::istream& is) {
+  EventStream events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream ls{line};
+    Time::Rep t_ps = 0;
+    unsigned address = 0;
+    if (!(ls >> t_ps >> address) || address > kAddressMask) {
+      throw std::runtime_error("read_trace: malformed line " +
+                               std::to_string(line_no) + ": " + line);
+    }
+    const Event ev{static_cast<std::uint16_t>(address), Time::ps(t_ps)};
+    if (!events.empty() && ev.time < events.back().time) {
+      throw std::runtime_error("read_trace: events out of order at line " +
+                               std::to_string(line_no));
+    }
+    events.push_back(ev);
+  }
+  return events;
+}
+
+EventStream load_trace(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) throw std::runtime_error("load_trace: cannot open " + path);
+  return read_trace(f);
+}
+
+}  // namespace aetr::aer

@@ -1,0 +1,73 @@
+#include "analysis/power_curve.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace aetr::analysis {
+namespace {
+
+/// P(tau in [a,b)) for tau ~ Exp(r): integral of r e^{-r tau}.
+double mass(double r, double a, double b) {
+  return std::exp(-r * a) - std::exp(-r * b);
+}
+
+/// E[tau ; tau in [a,b)] = integral of tau r e^{-r tau}.
+double first_moment(double r, double a, double b) {
+  const double inv = 1.0 / r;
+  return (a + inv) * std::exp(-r * a) - (b + inv) * std::exp(-r * b);
+}
+
+}  // namespace
+
+PowerEstimate expected_power(const clockgen::ScheduleConfig& schedule_cfg,
+                             const power::PowerCalibration& cal,
+                             double rate_hz, unsigned i2s_word_bits) {
+  assert(rate_hz > 0.0);
+  const clockgen::SamplingSchedule schedule{schedule_cfg};
+  const double r = rate_hz;
+  const std::uint32_t top =
+      schedule_cfg.divide_enabled ? schedule_cfg.n_div : 0;
+  const bool sleeps = schedule.awake_span() != Time::max();
+  const double t_awake =
+      sleeps ? schedule.awake_span().to_sec() : 1e9;  // effectively infinite
+
+  // E[min(tau, T_awake)] and E[cycles(tau)] accumulated per level segment.
+  double e_awake = first_moment(r, 0.0, t_awake) + t_awake * std::exp(-r * t_awake);
+  double e_cycles = 0.0;
+  for (std::uint32_t k = 0; k <= top; ++k) {
+    const double s_k = schedule.level_start(k).to_sec();
+    const double s_next = k < top ? schedule.level_start(k + 1).to_sec()
+                                  : t_awake;
+    const double p_k = schedule.period_of_level(k).to_sec();
+    // cycles(tau) ~= theta*k + (tau - S_k)/p_k within level k (the +-1
+    // staircase rounding averages out over the exponential mixture).
+    const double c0 = static_cast<double>(schedule_cfg.theta_div) * k -
+                      s_k / p_k;
+    e_cycles += c0 * mass(r, s_k, s_next) + first_moment(r, s_k, s_next) / p_k;
+  }
+  if (sleeps) {
+    // Saturated tail: the full awake schedule ran.
+    const double sat_cycles =
+        static_cast<double>(schedule_cfg.theta_div) * (top + 1) - 1.0;
+    e_cycles += sat_cycles * std::exp(-r * t_awake);
+  }
+
+  PowerEstimate est;
+  est.rate_hz = r;
+  est.awake_fraction = std::min(1.0, r * e_awake);
+  est.sampling_freq_hz = r * e_cycles;
+  est.wakeups_per_sec = sleeps ? r * std::exp(-r * t_awake) : 0.0;
+
+  auto& b = est.breakdown;
+  b.static_w = cal.static_w;
+  b.osc_domain_w = cal.osc_domain_w * est.awake_fraction;
+  b.sampling_w = cal.sampling_cycle_j * est.sampling_freq_hz;
+  b.events_w = cal.event_j * r;
+  b.fifo_w = cal.fifo_access_j * 2.0 * r;  // one write + one read per event
+  b.i2s_w = cal.i2s_bit_j * static_cast<double>(i2s_word_bits) * r;
+  b.wakeup_w = cal.wakeup_j * est.wakeups_per_sec;
+  est.power_w = b.total_w();
+  return est;
+}
+
+}  // namespace aetr::analysis

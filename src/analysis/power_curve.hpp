@@ -1,0 +1,37 @@
+// Closed-form expected power under Poisson traffic.
+//
+// For a Poisson spike stream of rate r, every power-relevant activity of
+// the interface is a function of the inter-spike interval tau ~ Exp(r):
+// the oscillator runs min(tau, T_awake), the sampling domain executes
+// cycles(tau) edges (piecewise linear per division level), a wakeup
+// transient occurs iff tau > T_awake, and each event costs fixed front-end/
+// FIFO/I2S energy. Taking expectations per segment of the schedule gives
+// the whole Fig. 8 curve in closed form — no simulation — which both
+// cross-validates the DES (tests pin the agreement) and gives designers an
+// instant theta/N_div/rate -> power calculator.
+#pragma once
+
+#include "clockgen/schedule.hpp"
+#include "power/model.hpp"
+
+namespace aetr::analysis {
+
+/// Expected steady-state behaviour per event and per second.
+struct PowerEstimate {
+  double rate_hz{0.0};
+  double awake_fraction{0.0};        ///< E[min(tau,T)] * r
+  double sampling_freq_hz{0.0};      ///< E[cycles(tau)] * r
+  double wakeups_per_sec{0.0};       ///< r * P(tau > T_awake)
+  double power_w{0.0};               ///< total expected power
+  power::PowerBreakdown breakdown;   ///< per-component expectation
+};
+
+/// Expected power of the interface under Poisson traffic at `rate_hz`,
+/// for the given schedule and calibration. I2S cost assumes every event is
+/// eventually drained (32 bits/word) — true whenever the stream fits the
+/// output bitrate.
+[[nodiscard]] PowerEstimate expected_power(
+    const clockgen::ScheduleConfig& schedule, const power::PowerCalibration& cal,
+    double rate_hz, unsigned i2s_word_bits = 32);
+
+}  // namespace aetr::analysis

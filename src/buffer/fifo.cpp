@@ -1,0 +1,54 @@
+#include "buffer/fifo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aetr::buffer {
+
+AetrFifo::AetrFifo(FifoConfig config) : cfg_{config} {
+  if (cfg_.capacity_words == 0) {
+    throw std::invalid_argument("AetrFifo: capacity must be > 0");
+  }
+  if (cfg_.batch_threshold == 0 || cfg_.batch_threshold > cfg_.capacity_words) {
+    throw std::invalid_argument(
+        "AetrFifo: batch threshold must be in [1, capacity]");
+  }
+}
+
+bool AetrFifo::push(aer::AetrWord word, Time now) {
+  if (data_.size() >= cfg_.capacity_words) {
+    ++overflows_;
+    return false;
+  }
+  data_.push_back(word);
+  ++pushes_;
+  max_occupancy_ = std::max(max_occupancy_, data_.size());
+  if (armed_ && data_.size() >= cfg_.batch_threshold) {
+    armed_ = false;
+    if (threshold_fn_) threshold_fn_(now);
+  }
+  return true;
+}
+
+aer::AetrWord AetrFifo::pop(Time /*now*/) {
+  assert(!data_.empty());
+  const aer::AetrWord word = data_.front();
+  data_.pop_front();
+  ++pops_;
+  if (data_.size() < cfg_.batch_threshold) armed_ = true;
+  return word;
+}
+
+void AetrFifo::set_batch_threshold(std::size_t words) {
+  if (words == 0 || words > cfg_.capacity_words) {
+    throw std::invalid_argument(
+        "AetrFifo: batch threshold must be in [1, capacity]");
+  }
+  cfg_.batch_threshold = words;
+  // Re-arm: if the occupancy already sits at/above the new threshold the
+  // next push delivers the (still unconsumed) crossing notification.
+  armed_ = true;
+}
+
+}  // namespace aetr::buffer

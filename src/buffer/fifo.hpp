@@ -1,0 +1,68 @@
+// SRAM-based AETR FIFO buffer (paper §4: 9.2 kB, configurable threshold).
+//
+// Collected events accumulate here until the batch threshold is crossed, at
+// which point the buffer raises its threshold callback and the I2S interface
+// drains it in a block — the accumulate-then-batch pattern that lets the
+// downstream MCU sleep between transfers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "aer/event.hpp"
+#include "util/time.hpp"
+
+namespace aetr::buffer {
+
+/// Buffer geometry. The paper's 9.2 kB SRAM holds 2300 32-bit AETR words.
+struct FifoConfig {
+  std::size_t capacity_words = 2300;
+  std::size_t batch_threshold = 1024;  ///< raise drain request at this fill
+};
+
+/// Word FIFO with occupancy accounting and threshold signalling.
+class AetrFifo {
+ public:
+  using ThresholdFn = std::function<void(Time)>;
+
+  explicit AetrFifo(FifoConfig config = {});
+
+  /// Register the drain-request callback (fires on the push that crosses
+  /// the threshold from below, and again only after dropping under it).
+  void on_threshold(ThresholdFn fn) { threshold_fn_ = std::move(fn); }
+
+  /// Append a word; returns false (and counts an overflow; the word is
+  /// dropped) when full — AER has no way to stall an already-timed event.
+  bool push(aer::AetrWord word, Time now);
+
+  /// Remove the oldest word; behaviour undefined when empty (check first).
+  aer::AetrWord pop(Time now);
+
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return cfg_.capacity_words; }
+  [[nodiscard]] const FifoConfig& config() const { return cfg_; }
+
+  /// Runtime threshold reconfiguration (SPI register).
+  void set_batch_threshold(std::size_t words);
+
+  // --- statistics ----------------------------------------------------------
+  [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
+  [[nodiscard]] std::uint64_t pops() const { return pops_; }
+  [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  FifoConfig cfg_;
+  std::deque<aer::AetrWord> data_;
+  ThresholdFn threshold_fn_;
+  bool armed_{true};  // threshold edge-triggered re-arm
+  std::uint64_t pushes_{0};
+  std::uint64_t pops_{0};
+  std::uint64_t overflows_{0};
+  std::size_t max_occupancy_{0};
+};
+
+}  // namespace aetr::buffer

@@ -1,0 +1,120 @@
+#include "clockgen/clock_generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace aetr::clockgen {
+namespace {
+
+ScheduleConfig to_schedule_config(const ClockGeneratorConfig& cfg) {
+  ScheduleConfig sc;
+  const auto divide_ratio = static_cast<Time::Rep>(
+      std::uint64_t{1} << (cfg.ref_divider_stages + cfg.sampling_divider_stages));
+  sc.tmin = cfg.ring_frequency.period() * divide_ratio;
+  sc.theta_div = cfg.theta_div;
+  sc.n_div = cfg.n_div;
+  sc.divide_enabled = cfg.divide_enabled;
+  sc.shutdown_enabled = cfg.shutdown_enabled;
+  return sc;
+}
+
+}  // namespace
+
+ClockGenerator::ClockGenerator(sim::Scheduler& sched,
+                               ClockGeneratorConfig config)
+    : sched_{sched},
+      cfg_{config},
+      schedule_{to_schedule_config(config)},
+      origin_{sched.now()} {}
+
+void ClockGenerator::rebuild_schedule() {
+  // Settle the open interval under the old schedule, then restart the
+  // schedule from "now" with the new parameters (the hardware loads the SPI
+  // registers into the FSM, which re-enters its reset state).
+  const Time e = elapsed();
+  awake_accum_ += std::min(e, schedule_.awake_span());
+  sampling_cycles_accum_ += schedule_.cycles_until(e);
+  origin_ = sched_.now();
+  schedule_ = SamplingSchedule{to_schedule_config(cfg_)};
+}
+
+void ClockGenerator::set_theta_div(std::uint32_t theta_div) {
+  cfg_.theta_div = theta_div;
+  rebuild_schedule();
+}
+
+void ClockGenerator::set_n_div(std::uint32_t n_div) {
+  cfg_.n_div = n_div;
+  rebuild_schedule();
+}
+
+void ClockGenerator::set_divide_enabled(bool enabled) {
+  cfg_.divide_enabled = enabled;
+  rebuild_schedule();
+}
+
+void ClockGenerator::set_shutdown_enabled(bool enabled) {
+  cfg_.shutdown_enabled = enabled;
+  rebuild_schedule();
+}
+
+void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
+  if (capture_pending_) {
+    throw std::logic_error(
+        "ClockGenerator: capture while another request is in flight "
+        "(AER 4-phase handshake should serialise requests)");
+  }
+  capture_pending_ = true;
+  const Time delta = elapsed();
+  const bool was_asleep = schedule_.is_asleep_at(delta);
+  const auto m = schedule_.measure(delta, sync_edges, cfg_.wake_latency);
+  const Time sample_abs = origin_ + m.sample_edge;
+
+  sched_.schedule_at(
+      sample_abs, [this, m, delta, was_asleep, done = std::move(done)] {
+        // Close the books on the interval [origin_, sample edge].
+        if (was_asleep) {
+          // Ring ran for the full schedule, paused, and restarted at the
+          // request; it has been running again since the request instant.
+          awake_accum_ += schedule_.awake_span() + (m.sample_edge - delta);
+          sampling_cycles_accum_ +=
+              schedule_.cycles_until(schedule_.awake_span()) +
+              static_cast<std::uint64_t>(
+                  (m.sample_edge - delta - cfg_.wake_latency) / tmin()) +
+              1;
+          ++wakeups_;
+        } else {
+          awake_accum_ += std::min(m.sample_edge, schedule_.awake_span());
+          sampling_cycles_accum_ += schedule_.cycles_until(m.sample_edge);
+        }
+        ++captures_;
+        origin_ = sched_.now();  // the sample edge is the new counter origin
+        capture_pending_ = false;
+        done(sched_.now(), m.ticks, m.saturated);
+      });
+}
+
+bool ClockGenerator::asleep() const {
+  return schedule_.is_asleep_at(elapsed());
+}
+
+std::uint32_t ClockGenerator::level() const {
+  return schedule_.level_at(elapsed());
+}
+
+Time ClockGenerator::current_period() const {
+  return schedule_.period_of_level(level());
+}
+
+ClockActivity ClockGenerator::activity() const {
+  ClockActivity a;
+  const Time e = elapsed();
+  a.awake = awake_accum_ + std::min(e, schedule_.awake_span());
+  a.sampling_cycles = sampling_cycles_accum_ + schedule_.cycles_until(e);
+  a.wakeups = wakeups_;
+  a.captures = captures_;
+  return a;
+}
+
+}  // namespace aetr::clockgen

@@ -1,0 +1,107 @@
+// The Clock Generator block (paper §4.1): pausable ring oscillator +
+// divider cascade + the Fig. 1 sampling FSM, exposed to the AER front-end
+// as a "capture" service.
+//
+// Implementation note: between spikes the divided-clock state is a pure
+// function of elapsed time (SamplingSchedule), so this block schedules *no*
+// periodic DES events at all — it materialises edges only while a request
+// is in flight (2-3 per spike) and accounts awake time / cycle counts in
+// closed form at each schedule reset. This makes simulated cost proportional
+// to event rate, mirroring the energy proportionality of the hardware.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clockgen/schedule.hpp"
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::clockgen {
+
+/// Clock generator parameters. Defaults follow the paper: 120 MHz ring,
+/// /4 to the 30 MHz reference, /2 to the 15 MHz base sampling clock.
+struct ClockGeneratorConfig {
+  Frequency ring_frequency = Frequency::mhz(120.0);
+  unsigned ref_divider_stages = 2;       ///< 120 MHz -> 30 MHz reference
+  unsigned sampling_divider_stages = 1;  ///< 30 MHz -> 15 MHz base sampling
+  std::uint32_t theta_div = 64;
+  std::uint32_t n_div = 8;
+  bool divide_enabled = true;
+  bool shutdown_enabled = true;
+  Time wake_latency = Time::ns(100);
+};
+
+/// Aggregated clock-domain activity, the input to the power model.
+struct ClockActivity {
+  Time awake{Time::zero()};           ///< ring-oscillator running time
+  std::uint64_t sampling_cycles{0};   ///< edges of the divided global clock
+  std::uint64_t wakeups{0};           ///< restarts from full shutdown
+  std::uint64_t captures{0};          ///< events timed (schedule resets)
+
+  /// Ring / reference cycle counts implied by the awake time.
+  [[nodiscard]] std::uint64_t ring_cycles(Frequency ring) const {
+    return static_cast<std::uint64_t>(awake.to_sec() * ring.to_hz());
+  }
+};
+
+/// DES embodiment of the clock generator + sampling FSM.
+class ClockGenerator {
+ public:
+  /// Capture completion callback: absolute sampling-edge time, the latched
+  /// timestamp-counter value (Tmin ticks since previous event), and whether
+  /// the value is the saturation marker.
+  using CaptureFn =
+      std::function<void(Time edge, std::uint64_t ticks, bool saturated)>;
+
+  ClockGenerator(sim::Scheduler& sched, ClockGeneratorConfig config = {});
+
+  /// Base (undivided) sampling period Tmin.
+  [[nodiscard]] Time tmin() const { return schedule_.config().tmin; }
+  [[nodiscard]] const ClockGeneratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const SamplingSchedule& schedule() const { return schedule_; }
+
+  /// Runtime reconfiguration (SPI-accessible registers, §4.1). Takes effect
+  /// from the current schedule origin onwards.
+  void set_theta_div(std::uint32_t theta_div);
+  void set_n_div(std::uint32_t n_div);
+  void set_divide_enabled(bool enabled);
+  void set_shutdown_enabled(bool enabled);
+
+  /// Called by the AER front-end at the instant REQ rises. The generator
+  /// wakes the ring if paused, lets the request cross `sync_edges` sampling
+  /// edges (the 2-FF synchronizer), then invokes `done` at the edge where
+  /// the FSM samples the event; the schedule resets to Tmin at that edge.
+  /// Only one capture may be in flight (guaranteed by the AER handshake).
+  void capture_request(std::uint32_t sync_edges, CaptureFn done);
+
+  /// True when the sampling clock is currently shut down.
+  [[nodiscard]] bool asleep() const;
+
+  /// Division level currently active (0 = Tmin).
+  [[nodiscard]] std::uint32_t level() const;
+
+  /// Current sampling period of the global clock.
+  [[nodiscard]] Time current_period() const;
+
+  /// Activity totals settled up to the current simulation time.
+  [[nodiscard]] ClockActivity activity() const;
+
+ private:
+  void rebuild_schedule();
+  [[nodiscard]] Time elapsed() const { return sched_.now() - origin_; }
+
+  sim::Scheduler& sched_;
+  ClockGeneratorConfig cfg_;
+  SamplingSchedule schedule_;
+  Time origin_{Time::zero()};  ///< absolute time of the last schedule reset
+  bool capture_pending_{false};
+
+  // Settled accumulators (exclude the open interval since origin_).
+  Time awake_accum_{Time::zero()};
+  std::uint64_t sampling_cycles_accum_{0};
+  std::uint64_t wakeups_{0};
+  std::uint64_t captures_{0};
+};
+
+}  // namespace aetr::clockgen

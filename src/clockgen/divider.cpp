@@ -1,0 +1,31 @@
+#include "clockgen/divider.hpp"
+
+#include <stdexcept>
+
+namespace aetr::clockgen {
+
+DividerCascade::DividerCascade(sim::ClockLine& input, unsigned stages)
+    : stages_{stages} {
+  if (stages == 0 || stages > 16) {
+    throw std::invalid_argument("DividerCascade: stages must be in [1,16]");
+  }
+  input.on_rising([this](Time t, Time period) {
+    ++input_edges_;
+    const std::uint64_t before = count_;
+    count_ = (count_ + 1) & (divide_ratio() - 1);
+    // A ripple counter's stage i toggles when all lower bits roll over;
+    // total toggles per increment = trailing ones of the previous value + 1.
+    std::uint64_t v = before;
+    std::uint64_t toggles = 1;
+    while ((v & 1u) != 0 && toggles < stages_) {
+      ++toggles;
+      v >>= 1;
+    }
+    ff_toggles_ += toggles;
+    if (count_ == 0) {
+      out_.tick(t, period * static_cast<Time::Rep>(divide_ratio()));
+    }
+  });
+}
+
+}  // namespace aetr::clockgen

@@ -1,0 +1,43 @@
+// Binary frequency-divider cascade (paper §4.1: the 120 MHz ring output is
+// divided down to the 30 MHz reference before feeding the sampling FSM).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "util/time.hpp"
+
+namespace aetr::clockgen {
+
+/// Divide-by-2^stages ripple divider: publishes one rising edge on its
+/// output line for every 2^stages rising edges on the input line.
+class DividerCascade {
+ public:
+  DividerCascade(sim::ClockLine& input, unsigned stages);
+
+  [[nodiscard]] sim::ClockLine& line() { return out_; }
+  [[nodiscard]] unsigned stages() const { return stages_; }
+  [[nodiscard]] std::uint64_t divide_ratio() const {
+    return std::uint64_t{1} << stages_;
+  }
+
+  /// Input edges consumed (toggle activity of the cascade flip-flops is
+  /// 2 - 2^(1-stages) toggles per input edge; the power model uses this).
+  [[nodiscard]] std::uint64_t input_edges() const { return input_edges_; }
+
+  /// Flip-flop toggles across the whole cascade so far.
+  [[nodiscard]] std::uint64_t ff_toggles() const { return ff_toggles_; }
+
+  /// Clear the count chain (SLEEP resets the cascade so the first divided
+  /// edge after a wake comes a full divided period after the restart).
+  void reset() { count_ = 0; }
+
+ private:
+  unsigned stages_;
+  sim::ClockLine out_;
+  std::uint64_t count_{0};
+  std::uint64_t input_edges_{0};
+  std::uint64_t ff_toggles_{0};
+};
+
+}  // namespace aetr::clockgen

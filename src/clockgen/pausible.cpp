@@ -1,0 +1,86 @@
+#include "clockgen/pausible.hpp"
+
+#include <utility>
+
+namespace aetr::clockgen {
+
+PausibleClock::PausibleClock(sim::Scheduler& sched, PausibleClockConfig config)
+    : sched_{sched}, cfg_{config}, rng_{config.seed} {}
+
+void PausibleClock::start() {
+  if (running_) return;
+  running_ = true;
+  last_rising_ = sched_.now() - cfg_.period;  // "just finished" a cycle
+  next_rising_ = sched_.now() + cfg_.period;
+  pending_edge_ = sched_.schedule_at(next_rising_, [this] { rising_edge(); });
+}
+
+void PausibleClock::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(pending_edge_);
+  pending_edge_ = sim::EventId{};
+}
+
+bool PausibleClock::in_low_phase(Time t) const {
+  return t >= last_rising_ + cfg_.period / 2;
+}
+
+void PausibleClock::rising_edge() {
+  last_rising_ = sched_.now();
+  line_.tick(sched_.now(), cfg_.period);
+  if (!running_) return;
+  next_rising_ = sched_.now() + cfg_.period;
+  pending_edge_ = sched_.schedule_at(next_rising_, [this] { rising_edge(); });
+}
+
+void PausibleClock::request(GrantFn done) {
+  waiting_.push_back(std::move(done));
+  try_grant();
+}
+
+void PausibleClock::try_grant() {
+  if (grant_active_ || waiting_.empty()) return;
+  const Time now = sched_.now();
+
+  if (running_ && !in_low_phase(now)) {
+    // High phase: the mutex sides with the clock; retry at the falling edge.
+    const Time falling = last_rising_ + cfg_.period / 2;
+    sched_.schedule_at(falling, [this] { try_grant(); });
+    return;
+  }
+
+  // Low phase (or clock stopped): the port wins. If the request races the
+  // upcoming rising edge within the contention window, the mutex needs a
+  // metastability-resolution delay before deciding.
+  Time grant_at = now;
+  if (running_ && next_rising_ - now < cfg_.mutex_window) {
+    ++contentions_;
+    grant_at = now + Time::sec(rng_.uniform() *
+                               cfg_.mutex_resolution.to_sec());
+  }
+
+  grant_active_ = true;
+  sched_.schedule_at(grant_at, [this] {
+    const Time g = sched_.now();
+    ++grants_;
+    // Hold the clock: no rising edge until the transfer window closes.
+    const Time earliest_edge = g + cfg_.hold;
+    if (running_ && next_rising_ < earliest_edge) {
+      total_stretch_ += earliest_edge - next_rising_;
+      sched_.cancel(pending_edge_);
+      next_rising_ = earliest_edge;
+      pending_edge_ =
+          sched_.schedule_at(next_rising_, [this] { rising_edge(); });
+    }
+    GrantFn done = std::move(waiting_.front());
+    waiting_.pop_front();
+    if (done) done(g);
+    sched_.schedule_at(g + cfg_.hold, [this] {
+      grant_active_ = false;
+      try_grant();
+    });
+  });
+}
+
+}  // namespace aetr::clockgen

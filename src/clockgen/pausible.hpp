@@ -1,0 +1,88 @@
+// Pausible clocking port (GALS related work, paper §2 refs [28][29]).
+//
+// The paper's pausable ring oscillator descends from Yun & Donohue's
+// "pausible clocking": an asynchronous port may pause the local clock in
+// its safe (low) phase to transfer data across the asynchronous boundary
+// without metastability, stretching the clock instead of synchronising the
+// data. This module provides that classic mechanism as a standalone block:
+//
+//  * requests arriving in the low phase are granted immediately;
+//  * requests arriving in the high phase wait for the next falling edge
+//    (a request landing within the mutex-resolution window of the edge pays
+//    a small metastability-resolution penalty first — the mutex element);
+//  * while any grant is held, the next rising edge is postponed, so the
+//    synchronous side observes a stretched cycle, never a short pulse.
+//
+// It also documents, executably, why the paper's SLEEP pulse "must be
+// longer than a clock semiperiod and arrive during the low clock phase".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace aetr::clockgen {
+
+/// Behavioural parameters of the pausible clock.
+struct PausibleClockConfig {
+  Time period = Time::ns(33.0);       ///< nominal clock period (50 % duty)
+  Time hold = Time::ns(10.0);         ///< safe window held per grant
+  Time mutex_window = Time::ps(200);  ///< contention window around edges
+  Time mutex_resolution = Time::ns(1.0);  ///< worst extra delay on contention
+  std::uint64_t seed = 3;
+};
+
+/// A free-running clock whose rising edges can be postponed by
+/// asynchronous port grants.
+class PausibleClock {
+ public:
+  /// Grant callback: runs at the grant instant, inside the safe window.
+  using GrantFn = std::function<void(Time)>;
+
+  PausibleClock(sim::Scheduler& sched, PausibleClockConfig config = {});
+
+  /// Start free-running (first rising edge one period from now).
+  void start();
+
+  /// Stop permanently (pending grants still complete).
+  void stop();
+
+  /// Asynchronous port request. `done` runs when the mutex grants the
+  /// port; the clock cannot produce a rising edge until `hold` later.
+  void request(GrantFn done);
+
+  [[nodiscard]] sim::ClockLine& line() { return line_; }
+  [[nodiscard]] bool running() const { return running_; }
+
+  // --- statistics -----------------------------------------------------------
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+  [[nodiscard]] std::uint64_t contentions() const { return contentions_; }
+  /// Total time by which rising edges have been postponed.
+  [[nodiscard]] Time total_stretch() const { return total_stretch_; }
+
+ private:
+  void rising_edge();
+  void try_grant();
+  [[nodiscard]] bool in_low_phase(Time t) const;
+
+  sim::Scheduler& sched_;
+  PausibleClockConfig cfg_;
+  sim::ClockLine line_;
+  bool running_{false};
+  Time last_rising_{Time::zero()};
+  Time next_rising_{Time::zero()};
+  sim::EventId pending_edge_{};
+  std::deque<GrantFn> waiting_;
+  bool grant_active_{false};
+  Xoshiro256StarStar rng_;
+  std::uint64_t grants_{0};
+  std::uint64_t contentions_{0};
+  Time total_stretch_{Time::zero()};
+};
+
+}  // namespace aetr::clockgen

@@ -1,0 +1,79 @@
+#include "clockgen/ring_oscillator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aetr::clockgen {
+
+RingOscillator::RingOscillator(sim::Scheduler& sched,
+                               RingOscillatorConfig config)
+    : sched_{sched},
+      cfg_{config},
+      nominal_period_{config.stage_delay *
+                      static_cast<Time::Rep>(2 * config.stages)},
+      jitter_rng_{config.jitter_seed} {
+  if (config.stages % 2 == 0) {
+    throw std::invalid_argument(
+        "RingOscillator: inverting ring needs an odd stage count");
+  }
+  if (config.stage_delay <= Time::zero()) {
+    throw std::invalid_argument("RingOscillator: stage delay must be > 0");
+  }
+}
+
+Time RingOscillator::jittered_period() {
+  if (cfg_.jitter_stddev <= 0.0) return nominal_period_;
+  const double factor =
+      std::max(0.1, jitter_rng_.normal(1.0, cfg_.jitter_stddev));
+  return Time::sec(nominal_period_.to_sec() * factor);
+}
+
+void RingOscillator::start() {
+  if (running_) return;
+  running_ = true;
+  sleep_requested_ = false;
+  run_start_ = sched_.now();
+  pending_ = sched_.schedule_after(jittered_period(), [this] { edge(); });
+}
+
+void RingOscillator::sleep() {
+  if (!running_) return;
+  // The SLEEP pulse is AND-gated with the clock so the stop is glitch-free:
+  // the in-flight cycle still completes, then the loop freezes. We mark the
+  // request; edge() performs the stop after publishing its edge.
+  sleep_requested_ = true;
+}
+
+void RingOscillator::wake() {
+  if (running_) {
+    sleep_requested_ = false;  // wake raced an in-flight sleep request
+    return;
+  }
+  running_ = true;
+  ++wakeups_;
+  run_start_ = sched_.now();
+  // The restart transient lasts wake_latency; the first complete cycle
+  // (and hence the first usable edge) closes one period after that.
+  pending_ = sched_.schedule_after(cfg_.wake_latency + jittered_period(),
+                                   [this] { edge(); });
+}
+
+void RingOscillator::edge() {
+  line_.tick(sched_.now(), nominal_period_);
+  if (sleep_requested_) {
+    sleep_requested_ = false;
+    running_ = false;
+    awake_accum_ += sched_.now() - run_start_;
+    pending_ = sim::EventId{};
+    return;
+  }
+  pending_ = sched_.schedule_after(jittered_period(), [this] { edge(); });
+}
+
+Time RingOscillator::awake_time() const {
+  Time t = awake_accum_;
+  if (running_) t += sched_.now() - run_start_;
+  return t;
+}
+
+}  // namespace aetr::clockgen

@@ -1,0 +1,82 @@
+// Behavioural model of the pausable ring oscillator (paper Fig. 5).
+//
+// The hardware is an odd chain of minimum-delay inverters closed through a
+// NOR gate; asserting SLEEP (converted to a pulse so the frozen registers
+// can still stop their own clock) breaks the loop glitch-free during the low
+// phase, and a request edge restarts the ring with ~100 ns latency.
+//
+// This model produces real DES edges, supports per-cycle Gaussian jitter,
+// and accounts awake time exactly — it is used by cycle-level unit tests,
+// the Fig. 2 waveform dump, and the wake-latency reproduction; the
+// production ClockGenerator tracks the same quantities analytically.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace aetr::clockgen {
+
+/// Construction parameters for the ring.
+struct RingOscillatorConfig {
+  unsigned stages = 9;                 ///< odd number of inverting stages
+  Time stage_delay = Time::ps(463);    ///< per-inverter delay (9 st -> 120 MHz)
+  Time wake_latency = Time::ns(100);   ///< restart time from SLEEP (paper §5.2)
+  double jitter_stddev = 0.0;          ///< cycle jitter as fraction of period
+  std::uint64_t jitter_seed = 1;
+};
+
+/// A pausable ring oscillator publishing rising edges on a ClockLine.
+class RingOscillator {
+ public:
+  RingOscillator(sim::Scheduler& sched, RingOscillatorConfig config = {});
+
+  /// Nominal period: 2 * stages * stage_delay.
+  [[nodiscard]] Time nominal_period() const { return nominal_period_; }
+  [[nodiscard]] Frequency nominal_frequency() const {
+    return Frequency::from_period(nominal_period_);
+  }
+
+  /// Begin oscillating now (first edge after one period).
+  void start();
+
+  /// Assert SLEEP: the current cycle completes, then the ring freezes.
+  void sleep();
+
+  /// Release SLEEP (request edge at the NOR input); the ring restarts and
+  /// produces its first edge wake_latency later. No-op when running.
+  void wake();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] sim::ClockLine& line() { return line_; }
+
+  /// Total time the ring has spent oscillating (settled up to now()).
+  [[nodiscard]] Time awake_time() const;
+
+  /// Edges produced so far.
+  [[nodiscard]] std::uint64_t cycles() const { return line_.edge_count(); }
+
+  /// Times the ring has been restarted from SLEEP.
+  [[nodiscard]] std::uint64_t wakeups() const { return wakeups_; }
+
+ private:
+  void edge();
+  Time jittered_period();
+
+  sim::Scheduler& sched_;
+  RingOscillatorConfig cfg_;
+  Time nominal_period_;
+  sim::ClockLine line_;
+  sim::EventId pending_{};
+  bool running_{false};
+  bool sleep_requested_{false};
+  Time awake_accum_{Time::zero()};
+  Time run_start_{Time::zero()};
+  std::uint64_t wakeups_{0};
+  Xoshiro256StarStar jitter_rng_;
+};
+
+}  // namespace aetr::clockgen

@@ -1,0 +1,180 @@
+#include "clockgen/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aetr::clockgen {
+namespace {
+
+/// Ceiling division for positive picosecond counts.
+Time::Rep ceil_div(Time::Rep a, Time::Rep b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+SamplingSchedule::SamplingSchedule(const ScheduleConfig& config)
+    : cfg_{config} {
+  if (cfg_.tmin <= Time::zero()) {
+    throw std::invalid_argument("SamplingSchedule: tmin must be positive");
+  }
+  if (cfg_.theta_div == 0) {
+    throw std::invalid_argument("SamplingSchedule: theta_div must be > 0");
+  }
+  if (cfg_.n_div > 30) {
+    throw std::invalid_argument("SamplingSchedule: n_div too large (max 30)");
+  }
+  top_level_ = cfg_.divide_enabled ? cfg_.n_div : 0;
+  // S_k = theta_div * Tmin * (2^k - 1); one extra entry marks the end of the
+  // top level (the shutdown instant, or "never").
+  level_starts_.reserve(top_level_ + 2);
+  for (std::uint32_t k = 0; k <= top_level_; ++k) {
+    const auto scale = static_cast<Time::Rep>((std::uint64_t{1} << k) - 1);
+    level_starts_.push_back(cfg_.tmin * static_cast<Time::Rep>(cfg_.theta_div) *
+                            scale);
+  }
+  const bool sleeps = cfg_.divide_enabled && cfg_.shutdown_enabled;
+  if (sleeps) {
+    const auto scale =
+        static_cast<Time::Rep>((std::uint64_t{1} << (top_level_ + 1)) - 1);
+    level_starts_.push_back(cfg_.tmin * static_cast<Time::Rep>(cfg_.theta_div) *
+                            scale);
+  } else {
+    level_starts_.push_back(Time::max());
+  }
+}
+
+Time SamplingSchedule::period_of_level(std::uint32_t k) const {
+  assert(k <= top_level_);
+  return cfg_.tmin * static_cast<Time::Rep>(std::uint64_t{1} << k);
+}
+
+Time SamplingSchedule::level_start(std::uint32_t k) const {
+  assert(k <= top_level_ + 1);
+  return level_starts_[k];
+}
+
+Time SamplingSchedule::awake_span() const {
+  return level_starts_[top_level_ + 1];
+}
+
+std::uint64_t SamplingSchedule::saturation_ticks() const {
+  if (awake_span() == Time::max()) {
+    return ~std::uint64_t{0};  // clock never stops; counter never freezes
+  }
+  return static_cast<std::uint64_t>(awake_span() / cfg_.tmin);
+}
+
+std::uint32_t SamplingSchedule::level_at(Time elapsed) const {
+  std::uint32_t k = top_level_;
+  while (k > 0 && elapsed < level_starts_[k]) --k;
+  return k;
+}
+
+bool SamplingSchedule::is_asleep_at(Time elapsed) const {
+  return elapsed >= awake_span();
+}
+
+Time SamplingSchedule::first_edge_at_or_after(Time elapsed) const {
+  if (elapsed <= Time::zero()) return Time::zero();
+  if (is_asleep_at(elapsed)) return Time::max();
+  const std::uint32_t k = level_at(elapsed);
+  const Time s = level_starts_[k];
+  const Time p = period_of_level(k);
+  const Time edge =
+      s + p * ceil_div((elapsed - s).count_ps(), p.count_ps());
+  // The edge may fall exactly on (or, for the top level with shutdown, past)
+  // the level boundary; the boundary instant is the next level's first edge,
+  // or the shutdown instant at the top.
+  if (edge >= level_starts_[k + 1]) {
+    return k < top_level_ ? level_starts_[k + 1] : Time::max();
+  }
+  return edge;
+}
+
+std::uint64_t SamplingSchedule::counter_at_edge(Time edge) const {
+  const std::uint64_t sat = saturation_ticks();
+  if (edge >= awake_span()) return sat;
+  const std::uint32_t k = level_at(edge);
+  const Time s = level_starts_[k];
+  const Time p = period_of_level(k);
+  const auto i = static_cast<std::uint64_t>((edge - s) / p);
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(cfg_.theta_div) *
+      ((std::uint64_t{1} << k) - 1);
+  return std::min(base + i * (std::uint64_t{1} << k), sat);
+}
+
+std::uint64_t SamplingSchedule::cycles_until(Time elapsed) const {
+  if (elapsed <= Time::zero()) return 0;
+  if (is_asleep_at(elapsed)) {
+    // Every level contributed theta_div edges except that the would-be edge
+    // at the shutdown instant never happens.
+    return static_cast<std::uint64_t>(cfg_.theta_div) * (top_level_ + 1) - 1;
+  }
+  const std::uint32_t k = level_at(elapsed);
+  const Time s = level_starts_[k];
+  const Time p = period_of_level(k);
+  return static_cast<std::uint64_t>(cfg_.theta_div) * k +
+         static_cast<std::uint64_t>((elapsed - s) / p);
+}
+
+SamplingSchedule::Measurement SamplingSchedule::measure(
+    Time delta, std::uint32_t sync_edges, Time wake_latency) const {
+  Measurement m;
+  if (is_asleep_at(delta)) {
+    // The request restarts the paused oscillator; the first edge closes one
+    // Tmin after the wake latency, the synchroniser consumes sync_edges
+    // more, and the event is tagged saturated since the counter froze when
+    // the clock stopped.
+    m.sample_edge = delta + wake_latency +
+                    cfg_.tmin * static_cast<Time::Rep>(sync_edges + 1);
+    m.ticks = saturation_ticks();
+    m.saturated = true;
+    return m;
+  }
+  Time edge = first_edge_at_or_after(delta);
+  if (edge == Time::max()) {
+    // Request landed inside the final sampling period before shutdown; the
+    // pending request keeps the clock alive at the slowest period.
+    m.sample_edge = awake_span() + period_of_level(top_level_) *
+                                       static_cast<Time::Rep>(sync_edges);
+    m.ticks = saturation_ticks();
+    m.saturated = true;
+    return m;
+  }
+  for (std::uint32_t i = 0; i < sync_edges; ++i) {
+    const Time next = first_edge_at_or_after(edge + Time::ps(1));
+    if (next == Time::max()) {
+      // Shutdown would occur while the request is being synchronised; the
+      // FSM checks request() before shutting down, so the clock keeps
+      // ticking at the slowest period until the sample completes.
+      edge = awake_span() +
+             period_of_level(top_level_) *
+                 static_cast<Time::Rep>(sync_edges - i - 1);
+      m.ticks = saturation_ticks();
+      m.sample_edge = edge;
+      m.saturated = true;
+      return m;
+    }
+    edge = next;
+  }
+  m.sample_edge = edge;
+  m.ticks = counter_at_edge(edge);
+  m.saturated = m.ticks >= saturation_ticks();
+  return m;
+}
+
+std::vector<SamplingSchedule::Edge> SamplingSchedule::enumerate_edges(
+    Time until, std::size_t max_edges) const {
+  std::vector<Edge> edges;
+  Time t = Time::zero();
+  while (edges.size() < max_edges) {
+    const Time e = first_edge_at_or_after(t);
+    if (e == Time::max() || e > until) break;
+    edges.push_back(Edge{e, level_at(e)});
+    t = e + Time::ps(1);
+  }
+  return edges;
+}
+
+}  // namespace aetr::clockgen

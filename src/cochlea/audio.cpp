@@ -1,0 +1,114 @@
+#include "cochlea/audio.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "cochlea/biquad.hpp"
+
+namespace aetr::cochlea {
+
+AudioSynth::AudioSynth(double sample_rate, std::uint64_t seed)
+    : fs_{sample_rate}, rng_{seed} {}
+
+std::size_t AudioSynth::samples_of(Time duration) const {
+  return static_cast<std::size_t>(duration.to_sec() * fs_);
+}
+
+void AudioSynth::envelope(std::vector<double>& buf) {
+  const std::size_t ramp = std::max<std::size_t>(1, buf.size() / 10);
+  for (std::size_t i = 0; i < ramp && i < buf.size(); ++i) {
+    const double w =
+        0.5 - 0.5 * std::cos(std::numbers::pi * static_cast<double>(i) /
+                             static_cast<double>(ramp));
+    buf[i] *= w;
+    buf[buf.size() - 1 - i] *= w;
+  }
+}
+
+std::vector<double> AudioSynth::tone(double freq, double amplitude,
+                                     Time duration) {
+  std::vector<double> buf(samples_of(duration));
+  for (std::size_t n = 0; n < buf.size(); ++n) {
+    buf[n] = amplitude * std::sin(2.0 * std::numbers::pi * freq *
+                                  static_cast<double>(n) / fs_);
+  }
+  envelope(buf);
+  return buf;
+}
+
+std::vector<double> AudioSynth::noise_burst(double amplitude, double centre,
+                                            Time duration) {
+  std::vector<double> buf(samples_of(duration));
+  Biquad band = Biquad::bandpass(std::min(centre, fs_ / 2.5), 2.0, fs_);
+  for (auto& s : buf) {
+    s = amplitude * 4.0 * band.step(rng_.uniform(-1.0, 1.0));
+  }
+  envelope(buf);
+  return buf;
+}
+
+std::vector<double> AudioSynth::silence(Time duration) const {
+  return std::vector<double>(samples_of(duration), 0.0);
+}
+
+std::vector<double> AudioSynth::phoneme(const Phoneme& p) {
+  std::vector<double> buf(samples_of(p.duration));
+  Biquad noise_band =
+      Biquad::bandpass(std::min(p.noise_centre, fs_ / 2.5), 2.0, fs_);
+  for (std::size_t n = 0; n < buf.size(); ++n) {
+    const double t = static_cast<double>(n) / fs_;
+    double s = 0.0;
+    if (p.a1 > 0.0) s += p.a1 * std::sin(2.0 * std::numbers::pi * p.f1 * t);
+    if (p.a2 > 0.0) s += p.a2 * std::sin(2.0 * std::numbers::pi * p.f2 * t);
+    if (p.a3 > 0.0) s += p.a3 * std::sin(2.0 * std::numbers::pi * p.f3 * t);
+    if (p.pitch > 0.0 && s != 0.0) {
+      // Voicing: raised-cosine modulation at the pitch rate approximates the
+      // glottal pulse train's envelope.
+      s *= 0.5 + 0.5 * std::cos(2.0 * std::numbers::pi * p.pitch * t);
+    }
+    if (p.noise > 0.0) {
+      s += p.noise * 4.0 * noise_band.step(rng_.uniform(-1.0, 1.0));
+    }
+    buf[n] = s;
+  }
+  envelope(buf);
+  return buf;
+}
+
+std::vector<double> AudioSynth::word(const std::vector<Phoneme>& phonemes,
+                                     Time gap) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < phonemes.size(); ++i) {
+    const auto seg = phoneme(phonemes[i]);
+    out.insert(out.end(), seg.begin(), seg.end());
+    if (i + 1 < phonemes.size()) {
+      const auto pause = silence(gap);
+      out.insert(out.end(), pause.begin(), pause.end());
+    }
+  }
+  return out;
+}
+
+void AudioSynth::add_background(std::vector<double>& audio, double amplitude) {
+  for (auto& s : audio) s += amplitude * rng_.uniform(-1.0, 1.0);
+}
+
+std::vector<Phoneme> AudioSynth::demo_word() {
+  // "seven"-ish: /s/ noise, /E/ vowel, /v/ weak voiced, /@/ vowel, /n/ hum.
+  return {
+      Phoneme{.noise = 0.35, .noise_centre = 5500.0, .pitch = 0.0,
+              .duration = Time::ms(90.0)},
+      Phoneme{.f1 = 550.0, .f2 = 1800.0, .f3 = 2500.0, .a1 = 0.5, .a2 = 0.35,
+              .a3 = 0.15, .pitch = 120.0, .duration = Time::ms(130.0)},
+      Phoneme{.f1 = 220.0, .f2 = 1500.0, .a1 = 0.25, .a2 = 0.1, .noise = 0.08,
+              .noise_centre = 3000.0, .pitch = 120.0,
+              .duration = Time::ms(70.0)},
+      Phoneme{.f1 = 500.0, .f2 = 1400.0, .f3 = 2300.0, .a1 = 0.45, .a2 = 0.3,
+              .a3 = 0.1, .pitch = 110.0, .duration = Time::ms(110.0)},
+      Phoneme{.f1 = 250.0, .f2 = 1200.0, .a1 = 0.35, .a2 = 0.08,
+              .pitch = 110.0, .duration = Time::ms(90.0)},
+  };
+}
+
+}  // namespace aetr::cochlea

@@ -1,0 +1,42 @@
+#include "cochlea/biquad.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+namespace aetr::cochlea {
+
+Biquad Biquad::bandpass(double f0, double q, double fs) {
+  assert(f0 > 0.0 && f0 < fs / 2.0 && q > 0.0);
+  const double w0 = 2.0 * std::numbers::pi * f0 / fs;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  return Biquad{alpha / a0, 0.0, -alpha / a0, -2.0 * std::cos(w0) / a0,
+                (1.0 - alpha) / a0};
+}
+
+double Biquad::magnitude(double f, double fs) const {
+  const double w = 2.0 * std::numbers::pi * f / fs;
+  const std::complex<double> z = std::polar(1.0, -w);
+  const std::complex<double> num = b0_ + b1_ * z + b2_ * z * z;
+  const std::complex<double> den = 1.0 + a1_ * z + a2_ * z * z;
+  return std::abs(num / den);
+}
+
+std::vector<double> log_spaced_centres(double f_lo, double f_hi,
+                                       std::size_t channels) {
+  assert(f_lo > 0.0 && f_hi > f_lo && channels >= 1);
+  std::vector<double> centres(channels);
+  if (channels == 1) {
+    centres[0] = std::sqrt(f_lo * f_hi);
+    return centres;
+  }
+  const double step = std::log(f_hi / f_lo) / static_cast<double>(channels - 1);
+  for (std::size_t i = 0; i < channels; ++i) {
+    centres[i] = f_lo * std::exp(step * static_cast<double>(i));
+  }
+  return centres;
+}
+
+}  // namespace aetr::cochlea

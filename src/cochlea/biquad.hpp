@@ -1,0 +1,45 @@
+// Second-order IIR sections and band-pass design (RBJ audio-EQ cookbook),
+// the building block of the silicon-cochlea filterbank model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aetr::cochlea {
+
+/// Direct-form-II-transposed biquad. Coefficients are normalised (a0 = 1).
+class Biquad {
+ public:
+  Biquad() = default;
+  Biquad(double b0, double b1, double b2, double a1, double a2)
+      : b0_{b0}, b1_{b1}, b2_{b2}, a1_{a1}, a2_{a2} {}
+
+  /// Constant-0dB-peak-gain band-pass section at centre `f0` with quality
+  /// `q`, for sample rate `fs` (RBJ cookbook "BPF, constant 0 dB peak").
+  [[nodiscard]] static Biquad bandpass(double f0, double q, double fs);
+
+  /// Process one sample.
+  [[nodiscard]] double step(double x) {
+    const double y = b0_ * x + z1_;
+    z1_ = b1_ * x - a1_ * y + z2_;
+    z2_ = b2_ * x - a2_ * y;
+    return y;
+  }
+
+  void reset() { z1_ = z2_ = 0.0; }
+
+  /// Magnitude response at frequency `f` for sample rate `fs`.
+  [[nodiscard]] double magnitude(double f, double fs) const;
+
+ private:
+  double b0_{1.0}, b1_{0.0}, b2_{0.0};
+  double a1_{0.0}, a2_{0.0};
+  double z1_{0.0}, z2_{0.0};
+};
+
+/// Logarithmically spaced centre frequencies from `f_lo` to `f_hi`
+/// (inclusive), one per channel — the cochlear place-frequency map.
+[[nodiscard]] std::vector<double> log_spaced_centres(double f_lo, double f_hi,
+                                                     std::size_t channels);
+
+}  // namespace aetr::cochlea

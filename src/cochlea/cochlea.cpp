@@ -1,0 +1,130 @@
+#include "cochlea/cochlea.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aetr::cochlea {
+
+IafNeuron::IafNeuron(double threshold, double leak_per_sec, Time refractory)
+    : threshold_{threshold},
+      leak_per_sec_{leak_per_sec},
+      refractory_{refractory} {
+  assert(threshold > 0.0 && leak_per_sec >= 0.0);
+}
+
+bool IafNeuron::step(double drive, double dt_sec, double& fire_fraction) {
+  if (refractory_left_sec_ > 0.0) {
+    refractory_left_sec_ -= dt_sec;
+    membrane_ = 0.0;
+    return false;
+  }
+  const double before = membrane_;
+  // Leak then integrate (explicit Euler at the audio rate).
+  membrane_ = membrane_ * (1.0 - leak_per_sec_ * dt_sec) + drive * dt_sec;
+  membrane_ = std::max(membrane_, 0.0);
+  if (membrane_ >= threshold_) {
+    // Linear interpolation of the crossing instant within the sample.
+    const double rise = membrane_ - before;
+    fire_fraction =
+        rise > 0.0 ? std::clamp((threshold_ - before) / rise, 0.0, 1.0) : 0.0;
+    membrane_ = 0.0;
+    refractory_left_sec_ = refractory_.to_sec();
+    return true;
+  }
+  return false;
+}
+
+void IafNeuron::reset() {
+  membrane_ = 0.0;
+  refractory_left_sec_ = 0.0;
+}
+
+CochleaModel::CochleaModel(CochleaConfig config)
+    : cfg_{config},
+      centres_{log_spaced_centres(config.f_lo, config.f_hi, config.channels)} {
+  if (cfg_.channels * cfg_.ears > aer::kAddressMask + 1u) {
+    throw std::invalid_argument(
+        "CochleaModel: channels*ears exceeds the 10-bit AER address space");
+  }
+  filters_.reserve(cfg_.ears * cfg_.channels);
+  neurons_.reserve(cfg_.ears * cfg_.channels);
+  for (std::size_t ear = 0; ear < cfg_.ears; ++ear) {
+    for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+      filters_.push_back(
+          Biquad::bandpass(centres_[ch], cfg_.quality, cfg_.sample_rate));
+      neurons_.emplace_back(cfg_.threshold, cfg_.leak_per_sec,
+                            cfg_.refractory);
+    }
+  }
+  envelopes_.assign(cfg_.ears * cfg_.channels, cfg_.agc.target);
+}
+
+double CochleaModel::agc_gain(std::size_t ear, std::size_t channel) const {
+  const auto& agc = cfg_.agc;
+  if (!agc.enabled) return 1.0;
+  const double env =
+      std::max(envelopes_[ear * cfg_.channels + channel], 1e-9);
+  return std::clamp(agc.target / env, agc.min_gain, agc.max_gain);
+}
+
+std::uint16_t CochleaModel::address_of(std::size_t ear,
+                                       std::size_t channel) const {
+  assert(ear < cfg_.ears && channel < cfg_.channels);
+  return static_cast<std::uint16_t>(ear * cfg_.channels + channel);
+}
+
+std::size_t CochleaModel::channel_of(std::uint16_t address) const {
+  return address % cfg_.channels;
+}
+
+std::size_t CochleaModel::ear_of(std::uint16_t address) const {
+  return address / cfg_.channels;
+}
+
+aer::EventStream CochleaModel::process(const std::vector<double>& audio,
+                                       Time start) {
+  const double dt = 1.0 / cfg_.sample_rate;
+  aer::EventStream events;
+  for (std::size_t n = 0; n < audio.size(); ++n) {
+    const double sample_time_sec = static_cast<double>(n) * dt;
+    for (std::size_t ear = 0; ear < cfg_.ears; ++ear) {
+      const double gain = ear == 0 ? 1.0 : 1.0 + cfg_.ear_skew;
+      for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+        const std::size_t idx = ear * cfg_.channels + ch;
+        const double band = filters_[idx].step(audio[n] * gain);
+        double drive = std::max(band, 0.0);  // half-wave rectification
+        if (cfg_.agc.enabled) {
+          // Slow envelope follower steering the channel gain towards the
+          // target level (dynamic-range compression).
+          const double alpha = dt / cfg_.agc.tau_sec;
+          envelopes_[idx] += (std::abs(band) - envelopes_[idx]) * alpha;
+          drive *= std::clamp(cfg_.agc.target /
+                                  std::max(envelopes_[idx], 1e-9),
+                              cfg_.agc.min_gain, cfg_.agc.max_gain);
+        }
+        double frac = 0.0;
+        if (neurons_[idx].step(drive, dt, frac)) {
+          const Time t =
+              start + Time::sec(sample_time_sec + frac * dt);
+          events.push_back(
+              aer::Event{address_of(ear, ch), t});
+        }
+      }
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const aer::Event& a, const aer::Event& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+void CochleaModel::reset() {
+  for (auto& f : filters_) f.reset();
+  for (auto& n : neurons_) n.reset();
+  envelopes_.assign(envelopes_.size(), cfg_.agc.target);
+}
+
+}  // namespace aetr::cochlea

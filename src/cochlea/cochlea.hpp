@@ -1,0 +1,108 @@
+// Behavioural model of an AER silicon cochlea (stand-in for the Cochlea
+// AMS C1c on the iniLabs DAS1 board, per the substitution table in
+// DESIGN.md).
+//
+// Audio -> per-channel log-spaced band-pass filter -> half-wave
+// rectification -> leaky integrate-and-fire neuron -> AER spike. Spike
+// times are sub-sample interpolated so the produced inter-spike intervals
+// are not quantised to the audio rate. Addresses encode (ear, channel) like
+// the DAS1: address = ear * channels + channel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aer/event.hpp"
+#include "cochlea/biquad.hpp"
+#include "util/time.hpp"
+
+namespace aetr::cochlea {
+
+/// Leaky integrate-and-fire unit driven by rectified band energy.
+class IafNeuron {
+ public:
+  /// `threshold`: membrane level that fires; `leak_per_sec`: exponential
+  /// leak rate; `refractory`: dead time after a spike.
+  IafNeuron(double threshold, double leak_per_sec, Time refractory);
+
+  /// Integrate one audio sample of drive (already rectified); returns true
+  /// if the neuron fires during this sample, with `fire_fraction` set to the
+  /// sub-sample position in [0,1) of the threshold crossing.
+  bool step(double drive, double dt_sec, double& fire_fraction);
+
+  void reset();
+
+  [[nodiscard]] double membrane() const { return membrane_; }
+
+ private:
+  double threshold_;
+  double leak_per_sec_;
+  Time refractory_;
+  double membrane_{0.0};
+  double refractory_left_sec_{0.0};
+};
+
+/// Per-channel automatic gain control — the behavioural counterpart of the
+/// Q-control/adaptation loops in silicon cochleas (the paper's refs [13]
+/// [14]): a slow envelope follower normalises each channel's drive towards
+/// a target level, compressing the sensor's dynamic range so quiet signals
+/// still spike and loud ones do not saturate the AER bus.
+struct AgcConfig {
+  bool enabled = false;
+  double target = 0.05;      ///< envelope level gain steers towards
+  double tau_sec = 0.05;     ///< envelope follower time constant
+  double min_gain = 0.25;
+  double max_gain = 20.0;
+};
+
+/// Full sensor configuration.
+struct CochleaConfig {
+  std::size_t channels = 64;     ///< per ear (DAS1: 64)
+  std::size_t ears = 2;          ///< binaural
+  double f_lo = 100.0;           ///< lowest channel centre (Hz)
+  double f_hi = 10e3;            ///< highest channel centre (Hz)
+  double quality = 6.0;          ///< band-pass Q
+  double sample_rate = 48e3;     ///< audio rate of the model
+  double threshold = 2e-5;       ///< IAF threshold (volt-seconds)
+  double leak_per_sec = 80.0;    ///< membrane leak
+  Time refractory = Time::us(100.0);
+  double ear_skew = 0.02;        ///< right-ear drive mismatch (analog spread)
+  AgcConfig agc;                 ///< per-channel gain adaptation
+};
+
+/// The sensor model: feed audio, get a time-sorted AER event stream.
+class CochleaModel {
+ public:
+  explicit CochleaModel(CochleaConfig config = {});
+
+  [[nodiscard]] const CochleaConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<double>& centres() const { return centres_; }
+
+  /// Process a mono audio buffer (both ears hear it, the right ear with a
+  /// slight gain mismatch); events are appended with absolute times offset
+  /// by `start`. Model state persists across calls.
+  aer::EventStream process(const std::vector<double>& audio,
+                           Time start = Time::zero());
+
+  /// Reset all filter and neuron state.
+  void reset();
+
+  /// Current AGC gain of (ear, channel) — for tests and introspection.
+  [[nodiscard]] double agc_gain(std::size_t ear, std::size_t channel) const;
+
+  /// Address layout helpers.
+  [[nodiscard]] std::uint16_t address_of(std::size_t ear,
+                                         std::size_t channel) const;
+  [[nodiscard]] std::size_t channel_of(std::uint16_t address) const;
+  [[nodiscard]] std::size_t ear_of(std::uint16_t address) const;
+
+ private:
+  CochleaConfig cfg_;
+  std::vector<double> centres_;
+  // Indexed [ear * channels + channel].
+  std::vector<Biquad> filters_;
+  std::vector<IafNeuron> neurons_;
+  std::vector<double> envelopes_;
+};
+
+}  // namespace aetr::cochlea

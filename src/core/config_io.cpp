@@ -1,0 +1,216 @@
+#include "core/config_io.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace aetr::core {
+namespace {
+
+/// Trim leading/trailing whitespace.
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+bool parse_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "off") return false;
+  throw std::runtime_error("config: bad boolean for " + key + ": " + v);
+}
+
+double parse_double(const std::string& v, const std::string& key) {
+  std::size_t pos = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    throw std::runtime_error("config: bad number for " + key + ": " + v);
+  }
+  if (pos != v.size()) {
+    throw std::runtime_error("config: trailing junk for " + key + ": " + v);
+  }
+  return d;
+}
+
+std::uint64_t parse_uint(const std::string& v, const std::string& key) {
+  const double d = parse_double(v, key);
+  if (d < 0.0 || d != std::floor(d)) {
+    throw std::runtime_error("config: expected non-negative integer for " +
+                             key + ": " + v);
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+using Setter = std::function<void(InterfaceConfig&, const std::string&)>;
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> kSetters{
+      {"clock.ring_mhz",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.ring_frequency =
+             Frequency::mhz(parse_double(v, "clock.ring_mhz"));
+       }},
+      {"clock.ref_divider_stages",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.ref_divider_stages = static_cast<unsigned>(
+             parse_uint(v, "clock.ref_divider_stages"));
+       }},
+      {"clock.sampling_divider_stages",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.sampling_divider_stages = static_cast<unsigned>(
+             parse_uint(v, "clock.sampling_divider_stages"));
+       }},
+      {"clock.theta_div",
+       [](InterfaceConfig& c, const std::string& v) {
+         const auto t = parse_uint(v, "clock.theta_div");
+         if (t == 0 || t > 4096) {
+           throw std::runtime_error("config: clock.theta_div out of range");
+         }
+         c.clock.theta_div = static_cast<std::uint32_t>(t);
+       }},
+      {"clock.n_div",
+       [](InterfaceConfig& c, const std::string& v) {
+         const auto n = parse_uint(v, "clock.n_div");
+         if (n > 30) {
+           throw std::runtime_error("config: clock.n_div out of range");
+         }
+         c.clock.n_div = static_cast<std::uint32_t>(n);
+       }},
+      {"clock.divide_enabled",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.divide_enabled = parse_bool(v, "clock.divide_enabled");
+       }},
+      {"clock.shutdown_enabled",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.shutdown_enabled = parse_bool(v, "clock.shutdown_enabled");
+       }},
+      {"clock.wake_latency_ns",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.clock.wake_latency =
+             Time::ns(parse_double(v, "clock.wake_latency_ns"));
+       }},
+      {"frontend.sync_stages",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.front_end.sync_stages =
+             static_cast<std::uint32_t>(parse_uint(v, "frontend.sync_stages"));
+       }},
+      {"frontend.metastability_prob",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.front_end.metastability_prob =
+             parse_double(v, "frontend.metastability_prob");
+       }},
+      {"frontend.keep_records",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.front_end.keep_records = parse_bool(v, "frontend.keep_records");
+       }},
+      {"fifo.capacity_words",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.fifo.capacity_words =
+             static_cast<std::size_t>(parse_uint(v, "fifo.capacity_words"));
+       }},
+      {"fifo.batch_threshold",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.fifo.batch_threshold =
+             static_cast<std::size_t>(parse_uint(v, "fifo.batch_threshold"));
+       }},
+      {"i2s.sck_mhz",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.i2s.sck = Frequency::mhz(parse_double(v, "i2s.sck_mhz"));
+       }},
+      {"i2s.word_bits",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.i2s.word_bits =
+             static_cast<unsigned>(parse_uint(v, "i2s.word_bits"));
+       }},
+      {"i2s.drain_until_empty",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.i2s.drain_until_empty = parse_bool(v, "i2s.drain_until_empty");
+       }},
+      {"drain_timeout_us",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.drain_timeout = Time::us(parse_double(v, "drain_timeout_us"));
+       }},
+      {"power.static_uw",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.calibration.static_w = parse_double(v, "power.static_uw") * 1e-6;
+       }},
+      {"power.osc_domain_mw",
+       [](InterfaceConfig& c, const std::string& v) {
+         c.calibration.osc_domain_w =
+             parse_double(v, "power.osc_domain_mw") * 1e-3;
+       }},
+  };
+  return kSetters;
+}
+
+}  // namespace
+
+InterfaceConfig load_config(std::istream& is) {
+  InterfaceConfig config;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: line " + std::to_string(line_no) +
+                               " is not 'key = value': " + stripped);
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    const auto it = setters().find(key);
+    if (it == setters().end()) {
+      throw std::runtime_error("config: unknown key at line " +
+                               std::to_string(line_no) + ": " + key);
+    }
+    it->second(config, value);
+  }
+  return config;
+}
+
+InterfaceConfig load_config_file(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) throw std::runtime_error("config: cannot open " + path);
+  return load_config(f);
+}
+
+std::string dump_config(const InterfaceConfig& c) {
+  std::ostringstream os;
+  os << "# aetr interface configuration\n";
+  os << "clock.ring_mhz = " << c.clock.ring_frequency.to_mhz() << '\n';
+  os << "clock.ref_divider_stages = " << c.clock.ref_divider_stages << '\n';
+  os << "clock.sampling_divider_stages = " << c.clock.sampling_divider_stages
+     << '\n';
+  os << "clock.theta_div = " << c.clock.theta_div << '\n';
+  os << "clock.n_div = " << c.clock.n_div << '\n';
+  os << "clock.divide_enabled = "
+     << (c.clock.divide_enabled ? "true" : "false") << '\n';
+  os << "clock.shutdown_enabled = "
+     << (c.clock.shutdown_enabled ? "true" : "false") << '\n';
+  os << "clock.wake_latency_ns = " << c.clock.wake_latency.to_ns() << '\n';
+  os << "frontend.sync_stages = " << c.front_end.sync_stages << '\n';
+  os << "frontend.metastability_prob = " << c.front_end.metastability_prob
+     << '\n';
+  os << "frontend.keep_records = "
+     << (c.front_end.keep_records ? "true" : "false") << '\n';
+  os << "fifo.capacity_words = " << c.fifo.capacity_words << '\n';
+  os << "fifo.batch_threshold = " << c.fifo.batch_threshold << '\n';
+  os << "i2s.sck_mhz = " << c.i2s.sck.to_mhz() << '\n';
+  os << "i2s.word_bits = " << c.i2s.word_bits << '\n';
+  os << "i2s.drain_until_empty = "
+     << (c.i2s.drain_until_empty ? "true" : "false") << '\n';
+  os << "drain_timeout_us = " << c.drain_timeout.to_us() << '\n';
+  os << "power.static_uw = " << c.calibration.static_w * 1e6 << '\n';
+  os << "power.osc_domain_mw = " << c.calibration.osc_domain_w * 1e3 << '\n';
+  return os.str();
+}
+
+}  // namespace aetr::core

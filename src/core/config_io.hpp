@@ -1,0 +1,33 @@
+// Textual configuration for the interface: a small "key = value" format so
+// experiments are reproducible from files and the CLI example can expose
+// every knob without recompilation.
+//
+//   # aetr interface configuration
+//   clock.theta_div     = 64
+//   clock.n_div         = 8
+//   fifo.batch_threshold = 1024
+//
+// Unknown keys are an error (catching typos beats silently ignoring them);
+// omitted keys keep their defaults. dump_config() emits every key, so
+// dump -> load round-trips exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/interface.hpp"
+
+namespace aetr::core {
+
+/// Parse a configuration stream on top of default values.
+/// Throws std::runtime_error on syntax errors, unknown keys, or values
+/// that fail validation.
+InterfaceConfig load_config(std::istream& is);
+
+/// Load a configuration file; throws std::runtime_error on failure.
+InterfaceConfig load_config_file(const std::string& path);
+
+/// Render every tunable of `config` in load_config() syntax.
+std::string dump_config(const InterfaceConfig& config);
+
+}  // namespace aetr::core

@@ -1,0 +1,29 @@
+#include "core/interrupt.hpp"
+
+namespace aetr::core {
+
+void InterruptController::update(bool before) {
+  const bool now = line();
+  if (now != before && line_fn_) line_fn_(now, sched_.now());
+}
+
+void InterruptController::raise(Irq source) {
+  const bool before = line();
+  status_ |= static_cast<std::uint8_t>(source);
+  ++raises_;
+  update(before);
+}
+
+void InterruptController::clear(std::uint8_t bits) {
+  const bool before = line();
+  status_ &= static_cast<std::uint8_t>(~bits);
+  update(before);
+}
+
+void InterruptController::set_mask(std::uint8_t mask) {
+  const bool before = line();
+  mask_ = mask;
+  update(before);
+}
+
+}  // namespace aetr::core

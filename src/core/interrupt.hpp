@@ -1,0 +1,65 @@
+// Interrupt controller behind the INT pin of Fig. 3.
+//
+// The paper's block diagram routes an INT line from the interface to the
+// MCU (how else would a sleeping STM32 know a batch is ready?). This
+// controller latches event sources into a status register, masks them, and
+// drives a level interrupt; the MCU reads and write-1-clears the status
+// over SPI.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::core {
+
+/// Interrupt source bits.
+enum class Irq : std::uint8_t {
+  kBatchReady = 1u << 0,     ///< FIFO crossed the batch threshold
+  kFifoOverflow = 1u << 1,   ///< a word was dropped
+  kProtocolError = 1u << 2,  ///< AER 4-phase violation observed
+  kWakeup = 1u << 3,         ///< oscillator restarted from shutdown
+  kDrainDone = 1u << 4,      ///< I2S batch transfer completed
+};
+
+/// Level-triggered interrupt controller with mask and write-1-to-clear.
+class InterruptController {
+ public:
+  /// Line-change callback: (level, time).
+  using LineFn = std::function<void(bool, Time)>;
+
+  explicit InterruptController(sim::Scheduler& sched) : sched_{sched} {}
+
+  /// Observe the INT line.
+  void on_line(LineFn fn) { line_fn_ = std::move(fn); }
+
+  /// Raise a source (latched until cleared).
+  void raise(Irq source);
+
+  /// Pending (unmasked-agnostic) status byte.
+  [[nodiscard]] std::uint8_t status() const { return status_; }
+
+  /// Write-1-to-clear.
+  void clear(std::uint8_t bits);
+
+  [[nodiscard]] std::uint8_t mask() const { return mask_; }
+  void set_mask(std::uint8_t mask);
+
+  /// Current INT level: any unmasked pending source.
+  [[nodiscard]] bool line() const { return (status_ & mask_) != 0; }
+
+  [[nodiscard]] std::uint64_t raises() const { return raises_; }
+
+ private:
+  void update(bool before);
+
+  sim::Scheduler& sched_;
+  LineFn line_fn_;
+  std::uint8_t status_{0};
+  std::uint8_t mask_{0xFF};
+  std::uint64_t raises_{0};
+};
+
+}  // namespace aetr::core

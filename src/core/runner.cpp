@@ -1,0 +1,70 @@
+#include "core/runner.hpp"
+
+#include <utility>
+
+#include "mcu/consumer.hpp"
+#include "sim/scheduler.hpp"
+
+namespace aetr::core {
+
+RunResult run_stream(const InterfaceConfig& config,
+                     const aer::EventStream& events,
+                     const RunOptions& options) {
+  sim::Scheduler sched;
+  AerToI2sInterface iface{sched, config};
+  iface.aer_in().set_strict(options.strict_protocol);
+  aer::AerSender sender{sched, iface.aer_in(), options.sender};
+  aer::CaviarChecker caviar{iface.aer_in()};
+  mcu::McuConsumer mcu{iface.tick_unit(),
+                       iface.saturation_span() == Time::max()
+                           ? Time::zero()
+                           : iface.saturation_span()};
+  if (options.attach_mcu) {
+    iface.on_i2s_word(
+        [&mcu](aer::AetrWord w, Time t) { mcu.on_word(w, t); });
+  }
+
+  sender.submit_stream(events);
+  sched.run();
+
+  if (options.final_flush && !iface.fifo().empty()) {
+    iface.i2s_master().request_drain(sched.now());
+    sched.run();
+  }
+  // Cooldown so the power window reflects the post-stream idle period too.
+  sched.run_until(sched.now() + options.cooldown);
+
+  RunResult r;
+  r.activity = iface.activity();
+  r.average_power_w = iface.average_power_w();
+  r.breakdown = iface.power_breakdown();
+  r.records = iface.front_end().records();
+  r.error = analysis::analyze_records(r.records, iface.tick_unit(),
+                                      iface.saturation_span());
+  r.decoded = mcu.events();
+  r.events_in = events.size();
+  r.words_out = iface.i2s_master().words_sent();
+  r.fifo_overflows = iface.fifo().overflows();
+  r.batches = mcu.batches();
+  r.handshakes = iface.aer_in().handshakes();
+  r.caviar_violations = caviar.violations().size();
+  r.protocol_violations = iface.aer_in().violations().size();
+  r.sim_end = sched.now();
+  r.tick_unit = iface.tick_unit();
+  r.saturation_span = iface.saturation_span();
+  if (events.size() >= 2) {
+    const double span =
+        (events.back().time - events.front().time).to_sec();
+    if (span > 0.0) {
+      r.input_rate_hz = static_cast<double>(events.size() - 1) / span;
+    }
+  }
+  return r;
+}
+
+RunResult run_source(const InterfaceConfig& config, gen::SpikeSource& source,
+                     std::size_t n_events, const RunOptions& options) {
+  return run_stream(config, gen::take(source, n_events), options);
+}
+
+}  // namespace aetr::core

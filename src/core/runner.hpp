@@ -1,0 +1,66 @@
+// One-call experiment harness: build a full system (sensor-side AER sender,
+// the interface, an MCU consumer, protocol checkers), push a spike stream
+// through it, and collect every observable the paper's evaluation uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aer/agents.hpp"
+#include "aer/caviar.hpp"
+#include "aer/event.hpp"
+#include "analysis/error.hpp"
+#include "core/interface.hpp"
+#include "gen/sources.hpp"
+#include "power/model.hpp"
+
+namespace aetr::core {
+
+/// Harness options.
+struct RunOptions {
+  aer::SenderTiming sender;                ///< sensor-side wire timing
+  Time cooldown = Time::ms(1.0);           ///< settle time after last event
+  bool strict_protocol = false;            ///< throw on AER violations
+  bool final_flush = true;                 ///< drain FIFO residue at the end
+  bool attach_mcu = true;                  ///< decode the I2S stream
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  // Power
+  power::ActivityTotals activity;
+  double average_power_w{0.0};
+  power::PowerBreakdown breakdown;
+  // Accuracy
+  analysis::ErrorStats error;
+  std::vector<frontend::CaptureRecord> records;
+  // Data path
+  std::vector<aer::TimedEvent> decoded;  ///< MCU-side reconstructed events
+  std::uint64_t events_in{0};
+  std::uint64_t words_out{0};
+  std::uint64_t fifo_overflows{0};
+  std::uint64_t batches{0};
+  // Protocol
+  std::uint64_t handshakes{0};
+  std::uint64_t caviar_violations{0};
+  std::uint64_t protocol_violations{0};
+  // Timeline
+  Time sim_end{Time::zero()};
+  double input_rate_hz{0.0};  ///< measured from the stream span
+  // Interface scale factors (for re-scoring the records externally)
+  Time tick_unit{Time::zero()};        ///< Tmin
+  Time saturation_span{Time::zero()};  ///< max measurable interval
+};
+
+/// Run a pre-materialised stream through a freshly built system.
+[[nodiscard]] RunResult run_stream(const InterfaceConfig& config,
+                                   const aer::EventStream& events,
+                                   const RunOptions& options = {});
+
+/// Convenience: draw `n_events` from a source, then run them.
+[[nodiscard]] RunResult run_source(const InterfaceConfig& config,
+                                   gen::SpikeSource& source,
+                                   std::size_t n_events,
+                                   const RunOptions& options = {});
+
+}  // namespace aetr::core

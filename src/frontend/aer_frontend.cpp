@@ -1,0 +1,57 @@
+#include "frontend/aer_frontend.hpp"
+
+#include <utility>
+
+namespace aetr::frontend {
+
+AerFrontEnd::AerFrontEnd(sim::Scheduler& sched, aer::AerChannel& channel,
+                         clockgen::ClockGenerator& clkgen,
+                         FrontEndConfig config)
+    : sched_{sched},
+      channel_{channel},
+      clkgen_{clkgen},
+      cfg_{config},
+      rng_{config.seed} {
+  channel_.on_req_change([this](bool level, Time t) {
+    if (level) {
+      handle_request(t);
+    } else {
+      // Phase 3 observed; close the handshake after the async ACK path.
+      sched_.schedule_after(cfg_.ack_fall_delay,
+                            [this] { channel_.deassert_ack(); });
+    }
+  });
+}
+
+void AerFrontEnd::handle_request(Time t) {
+  std::uint32_t sync = cfg_.sync_stages;
+  if (cfg_.metastability_prob > 0.0 &&
+      rng_.bernoulli(cfg_.metastability_prob)) {
+    ++sync;  // the first FF went metastable; one extra edge to resolve
+    ++metastable_;
+  }
+  const aer::Event request{channel_.addr(), t};
+  clkgen_.capture_request(
+      sync, [this, request](Time edge, std::uint64_t ticks, bool saturated) {
+        // At the sample edge: ADDR was stable since before REQ, so the
+        // address register holds it; the counter value is latched with it.
+        const aer::AetrWord word =
+            saturated ? aer::AetrWord::saturated(request.address)
+                      : aer::AetrWord::make(request.address, ticks);
+        ++events_;
+        if (word.is_saturated()) ++saturated_;
+        if (cfg_.keep_records) {
+          if (cfg_.max_records > 0 && records_.size() >= cfg_.max_records) {
+            records_.erase(records_.begin(),
+                           records_.begin() +
+                               static_cast<std::ptrdiff_t>(records_.size() / 2));
+          }
+          records_.push_back(CaptureRecord{request, edge, word});
+        }
+        if (word_fn_) word_fn_(word, edge);
+        sched_.schedule_after(cfg_.ack_rise_delay,
+                              [this] { channel_.assert_ack(); });
+      });
+}
+
+}  // namespace aetr::frontend

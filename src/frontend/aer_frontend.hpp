@@ -1,0 +1,89 @@
+// AER front-end (paper Fig. 4): the only always-listening block.
+//
+// A request edge is synchronised through a 2-FF chain (first FF on the
+// always-on clock branch, second on the gateable one), the stable ADDR bus
+// is latched by a 10-bit register, and the timestamp counter value — whose
+// increment step tracks the current division level so it always counts in
+// Tmin units — is latched alongside to form the AETR word. The front-end
+// then acknowledges, closing the 4-phase handshake.
+//
+// Optional metastability injection models the residual risk of the
+// synchroniser: with a small per-event probability the request needs one
+// extra sampling edge to resolve.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "aer/channel.hpp"
+#include "aer/event.hpp"
+#include "clockgen/clock_generator.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace aetr::frontend {
+
+/// Front-end timing/behaviour parameters.
+struct FrontEndConfig {
+  std::uint32_t sync_stages = 2;        ///< FFs in the request synchroniser
+  Time ack_rise_delay = Time::ns(3);    ///< sample edge -> ACK rise
+  Time ack_fall_delay = Time::ns(3);    ///< REQ fall -> ACK fall
+  double metastability_prob = 0.0;      ///< P(one extra resolution edge)
+  std::uint64_t seed = 0x5EED;
+  bool keep_records = true;             ///< retain per-event ground truth
+  /// Upper bound on retained records; beyond it the oldest half is
+  /// discarded (long soak runs must not grow without bound). Zero keeps
+  /// everything.
+  std::size_t max_records = 0;
+};
+
+/// One timed event with full ground truth, for error analysis.
+struct CaptureRecord {
+  aer::Event request;     ///< address + actual REQ rise time (ground truth)
+  Time sample_edge;       ///< sampling edge where the FSM consumed it
+  aer::AetrWord word;     ///< produced AETR word
+};
+
+/// The AER-to-AETR sampling unit.
+class AerFrontEnd {
+ public:
+  using WordFn = std::function<void(aer::AetrWord, Time)>;
+
+  AerFrontEnd(sim::Scheduler& sched, aer::AerChannel& channel,
+              clockgen::ClockGenerator& clkgen, FrontEndConfig config = {});
+
+  /// Register the downstream consumer of AETR words (the FIFO buffer).
+  void on_word(WordFn fn) { word_fn_ = std::move(fn); }
+
+  /// Events timestamped so far.
+  [[nodiscard]] std::uint64_t events() const { return events_; }
+
+  /// Events whose timestamp saturated (clock had shut down).
+  [[nodiscard]] std::uint64_t saturated_events() const { return saturated_; }
+
+  /// Extra-edge metastability resolutions injected.
+  [[nodiscard]] std::uint64_t metastable_hits() const { return metastable_; }
+
+  /// Ground-truth capture log (empty when keep_records is false).
+  [[nodiscard]] const std::vector<CaptureRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  void handle_request(Time t);
+
+  sim::Scheduler& sched_;
+  aer::AerChannel& channel_;
+  clockgen::ClockGenerator& clkgen_;
+  FrontEndConfig cfg_;
+  WordFn word_fn_;
+  Xoshiro256StarStar rng_;
+  std::vector<CaptureRecord> records_;
+  std::uint64_t events_{0};
+  std::uint64_t saturated_{0};
+  std::uint64_t metastable_{0};
+};
+
+}  // namespace aetr::frontend

@@ -1,0 +1,81 @@
+#include "gen/scenario.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace aetr::gen {
+
+ScenarioBuilder::ScenarioBuilder(std::uint16_t address_range,
+                                 std::uint64_t seed, Time min_gap)
+    : address_range_{address_range}, seed_{seed}, min_gap_{min_gap} {}
+
+ScenarioBuilder& ScenarioBuilder::add(const std::string& label,
+                                      PhaseKind kind, double rate_hz,
+                                      Time duration) {
+  if (duration <= Time::zero()) {
+    throw std::invalid_argument("ScenarioBuilder: phase needs a duration");
+  }
+  if (kind != PhaseKind::kSilence && rate_hz <= 0.0) {
+    throw std::invalid_argument("ScenarioBuilder: phase needs a rate");
+  }
+  phases_.push_back(Phase{label, kind, rate_hz, duration, Time::zero()});
+  return *this;
+}
+
+Time ScenarioBuilder::total_duration() const {
+  Time t = Time::zero();
+  for (const auto& p : phases_) t += p.duration;
+  return t;
+}
+
+std::size_t ScenarioBuilder::phase_of(Time t) const {
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (t >= phases_[i].start && t < phases_[i].start + phases_[i].duration) {
+      return i;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+aer::EventStream ScenarioBuilder::build() {
+  aer::EventStream all;
+  Time t0 = Time::zero();
+  std::uint64_t phase_seed = seed_;
+  for (auto& phase : phases_) {
+    phase.start = t0;
+    ++phase_seed;
+    std::unique_ptr<SpikeSource> src;
+    switch (phase.kind) {
+      case PhaseKind::kSilence:
+        break;
+      case PhaseKind::kPoisson:
+        src = std::make_unique<PoissonSource>(phase.rate_hz, address_range_,
+                                              phase_seed, min_gap_);
+        break;
+      case PhaseKind::kRegular:
+        src = std::make_unique<RegularSource>(Time::sec(1.0 / phase.rate_hz),
+                                              address_range_);
+        break;
+      case PhaseKind::kLfsr:
+        src = std::make_unique<LfsrRateSource>(
+            phase.rate_hz, Frequency::mhz(30.0), address_range_,
+            static_cast<std::uint32_t>(0xACE1u + phase_seed),
+            static_cast<std::uint32_t>(0x1234u + phase_seed));
+        break;
+    }
+    if (src) {
+      for (auto ev : take_until(*src, phase.duration)) {
+        ev.time += t0;
+        // Enforce the global ordering across the phase seam.
+        if (!all.empty() && ev.time <= all.back().time) {
+          ev.time = all.back().time + min_gap_;
+        }
+        all.push_back(ev);
+      }
+    }
+    t0 += phase.duration;
+  }
+  return all;
+}
+
+}  // namespace aetr::gen

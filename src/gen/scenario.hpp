@@ -1,0 +1,77 @@
+// Scenario builder: multi-phase workloads.
+//
+// Evaluations keep needing the same shape — "silence, then a speech burst,
+// then noise, then silence" — and hand-rolling the phase stitching in every
+// bench invites subtle bugs (overlapping times, reused seeds). The builder
+// composes phases of any rate/kind into one time-sorted stream and
+// remembers the phase boundaries so results can be scored per phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aer/event.hpp"
+#include "gen/sources.hpp"
+#include "util/time.hpp"
+
+namespace aetr::gen {
+
+/// Kinds of traffic a phase can carry.
+enum class PhaseKind {
+  kSilence,   ///< no events at all
+  kPoisson,   ///< Poisson at `rate_hz`
+  kRegular,   ///< strictly periodic at `rate_hz`
+  kLfsr,      ///< the paper's pseudo-random generator at `rate_hz`
+};
+
+/// One phase of the scenario.
+struct Phase {
+  std::string label;
+  PhaseKind kind{PhaseKind::kPoisson};
+  double rate_hz{0.0};
+  Time duration{Time::zero()};
+  Time start{Time::zero()};  ///< filled in by build()
+};
+
+/// Composes phases into a stream.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::uint16_t address_range = 128,
+                           std::uint64_t seed = 1,
+                           Time min_gap = Time::ns(130.0));
+
+  /// Append a phase; returns *this for chaining.
+  ScenarioBuilder& add(const std::string& label, PhaseKind kind,
+                       double rate_hz, Time duration);
+
+  /// Convenience spellings.
+  ScenarioBuilder& silence(Time duration) {
+    return add("silence", PhaseKind::kSilence, 0.0, duration);
+  }
+  ScenarioBuilder& poisson(const std::string& label, double rate_hz,
+                           Time duration) {
+    return add(label, PhaseKind::kPoisson, rate_hz, duration);
+  }
+
+  /// Materialise the stream. Phases get distinct derived seeds; events are
+  /// strictly time-ordered and confined to their phase window.
+  [[nodiscard]] aer::EventStream build();
+
+  /// Phase table with resolved start times (valid after build()).
+  [[nodiscard]] const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Total scenario duration.
+  [[nodiscard]] Time total_duration() const;
+
+  /// Index of the phase containing `t`, or npos if outside.
+  [[nodiscard]] std::size_t phase_of(Time t) const;
+
+ private:
+  std::uint16_t address_range_;
+  std::uint64_t seed_;
+  Time min_gap_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace aetr::gen

@@ -1,0 +1,100 @@
+#include "i2s/framing.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace aetr::i2s {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_words(const std::vector<std::uint32_t>& words) {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const std::uint32_t w : words) {
+    for (int byte = 0; byte < 4; ++byte) {
+      const auto b = static_cast<std::uint8_t>((w >> (8 * byte)) & 0xFFu);
+      crc = crc_table()[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint32_t> FrameEncoder::encode(
+    const std::vector<aer::AetrWord>& batch) {
+  if (batch.size() > kMaxPayload) {
+    throw std::invalid_argument("FrameEncoder: batch exceeds 16-bit length");
+  }
+  std::vector<std::uint32_t> out;
+  out.reserve(batch.size() + 2);
+  out.push_back((kMagic << 24) | (static_cast<std::uint32_t>(seq_) << 16) |
+                static_cast<std::uint32_t>(batch.size()));
+  for (const auto& w : batch) out.push_back(w.raw());
+  std::vector<std::uint32_t> payload{out.begin() + 1, out.end()};
+  out.push_back(crc32_words(payload));
+  ++seq_;  // wraps mod 256 by type
+  return out;
+}
+
+void FrameDecoder::feed(std::uint32_t word) {
+  switch (state_) {
+    case State::kHunting: {
+      if ((word >> 24) != FrameEncoder::kMagic) {
+        ++resyncs_;
+        return;  // keep hunting
+      }
+      seq_ = static_cast<std::uint8_t>((word >> 16) & 0xFFu);
+      expected_ = word & 0xFFFFu;
+      payload_.clear();
+      state_ = expected_ == 0 ? State::kTrailer : State::kPayload;
+      return;
+    }
+    case State::kPayload: {
+      payload_.push_back(word);
+      if (payload_.size() == expected_) state_ = State::kTrailer;
+      return;
+    }
+    case State::kTrailer: {
+      state_ = State::kHunting;
+      if (word != crc32_words(payload_)) {
+        ++crc_errors_;
+        return;
+      }
+      if (have_last_seq_) {
+        const auto expected_seq = static_cast<std::uint8_t>(last_seq_ + 1);
+        if (seq_ != expected_seq) {
+          // Number of frames skipped between the last good one and this.
+          seq_gaps_ += static_cast<std::uint8_t>(seq_ - expected_seq);
+        }
+      }
+      last_seq_ = seq_;
+      have_last_seq_ = true;
+      ++frames_ok_;
+      if (on_frame_) {
+        std::vector<aer::AetrWord> batch;
+        batch.reserve(payload_.size());
+        for (const std::uint32_t w : payload_) batch.emplace_back(w);
+        on_frame_(seq_, batch);
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace aetr::i2s

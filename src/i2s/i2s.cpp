@@ -1,0 +1,131 @@
+#include "i2s/i2s.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace aetr::i2s {
+
+I2sMaster::I2sMaster(sim::Scheduler& sched, buffer::AetrFifo& fifo,
+                     I2sConfig config)
+    : sched_{sched},
+      fifo_{fifo},
+      cfg_{config},
+      sck_period_{config.sck.period()} {}
+
+void I2sMaster::request_drain(Time now) {
+  if (draining_) return;
+  if (fifo_.empty()) return;
+  draining_ = true;
+  ++drains_;
+  drain_start_ = now;
+  send_next(fifo_.size());
+}
+
+void I2sMaster::send_next(std::size_t remaining_in_batch) {
+  if (fifo_.empty() || remaining_in_batch == 0) {
+    draining_ = false;
+    busy_accum_ += sched_.now() - drain_start_;
+    if (drain_done_fn_) drain_done_fn_(sched_.now());
+    return;
+  }
+  sched_.schedule_after(word_time(), [this, remaining_in_batch] {
+    if (fifo_.empty()) {  // defensive: nothing to send after all
+      draining_ = false;
+      busy_accum_ += sched_.now() - drain_start_;
+      if (drain_done_fn_) drain_done_fn_(sched_.now());
+      return;
+    }
+    const aer::AetrWord word = fifo_.pop(sched_.now());
+    ++words_sent_;
+    bits_shifted_ += cfg_.word_bits;
+    if (word_fn_) word_fn_(word, sched_.now());
+    const std::size_t next_remaining =
+        cfg_.drain_until_empty ? fifo_.size() : remaining_in_batch - 1;
+    send_next(next_remaining);
+  });
+}
+
+I2sWireSerializer::I2sWireSerializer(sim::Scheduler& sched, I2sConfig config)
+    : sched_{sched},
+      cfg_{config},
+      half_period_{config.sck.period() / 2} {}
+
+void I2sWireSerializer::transmit(const std::vector<aer::AetrWord>& words,
+                                 std::function<void(Time)> done) {
+  assert(!active_);
+  if (words.empty()) {
+    if (done) done(sched_.now());
+    return;
+  }
+  queue_ = words;
+  if (queue_.size() % 2 != 0) queue_.emplace_back();  // pad the stereo frame
+  done_ = std::move(done);
+  bit_index_ = 0;
+  active_ = true;
+  emit_half(false);  // first falling edge launches the burst
+}
+
+void I2sWireSerializer::emit_half(bool rising) {
+  // Cycle c: WS = parity of (c / word_bits); SD carries bit (c-1) of the
+  // burst (one-SCK Philips delay), MSB first within each word.
+  const std::size_t c = bit_index_;
+  const std::size_t total_cycles = queue_.size() * cfg_.word_bits;
+  const std::size_t slot = (c / cfg_.word_bits) % queue_.size();
+  const bool ws = (c / cfg_.word_bits) % 2 != 0;
+  bool sd = false;
+  if (c >= 1 && c - 1 < total_cycles) {
+    const std::size_t data_slot = (c - 1) / cfg_.word_bits;
+    const unsigned bit = cfg_.word_bits - 1 -
+                         static_cast<unsigned>((c - 1) % cfg_.word_bits);
+    sd = (queue_[data_slot].raw() >> bit) & 1u;
+  }
+  (void)slot;
+  if (wire_fn_) wire_fn_(Wire{rising, ws, sd, sched_.now()});
+
+  if (rising) {
+    if (c >= total_cycles) {
+      active_ = false;
+      auto done = std::move(done_);
+      queue_.clear();
+      if (done) done(sched_.now());
+      return;
+    }
+    ++bit_index_;
+  }
+  sched_.schedule_after(half_period_, [this, rising] { emit_half(!rising); });
+}
+
+I2sWireReceiver::I2sWireReceiver(unsigned word_bits) : word_bits_{word_bits} {}
+
+void I2sWireReceiver::on_wire(const I2sWireSerializer::Wire& w) {
+  if (!w.sck) {
+    last_sck_ = false;
+    return;
+  }
+  if (last_sck_) return;  // not a rising transition
+  last_sck_ = true;
+
+  if (ws_delay_pending_) {
+    // The very first rising edge carries the dummy delay bit.
+    ws_delay_pending_ = false;
+    last_ws_ = w.ws;
+    return;
+  }
+  shift_ = (shift_ << 1) | (w.sd ? 1u : 0u);
+  ++bits_;
+  if (bits_ == word_bits_) {
+    words_.emplace_back(static_cast<std::uint32_t>(shift_));
+    shift_ = 0;
+    bits_ = 0;
+  }
+  if (w.ws != last_ws_) {
+    last_ws_ = w.ws;
+    if (bits_ != 0) {
+      // Frame slip: realign on the channel boundary.
+      shift_ = 0;
+      bits_ = 0;
+    }
+  }
+}
+
+}  // namespace aetr::i2s

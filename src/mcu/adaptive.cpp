@@ -1,0 +1,88 @@
+#include "mcu/adaptive.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aetr::mcu {
+
+AdaptiveController::AdaptiveController(AdaptiveConfig config)
+    : cfg_{std::move(config)} {
+  if (cfg_.policies.empty()) {
+    throw std::invalid_argument("AdaptiveController: empty policy table");
+  }
+  for (std::size_t i = 1; i < cfg_.policies.size(); ++i) {
+    if (cfg_.policies[i].min_rate_hz <= cfg_.policies[i - 1].min_rate_hz) {
+      throw std::invalid_argument(
+          "AdaptiveController: policy bands must be ascending");
+    }
+  }
+}
+
+double AdaptiveController::rate_estimate_hz(Time now) const {
+  if (!primed_) return 0.0;
+  const double dt = std::max((now - last_event_).to_sec(), 0.0);
+  return level_ * std::exp(-dt / cfg_.estimator_tau.to_sec());
+}
+
+std::size_t AdaptiveController::band_for(double rate_hz) const {
+  std::size_t band = 0;
+  for (std::size_t i = 1; i < cfg_.policies.size(); ++i) {
+    if (rate_hz >= cfg_.policies[i].min_rate_hz) band = i;
+  }
+  return band;
+}
+
+void AdaptiveController::observe(Time event_time, bool saturated) {
+  const double tau = cfg_.estimator_tau.to_sec();
+  if (!primed_) {
+    primed_ = true;
+    last_event_ = event_time;
+    level_ = 0.0;
+    return;
+  }
+  const double dt = std::max((event_time - last_event_).to_sec(), 1e-12);
+  level_ = level_ * std::exp(-dt / tau);
+  if (!saturated) {
+    level_ += 1.0 / tau;
+  } else {
+    // Saturation proves the true gap was at least the current T_max, so
+    // the instantaneous rate is at most 1/T_max. Clamping matters because
+    // the *reconstructed* clock compresses saturated gaps to T_max,
+    // throttling the plain exponential decay.
+    const auto& p = cfg_.policies[band_];
+    const double t_max =
+        cfg_.tmin.to_sec() * static_cast<double>(p.theta_div) *
+        static_cast<double>((std::uint64_t{1} << (p.n_div + 1)) - 1);
+    level_ = std::min(level_, 1.0 / t_max);
+  }
+  last_event_ = event_time;
+  maybe_retune(event_time);
+}
+
+void AdaptiveController::maybe_retune(Time now) {
+  if (last_retune_ >= Time::zero() && now - last_retune_ < cfg_.min_dwell) {
+    return;
+  }
+  const double rate = rate_estimate_hz(now);
+  const std::size_t target = band_for(rate);
+  if (target == band_) return;
+
+  // Hysteresis: only cross a band edge by the configured margin.
+  if (target > band_) {
+    const double edge = cfg_.policies[target].min_rate_hz;
+    if (rate < edge * (1.0 + cfg_.hysteresis)) return;
+  } else {
+    const double edge = cfg_.policies[band_].min_rate_hz;
+    if (rate > edge * (1.0 - cfg_.hysteresis)) return;
+  }
+
+  band_ = target;
+  ++retunes_;
+  last_retune_ = now;
+  if (apply_) {
+    apply_(cfg_.policies[band_].theta_div, cfg_.policies[band_].n_div);
+  }
+}
+
+}  // namespace aetr::mcu

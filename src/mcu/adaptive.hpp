@@ -1,0 +1,89 @@
+// Closed-loop theta_div adaptation (an extension the paper's "two knobs"
+// discussion invites but never builds).
+//
+// The right theta_div/N_div depend on the spike rate: accuracy wants large
+// theta at high rates, power wants small theta and early shutdown at low
+// rates. Since the interface exposes both knobs over SPI, a sleeping MCU
+// can retune them from its own decoded-rate estimate. This controller
+// implements that loop with hysteresis: a table of rate bands, each with a
+// (theta_div, n_div) policy, applied only when the estimate leaves the
+// current band by a margin — avoiding reconfiguration churn (each
+// reconfigure restarts the division schedule).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace aetr::mcu {
+
+/// One rate band and the knob settings to use inside it.
+struct RatePolicy {
+  double min_rate_hz{0.0};  ///< band lower edge (bands sorted ascending)
+  std::uint32_t theta_div{64};
+  std::uint32_t n_div{8};
+};
+
+/// Controller parameters.
+struct AdaptiveConfig {
+  /// Default policy table: sparse -> aggressive power, dense -> accuracy.
+  std::vector<RatePolicy> policies{
+      {0.0, 16, 6},      // near-silence: divide fast, sleep early
+      {1e3, 32, 8},      // low activity
+      {20e3, 64, 8},     // speech-band activity: the paper's default
+      {300e3, 128, 8},   // dense bursts: hold accuracy near Nyquist
+  };
+  double hysteresis = 0.2;   ///< fractional band-edge margin
+  Time estimator_tau = Time::ms(20.0);
+  Time min_dwell = Time::ms(10.0);  ///< no retune sooner than this
+  /// Interface base sampling period, needed to turn the current policy's
+  /// (theta, N) into its maximum measurable interval T_max.
+  Time tmin = Time::ns(1e3 / 15.0);
+};
+
+/// Rate-driven knob controller. Feed it decoded event times; it invokes
+/// the apply callback (which writes the SPI registers) on band changes.
+class AdaptiveController {
+ public:
+  /// Apply callback: (theta_div, n_div).
+  using ApplyFn = std::function<void(std::uint32_t, std::uint32_t)>;
+
+  explicit AdaptiveController(AdaptiveConfig config = {});
+
+  void on_apply(ApplyFn fn) { apply_ = std::move(fn); }
+
+  /// Feed one decoded event (reconstructed time); may trigger a retune.
+  /// Pass `saturated` for events tagged with the saturated timestamp: their
+  /// reconstructed delta is only a lower bound (exactly T_max), so counting
+  /// them as arrivals would bias the estimate to ~1/T_max during silence
+  /// and make the controller oscillate between bands — they decay the
+  /// estimate instead.
+  void observe(Time event_time, bool saturated = false);
+
+  [[nodiscard]] std::size_t current_band() const { return band_; }
+  [[nodiscard]] const RatePolicy& current_policy() const {
+    return cfg_.policies[band_];
+  }
+  [[nodiscard]] std::uint64_t retunes() const { return retunes_; }
+  [[nodiscard]] double rate_estimate_hz(Time now) const;
+
+ private:
+  [[nodiscard]] std::size_t band_for(double rate_hz) const;
+  void maybe_retune(Time now);
+
+  AdaptiveConfig cfg_;
+  ApplyFn apply_;
+  std::size_t band_{0};
+  std::uint64_t retunes_{0};
+  Time last_retune_{Time::ps(-1)};
+  // Exponential rate estimator state (same maths as RateEstimator, inlined
+  // so the controller owns its observation window).
+  double level_{0.0};
+  Time last_event_{Time::zero()};
+  bool primed_{false};
+};
+
+}  // namespace aetr::mcu

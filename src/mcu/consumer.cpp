@@ -1,0 +1,119 @@
+#include "mcu/consumer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aetr::mcu {
+
+AetrDecoder::AetrDecoder(Time tick_unit, Time saturation_span)
+    : tick_unit_{tick_unit}, saturation_span_{saturation_span} {}
+
+aer::TimedEvent AetrDecoder::decode(aer::AetrWord word) {
+  aer::TimedEvent ev;
+  ev.address = word.address();
+  ev.saturated = word.is_saturated();
+  if (ev.saturated) {
+    clock_ += saturation_span_;
+    ++saturated_;
+  } else {
+    clock_ += tick_unit_ * static_cast<Time::Rep>(word.timestamp_ticks());
+  }
+  ev.reconstructed_time = clock_;
+  ++decoded_;
+  return ev;
+}
+
+void AetrDecoder::reset(Time origin) {
+  clock_ = origin;
+  decoded_ = 0;
+  saturated_ = 0;
+}
+
+RateEstimator::RateEstimator(Time tau) : tau_sec_{tau.to_sec()} {}
+
+void RateEstimator::add(Time t) {
+  if (!primed_) {
+    primed_ = true;
+    last_ = t;
+    level_ = 0.0;
+    return;
+  }
+  const double dt = std::max((t - last_).to_sec(), 1e-12);
+  // Decay the previous estimate over dt, then add this event's contribution
+  // (an exponential kernel of area 1 and time constant tau).
+  level_ = level_ * std::exp(-dt / tau_sec_) + 1.0 / tau_sec_;
+  last_ = t;
+}
+
+double RateEstimator::rate_hz(Time now) const {
+  if (!primed_) return 0.0;
+  const double dt = std::max((now - last_).to_sec(), 0.0);
+  return level_ * std::exp(-dt / tau_sec_);
+}
+
+TimeFrequencyMap::TimeFrequencyMap(std::size_t groups, Time bin_width,
+                                   GroupFn group_of)
+    : groups_{groups},
+      bin_width_{bin_width},
+      group_of_{std::move(group_of)},
+      counts_(groups) {}
+
+void TimeFrequencyMap::add(const aer::TimedEvent& ev) {
+  const std::size_t g = group_of_(ev.address);
+  if (g >= groups_) return;
+  const auto bin = static_cast<std::size_t>(
+      ev.reconstructed_time.count_ps() / bin_width_.count_ps());
+  auto& row = counts_[g];
+  if (bin >= row.size()) row.resize(bin + 1, 0);
+  ++row[bin];
+  ++total_;
+}
+
+std::size_t TimeFrequencyMap::bins() const {
+  std::size_t b = 0;
+  for (const auto& row : counts_) b = std::max(b, row.size());
+  return b;
+}
+
+std::uint64_t TimeFrequencyMap::count(std::size_t group,
+                                      std::size_t bin) const {
+  if (group >= groups_ || bin >= counts_[group].size()) return 0;
+  return counts_[group][bin];
+}
+
+std::string TimeFrequencyMap::ascii() const {
+  static constexpr char kShades[] = " .:-=+*#%@";
+  const std::size_t nbins = bins();
+  std::uint64_t peak = 1;
+  for (const auto& row : counts_) {
+    for (auto c : row) peak = std::max(peak, c);
+  }
+  std::string out;
+  for (std::size_t g = groups_; g-- > 0;) {
+    for (std::size_t b = 0; b < nbins; ++b) {
+      const std::uint64_t c = count(g, b);
+      const auto idx = static_cast<std::size_t>(
+          std::llround(static_cast<double>(c) / static_cast<double>(peak) * 9));
+      out.push_back(kShades[std::min<std::size_t>(idx, 9)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+McuConsumer::McuConsumer(Time tick_unit, Time saturation_span, Time batch_gap)
+    : decoder_{tick_unit, saturation_span}, batch_gap_{batch_gap} {}
+
+void McuConsumer::on_word(aer::AetrWord word, Time arrival) {
+  if (!any_ || arrival - last_arrival_ > batch_gap_) {
+    ++batches_;
+  } else {
+    bus_active_ += arrival - last_arrival_;
+  }
+  any_ = true;
+  last_arrival_ = arrival;
+  ++words_;
+  events_.push_back(decoder_.decode(word));
+}
+
+}  // namespace aetr::mcu

@@ -1,0 +1,37 @@
+#include "mcu/power.hpp"
+
+#include <algorithm>
+
+namespace aetr::mcu {
+
+McuEnergy batch_mcu_energy(const McuDuty& duty,
+                           const McuPowerCalibration& cal) {
+  McuEnergy e;
+  const double window = duty.window.to_sec();
+  if (window <= 0.0) return e;
+  const double decode_sec = static_cast<double>(duty.words) *
+                            cal.cycles_per_word / cal.run_clock_hz;
+  const double wake_sec =
+      static_cast<double>(duty.batches) * cal.wake_time.to_sec();
+  e.active_sec = std::min(decode_sec + wake_sec, window);
+  const double stop_sec = window - e.active_sec;
+  e.energy_j = cal.run_w * e.active_sec + cal.stop_w * stop_sec +
+               cal.wake_j * static_cast<double>(duty.batches);
+  e.average_power_w = e.energy_j / window;
+  e.duty = e.active_sec / window;
+  return e;
+}
+
+McuEnergy always_on_mcu_energy(const McuDuty& duty,
+                               const McuPowerCalibration& cal) {
+  McuEnergy e;
+  const double window = duty.window.to_sec();
+  if (window <= 0.0) return e;
+  e.active_sec = window;
+  e.energy_j = cal.run_w * window;
+  e.average_power_w = cal.run_w;
+  e.duty = 1.0;
+  return e;
+}
+
+}  // namespace aetr::mcu

@@ -1,0 +1,89 @@
+#include "power/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace aetr::power {
+
+ActivityTotals ActivityTotals::since(const ActivityTotals& earlier) const {
+  ActivityTotals d;
+  d.window = window - earlier.window;
+  d.osc_awake = osc_awake - earlier.osc_awake;
+  d.sampling_cycles = sampling_cycles - earlier.sampling_cycles;
+  d.events = events - earlier.events;
+  d.fifo_writes = fifo_writes - earlier.fifo_writes;
+  d.fifo_reads = fifo_reads - earlier.fifo_reads;
+  d.i2s_bits = i2s_bits - earlier.i2s_bits;
+  d.spi_bits = spi_bits - earlier.spi_bits;
+  d.wakeups = wakeups - earlier.wakeups;
+  return d;
+}
+
+double PowerModel::energy_j(const ActivityTotals& a) const {
+  double e = cal_.static_w * a.window.to_sec();
+  e += cal_.osc_domain_w * a.osc_awake.to_sec();
+  e += cal_.sampling_cycle_j * static_cast<double>(a.sampling_cycles);
+  e += cal_.event_j * static_cast<double>(a.events);
+  e += cal_.fifo_access_j * static_cast<double>(a.fifo_writes + a.fifo_reads);
+  e += cal_.i2s_bit_j * static_cast<double>(a.i2s_bits);
+  e += cal_.spi_bit_j * static_cast<double>(a.spi_bits);
+  e += cal_.wakeup_j * static_cast<double>(a.wakeups);
+  return e;
+}
+
+double PowerModel::average_power_w(const ActivityTotals& a) const {
+  const double w = a.window.to_sec();
+  if (w <= 0.0) return 0.0;
+  return energy_j(a) / w;
+}
+
+PowerBreakdown PowerModel::breakdown(const ActivityTotals& a) const {
+  PowerBreakdown b;
+  const double w = a.window.to_sec();
+  if (w <= 0.0) return b;
+  b.static_w = cal_.static_w;
+  b.osc_domain_w = cal_.osc_domain_w * a.osc_awake.to_sec() / w;
+  b.sampling_w = cal_.sampling_cycle_j * static_cast<double>(a.sampling_cycles) / w;
+  b.events_w = cal_.event_j * static_cast<double>(a.events) / w;
+  b.fifo_w =
+      cal_.fifo_access_j * static_cast<double>(a.fifo_writes + a.fifo_reads) / w;
+  b.i2s_w = cal_.i2s_bit_j * static_cast<double>(a.i2s_bits) / w;
+  b.spi_w = cal_.spi_bit_j * static_cast<double>(a.spi_bits) / w;
+  b.wakeup_w = cal_.wakeup_j * static_cast<double>(a.wakeups) / w;
+  return b;
+}
+
+double estimate_espike_j(double power_w, double static_w, double rate_hz) {
+  if (rate_hz <= 0.0) {
+    throw std::invalid_argument("estimate_espike_j: rate must be positive");
+  }
+  return std::max(0.0, power_w - static_w) / rate_hz;
+}
+
+double energy_proportionality_index(const std::vector<double>& rates_hz,
+                                    const std::vector<double>& powers_w,
+                                    double static_w) {
+  assert(rates_hz.size() == powers_w.size());
+  if (rates_hz.empty()) return 0.0;
+  // Flat reference: the power at the highest observed rate.
+  std::size_t top = 0;
+  for (std::size_t i = 1; i < rates_hz.size(); ++i) {
+    if (rates_hz[i] > rates_hz[top]) top = i;
+  }
+  const double p_flat = powers_w[top];
+  const double espike = estimate_espike_j(p_flat, static_w, rates_hz[top]);
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < rates_hz.size(); ++i) {
+    const double ideal = espike * rates_hz[i] + static_w;
+    const double denom = p_flat - ideal;
+    if (denom <= 0.0) continue;  // at/above the anchor point
+    acc += std::clamp((powers_w[i] - ideal) / denom, 0.0, 1.0);
+    ++n;
+  }
+  return n > 0 ? 1.0 - acc / static_cast<double>(n) : 1.0;
+}
+
+}  // namespace aetr::power

@@ -1,0 +1,65 @@
+#include "power/probe.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace aetr::power {
+
+PowerProbe::PowerProbe(sim::Scheduler& sched, ActivityFn source,
+                       PowerModel model, Time window)
+    : sched_{sched},
+      source_{std::move(source)},
+      model_{model},
+      window_{window} {}
+
+void PowerProbe::arm(Time until) {
+  until_ = until;
+  last_ = source_();
+  primed_ = true;
+  sched_.schedule_after(window_, [this] { tick(); });
+}
+
+void PowerProbe::tick() {
+  const ActivityTotals now = source_();
+  const ActivityTotals delta = now.since(last_);
+  PowerSample s;
+  s.end = sched_.now();
+  s.start = s.end - window_;
+  s.average_w = model_.average_power_w(delta);
+  s.events = delta.events;
+  samples_.push_back(s);
+  last_ = now;
+  if (sched_.now() + window_ <= until_) {
+    sched_.schedule_after(window_, [this] { tick(); });
+  }
+}
+
+double PowerProbe::peak_w() const {
+  double p = 0.0;
+  for (const auto& s : samples_) p = std::max(p, s.average_w);
+  return p;
+}
+
+double PowerProbe::floor_w() const {
+  if (samples_.empty()) return 0.0;
+  double p = samples_.front().average_w;
+  for (const auto& s : samples_) p = std::min(p, s.average_w);
+  return p;
+}
+
+double PowerProbe::dynamic_range() const {
+  const double f = floor_w();
+  return f > 0.0 ? peak_w() / f : 0.0;
+}
+
+void PowerProbe::write_csv(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) return;
+  f << "start_ms,end_ms,power_mw,events\n";
+  for (const auto& s : samples_) {
+    f << s.start.to_ms() << ',' << s.end.to_ms() << ','
+      << s.average_w * 1e3 << ',' << s.events << '\n';
+  }
+}
+
+}  // namespace aetr::power

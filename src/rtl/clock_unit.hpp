@@ -1,0 +1,95 @@
+// RTL-level clock unit: the Fig. 1 FSM executed cycle by cycle on *real*
+// clock edges.
+//
+// The production ClockGenerator advances the divided-clock state in closed
+// form (SamplingSchedule) for speed. This module is its structural twin:
+// a RingOscillator produces every 120 MHz edge, a DividerCascade ripples
+// them down to the 15 MHz base clock, and a register-level FSM — prescaler,
+// cycle counter, division level, timestamp counter with shifting increment,
+// 2-FF request synchroniser — executes the pseudocode literally, edge by
+// edge, asserting SLEEP into the oscillator and waking it on REQ.
+//
+// tests/test_rtl.cpp co-simulates both against identical stimuli and pins
+// tick-exact equivalence; this is the repository's proof that the fast
+// model *is* the hardware behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "clockgen/divider.hpp"
+#include "clockgen/ring_oscillator.hpp"
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::rtl {
+
+/// FSM parameters (mirrors ClockGeneratorConfig for the shared fields).
+struct ClockUnitConfig {
+  clockgen::RingOscillatorConfig ring;  ///< 9 stages -> ~120 MHz
+  unsigned base_divider_stages = 3;     ///< 120 MHz -> 15 MHz base clock
+  std::uint32_t theta_div = 64;
+  std::uint32_t n_div = 8;
+  std::uint32_t sync_stages = 2;
+  bool divide_enabled = true;
+  bool shutdown_enabled = true;
+};
+
+/// Cycle-by-cycle clock unit.
+class RtlClockUnit {
+ public:
+  /// Sample callback: (sampling-edge time, latched counter, saturated).
+  using SampleFn = std::function<void(Time, std::uint64_t, bool)>;
+
+  RtlClockUnit(sim::Scheduler& sched, ClockUnitConfig config = {});
+
+  /// Begin oscillating (reset state: level 0, counter 0).
+  void start();
+
+  /// Drive the asynchronous REQ level into the synchroniser. A rising
+  /// level while the oscillator sleeps restarts it (the Fig. 5 NOR path).
+  void set_request(bool level);
+
+  /// Register the sample consumer (the front-end).
+  void on_sample(SampleFn fn) { sample_fn_ = std::move(fn); }
+
+  /// The divided (variable-frequency) sampling clock, one tick per FSM
+  /// sampling cycle — for VCD dumps and gated consumers.
+  [[nodiscard]] sim::ClockLine& sampling_line() { return sampling_line_; }
+
+  // --- observability ---------------------------------------------------------
+  [[nodiscard]] std::uint32_t level() const { return level_; }
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+  [[nodiscard]] bool asleep() const { return !osc_.running(); }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+  [[nodiscard]] std::uint64_t base_edges() const { return base_edges_; }
+  [[nodiscard]] clockgen::RingOscillator& oscillator() { return osc_; }
+
+ private:
+  void base_edge(Time t);
+  void sampling_tick(Time t);
+  void reset_fsm();
+
+  sim::Scheduler& sched_;
+  ClockUnitConfig cfg_;
+  clockgen::RingOscillator osc_;
+  clockgen::DividerCascade divider_;
+  sim::ClockLine sampling_line_;
+  SampleFn sample_fn_;
+
+  // Architectural registers.
+  std::uint32_t level_{0};
+  std::uint64_t prescale_{1};        ///< base edges per sampling tick (2^level)
+  std::uint64_t prescale_count_{0};
+  std::uint32_t ticks_in_level_{0};
+  std::uint64_t counter_{0};
+  std::uint64_t sync_shift_{0};      ///< request synchroniser shift register
+  bool req_level_{false};
+  bool saturated_{false};
+
+  std::uint64_t samples_{0};
+  std::uint64_t base_edges_{0};
+};
+
+}  // namespace aetr::rtl

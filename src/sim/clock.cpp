@@ -1,0 +1,43 @@
+#include "sim/clock.hpp"
+
+#include <utility>
+
+namespace aetr::sim {
+
+std::size_t ClockLine::on_rising(EdgeFn fn) {
+  subscribers_.push_back(std::move(fn));
+  return subscribers_.size() - 1;
+}
+
+void ClockLine::tick(Time edge_time, Time period) {
+  ++edges_;
+  last_edge_ = edge_time;
+  for (auto& fn : subscribers_) fn(edge_time, period);
+}
+
+FixedClock::FixedClock(Scheduler& sched, Time period, Time first_edge)
+    : sched_{sched}, period_{period}, next_edge_{first_edge} {}
+
+void FixedClock::start() {
+  if (running_) return;
+  running_ = true;
+  // An unset/stale first edge means "free-run": first edge one period out.
+  if (next_edge_ <= sched_.now()) next_edge_ = sched_.now() + period_;
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
+}
+
+void FixedClock::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(pending_);
+  pending_ = EventId{};
+}
+
+void FixedClock::edge() {
+  line_.tick(sched_.now(), period_);
+  if (!running_) return;  // a subscriber may have stopped us
+  next_edge_ = sched_.now() + period_;
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
+}
+
+}  // namespace aetr::sim

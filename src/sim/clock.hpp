@@ -1,0 +1,68 @@
+// Clock distribution primitives.
+//
+// A ClockLine is the simulator's clock net: producers (the clock generator)
+// publish rising edges; consumers (front-end, FIFO, I2S, FSMs) subscribe.
+// A FixedClock is a free-running producer for blocks that are not driven by
+// the pausable generator (e.g. standalone I2S tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::sim {
+
+/// A clock net that fans a rising-edge notification out to subscribers.
+///
+/// Subscribers are called in subscription order at the edge instant; the
+/// current edge period (useful for variable-frequency clocks) is passed
+/// along so consumers can reason about elapsed wall time per tick.
+class ClockLine {
+ public:
+  /// Edge callback: (edge_time, current_period).
+  using EdgeFn = std::function<void(Time, Time)>;
+
+  /// Subscribe to rising edges; returns a subscriber index.
+  std::size_t on_rising(EdgeFn fn);
+
+  /// Publish one rising edge with the given period to all subscribers.
+  void tick(Time edge_time, Time period);
+
+  /// Total rising edges published on this net (activity counter input).
+  [[nodiscard]] std::uint64_t edge_count() const { return edges_; }
+
+  /// Time of the most recent edge.
+  [[nodiscard]] Time last_edge() const { return last_edge_; }
+
+ private:
+  std::vector<EdgeFn> subscribers_;
+  std::uint64_t edges_{0};
+  Time last_edge_{Time::zero()};
+};
+
+/// Free-running fixed-frequency clock driving a ClockLine.
+class FixedClock {
+ public:
+  FixedClock(Scheduler& sched, Time period, Time first_edge = Time::zero());
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Time period() const { return period_; }
+  [[nodiscard]] ClockLine& line() { return line_; }
+
+ private:
+  void edge();
+
+  Scheduler& sched_;
+  Time period_;
+  Time next_edge_;
+  ClockLine line_;
+  EventId pending_{};
+  bool running_{false};
+};
+
+}  // namespace aetr::sim

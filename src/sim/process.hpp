@@ -1,0 +1,140 @@
+// Coroutine simulation processes.
+//
+// Callback-style modelling (what the library's blocks use internally) is
+// efficient but turns sequential behaviour inside out. For testbenches and
+// behavioural models, a SystemC-thread-like coroutine is far more natural:
+//
+//   sim::Process stimulus(sim::Scheduler& s, aer::AerChannel& ch) {
+//     for (int i = 0; i < 10; ++i) {
+//       co_await sim::Delay{s, 10_us};
+//       ch.drive_addr(i);
+//       ch.assert_req();
+//       co_await sim::WaitFor{s, ack_trigger};   // until the ACK fires
+//       ch.deassert_req();
+//     }
+//   }
+//
+// Processes start eagerly, run on the shared Scheduler timeline, and are
+// safely cancellable: destroying the Process object invalidates pending
+// wakeups (the scheduler callbacks hold a liveness token, never a dangling
+// frame pointer).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::sim {
+
+/// Handle to a running simulation process (move-only, owning).
+class Process {
+ public:
+  struct promise_type {
+    std::shared_ptr<bool> alive = std::make_shared<bool>(true);
+
+    Process get_return_object() {
+      return Process{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  Process() = default;
+  explicit Process(std::coroutine_handle<promise_type> h) : handle_{h} {}
+  Process(Process&& other) noexcept : handle_{other.handle_} {
+    other.handle_ = {};
+  }
+  Process& operator=(Process&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.handle_;
+      other.handle_ = {};
+    }
+    return *this;
+  }
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process() { destroy(); }
+
+  /// True once the coroutine ran to completion.
+  [[nodiscard]] bool done() const { return !handle_ || handle_.done(); }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      *handle_.promise().alive = false;  // defuse pending wakeups
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_{};
+};
+
+namespace detail {
+/// Resume `h` only if its process is still alive.
+inline auto guarded_resume(std::coroutine_handle<Process::promise_type> h) {
+  return [h, alive = h.promise().alive] {
+    if (*alive) h.resume();
+  };
+}
+}  // namespace detail
+
+/// Awaitable: suspend for a simulated time span.
+struct Delay {
+  Scheduler& sched;
+  Time span;
+
+  [[nodiscard]] bool await_ready() const noexcept {
+    return span <= Time::zero();
+  }
+  void await_suspend(std::coroutine_handle<Process::promise_type> h) const {
+    sched.schedule_after(span, detail::guarded_resume(h));
+  }
+  void await_resume() const noexcept {}
+};
+
+/// A broadcast event processes can wait on. fire() resumes every waiter
+/// (at the current simulation time, in wait order).
+class Trigger {
+ public:
+  explicit Trigger(Scheduler& sched) : sched_{sched} {}
+
+  /// Resume all current waiters; new waiters wait for the next fire.
+  void fire() {
+    auto waiting = std::move(waiters_);
+    waiters_.clear();
+    ++fires_;
+    for (auto& resume : waiting) {
+      sched_.schedule_after(Time::zero(), std::move(resume));
+    }
+  }
+
+  [[nodiscard]] std::size_t waiters() const { return waiters_.size(); }
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
+
+ private:
+  friend struct WaitFor;
+  Scheduler& sched_;
+  std::vector<std::function<void()>> waiters_;
+  std::uint64_t fires_{0};
+};
+
+/// Awaitable: suspend until the trigger fires.
+struct WaitFor {
+  Trigger& trigger;
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<Process::promise_type> h) const {
+    trigger.waiters_.push_back(detail::guarded_resume(h));
+  }
+  void await_resume() const noexcept {}
+};
+
+}  // namespace aetr::sim

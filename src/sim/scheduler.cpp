@@ -1,0 +1,68 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aetr::sim {
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  if (t < now_) {
+    throw std::logic_error("Scheduler: event scheduled in the past (" +
+                           t.to_string() + " < " + now_.to_string() + ")");
+  }
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(cb)});
+  return EventId{id};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Lazy deletion: remember the id; the entry is dropped when popped.
+  // An id is only cancellable while pending (ran ids are never reused).
+  if (id.id >= next_id_) return false;
+  return cancelled_.insert(id.id).second;
+}
+
+bool Scheduler::pop_and_dispatch() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the entry is popped immediately afterwards.
+    auto& top = const_cast<Entry&>(heap_.top());
+    if (cancelled_.erase(top.id) > 0) {
+      heap_.pop();
+      continue;
+    }
+    assert(top.t >= now_);
+    now_ = top.t;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run(std::uint64_t limit) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (!pop_and_dispatch()) return;
+  }
+}
+
+void Scheduler::run_until(Time t) {
+  while (!heap_.empty()) {
+    const auto& top = heap_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      heap_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    pop_and_dispatch();
+  }
+  if (t > now_) now_ = t;
+}
+
+bool Scheduler::run_next() { return pop_and_dispatch(); }
+
+}  // namespace aetr::sim

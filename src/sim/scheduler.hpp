@@ -1,0 +1,82 @@
+// Discrete-event simulation kernel.
+//
+// The whole interface is modelled as components that schedule callbacks on a
+// shared picosecond timeline. Blocks with deterministic idle behaviour (the
+// division FSM between spikes, the paused oscillator) schedule only their
+// *state-change* instants, so simulated cost scales with activity, not with
+// wall-clock frequency — the same energy-proportionality trick the paper
+// plays in hardware, applied to simulator throughput.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace aetr::sim {
+
+/// Handle to a scheduled event, usable for cancellation.
+struct EventId {
+  std::uint64_t id{0};
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Central event queue. Single-threaded; callbacks may schedule/cancel
+/// further events freely (including at the current time).
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+
+  /// Schedule `cb` `delta` after the current time.
+  EventId schedule_after(Time delta, Callback cb) {
+    return schedule_at(now_ + delta, std::move(cb));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was
+  /// cancelled. Safe to call with an invalid id.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or `limit` events processed.
+  void run(std::uint64_t limit = UINT64_MAX);
+
+  /// Run all events with timestamp <= t, then advance now() to exactly t.
+  void run_until(Time t);
+
+  /// Process the single earliest event; returns false if queue empty.
+  bool run_next();
+
+  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Entry {
+    Time t;
+    std::uint64_t seq;  // FIFO order among same-time events
+    std::uint64_t id;
+    Callback cb;
+    bool operator>(const Entry& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_and_dispatch();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_{Time::zero()};
+  std::uint64_t next_id_{1};
+  std::uint64_t next_seq_{0};
+  std::uint64_t processed_{0};
+};
+
+}  // namespace aetr::sim

@@ -1,0 +1,92 @@
+#include "sim/vcd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace aetr::sim {
+namespace {
+
+/// VCD identifiers are short printable-ASCII strings; base-94 encode.
+std::string vcd_id(std::size_t index) {
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path) : out_{path} {
+  if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+VcdWriter::~VcdWriter() { close(); }
+
+VcdSignal VcdWriter::add_signal(const std::string& scope,
+                                const std::string& name, unsigned width) {
+  if (header_written_) {
+    throw std::logic_error("VcdWriter: declarations must precede changes");
+  }
+  decls_.push_back(Decl{scope, name, width, vcd_id(decls_.size()), 0, false});
+  return VcdSignal{decls_.size() - 1};
+}
+
+void VcdWriter::write_header() {
+  out_ << "$date aetr simulation $end\n"
+       << "$version aetr vcd writer $end\n"
+       << "$timescale 1ps $end\n";
+  // Group declarations by scope.
+  std::map<std::string, std::vector<const Decl*>> by_scope;
+  for (const auto& d : decls_) by_scope[d.scope].push_back(&d);
+  for (const auto& [scope, sigs] : by_scope) {
+    out_ << "$scope module " << scope << " $end\n";
+    for (const auto* d : sigs) {
+      out_ << "$var wire " << d->width << ' ' << d->id << ' ' << d->name
+           << " $end\n";
+    }
+    out_ << "$upscope $end\n";
+  }
+  out_ << "$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdWriter::emit(const Decl& d, std::uint64_t value) {
+  if (d.width == 1) {
+    out_ << (value & 1u) << d.id << '\n';
+  } else {
+    out_ << 'b';
+    bool leading = true;
+    for (int bit = static_cast<int>(d.width) - 1; bit >= 0; --bit) {
+      const bool set = (value >> bit) & 1u;
+      if (set) leading = false;
+      if (!leading || bit == 0) out_ << (set ? '1' : '0');
+    }
+    out_ << ' ' << d.id << '\n';
+  }
+}
+
+void VcdWriter::advance_time(Time t) {
+  if (t != current_time_) {
+    out_ << '#' << t.count_ps() << '\n';
+    current_time_ = t;
+  }
+}
+
+void VcdWriter::change(VcdSignal sig, std::uint64_t value, Time t) {
+  auto& d = decls_.at(sig.index);
+  if (!header_written_) write_header();
+  if (d.has_value && d.last_value == value) return;
+  advance_time(t);
+  emit(d, value);
+  d.last_value = value;
+  d.has_value = true;
+}
+
+void VcdWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+}  // namespace aetr::sim

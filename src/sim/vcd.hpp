@@ -1,0 +1,64 @@
+// Value-Change-Dump (IEEE 1364 VCD) waveform writer.
+//
+// Lets every experiment dump real waveforms viewable in GTKWave — used by
+// the Fig. 2 reproduction (divided sampling clock) and the trace_replay
+// example. Signals must all be declared before the first change is logged.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace aetr::sim {
+
+/// Handle for a declared VCD signal.
+struct VcdSignal {
+  std::size_t index{0};
+};
+
+/// Streams value changes to a .vcd file. Times are written in picoseconds.
+class VcdWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit VcdWriter(const std::string& path);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  /// Declare a signal of `width` bits in module scope `scope`.
+  /// All declarations must precede the first change().
+  VcdSignal add_signal(const std::string& scope, const std::string& name,
+                       unsigned width = 1);
+
+  /// Record a value change at time t. Writing the header lazily on the
+  /// first change; values are deduplicated per signal.
+  void change(VcdSignal sig, std::uint64_t value, Time t);
+
+  /// Flush and close the file (also done by the destructor).
+  void close();
+
+ private:
+  struct Decl {
+    std::string scope;
+    std::string name;
+    unsigned width;
+    std::string id;           // VCD short identifier
+    std::uint64_t last_value;
+    bool has_value;
+  };
+
+  void write_header();
+  void emit(const Decl& d, std::uint64_t value);
+  void advance_time(Time t);
+
+  std::ofstream out_;
+  std::vector<Decl> decls_;
+  bool header_written_{false};
+  Time current_time_{Time::ps(-1)};
+};
+
+}  // namespace aetr::sim

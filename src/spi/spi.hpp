@@ -1,0 +1,132 @@
+// SPI configuration interface (paper §4: "a configuration bus, accessible by
+// the outside through SPI, is used to modify the interface configuration
+// registers at runtime").
+//
+// Wire protocol: SPI mode 0 (CPOL=0, CPHA=0), 16-bit transactions framed by
+// CSN: bit 15 = R/W (1 = write), bits 14..8 = register address, bits 7..0 =
+// data. On reads the slave shifts the addressed register out on MISO during
+// the data phase. The register map itself lives in ConfigBus so the SPI
+// front door and the blocks behind it stay decoupled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace aetr::spi {
+
+/// Register addresses of the AER-to-I2S interface.
+enum class Reg : std::uint8_t {
+  kThetaDiv = 0x00,   ///< theta_div (cycles between divisions)
+  kNDiv = 0x01,       ///< n_div (divisions before shutdown)
+  kBatchLo = 0x02,    ///< batch threshold, low byte
+  kBatchHi = 0x03,    ///< batch threshold, high byte
+  kCtrl = 0x04,       ///< bit0 divide_en, bit1 shutdown_en, bit2 record_en
+  kStatus = 0x05,     ///< RO: bit0 i2s draining, bit1 clock asleep
+  kFifoLo = 0x06,     ///< RO: FIFO occupancy, low byte
+  kFifoHi = 0x07,     ///< RO: FIFO occupancy, high byte
+  kIntStatus = 0x08,  ///< interrupt status; write 1s to clear
+  kIntMask = 0x09,    ///< interrupt enable mask
+  kFifoData0 = 0x0A,  ///< SPI read-out: pops a word, returns bits [7:0]
+  kFifoData1 = 0x0B,  ///< bits [15:8] of the latched word
+  kFifoData2 = 0x0C,  ///< bits [23:16]
+  kFifoData3 = 0x0D,  ///< bits [31:24]
+};
+
+/// Byte-wide register bus: blocks register read/write handlers per address.
+class ConfigBus {
+ public:
+  using ReadFn = std::function<std::uint8_t()>;
+  using WriteFn = std::function<void(std::uint8_t)>;
+
+  /// Attach handlers for one address; a null WriteFn makes it read-only.
+  void map(Reg reg, ReadFn read, WriteFn write = nullptr);
+
+  /// Bus accesses; unmapped reads return 0, unmapped/RO writes are ignored
+  /// and counted.
+  [[nodiscard]] std::uint8_t read(std::uint8_t addr) const;
+  void write(std::uint8_t addr, std::uint8_t value);
+
+  [[nodiscard]] std::uint64_t ignored_writes() const { return ignored_writes_; }
+
+ private:
+  struct Slot {
+    ReadFn read;
+    WriteFn write;
+  };
+  std::array<Slot, 128> slots_{};
+  mutable std::uint64_t ignored_writes_{0};
+};
+
+/// Bit-level SPI mode-0 slave decoding 16-bit transactions onto a ConfigBus.
+class SpiSlave {
+ public:
+  explicit SpiSlave(ConfigBus& bus) : bus_{bus} {}
+
+  /// Chip-select (active low). A falling edge resets the shift state.
+  void set_csn(bool csn);
+
+  /// SCK rising edge with the current MOSI level (mode 0: slave samples on
+  /// the rising edge). Returns nothing; MISO is read via miso().
+  void sck_rise(bool mosi);
+
+  /// SCK falling edge (mode 0: slave updates MISO).
+  void sck_fall();
+
+  /// Current MISO level.
+  [[nodiscard]] bool miso() const { return miso_; }
+
+  [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
+  [[nodiscard]] std::uint64_t bits_clocked() const { return bits_clocked_; }
+
+ private:
+  ConfigBus& bus_;
+  bool csn_{true};
+  bool miso_{false};
+  unsigned bit_count_{0};
+  std::uint16_t shift_in_{0};
+  std::uint8_t shift_out_{0};
+  bool is_write_{false};
+  std::uint8_t addr_{0};
+  std::uint64_t transactions_{0};
+  std::uint64_t bits_clocked_{0};
+};
+
+/// DES-driven SPI master used by tests and the configuration examples:
+/// clocks 16-bit transactions into a SpiSlave at a given SCK rate.
+class SpiMaster {
+ public:
+  SpiMaster(sim::Scheduler& sched, SpiSlave& slave,
+            Frequency sck = Frequency::mhz(1.0));
+
+  /// Queue a write transaction.
+  void write(Reg reg, std::uint8_t value);
+
+  /// Queue a read; `done` receives the returned byte.
+  void read(Reg reg, std::function<void(std::uint8_t)> done);
+
+  /// True while transactions are still being clocked out.
+  [[nodiscard]] bool busy() const { return busy_; }
+
+ private:
+  struct Txn {
+    std::uint16_t frame;
+    std::function<void(std::uint8_t)> done;
+  };
+
+  void start_next();
+  void clock_bit(Txn txn, unsigned bit, std::uint16_t miso_accum);
+
+  sim::Scheduler& sched_;
+  SpiSlave& slave_;
+  Time half_period_;
+  std::vector<Txn> queue_;
+  bool busy_{false};
+};
+
+}  // namespace aetr::spi

@@ -1,0 +1,98 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace aetr {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, bin_width_{(hi - lo) / static_cast<double>(bins)},
+      counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+  }
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width_; }
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + bin_width_ / 2.0;
+}
+
+double Histogram::probability(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+double Histogram::quantile(double q) const {
+  const double target = q * total_;
+  double acc = underflow_;
+  if (acc >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    acc += counts_[i];
+    if (acc >= target) return bin_hi(i);
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  if (peak <= 0.0) peak = 1.0;
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof head, "%10.4g..%-10.4g |", bin_lo(i), bin_hi(i));
+    out += head;
+    const auto bar =
+        static_cast<std::size_t>(counts_[i] / peak * static_cast<double>(width));
+    out.append(bar, '#');
+    char tail[32];
+    std::snprintf(tail, sizeof tail, " %.5g\n", probability(i));
+    out += tail;
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade)
+    : log_lo_{std::log10(lo)},
+      log_step_{1.0 / static_cast<double>(bins_per_decade)} {
+  assert(lo > 0.0 && hi > lo && bins_per_decade > 0);
+  const auto bins = static_cast<std::size_t>(
+      std::ceil((std::log10(hi) - log_lo_) / log_step_));
+  counts_.assign(bins, 0.0);
+}
+
+void LogHistogram::add(double x, double weight) {
+  total_ += weight;
+  if (x <= 0.0) return;
+  const double pos = (std::log10(x) - log_lo_) / log_step_;
+  if (pos < 0.0 || pos >= static_cast<double>(counts_.size())) return;
+  counts_[static_cast<std::size_t>(pos)] += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i));
+}
+double LogHistogram::bin_hi(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + log_step_ * static_cast<double>(i + 1));
+}
+double LogHistogram::bin_center(std::size_t i) const {
+  return std::sqrt(bin_lo(i) * bin_hi(i));
+}
+
+}  // namespace aetr

@@ -1,0 +1,69 @@
+// Fixed-bin histograms (linear and logarithmic) used for the Fig. 7b error
+// distributions and buffer-occupancy statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aetr {
+
+/// Linear-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double underflow() const { return underflow_; }
+  [[nodiscard]] double overflow() const { return overflow_; }
+  [[nodiscard]] double total() const { return total_; }
+
+  /// Fraction of all samples (including under/overflow) in bin i.
+  [[nodiscard]] double probability(std::size_t i) const;
+
+  /// Smallest x such that at least `q` of the mass lies at or below it.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Render as an ASCII bar chart, `width` characters for the largest bin.
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<double> counts_;
+  double underflow_{0.0};
+  double overflow_{0.0};
+  double total_{0.0};
+};
+
+/// Log-spaced histogram over [lo, hi) with `bins_per_decade` resolution;
+/// used for inter-spike-interval distributions spanning ns..ms.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;  ///< geometric center
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<double> counts_;
+  double total_{0.0};
+};
+
+}  // namespace aetr

@@ -1,0 +1,59 @@
+// Streaming statistics accumulators (Welford's algorithm).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace aetr {
+
+/// Single-pass mean/variance/min/max accumulator. O(1) memory, numerically
+/// stable for the long accumulation runs the error sweeps produce.
+class RunningStats {
+ public:
+  /// Fold one sample into the accumulator.
+  void add(double x);
+
+  /// Merge another accumulator (parallel-friendly; Chan et al. update).
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;       ///< population variance
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Exponentially weighted moving average, used by the MCU-side rate
+/// estimator. `alpha` is the per-sample smoothing factor in (0, 1].
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_{alpha} {}
+
+  void add(double x) {
+    value_ = primed_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    primed_ = true;
+  }
+
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool primed() const { return primed_; }
+
+ private:
+  double alpha_;
+  double value_{0.0};
+  bool primed_{false};
+};
+
+}  // namespace aetr

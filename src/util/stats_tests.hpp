@@ -1,0 +1,33 @@
+// Statistical conformance tests for the stimulus generators.
+//
+// A simulator's conclusions are only as good as its random inputs; these
+// goodness-of-fit helpers let the test suite *prove* the Poisson source is
+// Poisson and the LFSR stream is uniform, instead of eyeballing means.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aetr {
+
+/// Pearson chi-square statistic for observed counts vs. a uniform
+/// expectation. Returns the statistic; degrees of freedom = bins - 1.
+[[nodiscard]] double chi_square_uniform(const std::vector<double>& counts);
+
+/// Chi-square statistic against arbitrary expected counts (same length).
+[[nodiscard]] double chi_square(const std::vector<double>& observed,
+                                const std::vector<double>& expected);
+
+/// Approximate upper critical value of the chi-square distribution at the
+/// 0.999 quantile (Wilson–Hilferty), i.e. a test failing this is wrong
+/// with overwhelming probability, not unlucky.
+[[nodiscard]] double chi_square_critical_999(std::size_t dof);
+
+/// Kolmogorov–Smirnov statistic of `samples` against the exponential
+/// distribution with the given mean. Samples need not be sorted.
+[[nodiscard]] double ks_exponential(std::vector<double> samples, double mean);
+
+/// KS critical value at alpha = 0.001 for n samples (asymptotic form).
+[[nodiscard]] double ks_critical_999(std::size_t n);
+
+}  // namespace aetr

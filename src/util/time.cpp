@@ -1,0 +1,28 @@
+#include "util/time.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace aetr {
+
+std::string Time::to_string() const {
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr std::array<Unit, 5> kUnits{{
+      {1e12, "s"}, {1e9, "ms"}, {1e6, "us"}, {1e3, "ns"}, {1.0, "ps"}}};
+  const double abs_ps = std::abs(static_cast<double>(ps_));
+  for (const auto& u : kUnits) {
+    if (abs_ps >= u.scale || u.scale == 1.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof buf, "%.4g%s",
+                    static_cast<double>(ps_) / u.scale, u.suffix);
+      return buf;
+    }
+  }
+  return "0ps";
+}
+
+}  // namespace aetr

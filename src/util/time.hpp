@@ -1,0 +1,112 @@
+// Strong time and frequency types for the aetr simulator.
+//
+// All simulation time is kept as an integral number of picoseconds, which is
+// fine enough to represent the 120 MHz ring-oscillator period (8333 ps) and
+// every divided sampling period exactly, while covering ~106 days of
+// simulated time in an int64 — far beyond any experiment in the paper.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace aetr {
+
+/// A point in (or span of) simulated time, in integral picoseconds.
+///
+/// `Time` is deliberately a strong type: raw integers and floating-point
+/// seconds must be converted explicitly, so clock arithmetic can never mix
+/// units silently.
+class Time {
+ public:
+  using Rep = std::int64_t;
+
+  constexpr Time() = default;
+
+  /// Named constructors. Fractional inputs round to the nearest picosecond.
+  [[nodiscard]] static constexpr Time ps(Rep v) { return Time{v}; }
+  [[nodiscard]] static constexpr Time ns(double v) { return from_scaled(v, 1e3); }
+  [[nodiscard]] static constexpr Time us(double v) { return from_scaled(v, 1e6); }
+  [[nodiscard]] static constexpr Time ms(double v) { return from_scaled(v, 1e9); }
+  [[nodiscard]] static constexpr Time sec(double v) { return from_scaled(v, 1e12); }
+
+  /// Largest representable time; used as "never" for idle schedulers.
+  [[nodiscard]] static constexpr Time max() {
+    return Time{std::numeric_limits<Rep>::max()};
+  }
+  [[nodiscard]] static constexpr Time zero() { return Time{0}; }
+
+  [[nodiscard]] constexpr Rep count_ps() const { return ps_; }
+  [[nodiscard]] constexpr double to_ns() const { return static_cast<double>(ps_) / 1e3; }
+  [[nodiscard]] constexpr double to_us() const { return static_cast<double>(ps_) / 1e6; }
+  [[nodiscard]] constexpr double to_ms() const { return static_cast<double>(ps_) / 1e9; }
+  [[nodiscard]] constexpr double to_sec() const { return static_cast<double>(ps_) / 1e12; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) { ps_ += rhs.ps_; return *this; }
+  constexpr Time& operator-=(Time rhs) { ps_ -= rhs.ps_; return *this; }
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ps_ + b.ps_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ps_ - b.ps_}; }
+  friend constexpr Time operator*(Time a, Rep k) { return Time{a.ps_ * k}; }
+  friend constexpr Time operator*(Rep k, Time a) { return Time{a.ps_ * k}; }
+  friend constexpr Rep operator/(Time a, Time b) { return a.ps_ / b.ps_; }
+  friend constexpr Time operator/(Time a, Rep k) { return Time{a.ps_ / k}; }
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.ps_ % b.ps_}; }
+
+  /// Ratio of two spans as a double (for error metrics).
+  [[nodiscard]] constexpr double ratio(Time denom) const {
+    return static_cast<double>(ps_) / static_cast<double>(denom.ps_);
+  }
+
+  /// Human-readable rendering with an auto-selected unit, e.g. "66.7ns".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  constexpr explicit Time(Rep v) : ps_{v} {}
+  [[nodiscard]] static constexpr Time from_scaled(double v, double scale) {
+    const double scaled = v * scale;
+    return Time{static_cast<Rep>(scaled + (scaled >= 0 ? 0.5 : -0.5))};
+  }
+
+  Rep ps_{0};
+};
+
+namespace time_literals {
+constexpr Time operator""_ps(unsigned long long v) { return Time::ps(static_cast<Time::Rep>(v)); }
+constexpr Time operator""_ns(unsigned long long v) { return Time::ns(static_cast<double>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::us(static_cast<double>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::ms(static_cast<double>(v)); }
+constexpr Time operator""_sec(unsigned long long v) { return Time::sec(static_cast<double>(v)); }
+constexpr Time operator""_ns(long double v) { return Time::ns(static_cast<double>(v)); }
+constexpr Time operator""_us(long double v) { return Time::us(static_cast<double>(v)); }
+constexpr Time operator""_ms(long double v) { return Time::ms(static_cast<double>(v)); }
+constexpr Time operator""_sec(long double v) { return Time::sec(static_cast<double>(v)); }
+}  // namespace time_literals
+
+/// A frequency in hertz; converts to/from periods.
+class Frequency {
+ public:
+  constexpr Frequency() = default;
+  [[nodiscard]] static constexpr Frequency hz(double v) { return Frequency{v}; }
+  [[nodiscard]] static constexpr Frequency khz(double v) { return Frequency{v * 1e3}; }
+  [[nodiscard]] static constexpr Frequency mhz(double v) { return Frequency{v * 1e6}; }
+
+  [[nodiscard]] constexpr double to_hz() const { return hz_; }
+  [[nodiscard]] constexpr double to_mhz() const { return hz_ / 1e6; }
+
+  /// Period of one cycle at this frequency (rounded to the ps grid).
+  [[nodiscard]] constexpr Time period() const { return Time::sec(1.0 / hz_); }
+  [[nodiscard]] static constexpr Frequency from_period(Time p) {
+    return Frequency{1.0 / p.to_sec()};
+  }
+
+  constexpr auto operator<=>(const Frequency&) const = default;
+
+ private:
+  constexpr explicit Frequency(double v) : hz_{v} {}
+  double hz_{0.0};
+};
+
+}  // namespace aetr

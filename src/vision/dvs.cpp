@@ -1,0 +1,209 @@
+#include "vision/dvs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aetr::vision {
+
+std::uint16_t DvsAddress::encode(const DvsConfig& cfg, std::size_t x,
+                                 std::size_t y, Polarity p) {
+  assert(x < cfg.width && y < cfg.height);
+  const auto code = (y * cfg.width + x) * 2 +
+                    (p == Polarity::kOn ? 1u : 0u);
+  return static_cast<std::uint16_t>(code & aer::kAddressMask);
+}
+
+DvsAddress DvsAddress::decode(const DvsConfig& cfg, std::uint16_t address) {
+  DvsAddress a;
+  a.polarity = (address & 1u) ? Polarity::kOn : Polarity::kOff;
+  const std::size_t pixel = address >> 1;
+  a.x = pixel % cfg.width;
+  a.y = pixel / cfg.width;
+  return a;
+}
+
+DvsSensor::DvsSensor(DvsConfig config, ArbiterConfig arbiter)
+    : cfg_{config},
+      arb_{arbiter},
+      last_log_(config.width * config.height, 0.0),
+      last_event_(config.width * config.height, Time::ps(-1)),
+      rng_{config.seed} {
+  if (cfg_.width * cfg_.height * 2 > aer::kAddressMask + 1u) {
+    throw std::invalid_argument(
+        "DvsSensor: geometry exceeds the 10-bit AER address space");
+  }
+  if (cfg_.contrast_threshold <= 0.0) {
+    throw std::invalid_argument("DvsSensor: contrast threshold must be > 0");
+  }
+}
+
+void DvsSensor::reset() {
+  primed_ = false;
+  std::fill(last_event_.begin(), last_event_.end(), Time::ps(-1));
+  arbiter_free_ = Time::zero();
+}
+
+aer::EventStream DvsSensor::process_frame(const Frame& frame, Time t) {
+  if (frame.width != cfg_.width || frame.height != cfg_.height) {
+    throw std::invalid_argument("DvsSensor: frame geometry mismatch");
+  }
+  aer::EventStream pending;
+  const double frame_dt = 1.0 / cfg_.frame_rate_hz;
+  if (!primed_) {
+    for (std::size_t i = 0; i < last_log_.size(); ++i) {
+      last_log_[i] = std::log(std::max(frame.pixels[i], 1e-6));
+    }
+    primed_ = true;
+    return pending;
+  }
+
+  for (std::size_t y = 0; y < cfg_.height; ++y) {
+    for (std::size_t x = 0; x < cfg_.width; ++x) {
+      const std::size_t i = y * cfg_.width + x;
+      const double now_log = std::log(std::max(frame.at(x, y), 1e-6));
+      double delta = now_log - last_log_[i];
+      // Each threshold crossing emits one event and moves the reference —
+      // a large step yields a burst of same-polarity events paced by the
+      // pixel's refractory period, as in real DVS pixels. The first
+      // crossing gets sub-frame jitter; crossings that would land past the
+      // frame interval fall into dead time: the reference resets to the
+      // current level and those events are lost.
+      if (std::abs(delta) >= cfg_.contrast_threshold) {
+        Time et = t + Time::sec(rng_.uniform() * frame_dt);
+        const Time frame_end = t + Time::sec(frame_dt);
+        while (std::abs(delta) >= cfg_.contrast_threshold) {
+          if (last_event_[i] >= Time::zero() &&
+              et < last_event_[i] + cfg_.refractory) {
+            et = last_event_[i] + cfg_.refractory;
+          }
+          if (et >= frame_end) {
+            refractory_drops_ += static_cast<std::uint64_t>(
+                std::abs(delta) / cfg_.contrast_threshold);
+            last_log_[i] = now_log;
+            break;
+          }
+          const Polarity p = delta > 0.0 ? Polarity::kOn : Polarity::kOff;
+          const double step = delta > 0.0 ? cfg_.contrast_threshold
+                                          : -cfg_.contrast_threshold;
+          last_log_[i] += step;
+          delta -= step;
+          last_event_[i] = et;
+          pending.push_back(
+              aer::Event{DvsAddress::encode(cfg_, x, y, p), et});
+        }
+      }
+      // Background activity: spontaneous noise events.
+      if (cfg_.background_rate_hz > 0.0 &&
+          rng_.bernoulli(cfg_.background_rate_hz * frame_dt)) {
+        const Time et = t + Time::sec(rng_.uniform() * frame_dt);
+        const Polarity p = rng_.bernoulli(0.5) ? Polarity::kOn
+                                               : Polarity::kOff;
+        if (last_event_[i] < Time::zero() ||
+            et - last_event_[i] >= cfg_.refractory) {
+          last_event_[i] = et;
+          pending.push_back(
+              aer::Event{DvsAddress::encode(cfg_, x, y, p), et});
+        }
+      }
+    }
+  }
+
+  // Arbitration: sort by request time, then serialise through the tree.
+  std::sort(pending.begin(), pending.end(),
+            [](const aer::Event& a, const aer::Event& b) {
+              return a.time < b.time;
+            });
+  for (auto& ev : pending) {
+    const DvsAddress a = DvsAddress::decode(cfg_, ev.address);
+    (void)a;
+    const Time request = ev.time + arb_.row_hop + arb_.column_hop;
+    const Time grant = std::max(request, arbiter_free_);
+    ev.time = grant;
+    arbiter_free_ = grant + arb_.cycle;
+    ++emitted_;
+  }
+  return pending;
+}
+
+aer::EventStream DvsSensor::process(const std::vector<Frame>& frames,
+                                    Time start) {
+  aer::EventStream all;
+  const Time frame_dt = Time::sec(1.0 / cfg_.frame_rate_hz);
+  Time t = start;
+  for (const auto& frame : frames) {
+    auto events = process_frame(frame, t);
+    all.insert(all.end(), events.begin(), events.end());
+    t += frame_dt;
+  }
+  std::sort(all.begin(), all.end(),
+            [](const aer::Event& a, const aer::Event& b) {
+              return a.time < b.time;
+            });
+  return all;
+}
+
+SceneGenerator::SceneGenerator(std::size_t width, std::size_t height,
+                               std::uint64_t seed)
+    : width_{width}, height_{height}, rng_{seed} {}
+
+Frame SceneGenerator::background(double intensity) const {
+  return Frame{width_, height_,
+               std::vector<double>(width_ * height_, intensity)};
+}
+
+Frame SceneGenerator::vertical_bar(double pos, double bar_intensity,
+                                   double bg_intensity,
+                                   double bar_width) const {
+  Frame f = background(bg_intensity);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      // Anti-aliased coverage of the bar over this pixel column.
+      const double lo = std::max(pos - bar_width / 2.0,
+                                 static_cast<double>(x));
+      const double hi = std::min(pos + bar_width / 2.0,
+                                 static_cast<double>(x) + 1.0);
+      const double coverage = std::max(0.0, hi - lo);
+      f.at(x, y) = bg_intensity + (bar_intensity - bg_intensity) * coverage;
+    }
+  }
+  return f;
+}
+
+Frame SceneGenerator::disc(double cx, double cy, double radius,
+                           double intensity, double bg_intensity) const {
+  Frame f = background(bg_intensity);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      const double dx = static_cast<double>(x) + 0.5 - cx;
+      const double dy = static_cast<double>(y) + 0.5 - cy;
+      const double d = std::sqrt(dx * dx + dy * dy);
+      // Soft 1-pixel edge.
+      const double coverage = std::clamp(radius + 0.5 - d, 0.0, 1.0);
+      f.at(x, y) = bg_intensity + (intensity - bg_intensity) * coverage;
+    }
+  }
+  return f;
+}
+
+std::vector<Frame> SceneGenerator::sweeping_bar(double frame_rate_hz,
+                                                Time duration) const {
+  const auto n = static_cast<std::size_t>(duration.to_sec() * frame_rate_hz);
+  std::vector<Frame> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(width_) * static_cast<double>(i) /
+                       static_cast<double>(n);
+    frames.push_back(vertical_bar(pos));
+  }
+  return frames;
+}
+
+std::vector<Frame> SceneGenerator::static_scene(double frame_rate_hz,
+                                                Time duration) const {
+  const auto n = static_cast<std::size_t>(duration.to_sec() * frame_rate_hz);
+  return std::vector<Frame>(n, background(0.5));
+}
+
+}  // namespace aetr::vision

@@ -1,0 +1,127 @@
+// Tests for the closed-loop theta_div controller, including the full loop
+// through SPI into a live interface.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aer/agents.hpp"
+#include "core/interface.hpp"
+#include "gen/sources.hpp"
+#include "mcu/adaptive.hpp"
+#include "mcu/consumer.hpp"
+#include "spi/spi.hpp"
+
+namespace aetr::mcu {
+namespace {
+
+using namespace time_literals;
+
+/// Feed a regular stream at `rate` for `span` starting at `start`.
+void feed(AdaptiveController& ctl, double rate, Time start, Time span) {
+  const Time dt = Time::sec(1.0 / rate);
+  for (Time t = start; t < start + span; t += dt) ctl.observe(t);
+}
+
+TEST(Adaptive, StartsInLowestBand) {
+  AdaptiveController ctl;
+  EXPECT_EQ(ctl.current_band(), 0u);
+  EXPECT_EQ(ctl.current_policy().theta_div, 16u);
+}
+
+TEST(Adaptive, ClimbsBandsWithRate) {
+  AdaptiveController ctl;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> applied;
+  ctl.on_apply([&](std::uint32_t t, std::uint32_t n) {
+    applied.emplace_back(t, n);
+  });
+  feed(ctl, 50e3, Time::zero(), 50_ms);
+  EXPECT_EQ(ctl.current_band(), 2u);  // the 20 kevt/s.. band
+  ASSERT_FALSE(applied.empty());
+  EXPECT_EQ(applied.back().first, 64u);
+}
+
+TEST(Adaptive, DropsBackAfterSilence) {
+  AdaptiveController ctl;
+  feed(ctl, 50e3, Time::zero(), 50_ms);
+  ASSERT_EQ(ctl.current_band(), 2u);
+  // Sparse trickle afterwards: the estimate decays and the controller
+  // steps back down.
+  feed(ctl, 100.0, 60_ms, 500_ms);
+  EXPECT_EQ(ctl.current_band(), 0u);
+}
+
+TEST(Adaptive, HysteresisBlocksBorderlineFlapping) {
+  AdaptiveConfig cfg;
+  cfg.hysteresis = 0.25;
+  cfg.min_dwell = Time::zero();
+  AdaptiveController ctl{cfg};
+  // Rate just above the 20 kevt/s edge but inside the hysteresis margin:
+  // must NOT climb.
+  feed(ctl, 22e3, Time::zero(), 100_ms);
+  EXPECT_EQ(ctl.current_band(), 1u);
+  // Well past the margin: climbs.
+  feed(ctl, 30e3, 100_ms, 100_ms);
+  EXPECT_EQ(ctl.current_band(), 2u);
+}
+
+TEST(Adaptive, MinDwellRateLimitsRetunes) {
+  AdaptiveConfig cfg;
+  cfg.min_dwell = 1_sec;
+  AdaptiveController ctl{cfg};
+  feed(ctl, 50e3, Time::zero(), 20_ms);
+  feed(ctl, 100.0, 30_ms, 300_ms);
+  feed(ctl, 50e3, 340_ms, 20_ms);
+  // Only the first retune fits inside the dwell window.
+  EXPECT_LE(ctl.retunes(), 1u);
+}
+
+TEST(Adaptive, RejectsBadPolicyTables) {
+  AdaptiveConfig empty;
+  empty.policies.clear();
+  EXPECT_THROW(AdaptiveController{empty}, std::invalid_argument);
+  AdaptiveConfig unsorted;
+  unsorted.policies = {{0.0, 16, 6}, {0.0, 32, 8}};
+  EXPECT_THROW(AdaptiveController{unsorted}, std::invalid_argument);
+}
+
+TEST(Adaptive, ClosedLoopThroughSpiRetunesLiveInterface) {
+  // Full loop: decoded I2S events -> controller -> SPI writes -> clock
+  // generator reconfigured, while the stream runs.
+  sim::Scheduler sched;
+  core::InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 32;
+  cfg.clock.theta_div = 16;  // boot in the low-power band
+  cfg.clock.n_div = 6;
+  core::AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  spi::SpiMaster master{sched, iface.spi()};
+
+  AdaptiveController ctl;
+  ctl.on_apply([&](std::uint32_t theta, std::uint32_t n) {
+    master.write(spi::Reg::kThetaDiv, static_cast<std::uint8_t>(theta));
+    master.write(spi::Reg::kNDiv, static_cast<std::uint8_t>(n));
+  });
+  AetrDecoder decoder{iface.tick_unit(), iface.saturation_span()};
+  iface.on_i2s_word([&](aer::AetrWord w, Time) {
+    const auto ev = decoder.decode(w);
+      ctl.observe(ev.reconstructed_time, ev.saturated);
+  });
+
+  // Phase 1: trickle (stays in band 0). Phase 2: 60 kevt/s burst.
+  gen::PoissonSource trickle{200.0, 128, 71};
+  sender.submit_stream(gen::take_until(trickle, 50_ms));
+  gen::PoissonSource burst{60e3, 128, 72, Time::us(2.0)};
+  auto burst_events = gen::take(burst, 4000);
+  for (auto& ev : burst_events) ev.time += 60_ms;
+  sender.submit_stream(burst_events);
+  sched.run();
+  if (!iface.fifo().empty()) iface.i2s_master().request_drain(sched.now());
+  sched.run();
+
+  EXPECT_GE(ctl.retunes(), 1u);
+  EXPECT_EQ(iface.clock_generator().config().theta_div, 64u);
+  EXPECT_EQ(iface.clock_generator().config().n_div, 8u);
+}
+
+}  // namespace
+}  // namespace aetr::mcu

@@ -1,0 +1,101 @@
+// Tests for the AEDAT 2.0 binary trace format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "aer/aedat.hpp"
+#include "gen/sources.hpp"
+
+namespace aetr::aer {
+namespace {
+
+using namespace time_literals;
+
+TEST(Aedat, RoundTripOnMicrosecondGrid) {
+  EventStream events{{5, 100_us}, {6, 250_us}, {1023, 2_ms}};
+  std::stringstream ss;
+  write_aedat(ss, events);
+  const auto back = read_aedat(ss);
+  EXPECT_EQ(back, events);
+}
+
+TEST(Aedat, HeaderIsAsciiWithMagic) {
+  std::stringstream ss;
+  write_aedat(ss, {{1, 1_us}});
+  const auto text = ss.str();
+  EXPECT_EQ(text.rfind(kAedatMagic, 0), 0u);  // starts with the magic
+  EXPECT_NE(text.find("int32 address, int32 timestamp"), std::string::npos);
+}
+
+TEST(Aedat, SubMicrosecondTimesRoundToGrid) {
+  EventStream events{{1, Time::ns(1499.0)}, {2, Time::ns(2600.0)}};
+  std::stringstream ss;
+  write_aedat(ss, events);
+  const auto back = read_aedat(ss);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].time, 1_us);  // 1.499 us -> 1 us
+  EXPECT_EQ(back[1].time, 3_us);  // 2.6 us -> 3 us
+}
+
+TEST(Aedat, BigEndianEncoding) {
+  std::stringstream ss;
+  write_aedat(ss, {{0x0102, Time::us(0x01020304)}});
+  const auto text = ss.str();
+  const auto data_at = text.find('\n', text.find("tick")) + 1;
+  ASSERT_NE(data_at, std::string::npos);
+  const auto* bytes =
+      reinterpret_cast<const unsigned char*>(text.data() + data_at);
+  EXPECT_EQ(bytes[0], 0x00);
+  EXPECT_EQ(bytes[1], 0x00);
+  EXPECT_EQ(bytes[2], 0x01);
+  EXPECT_EQ(bytes[3], 0x02);
+  EXPECT_EQ(bytes[4], 0x01);
+  EXPECT_EQ(bytes[5], 0x02);
+  EXPECT_EQ(bytes[6], 0x03);
+  EXPECT_EQ(bytes[7], 0x04);
+}
+
+TEST(Aedat, BadMagicThrows) {
+  std::stringstream ss{"#!AER-DAT9.9\r\n"};
+  EXPECT_THROW(read_aedat(ss), std::runtime_error);
+}
+
+TEST(Aedat, MissingHeaderThrows) {
+  std::stringstream ss{"garbage"};
+  EXPECT_THROW(read_aedat(ss), std::runtime_error);
+}
+
+TEST(Aedat, TruncatedRecordThrows) {
+  std::stringstream ss;
+  write_aedat(ss, {{1, 1_us}});
+  std::string text = ss.str();
+  text.pop_back();  // chop one byte off the last record
+  std::stringstream chopped{text};
+  EXPECT_THROW(read_aedat(chopped), std::runtime_error);
+}
+
+TEST(Aedat, EmptyStreamIsValid) {
+  std::stringstream ss;
+  write_aedat(ss, {});
+  EXPECT_TRUE(read_aedat(ss).empty());
+}
+
+TEST(Aedat, FileRoundTripWithGeneratedStream) {
+  const std::string path = testing::TempDir() + "aetr_test.aedat";
+  gen::PoissonSource src{10e3, 128, 77, Time::us(2.0)};
+  const auto events = gen::take(src, 500);
+  save_aedat(path, events);
+  const auto back = load_aedat(path);
+  ASSERT_EQ(back.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i].address, events[i].address);
+    // Within the 1 us quantisation.
+    const auto dt = back[i].time - events[i].time;
+    EXPECT_LE(dt < Time::zero() ? Time::zero() - dt : dt, Time::us(0.5));
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aetr::aer

@@ -1,0 +1,273 @@
+// Tests for the silicon-cochlea sensor model: filter design, IAF dynamics,
+// tonotopic selectivity, and the audio synthesiser.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cochlea/audio.hpp"
+#include "cochlea/biquad.hpp"
+#include "cochlea/cochlea.hpp"
+
+namespace aetr::cochlea {
+namespace {
+
+using namespace time_literals;
+
+TEST(Biquad, BandpassPeaksAtCentre) {
+  const double fs = 48e3;
+  const auto f = Biquad::bandpass(1000.0, 6.0, fs);
+  EXPECT_NEAR(f.magnitude(1000.0, fs), 1.0, 0.01);  // 0 dB at centre
+  EXPECT_LT(f.magnitude(250.0, fs), 0.3);
+  EXPECT_LT(f.magnitude(4000.0, fs), 0.3);
+}
+
+TEST(Biquad, StepResponseMatchesMagnitude) {
+  const double fs = 48e3;
+  const double f0 = 2000.0;
+  auto filt = Biquad::bandpass(f0, 6.0, fs);
+  // Drive with the centre-frequency sine and measure output amplitude.
+  double peak = 0.0;
+  for (int n = 0; n < 4800; ++n) {
+    const double x = std::sin(2.0 * std::numbers::pi * f0 * n / fs);
+    const double y = filt.step(x);
+    if (n > 2400) peak = std::max(peak, std::abs(y));
+  }
+  EXPECT_NEAR(peak, 1.0, 0.03);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto f = Biquad::bandpass(1000.0, 6.0, 48e3);
+  for (int i = 0; i < 100; ++i) (void)f.step(1.0);
+  f.reset();
+  // After reset the first output of a zero input is zero.
+  EXPECT_DOUBLE_EQ(f.step(0.0), 0.0);
+}
+
+TEST(LogSpacing, EndpointsAndMonotone) {
+  const auto c = log_spaced_centres(100.0, 10e3, 64);
+  ASSERT_EQ(c.size(), 64u);
+  EXPECT_NEAR(c.front(), 100.0, 1e-9);
+  EXPECT_NEAR(c.back(), 10e3, 1e-6);
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_GT(c[i], c[i - 1]);
+    // Constant ratio (log spacing).
+    EXPECT_NEAR(c[i] / c[i - 1], c[1] / c[0], 1e-9);
+  }
+}
+
+TEST(Iaf, FiresAtThresholdWithSubSampleTime) {
+  IafNeuron n{1.0, 0.0, Time::zero()};
+  double frac = -1.0;
+  // Constant drive 100/s with dt 1/16 s: fires on the crossing sample.
+  bool fired = false;
+  int steps = 0;
+  while (!fired && steps < 1000) {
+    fired = n.step(100.0, 1.0 / 16.0, frac);
+    ++steps;
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(steps, 1);  // 100 * (1/16) = 6.25 >> threshold on first step
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LT(frac, 1.0);
+}
+
+TEST(Iaf, RefractoryBlocksImmediateRefire) {
+  IafNeuron n{0.5, 0.0, Time::ms(1.0)};
+  double frac = 0.0;
+  EXPECT_TRUE(n.step(1000.0, 1e-3, frac));
+  // Within the refractory period: no fire even under huge drive. The step
+  // that crosses the refractory boundary is consumed entirely (dead time),
+  // so firing resumes on the step after.
+  EXPECT_FALSE(n.step(1e6, 0.5e-3, frac));
+  EXPECT_FALSE(n.step(1e6, 0.4e-3, frac));
+  EXPECT_FALSE(n.step(1e6, 0.5e-3, frac));
+  EXPECT_TRUE(n.step(1e6, 0.5e-3, frac));
+}
+
+TEST(Iaf, LeakPreventsFiringOnWeakDrive) {
+  IafNeuron strong_leak{0.01, 1000.0, Time::zero()};
+  double frac = 0.0;
+  bool fired = false;
+  for (int i = 0; i < 10000; ++i) {
+    fired = fired || strong_leak.step(0.005, 1e-4, frac);
+  }
+  EXPECT_FALSE(fired);  // equilibrium 0.005/1000 << threshold
+}
+
+TEST(Cochlea, AddressLayoutRoundTrip) {
+  CochleaModel model;
+  const auto addr = model.address_of(1, 37);
+  EXPECT_EQ(addr, 64 + 37);
+  EXPECT_EQ(model.ear_of(addr), 1u);
+  EXPECT_EQ(model.channel_of(addr), 37u);
+}
+
+TEST(Cochlea, RejectsAddressOverflow) {
+  CochleaConfig cfg;
+  cfg.channels = 600;
+  cfg.ears = 2;
+  EXPECT_THROW(CochleaModel{cfg}, std::invalid_argument);
+}
+
+TEST(Cochlea, PureToneExcitesMatchingChannels) {
+  CochleaConfig cfg;
+  cfg.channels = 32;
+  cfg.ears = 1;
+  CochleaModel model{cfg};
+  AudioSynth synth{cfg.sample_rate, 1};
+  const auto audio = synth.tone(1000.0, 0.5, 300_ms);
+  const auto events = model.process(audio);
+  ASSERT_GT(events.size(), 10u);
+  // Spike-weighted centre frequency should sit near 1 kHz.
+  std::map<std::size_t, int> per_channel;
+  for (const auto& ev : events) ++per_channel[model.channel_of(ev.address)];
+  std::size_t best = 0;
+  int best_count = 0;
+  for (const auto& [ch, n] : per_channel) {
+    if (n > best_count) {
+      best = ch;
+      best_count = n;
+    }
+  }
+  EXPECT_NEAR(model.centres()[best], 1000.0, 300.0);
+}
+
+TEST(Cochlea, SilenceProducesNoEvents) {
+  CochleaModel model;
+  const auto events = model.process(std::vector<double>(48000, 0.0));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Cochlea, EventsAreTimeSortedWithOffset) {
+  CochleaConfig cfg;
+  cfg.channels = 16;
+  cfg.ears = 2;
+  CochleaModel model{cfg};
+  AudioSynth synth{cfg.sample_rate, 2};
+  const auto audio = synth.tone(500.0, 0.5, 100_ms);
+  const auto events = model.process(audio, 1_sec);
+  ASSERT_FALSE(events.empty());
+  EXPECT_GE(events.front().time, 1_sec);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(Cochlea, LouderSoundMoreSpikes) {
+  CochleaConfig cfg;
+  cfg.channels = 16;
+  cfg.ears = 1;
+  CochleaModel quiet_model{cfg}, loud_model{cfg};
+  AudioSynth synth{cfg.sample_rate, 3};
+  const auto quiet = quiet_model.process(synth.tone(800.0, 0.1, 200_ms));
+  const auto loud = loud_model.process(synth.tone(800.0, 0.8, 200_ms));
+  EXPECT_GT(loud.size(), quiet.size() * 2);
+}
+
+TEST(Cochlea, BinauralEarSkewBreaksSymmetry) {
+  CochleaModel model;  // default: 2 ears, 2 % skew
+  AudioSynth synth{model.config().sample_rate, 4};
+  const auto events = model.process(synth.tone(1500.0, 0.5, 200_ms));
+  std::size_t left = 0, right = 0;
+  for (const auto& ev : events) {
+    (model.ear_of(ev.address) == 0 ? left : right) += 1;
+  }
+  EXPECT_GT(left, 0u);
+  EXPECT_GT(right, 0u);
+  EXPECT_NE(left, right);  // the gain mismatch shows up in the counts
+}
+
+TEST(Agc, CompressesDynamicRange) {
+  // Without AGC a 20 dB level difference maps to a large rate ratio; with
+  // AGC the ratio collapses towards 1 after the envelope settles.
+  CochleaConfig base;
+  base.channels = 16;
+  base.ears = 1;
+  auto rate_ratio = [&](bool agc_on) {
+    CochleaConfig cfg = base;
+    cfg.agc.enabled = agc_on;
+    CochleaModel loud_model{cfg}, quiet_model{cfg};
+    AudioSynth synth{cfg.sample_rate, 21};
+    const auto loud = loud_model.process(synth.tone(800.0, 0.5, 400_ms));
+    const auto quiet = quiet_model.process(synth.tone(800.0, 0.05, 400_ms));
+    return static_cast<double>(loud.size()) /
+           static_cast<double>(std::max<std::size_t>(quiet.size(), 1));
+  };
+  const double without = rate_ratio(false);
+  const double with = rate_ratio(true);
+  EXPECT_LT(with, without * 0.5);
+  EXPECT_LT(with, 3.0);
+}
+
+TEST(Agc, GainSteersTowardsTarget) {
+  CochleaConfig cfg;
+  cfg.channels = 8;
+  cfg.ears = 1;
+  cfg.agc.enabled = true;
+  CochleaModel model{cfg};
+  AudioSynth synth{cfg.sample_rate, 22};
+  // Loud sustained tone on channel near 1 kHz: its gain must drop below 1,
+  // quiet channels drift towards max gain.
+  (void)model.process(synth.tone(1000.0, 0.8, 500_ms));
+  std::size_t hot = 0;
+  double best = 1e9;
+  for (std::size_t ch = 0; ch < cfg.channels; ++ch) {
+    const double d = std::abs(model.centres()[ch] - 1000.0);
+    if (d < best) {
+      best = d;
+      hot = ch;
+    }
+  }
+  EXPECT_LT(model.agc_gain(0, hot), 0.7);
+  EXPECT_GT(model.agc_gain(0, 0), 2.0);  // 100 Hz channel heard nothing
+}
+
+TEST(Agc, DisabledMeansUnityGain) {
+  CochleaModel model;  // default: AGC off
+  EXPECT_DOUBLE_EQ(model.agc_gain(0, 0), 1.0);
+}
+
+TEST(AudioSynth, DemoWordHasSpeechLikeShape) {
+  AudioSynth synth{48e3, 5};
+  const auto audio = synth.word(AudioSynth::demo_word());
+  // ~90+130+70+110+90 ms + 4 gaps of 15 ms = ~550 ms.
+  EXPECT_NEAR(static_cast<double>(audio.size()) / 48e3, 0.55, 0.02);
+  double peak = 0.0;
+  for (double s : audio) peak = std::max(peak, std::abs(s));
+  EXPECT_GT(peak, 0.2);
+  EXPECT_LT(peak, 2.0);
+}
+
+TEST(AudioSynth, BackgroundNoiseRaisesFloor) {
+  AudioSynth synth{48e3, 6};
+  auto audio = synth.silence(100_ms);
+  synth.add_background(audio, 0.05);
+  double rms = 0.0;
+  for (double s : audio) rms += s * s;
+  rms = std::sqrt(rms / static_cast<double>(audio.size()));
+  EXPECT_NEAR(rms, 0.05 / std::sqrt(3.0), 0.005);  // uniform noise rms
+}
+
+TEST(AudioSynth, WordDrivesHighEventRateBursts) {
+  // The Fig. 7a scenario: the word must drive the cochlea into bursts of at
+  // least tens of kevt/s.
+  CochleaModel model;
+  AudioSynth synth{model.config().sample_rate, 7};
+  auto audio = synth.word(AudioSynth::demo_word());
+  synth.add_background(audio, 0.01);
+  const auto events = model.process(audio);
+  ASSERT_GT(events.size(), 1000u);
+  // Peak rate over 10 ms windows.
+  std::map<std::int64_t, int> window_counts;
+  for (const auto& ev : events) {
+    ++window_counts[ev.time.count_ps() / Time::ms(10.0).count_ps()];
+  }
+  int peak = 0;
+  for (const auto& [w, n] : window_counts) peak = std::max(peak, n);
+  EXPECT_GT(peak * 100, 25000);  // >25 kevt/s peak
+}
+
+}  // namespace
+}  // namespace aetr::cochlea

@@ -1,0 +1,122 @@
+// Tests for the textual InterfaceConfig format.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_io.hpp"
+
+namespace aetr::core {
+namespace {
+
+TEST(ConfigIo, DefaultsWhenEmpty) {
+  std::stringstream ss{""};
+  const auto cfg = load_config(ss);
+  EXPECT_EQ(cfg.clock.theta_div, 64u);
+  EXPECT_EQ(cfg.clock.n_div, 8u);
+  EXPECT_EQ(cfg.fifo.capacity_words, 2300u);
+}
+
+TEST(ConfigIo, ParsesKeysAndComments) {
+  std::stringstream ss{
+      "# comment\n"
+      "\n"
+      "clock.theta_div = 16\n"
+      "  clock.n_div=5  \n"
+      "fifo.batch_threshold = 128\n"
+      "clock.divide_enabled = false\n"
+      "i2s.sck_mhz = 12.288\n"};
+  const auto cfg = load_config(ss);
+  EXPECT_EQ(cfg.clock.theta_div, 16u);
+  EXPECT_EQ(cfg.clock.n_div, 5u);
+  EXPECT_EQ(cfg.fifo.batch_threshold, 128u);
+  EXPECT_FALSE(cfg.clock.divide_enabled);
+  EXPECT_NEAR(cfg.i2s.sck.to_mhz(), 12.288, 1e-9);
+}
+
+TEST(ConfigIo, UnknownKeyThrows) {
+  std::stringstream ss{"clock.theta = 16\n"};
+  EXPECT_THROW(load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, MissingEqualsThrows) {
+  std::stringstream ss{"clock.theta_div 16\n"};
+  EXPECT_THROW(load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, BadNumberThrows) {
+  std::stringstream ss{"clock.theta_div = banana\n"};
+  EXPECT_THROW(load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, TrailingJunkThrows) {
+  std::stringstream ss{"clock.ring_mhz = 120 MHz\n"};
+  EXPECT_THROW(load_config(ss), std::runtime_error);
+}
+
+TEST(ConfigIo, RangeValidation) {
+  std::stringstream a{"clock.theta_div = 0\n"};
+  EXPECT_THROW(load_config(a), std::runtime_error);
+  std::stringstream b{"clock.n_div = 31\n"};
+  EXPECT_THROW(load_config(b), std::runtime_error);
+  std::stringstream c{"clock.theta_div = -4\n"};
+  EXPECT_THROW(load_config(c), std::runtime_error);
+}
+
+TEST(ConfigIo, BooleanSpellings) {
+  for (const char* spelling : {"true", "1", "on"}) {
+    std::stringstream ss{std::string("clock.shutdown_enabled = ") + spelling};
+    EXPECT_TRUE(load_config(ss).clock.shutdown_enabled);
+  }
+  for (const char* spelling : {"false", "0", "off"}) {
+    std::stringstream ss{std::string("clock.shutdown_enabled = ") + spelling};
+    EXPECT_FALSE(load_config(ss).clock.shutdown_enabled);
+  }
+  std::stringstream bad{"clock.shutdown_enabled = maybe"};
+  EXPECT_THROW(load_config(bad), std::runtime_error);
+}
+
+TEST(ConfigIo, DumpLoadRoundTrip) {
+  InterfaceConfig cfg;
+  cfg.clock.theta_div = 32;
+  cfg.clock.n_div = 6;
+  cfg.clock.divide_enabled = false;
+  cfg.front_end.metastability_prob = 0.001;
+  cfg.fifo.batch_threshold = 777;
+  cfg.i2s.sck = Frequency::mhz(12.288);
+  cfg.calibration.static_w = 60e-6;
+
+  std::stringstream ss{dump_config(cfg)};
+  const auto back = load_config(ss);
+  EXPECT_EQ(back.clock.theta_div, 32u);
+  EXPECT_EQ(back.clock.n_div, 6u);
+  EXPECT_FALSE(back.clock.divide_enabled);
+  EXPECT_NEAR(back.front_end.metastability_prob, 0.001, 1e-12);
+  EXPECT_EQ(back.fifo.batch_threshold, 777u);
+  EXPECT_NEAR(back.i2s.sck.to_mhz(), 12.288, 1e-6);
+  EXPECT_NEAR(back.calibration.static_w, 60e-6, 1e-12);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(load_config_file("/nonexistent/aetr.conf"), std::runtime_error);
+}
+
+TEST(ConfigIo, DrainTimeoutKey) {
+  std::stringstream ss{"drain_timeout_us = 5000\n"};
+  EXPECT_EQ(load_config(ss).drain_timeout, Time::ms(5.0));
+  InterfaceConfig cfg;
+  cfg.drain_timeout = Time::us(250.0);
+  std::stringstream rt{dump_config(cfg)};
+  EXPECT_EQ(load_config(rt).drain_timeout, Time::us(250.0));
+}
+
+TEST(ConfigIo, PowerCalibrationKeys) {
+  std::stringstream ss{
+      "power.static_uw = 75\n"
+      "power.osc_domain_mw = 1.5\n"};
+  const auto cfg = load_config(ss);
+  EXPECT_NEAR(cfg.calibration.static_w, 75e-6, 1e-12);
+  EXPECT_NEAR(cfg.calibration.osc_domain_w, 1.5e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace aetr::core

@@ -1,0 +1,97 @@
+// Determinism regression: identical seeds and configurations must yield
+// bit-identical results across runs — the property that makes every number
+// in EXPERIMENTS.md reproducible.
+#include <gtest/gtest.h>
+
+#include "analysis/error.hpp"
+#include "cochlea/audio.hpp"
+#include "cochlea/cochlea.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "vision/dvs.hpp"
+
+namespace aetr {
+namespace {
+
+using namespace time_literals;
+
+core::RunResult run_once(std::uint64_t seed) {
+  core::InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 128;
+  cfg.front_end.metastability_prob = 0.01;  // exercises the front-end RNG
+  gen::PoissonSource src{40e3, 128, seed};
+  return core::run_stream(cfg, gen::take(src, 1500));
+}
+
+TEST(Determinism, FullRunsAreBitIdentical) {
+  const auto a = run_once(7);
+  const auto b = run_once(7);
+  EXPECT_EQ(a.activity.sampling_cycles, b.activity.sampling_cycles);
+  EXPECT_EQ(a.activity.osc_awake.count_ps(), b.activity.osc_awake.count_ps());
+  EXPECT_DOUBLE_EQ(a.average_power_w, b.average_power_w);
+  EXPECT_DOUBLE_EQ(a.error.mean_rel_error(), b.error.mean_rel_error());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].word, b.records[i].word);
+    EXPECT_EQ(a.records[i].sample_edge, b.records[i].sample_edge);
+  }
+  ASSERT_EQ(a.decoded.size(), b.decoded.size());
+  for (std::size_t i = 0; i < a.decoded.size(); ++i) {
+    EXPECT_EQ(a.decoded[i].reconstructed_time,
+              b.decoded[i].reconstructed_time);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const auto a = run_once(7);
+  const auto b = run_once(8);
+  EXPECT_NE(a.records.front().word.raw(), b.records.front().word.raw());
+}
+
+TEST(Determinism, CochleaPipelineIsReproducible) {
+  auto render = [] {
+    cochlea::CochleaModel model;
+    cochlea::AudioSynth synth{model.config().sample_rate, 99};
+    auto audio = synth.word(cochlea::AudioSynth::demo_word());
+    synth.add_background(audio, 0.02);
+    return model.process(audio);
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(Determinism, DvsPipelineIsReproducible) {
+  auto render = [] {
+    vision::DvsConfig cfg;
+    cfg.background_rate_hz = 5.0;
+    vision::DvsSensor sensor{cfg};
+    vision::SceneGenerator scene{cfg.width, cfg.height};
+    return sensor.process(scene.sweeping_bar(1e3, 100_ms));
+  };
+  EXPECT_EQ(render(), render());
+}
+
+TEST(Determinism, ErrorSweepReproducible) {
+  clockgen::ScheduleConfig cfg;
+  const auto a = analysis::sweep_error(cfg, 25e3, {.n_events = 2000, .seed = 3});
+  const auto b = analysis::sweep_error(cfg, 25e3, {.n_events = 2000, .seed = 3});
+  EXPECT_DOUBLE_EQ(a.mean_rel_error(), b.mean_rel_error());
+  EXPECT_DOUBLE_EQ(a.weighted_rel_error(), b.weighted_rel_error());
+  EXPECT_EQ(a.sub_nyquist, b.sub_nyquist);
+}
+
+TEST(Determinism, GoldenHeadlineNumbers) {
+  // Regression pin on the headline reproduction numbers (default
+  // calibration and parameters). If a refactor shifts these, EXPERIMENTS.md
+  // must be re-baselined deliberately.
+  const auto r = run_once(7);
+  // 40 kevt/s, theta 64, with the 2-FF synchroniser in the loop: the
+  // weighted error sits near (but within) the widened ~3x bound.
+  EXPECT_LT(r.error.weighted_rel_error(), 0.04);
+  EXPECT_GT(r.error.weighted_rel_error(), 0.001);
+  // Power in the active-region plateau: ~2.1-3 mW.
+  EXPECT_GT(r.average_power_w, 1.5e-3);
+  EXPECT_LT(r.average_power_w, 3.5e-3);
+}
+
+}  // namespace
+}  // namespace aetr

@@ -1,0 +1,144 @@
+// Tests for the framed-batch carrier protocol: CRC, resync, corruption and
+// loss detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "i2s/framing.hpp"
+#include "util/rng.hpp"
+
+namespace aetr::i2s {
+namespace {
+
+using aer::AetrWord;
+
+std::vector<AetrWord> make_batch(std::uint16_t base, std::size_t n) {
+  std::vector<AetrWord> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(AetrWord::make(
+        static_cast<std::uint16_t>((base + i) & 0x3FF),
+        static_cast<std::uint64_t>(i * 7)));
+  }
+  return batch;
+}
+
+TEST(Crc32, KnownVector) {
+  // Reference: zlib.crc32(b"\x01\x00\x00\x00") == 0x99F8B879.
+  EXPECT_EQ(crc32_words({1u}), 0x99F8B879u);
+  EXPECT_EQ(crc32_words({}), 0x00000000u);
+}
+
+TEST(Crc32, SensitiveToAnyBitFlip) {
+  const std::vector<std::uint32_t> payload{0xDEADBEEF, 0x12345678};
+  const auto ref = crc32_words(payload);
+  for (int bit = 0; bit < 64; ++bit) {
+    auto mutated = payload;
+    mutated[static_cast<std::size_t>(bit / 32)] ^= 1u << (bit % 32);
+    EXPECT_NE(crc32_words(mutated), ref) << "bit " << bit;
+  }
+}
+
+TEST(Framing, CleanRoundTrip) {
+  FrameEncoder enc;
+  std::vector<std::vector<AetrWord>> received;
+  FrameDecoder dec{[&](std::uint8_t, const std::vector<AetrWord>& batch) {
+    received.push_back(batch);
+  }};
+  const auto b0 = make_batch(0, 5);
+  const auto b1 = make_batch(100, 3);
+  for (const auto w : enc.encode(b0)) dec.feed(w);
+  for (const auto w : enc.encode(b1)) dec.feed(w);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], b0);
+  EXPECT_EQ(received[1], b1);
+  EXPECT_EQ(dec.frames_ok(), 2u);
+  EXPECT_EQ(dec.crc_errors(), 0u);
+  EXPECT_EQ(dec.sequence_gaps(), 0u);
+}
+
+TEST(Framing, EmptyBatchIsLegal) {
+  FrameEncoder enc;
+  int frames = 0;
+  FrameDecoder dec{[&](std::uint8_t, const std::vector<AetrWord>& batch) {
+    EXPECT_TRUE(batch.empty());
+    ++frames;
+  }};
+  for (const auto w : enc.encode({})) dec.feed(w);
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(Framing, SequenceNumbersIncrementAndWrap) {
+  FrameEncoder enc;
+  std::vector<std::uint8_t> seqs;
+  FrameDecoder dec{[&](std::uint8_t s, const std::vector<AetrWord>&) {
+    seqs.push_back(s);
+  }};
+  for (int i = 0; i < 300; ++i) {
+    for (const auto w : enc.encode(make_batch(1, 1))) dec.feed(w);
+  }
+  ASSERT_EQ(seqs.size(), 300u);
+  EXPECT_EQ(seqs[0], 0);
+  EXPECT_EQ(seqs[255], 255);
+  EXPECT_EQ(seqs[256], 0);  // 8-bit wrap
+  EXPECT_EQ(dec.sequence_gaps(), 0u);
+}
+
+TEST(Framing, CorruptedPayloadRejected) {
+  FrameEncoder enc;
+  int frames = 0;
+  FrameDecoder dec{
+      [&](std::uint8_t, const std::vector<AetrWord>&) { ++frames; }};
+  auto words = enc.encode(make_batch(0, 8));
+  words[4] ^= 0x00010000u;  // flip a payload bit
+  for (const auto w : words) dec.feed(w);
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(dec.crc_errors(), 1u);
+}
+
+TEST(Framing, LostFrameCountedAsSequenceGap) {
+  FrameEncoder enc;
+  int frames = 0;
+  FrameDecoder dec{
+      [&](std::uint8_t, const std::vector<AetrWord>&) { ++frames; }};
+  const auto f0 = enc.encode(make_batch(0, 2));
+  const auto f1 = enc.encode(make_batch(0, 2));  // lost in transit
+  const auto f2 = enc.encode(make_batch(0, 2));
+  for (const auto w : f0) dec.feed(w);
+  (void)f1;
+  for (const auto w : f2) dec.feed(w);
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(dec.sequence_gaps(), 1u);
+}
+
+TEST(Framing, ResyncAfterJoiningMidStream) {
+  FrameEncoder enc;
+  int frames = 0;
+  FrameDecoder dec{
+      [&](std::uint8_t, const std::vector<AetrWord>&) { ++frames; }};
+  const auto f0 = enc.encode(make_batch(0, 6));
+  const auto f1 = enc.encode(make_batch(50, 4));
+  // The MCU starts listening halfway through frame 0.
+  for (std::size_t i = 3; i < f0.size(); ++i) dec.feed(f0[i]);
+  for (const auto w : f1) dec.feed(w);
+  EXPECT_GE(frames, 1);       // frame 1 recovered
+  EXPECT_GT(dec.resyncs(), 0u);
+}
+
+TEST(Framing, RandomNoiseNeverCrashes) {
+  FrameDecoder dec{[](std::uint8_t, const std::vector<AetrWord>&) {}};
+  Xoshiro256StarStar rng{1};
+  for (int i = 0; i < 100000; ++i) {
+    dec.feed(static_cast<std::uint32_t>(rng.next()));
+  }
+  // Statistically some words look like headers; none should survive CRC.
+  EXPECT_EQ(dec.frames_ok(), 0u);
+  EXPECT_GT(dec.resyncs(), 0u);
+}
+
+TEST(Framing, OversizeBatchRejected) {
+  FrameEncoder enc;
+  EXPECT_THROW(enc.encode(make_batch(0, 0x10000)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aetr::i2s

@@ -1,0 +1,162 @@
+// Unit tests for the stimulus generators.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gen/sources.hpp"
+#include "util/stats.hpp"
+
+namespace aetr::gen {
+namespace {
+
+using namespace time_literals;
+
+double mean_rate_hz(const aer::EventStream& events) {
+  if (events.size() < 2) return 0.0;
+  return static_cast<double>(events.size() - 1) /
+         (events.back().time - events.front().time).to_sec();
+}
+
+TEST(Poisson, MeanRateMatchesTarget) {
+  PoissonSource src{10e3, 128, 42};
+  const auto events = take(src, 20000);
+  EXPECT_NEAR(mean_rate_hz(events), 10e3, 300.0);
+}
+
+TEST(Poisson, IntervalsAreExponential) {
+  PoissonSource src{1e3, 128, 7};
+  const auto events = take(src, 50000);
+  RunningStats dt;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    dt.add((events[i].time - events[i - 1].time).to_sec());
+  }
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(dt.stddev() / dt.mean(), 1.0, 0.03);
+}
+
+TEST(Poisson, TimesMonotone) {
+  PoissonSource src{100e3, 64, 3};
+  const auto events = take(src, 5000);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(Poisson, AddressesCoverRange) {
+  PoissonSource src{1e3, 8, 1};
+  const auto events = take(src, 2000);
+  std::array<int, 8> hits{};
+  for (const auto& ev : events) {
+    ASSERT_LT(ev.address, 8);
+    ++hits[ev.address];
+  }
+  for (int h : hits) EXPECT_GT(h, 100);
+}
+
+TEST(Poisson, MinGapHonored) {
+  PoissonSource src{1e6, 16, 9, 500_ns};
+  const auto events = take(src, 5000);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time - events[i - 1].time, 500_ns);
+  }
+}
+
+TEST(Poisson, DeterministicPerSeed) {
+  PoissonSource a{5e3, 32, 11}, b{5e3, 32, 11};
+  EXPECT_EQ(take(a, 100), take(b, 100));
+}
+
+TEST(Regular, ExactPeriodicity) {
+  RegularSource src{10_us, 4, 5_us};
+  const auto events = take(src, 10);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].time, Time::us(5.0) + Time::us(10.0 * static_cast<double>(i)));
+    EXPECT_EQ(events[i].address, i % 4);
+  }
+}
+
+TEST(LfsrRate, EffectiveRateNearTarget) {
+  LfsrRateSource src{50e3, Frequency::mhz(30.0), 128, 0xACE1, 0x1234};
+  EXPECT_NEAR(src.effective_rate_hz(), 50e3, 500.0);
+  const auto events = take(src, 20000);
+  EXPECT_NEAR(mean_rate_hz(events), 50e3, 2500.0);
+}
+
+TEST(LfsrRate, EventsAlignedToGeneratorClock) {
+  LfsrRateSource src{100e3, Frequency::mhz(30.0), 64, 0xACE1, 0x5678};
+  const Time gen_period = Frequency::mhz(30.0).period();
+  const auto events = take(src, 1000);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.time % gen_period, Time::zero());
+  }
+}
+
+TEST(LfsrRate, IntervalsGeometricLike) {
+  LfsrRateSource src{200e3, Frequency::mhz(30.0), 64, 0xBEEF, 0xCAFE};
+  const auto events = take(src, 30000);
+  RunningStats dt;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    dt.add((events[i].time - events[i - 1].time).to_sec());
+  }
+  // Geometric ~ exponential at low firing probability: cv ~ 1.
+  EXPECT_NEAR(dt.stddev() / dt.mean(), 1.0, 0.08);
+}
+
+TEST(Burst, SilentDuringIdleWindows) {
+  const Time active = 10_ms, idle = 40_ms;
+  BurstSource src{50e3, active, idle, 64, 5};
+  const auto events = take(src, 5000);
+  const Time cycle = active + idle;
+  for (const auto& ev : events) {
+    const Time phase = ev.time % cycle;
+    EXPECT_LT(phase, active);
+  }
+}
+
+TEST(Burst, AverageRateIsDutyCycled) {
+  BurstSource src{100e3, 10_ms, 90_ms, 64, 8};
+  const auto events = take_until(src, 2_sec);
+  // Duty cycle 10 %: average rate ~10 kevt/s over the long run.
+  EXPECT_NEAR(static_cast<double>(events.size()) / 2.0, 10e3, 1500.0);
+}
+
+TEST(TraceSource, ReplaysExactly) {
+  aer::EventStream stream{{1, 10_ns}, {2, 30_ns}};
+  TraceSource src{stream};
+  EXPECT_EQ(take(src, 10), stream);
+  EXPECT_FALSE(src.next().has_value());
+}
+
+TEST(Merge, InterleavesSorted) {
+  std::vector<std::unique_ptr<SpikeSource>> sources;
+  sources.push_back(std::make_unique<RegularSource>(10_us, 1, Time::zero()));
+  sources.push_back(std::make_unique<RegularSource>(15_us, 1, 2_us));
+  MergeSource merged{std::move(sources)};
+  const auto events = take(merged, 50);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(Merge, ExhaustsFiniteSources) {
+  std::vector<std::unique_ptr<SpikeSource>> sources;
+  sources.push_back(
+      std::make_unique<TraceSource>(aer::EventStream{{1, 1_us}, {1, 3_us}}));
+  sources.push_back(
+      std::make_unique<TraceSource>(aer::EventStream{{2, 2_us}}));
+  MergeSource merged{std::move(sources)};
+  const auto events = take(merged, 10);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].address, 1);
+  EXPECT_EQ(events[1].address, 2);
+  EXPECT_EQ(events[2].address, 1);
+}
+
+TEST(TakeUntil, StopsBeforeEnd) {
+  RegularSource src{10_us, 2, Time::zero()};
+  const auto events = take_until(src, 35_us);
+  EXPECT_EQ(events.size(), 4u);  // 0, 10, 20, 30 us
+}
+
+}  // namespace
+}  // namespace aetr::gen

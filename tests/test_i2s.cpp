@@ -1,0 +1,186 @@
+// Tests for the I2S carrier: word-level drain engine timing/accounting and
+// the bit-level Philips-format PHY pair.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "buffer/fifo.hpp"
+#include "i2s/i2s.hpp"
+#include "sim/scheduler.hpp"
+
+namespace aetr::i2s {
+namespace {
+
+using namespace time_literals;
+using aer::AetrWord;
+
+struct Bench {
+  sim::Scheduler sched;
+  buffer::AetrFifo fifo;
+  I2sMaster master;
+  std::vector<AetrWord> received;
+  std::vector<Time> arrivals;
+
+  explicit Bench(buffer::FifoConfig fcfg = {.capacity_words = 64,
+                                            .batch_threshold = 8},
+                 I2sConfig icfg = {})
+      : fifo{fcfg}, master{sched, fifo, icfg} {
+    master.on_word([this](AetrWord w, Time t) {
+      received.push_back(w);
+      arrivals.push_back(t);
+    });
+    fifo.on_threshold([this](Time t) { master.request_drain(t); });
+  }
+
+  void push_n(std::uint16_t n) {
+    for (std::uint16_t i = 0; i < n; ++i) {
+      fifo.push(AetrWord::make(i, i * 10u), sched.now());
+    }
+  }
+};
+
+TEST(I2sMaster, DrainsBatchOnThreshold) {
+  Bench b;
+  b.push_n(8);
+  b.sched.run();
+  EXPECT_EQ(b.received.size(), 8u);
+  EXPECT_TRUE(b.fifo.empty());
+  EXPECT_EQ(b.master.drains(), 1u);
+  EXPECT_FALSE(b.master.draining());
+}
+
+TEST(I2sMaster, WordTimingMatchesSckRate) {
+  I2sConfig icfg;
+  icfg.sck = Frequency::mhz(32.0);  // 32 bits -> 1 us per word
+  Bench b{{.capacity_words = 64, .batch_threshold = 4}, icfg};
+  b.push_n(4);
+  b.sched.run();
+  ASSERT_EQ(b.arrivals.size(), 4u);
+  EXPECT_EQ(b.arrivals[0], 1_us);
+  EXPECT_EQ(b.arrivals[3], 4_us);
+  EXPECT_EQ(b.master.word_time(), 1_us);
+}
+
+TEST(I2sMaster, PreservesOrderAndPayload) {
+  Bench b;
+  b.push_n(8);
+  b.sched.run();
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(b.received[i].address(), i);
+    EXPECT_EQ(b.received[i].timestamp_ticks(), i * 10u);
+  }
+}
+
+TEST(I2sMaster, DrainUntilEmptyPicksUpLateArrivals) {
+  Bench b;
+  b.push_n(8);  // threshold fires, drain starts
+  // More words arrive while the drain is in progress.
+  b.sched.schedule_at(500_ns, [&b] { b.push_n(3); });
+  b.sched.run();
+  EXPECT_EQ(b.received.size(), 11u);
+  EXPECT_EQ(b.master.drains(), 1u);  // one continuous drain
+}
+
+TEST(I2sMaster, SingleBatchModeStopsAtBatch) {
+  I2sConfig icfg;
+  icfg.drain_until_empty = false;
+  Bench b{{.capacity_words = 64, .batch_threshold = 4}, icfg};
+  b.push_n(6);  // threshold at 4: batch size is the occupancy at kick time
+  b.sched.run();
+  // The drain captured the batch size when it started (4 words in).
+  EXPECT_EQ(b.received.size(), 4u);
+  EXPECT_EQ(b.fifo.size(), 2u);
+}
+
+TEST(I2sMaster, BitAccounting) {
+  Bench b;
+  b.push_n(8);
+  b.sched.run();
+  EXPECT_EQ(b.master.bits_shifted(), 8u * 32u);
+  EXPECT_EQ(b.master.words_sent(), 8u);
+  EXPECT_GT(b.master.busy_time(), Time::zero());
+}
+
+TEST(I2sMaster, RedundantDrainRequestsIgnored) {
+  Bench b;
+  b.push_n(8);
+  b.master.request_drain(b.sched.now());  // already draining
+  b.sched.run();
+  EXPECT_EQ(b.master.drains(), 1u);
+  EXPECT_EQ(b.received.size(), 8u);
+  b.master.request_drain(b.sched.now());  // empty fifo: no-op
+  EXPECT_EQ(b.master.drains(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-level PHY.
+
+TEST(I2sWire, SerialiserReceiverRoundTrip) {
+  sim::Scheduler sched;
+  I2sWireSerializer tx{sched};
+  I2sWireReceiver rx;
+  tx.on_wire([&rx](const I2sWireSerializer::Wire& w) { rx.on_wire(w); });
+  std::vector<AetrWord> words{AetrWord::make(0x2A, 1234),
+                              AetrWord::make(0x3FF, 0x3FFFFE),
+                              AetrWord::make(0, 0), AetrWord::make(5, 99)};
+  bool done = false;
+  tx.transmit(words, [&](Time) { done = true; });
+  sched.run();
+  EXPECT_TRUE(done);
+  ASSERT_EQ(rx.words().size(), 4u);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    EXPECT_EQ(rx.words()[i], words[i]) << "word " << i;
+  }
+}
+
+TEST(I2sWire, OddWordCountPadsFrame) {
+  sim::Scheduler sched;
+  I2sWireSerializer tx{sched};
+  I2sWireReceiver rx;
+  tx.on_wire([&rx](const I2sWireSerializer::Wire& w) { rx.on_wire(w); });
+  tx.transmit({AetrWord::make(9, 7)}, nullptr);
+  sched.run();
+  ASSERT_EQ(rx.words().size(), 2u);
+  EXPECT_EQ(rx.words()[0], AetrWord::make(9, 7));
+  EXPECT_EQ(rx.words()[1].raw(), 0u);  // stereo padding slot
+}
+
+TEST(I2sWire, WsAlternatesPerSlot) {
+  sim::Scheduler sched;
+  I2sWireSerializer tx{sched};
+  std::vector<I2sWireSerializer::Wire> wires;
+  tx.on_wire([&](const I2sWireSerializer::Wire& w) {
+    if (w.sck) wires.push_back(w);  // rising edges only
+  });
+  tx.transmit({AetrWord::make(1, 1), AetrWord::make(2, 2)}, nullptr);
+  sched.run();
+  // 32 cycles of WS=0, then WS flips for the right slot.
+  ASSERT_GT(wires.size(), 40u);
+  EXPECT_FALSE(wires[5].ws);
+  EXPECT_TRUE(wires[40].ws);
+}
+
+TEST(I2sWire, DurationMatchesBitBudget) {
+  sim::Scheduler sched;
+  I2sConfig cfg;
+  cfg.sck = Frequency::mhz(1.0);  // 1 us per bit
+  I2sWireSerializer tx{sched, cfg};
+  Time done_at;
+  tx.transmit({AetrWord::make(1, 1), AetrWord::make(2, 2)},
+              [&](Time t) { done_at = t; });
+  sched.run();
+  // 64 data cycles + 1 delay cycle, half-period granularity.
+  EXPECT_NEAR(done_at.to_us(), 65.0, 1.1);
+}
+
+TEST(I2sWire, EmptyTransmitCompletesImmediately) {
+  sim::Scheduler sched;
+  I2sWireSerializer tx{sched};
+  bool done = false;
+  tx.transmit({}, [&](Time) { done = true; });
+  sched.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace aetr::i2s

@@ -1,0 +1,237 @@
+// Integration tests: the complete AER-to-I2S interface end to end —
+// event conservation through front-end/FIFO/I2S/MCU, SPI runtime
+// reconfiguration, power accounting plausibility, protocol compliance, and
+// agreement between the cycle-level DES and the algorithmic model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+#include "spi/spi.hpp"
+
+namespace aetr::core {
+namespace {
+
+using namespace time_literals;
+
+InterfaceConfig fast_batch_config() {
+  InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 32;
+  return cfg;
+}
+
+TEST(EndToEnd, EveryEventReachesTheMcu) {
+  gen::PoissonSource src{50e3, 128, 1};
+  const auto events = gen::take(src, 2000);
+  const auto r = run_stream(fast_batch_config(), events);
+  EXPECT_EQ(r.events_in, 2000u);
+  EXPECT_EQ(r.handshakes, 2000u);
+  EXPECT_EQ(r.words_out, 2000u);
+  EXPECT_EQ(r.decoded.size(), 2000u);
+  EXPECT_EQ(r.fifo_overflows, 0u);
+  EXPECT_EQ(r.protocol_violations, 0u);
+}
+
+TEST(EndToEnd, AddressesSurviveTheFullPath) {
+  gen::RegularSource src{20_us, 100};
+  const auto events = gen::take(src, 300);
+  const auto r = run_stream(fast_batch_config(), events);
+  ASSERT_EQ(r.decoded.size(), 300u);
+  for (std::size_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(r.decoded[i].address, events[i].address);
+  }
+}
+
+TEST(EndToEnd, ReconstructedTimesTrackTruth) {
+  gen::PoissonSource src{20e3, 128, 3};
+  const auto events = gen::take(src, 1000);
+  const auto r = run_stream(fast_batch_config(), events);
+  ASSERT_EQ(r.decoded.size(), 1000u);
+  // Compare reconstructed vs true *spans* between far-apart events: the
+  // cumulative drift over the active region stays within the error bound.
+  const Time true_span = r.records.back().request.time -
+                         r.records.front().request.time;
+  const Time recon_span = r.decoded.back().reconstructed_time -
+                          r.decoded.front().reconstructed_time;
+  const double rel =
+      std::abs((recon_span - true_span).to_sec()) / true_span.to_sec();
+  EXPECT_LT(rel, 0.05);
+}
+
+TEST(EndToEnd, CaviarCompliantAtFullSamplingRate) {
+  // Paper §5: the 15 MHz base sampling comfortably meets the CAVIAR 700 ns
+  // handshake bound ("more than enough"). That claim is about the undivided
+  // clock, so check it in naive mode at the paper's peak rate.
+  InterfaceConfig cfg = fast_batch_config();
+  cfg.clock.divide_enabled = false;
+  cfg.clock.shutdown_enabled = false;
+  gen::PoissonSource src{550e3, 128, 5, Time::ns(130.0)};
+  const auto events = gen::take(src, 3000);
+  const auto r = run_stream(cfg, events);
+  EXPECT_EQ(r.caviar_violations, 0u);
+  EXPECT_EQ(r.events_in, r.words_out);
+}
+
+TEST(EndToEnd, DividedClockStretchesSparseHandshakes) {
+  // Deviation the paper does not discuss: once the clock has divided, a
+  // late event is synchronised at the slow period, so its handshake can
+  // exceed the CAVIAR bound. We document (and pin) this behaviour.
+  gen::RegularSource src{1_ms, 128};  // 1 kevt/s: deep division each time
+  const auto events = gen::take(src, 50);
+  const auto r = run_stream(fast_batch_config(), events);
+  EXPECT_GT(r.caviar_violations, 0u);
+  EXPECT_EQ(r.events_in, r.words_out);  // still no data loss
+}
+
+TEST(EndToEnd, TimestampErrorWithinBoundActiveRegion) {
+  gen::PoissonSource src{50e3, 128, 7, Time::ns(130.0)};
+  const auto events = gen::take(src, 4000);
+  const auto r = run_stream(fast_batch_config(), events);
+  // 2-FF sync widens the ideal bound; stay within ~3x of 2/theta.
+  EXPECT_LT(r.error.mean_rel_error(),
+            3.2 * analysis::analytic_error_bound(64));
+}
+
+TEST(EndToEnd, DesAgreesWithAlgorithmicModel) {
+  // The cycle-level interface and the pure model quantise identically: run
+  // the same Poisson process through both and compare mean errors.
+  const double rate = 30e3;
+  gen::PoissonSource src{rate, 128, 11, Time::ns(130.0)};
+  const auto events = gen::take(src, 3000);
+  const auto r = run_stream(fast_batch_config(), events);
+
+  analysis::SweepOptions opt;
+  opt.n_events = 3000;
+  opt.seed = 11;
+  opt.sync_edges = 2;
+  const auto model =
+      analysis::sweep_error(clockgen::ScheduleConfig{}, rate, opt);
+  EXPECT_NEAR(r.error.mean_rel_error(), model.mean_rel_error(),
+              0.4 * model.mean_rel_error());
+}
+
+TEST(EndToEnd, SaturationAtVeryLowRate) {
+  gen::PoissonSource src{50.0, 128, 13};
+  const auto events = gen::take(src, 60);
+  const auto r = run_stream(fast_batch_config(), events);
+  // Mean interval 20 ms >> awake span 2.2 ms: nearly all saturated.
+  EXPECT_GT(r.error.frac_saturated(), 0.8);
+  EXPECT_GT(r.activity.wakeups, 40u);
+}
+
+TEST(EndToEnd, PowerOrderingDividedVsNaive) {
+  gen::LfsrRateSource make_src{5e3, Frequency::mhz(30.0), 128, 0xACE1,
+                               0x1234};
+  const auto events = gen::take(make_src, 800);
+
+  InterfaceConfig divided = fast_batch_config();
+  InterfaceConfig naive = fast_batch_config();
+  naive.clock.divide_enabled = false;
+  naive.clock.shutdown_enabled = false;
+
+  const auto r_div = run_stream(divided, events);
+  const auto r_naive = run_stream(naive, events);
+  // Paper Fig. 8: division+shutdown always at or below the naive baseline;
+  // at a few kevt/s the saving is large.
+  EXPECT_LT(r_div.average_power_w, 0.7 * r_naive.average_power_w);
+  EXPECT_NEAR(r_naive.average_power_w, 4.5e-3, 0.4e-3);
+}
+
+TEST(EndToEnd, FifoOverflowUnderSustainedOverdrive) {
+  // Sustained input above the I2S drain rate must overflow the 9.2 kB
+  // buffer and drop words (documented behaviour, counted not hidden).
+  InterfaceConfig cfg = fast_batch_config();
+  cfg.i2s.sck = Frequency::mhz(1.0);  // ~31 kwords/s drain
+  gen::PoissonSource src{300e3, 128, 17, Time::ns(200.0)};
+  const auto events = gen::take(src, 12000);
+  const auto r = run_stream(cfg, events);
+  EXPECT_GT(r.fifo_overflows, 0u);
+  EXPECT_EQ(r.words_out + r.fifo_overflows, r.events_in);
+}
+
+TEST(EndToEnd, BatchingGroupsWords) {
+  InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 64;
+  gen::PoissonSource src{100e3, 128, 19};
+  const auto events = gen::take(src, 640);
+  const auto r = run_stream(cfg, events);
+  EXPECT_EQ(r.words_out, 640u);
+  // ~10 batches of 64 (plus the final flush).
+  EXPECT_GE(r.batches, 5u);
+  EXPECT_LE(r.batches, 20u);
+}
+
+TEST(EndToEnd, SpiReconfiguresThetaDivAtRuntime) {
+  sim::Scheduler sched;
+  AerToI2sInterface iface{sched};
+  spi::SpiMaster master{sched, iface.spi()};
+  master.write(spi::Reg::kThetaDiv, 16);
+  master.write(spi::Reg::kNDiv, 5);
+  std::uint8_t theta_read = 0;
+  master.read(spi::Reg::kThetaDiv, [&](std::uint8_t v) { theta_read = v; });
+  sched.run();
+  EXPECT_EQ(iface.clock_generator().config().theta_div, 16u);
+  EXPECT_EQ(iface.clock_generator().config().n_div, 5u);
+  EXPECT_EQ(theta_read, 16);
+}
+
+TEST(EndToEnd, SpiBatchThresholdSixteenBit) {
+  sim::Scheduler sched;
+  AerToI2sInterface iface{sched};
+  spi::SpiMaster master{sched, iface.spi()};
+  master.write(spi::Reg::kBatchHi, 0x04);  // 0x400 = 1024
+  master.write(spi::Reg::kBatchLo, 0x80);  // 0x480 = 1152
+  sched.run();
+  EXPECT_EQ(iface.fifo().config().batch_threshold, 0x480u);
+}
+
+TEST(EndToEnd, SpiStatusReflectsClockState) {
+  sim::Scheduler sched;
+  AerToI2sInterface iface{sched};
+  spi::SpiMaster master{sched, iface.spi()};
+  // Let the schedule expire: the clock sleeps, STATUS bit1 sets.
+  sched.run_until(iface.saturation_span() * 2);
+  std::uint8_t status = 0;
+  master.read(spi::Reg::kStatus, [&](std::uint8_t v) { status = v; });
+  sched.run();
+  EXPECT_TRUE(status & 0x02);
+}
+
+TEST(EndToEnd, SpiCtrlTogglesNaiveMode) {
+  sim::Scheduler sched;
+  AerToI2sInterface iface{sched};
+  spi::SpiMaster master{sched, iface.spi()};
+  master.write(spi::Reg::kCtrl, 0x00);  // divide off, shutdown off
+  sched.run();
+  EXPECT_FALSE(iface.clock_generator().config().divide_enabled);
+  EXPECT_FALSE(iface.clock_generator().config().shutdown_enabled);
+  sched.run_until(1_sec);
+  EXPECT_FALSE(iface.clock_generator().asleep());
+}
+
+TEST(EndToEnd, StrictProtocolRunStaysClean) {
+  RunOptions opt;
+  opt.strict_protocol = true;  // throws on any 4-phase violation
+  gen::BurstSource src{80e3, 5_ms, 20_ms, 128, 23};
+  const auto events = gen::take(src, 1500);
+  const auto r = run_stream(fast_batch_config(), events, opt);
+  EXPECT_EQ(r.events_in, r.words_out);
+}
+
+TEST(EndToEnd, ActivityWindowsAreConsistent) {
+  gen::PoissonSource src{10e3, 128, 29};
+  const auto events = gen::take(src, 500);
+  const auto r = run_stream(fast_batch_config(), events);
+  EXPECT_GT(r.sim_end, events.back().time);
+  EXPECT_EQ(r.activity.window, r.sim_end);
+  EXPECT_LE(r.activity.osc_awake, r.activity.window);
+  EXPECT_EQ(r.activity.events, 500u);
+  EXPECT_EQ(r.activity.fifo_writes, 500u);
+  EXPECT_EQ(r.activity.fifo_reads, 500u);
+  EXPECT_EQ(r.activity.i2s_bits, 500u * 32u);
+}
+
+}  // namespace
+}  // namespace aetr::core

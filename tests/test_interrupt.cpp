@@ -1,0 +1,131 @@
+// Tests for the interrupt controller and the INT pin behaviour of the full
+// interface (Fig. 3's INT line to the MCU).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/interface.hpp"
+#include "core/interrupt.hpp"
+#include "gen/sources.hpp"
+#include "aer/agents.hpp"
+#include "spi/spi.hpp"
+
+namespace aetr::core {
+namespace {
+
+using namespace time_literals;
+
+TEST(Irq, RaiseSetsStatusAndLine) {
+  sim::Scheduler sched;
+  InterruptController irq{sched};
+  std::vector<bool> line_changes;
+  irq.on_line([&](bool level, Time) { line_changes.push_back(level); });
+  irq.raise(Irq::kBatchReady);
+  EXPECT_EQ(irq.status(), 0x01);
+  EXPECT_TRUE(irq.line());
+  ASSERT_EQ(line_changes.size(), 1u);
+  EXPECT_TRUE(line_changes[0]);
+}
+
+TEST(Irq, LevelStaysHighForMultipleSources) {
+  sim::Scheduler sched;
+  InterruptController irq{sched};
+  int edges = 0;
+  irq.on_line([&](bool, Time) { ++edges; });
+  irq.raise(Irq::kBatchReady);
+  irq.raise(Irq::kFifoOverflow);  // already high: no extra edge
+  EXPECT_EQ(edges, 1);
+  EXPECT_EQ(irq.status(), 0x03);
+  irq.clear(0x01);
+  EXPECT_TRUE(irq.line());  // overflow still pending
+  irq.clear(0x02);
+  EXPECT_FALSE(irq.line());
+  EXPECT_EQ(edges, 2);  // one falling edge at the final clear
+}
+
+TEST(Irq, MaskSuppressesLineNotStatus) {
+  sim::Scheduler sched;
+  InterruptController irq{sched};
+  irq.set_mask(0x00);
+  irq.raise(Irq::kWakeup);
+  EXPECT_EQ(irq.status(), 0x08);
+  EXPECT_FALSE(irq.line());
+  irq.set_mask(0xFF);  // unmasking a pending source raises the line
+  EXPECT_TRUE(irq.line());
+}
+
+TEST(Irq, WriteOneToClearIsSelective) {
+  sim::Scheduler sched;
+  InterruptController irq{sched};
+  irq.raise(Irq::kBatchReady);
+  irq.raise(Irq::kDrainDone);
+  irq.clear(static_cast<std::uint8_t>(Irq::kDrainDone));
+  EXPECT_EQ(irq.status(), static_cast<std::uint8_t>(Irq::kBatchReady));
+}
+
+TEST(IrqInterface, BatchReadyAndDrainDoneFireOnTraffic) {
+  sim::Scheduler sched;
+  InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 16;
+  AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  gen::RegularSource src{10_us, 64};
+  sender.submit_stream(gen::take(src, 16));
+  sched.run();
+  const auto status = iface.irq().status();
+  EXPECT_TRUE(status & static_cast<std::uint8_t>(Irq::kBatchReady));
+  EXPECT_TRUE(status & static_cast<std::uint8_t>(Irq::kDrainDone));
+  EXPECT_FALSE(status & static_cast<std::uint8_t>(Irq::kFifoOverflow));
+}
+
+TEST(IrqInterface, OverflowRaisesInterrupt) {
+  sim::Scheduler sched;
+  InterfaceConfig cfg;
+  cfg.fifo.capacity_words = 8;
+  cfg.fifo.batch_threshold = 8;
+  cfg.i2s.sck = Frequency::khz(100.0);  // hopeless drain rate
+  AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  gen::RegularSource src{1_us, 64};
+  sender.submit_stream(gen::take(src, 64));
+  sched.run();
+  EXPECT_TRUE(iface.irq().status() &
+              static_cast<std::uint8_t>(Irq::kFifoOverflow));
+  EXPECT_GT(iface.dropped_words(), 0u);
+}
+
+TEST(IrqInterface, WakeupSourceOnSaturatedEvent) {
+  sim::Scheduler sched;
+  InterfaceConfig cfg;
+  AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  sender.submit(aer::Event{1, iface.saturation_span() * 3});
+  sched.run();
+  EXPECT_TRUE(iface.irq().status() & static_cast<std::uint8_t>(Irq::kWakeup));
+}
+
+TEST(IrqInterface, SpiMaskAndClearRoundTrip) {
+  sim::Scheduler sched;
+  InterfaceConfig cfg;
+  cfg.fifo.batch_threshold = 4;
+  AerToI2sInterface iface{sched, cfg};
+  aer::AerSender sender{sched, iface.aer_in()};
+  spi::SpiMaster master{sched, iface.spi()};
+  gen::RegularSource src{10_us, 64};
+  sender.submit_stream(gen::take(src, 4));
+  sched.run();
+  std::uint8_t status = 0;
+  master.read(spi::Reg::kIntStatus, [&](std::uint8_t v) { status = v; });
+  sched.run();
+  EXPECT_TRUE(status & static_cast<std::uint8_t>(Irq::kBatchReady));
+  master.write(spi::Reg::kIntStatus, 0xFF);  // clear everything
+  sched.run();
+  EXPECT_EQ(iface.irq().status(), 0);
+  EXPECT_FALSE(iface.irq().line());
+  master.write(spi::Reg::kIntMask, 0x02);  // only overflow enabled
+  sched.run();
+  EXPECT_EQ(iface.irq().mask(), 0x02);
+}
+
+}  // namespace
+}  // namespace aetr::core

@@ -1,0 +1,118 @@
+// Tests for the MCU-side consumer: AETR decoding, rate estimation, the
+// time-frequency map, and batch statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcu/consumer.hpp"
+
+namespace aetr::mcu {
+namespace {
+
+using namespace time_literals;
+using aer::AetrWord;
+
+TEST(Decoder, ReconstructsAbsoluteTimes) {
+  AetrDecoder dec{100_ns, 12_us};
+  const auto e1 = dec.decode(AetrWord::make(3, 10));
+  const auto e2 = dec.decode(AetrWord::make(4, 25));
+  EXPECT_EQ(e1.reconstructed_time, 1_us);
+  EXPECT_EQ(e2.reconstructed_time, Time::us(3.5));
+  EXPECT_EQ(e1.address, 3);
+  EXPECT_FALSE(e1.saturated);
+  EXPECT_EQ(dec.decoded(), 2u);
+}
+
+TEST(Decoder, SaturatedAdvancesBySpan) {
+  AetrDecoder dec{100_ns, 12_us};
+  dec.decode(AetrWord::make(1, 10));
+  const auto ev = dec.decode(AetrWord::saturated(2));
+  EXPECT_TRUE(ev.saturated);
+  EXPECT_EQ(ev.reconstructed_time, 1_us + 12_us);
+  EXPECT_EQ(dec.saturated(), 1u);
+}
+
+TEST(Decoder, ResetRestartsClock) {
+  AetrDecoder dec{100_ns, 12_us};
+  dec.decode(AetrWord::make(1, 50));
+  dec.reset(1_ms);
+  const auto ev = dec.decode(AetrWord::make(2, 10));
+  EXPECT_EQ(ev.reconstructed_time, 1_ms + 1_us);
+  EXPECT_EQ(dec.decoded(), 1u);
+}
+
+TEST(RateEstimator, ConvergesToSteadyRate) {
+  RateEstimator est{10_ms};
+  // 10 kHz regular stream for 100 ms.
+  for (int i = 1; i <= 1000; ++i) {
+    est.add(Time::us(static_cast<double>(i) * 100.0));
+  }
+  EXPECT_NEAR(est.rate_hz(100_ms), 10e3, 500.0);
+}
+
+TEST(RateEstimator, DecaysAfterSilence) {
+  RateEstimator est{10_ms};
+  for (int i = 1; i <= 1000; ++i) {
+    est.add(Time::us(static_cast<double>(i) * 100.0));
+  }
+  const double at_end = est.rate_hz(100_ms);
+  const double later = est.rate_hz(150_ms);
+  EXPECT_NEAR(later, at_end * std::exp(-5.0), at_end * 0.01);
+}
+
+TEST(RateEstimator, UnprimedIsZero) {
+  RateEstimator est{10_ms};
+  EXPECT_DOUBLE_EQ(est.rate_hz(1_sec), 0.0);
+}
+
+TEST(TimeFrequencyMap, BinsByGroupAndTime) {
+  TimeFrequencyMap map{4, 1_ms, [](std::uint16_t a) {
+                         return static_cast<std::size_t>(a % 4);
+                       }};
+  map.add({5, Time::us(500.0), false});   // group 1, bin 0
+  map.add({5, Time::us(1500.0), false});  // group 1, bin 1
+  map.add({2, Time::us(1500.0), false});  // group 2, bin 1
+  EXPECT_EQ(map.count(1, 0), 1u);
+  EXPECT_EQ(map.count(1, 1), 1u);
+  EXPECT_EQ(map.count(2, 1), 1u);
+  EXPECT_EQ(map.count(0, 0), 0u);
+  EXPECT_EQ(map.total(), 3u);
+  EXPECT_EQ(map.bins(), 2u);
+}
+
+TEST(TimeFrequencyMap, OutOfRangeGroupIgnored) {
+  TimeFrequencyMap map{2, 1_ms,
+                       [](std::uint16_t a) { return std::size_t{a}; }};
+  map.add({7, 1_ms, false});
+  EXPECT_EQ(map.total(), 0u);
+}
+
+TEST(TimeFrequencyMap, AsciiHasOneRowPerGroup) {
+  TimeFrequencyMap map{3, 1_ms,
+                       [](std::uint16_t a) { return std::size_t{a}; }};
+  map.add({0, Time::us(100.0), false});
+  map.add({2, Time::us(2500.0), false});
+  const auto art = map.ascii();
+  int rows = 0;
+  for (char c : art) rows += (c == '\n');
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(Consumer, DecodesAndCountsBatches) {
+  McuConsumer mcu{100_ns, 12_us, /*batch_gap=*/10_us};
+  // Batch 1: three words arriving back-to-back.
+  mcu.on_word(AetrWord::make(1, 10), 1_ms);
+  mcu.on_word(AetrWord::make(2, 10), 1_ms + 1_us);
+  mcu.on_word(AetrWord::make(3, 10), 1_ms + 2_us);
+  // Long gap: batch 2.
+  mcu.on_word(AetrWord::make(4, 10), 2_ms);
+  EXPECT_EQ(mcu.words(), 4u);
+  EXPECT_EQ(mcu.batches(), 2u);
+  ASSERT_EQ(mcu.events().size(), 4u);
+  EXPECT_EQ(mcu.events()[0].reconstructed_time, 1_us);
+  EXPECT_EQ(mcu.events()[3].reconstructed_time, 4_us);
+  EXPECT_EQ(mcu.bus_active(), 2_us);
+}
+
+}  // namespace
+}  // namespace aetr::mcu

@@ -1,0 +1,65 @@
+// Tests for the MCU power model.
+#include <gtest/gtest.h>
+
+#include "mcu/power.hpp"
+
+namespace aetr::mcu {
+namespace {
+
+using namespace time_literals;
+
+McuDuty duty(Time window, std::uint64_t words, std::uint64_t batches) {
+  return McuDuty{window, words, batches};
+}
+
+TEST(McuPower, IdleBatchModeSitsAtStopPower) {
+  const auto e = batch_mcu_energy(duty(1_sec, 0, 0));
+  EXPECT_NEAR(e.average_power_w, 3.6e-6, 1e-9);
+  EXPECT_DOUBLE_EQ(e.duty, 0.0);
+}
+
+TEST(McuPower, AlwaysOnPaysRunPowerRegardless) {
+  const auto idle = always_on_mcu_energy(duty(1_sec, 0, 0));
+  const auto busy = always_on_mcu_energy(duty(1_sec, 100000, 100));
+  EXPECT_DOUBLE_EQ(idle.average_power_w, 8e-3);
+  EXPECT_DOUBLE_EQ(busy.average_power_w, 8e-3);
+  EXPECT_DOUBLE_EQ(idle.duty, 1.0);
+}
+
+TEST(McuPower, ActiveTimeScalesWithWordsAndBatches) {
+  // 80000 words * 200 cyc / 80 MHz = 0.2 s decode; 10 batches * 10 us wake.
+  const auto e = batch_mcu_energy(duty(1_sec, 80000, 10));
+  EXPECT_NEAR(e.active_sec, 0.2 + 1e-4, 1e-6);
+  EXPECT_NEAR(e.duty, 0.2, 0.01);
+  // Energy: run * active + stop * rest + wake per batch.
+  EXPECT_NEAR(e.energy_j, 8e-3 * 0.2001 + 3.6e-6 * 0.7999 + 10 * 0.2e-6,
+              1e-5);
+}
+
+TEST(McuPower, ManySmallBatchesCostMoreThanFewLarge) {
+  const auto many = batch_mcu_energy(duty(1_sec, 10000, 1000));
+  const auto few = batch_mcu_energy(duty(1_sec, 10000, 10));
+  EXPECT_GT(many.energy_j, few.energy_j);
+}
+
+TEST(McuPower, BatchBeatsAlwaysOnAtLowRates) {
+  const auto batch = batch_mcu_energy(duty(1_sec, 1000, 4));
+  const auto on = always_on_mcu_energy(duty(1_sec, 1000, 4));
+  EXPECT_LT(batch.average_power_w, on.average_power_w / 100.0);
+}
+
+TEST(McuPower, ActiveTimeClampsToWindow) {
+  // Overload: decode time exceeds the window; duty saturates at 1.
+  const auto e = batch_mcu_energy(duty(1_ms, 10'000'000, 1));
+  EXPECT_DOUBLE_EQ(e.duty, 1.0);
+  EXPECT_NEAR(e.average_power_w, 8e-3 + 0.2e-6 / 1e-3, 1e-6);
+}
+
+TEST(McuPower, EmptyWindowIsZero) {
+  const auto e = batch_mcu_energy(duty(Time::zero(), 0, 0));
+  EXPECT_DOUBLE_EQ(e.energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(e.average_power_w, 0.0);
+}
+
+}  // namespace
+}  // namespace aetr::mcu

@@ -1,0 +1,178 @@
+// The paper's headline claims as executable regression tests — small-scale
+// versions of the figure benches with the qualitative assertions of
+// EXPERIMENTS.md pinned. If any refactor bends a reproduced curve, this
+// suite fails before the benches are ever rerun.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "analysis/error.hpp"
+#include "analysis/power_curve.hpp"
+#include "clockgen/schedule.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+
+namespace aetr {
+namespace {
+
+using namespace time_literals;
+
+core::InterfaceConfig iface_config(std::uint32_t theta, bool divide) {
+  core::InterfaceConfig cfg;
+  cfg.clock.theta_div = theta;
+  cfg.clock.divide_enabled = divide;
+  cfg.clock.shutdown_enabled = divide;
+  cfg.front_end.keep_records = false;
+  cfg.fifo.batch_threshold = 512;
+  return cfg;
+}
+
+double power_at(double rate_hz, std::uint32_t theta, bool divide,
+                std::uint32_t seed) {
+  gen::LfsrRateSource src{rate_hz, Frequency::mhz(30.0), 128, 0xACE1u + seed,
+                          0x1234u + seed};
+  const auto n = static_cast<std::size_t>(
+      std::clamp(rate_hz * 0.3, 200.0, 6000.0));
+  return core::run_source(iface_config(theta, divide), src, n)
+      .average_power_w;
+}
+
+// --- Abstract -----------------------------------------------------------
+
+TEST(PaperClaims, Abstract_4p5mW_At550k) {
+  EXPECT_LT(power_at(550e3, 64, true, 1), 4.6e-3);
+  EXPECT_GT(power_at(550e3, 64, true, 1), 4.0e-3);
+}
+
+TEST(PaperClaims, Abstract_50uW_NoSpikes) {
+  core::RunOptions opt;
+  opt.cooldown = Time::sec(1.0);
+  const auto r = core::run_stream(iface_config(64, true), {}, opt);
+  EXPECT_LT(r.average_power_w, 60e-6);
+  EXPECT_GT(r.average_power_w, 49e-6);
+}
+
+TEST(PaperClaims, Abstract_AccuracyAbove97Percent) {
+  clockgen::ScheduleConfig sc;
+  sc.theta_div = 64;
+  const auto stats =
+      analysis::sweep_error(sc, 50e3, {.n_events = 4000, .seed = 2});
+  EXPECT_GT(1.0 - stats.weighted_rel_error(), 0.97);
+}
+
+// --- Section 5 / Fig. 6 ---------------------------------------------------
+
+TEST(PaperClaims, Fig6_ErrorBelowBoundAcrossActiveRegion) {
+  clockgen::ScheduleConfig sc;
+  sc.theta_div = 64;
+  for (const double rate : {3e3, 30e3, 300e3}) {
+    const auto s = analysis::sweep_error(sc, rate, {.n_events = 3000,
+                                                    .seed = 3});
+    EXPECT_LT(s.weighted_rel_error(), analysis::analytic_error_bound(64))
+        << rate;
+  }
+}
+
+TEST(PaperClaims, Fig6_ThetaOrderingOfAccuracy) {
+  std::vector<double> errs;
+  for (const std::uint32_t theta : {16u, 32u, 64u}) {
+    clockgen::ScheduleConfig sc;
+    sc.theta_div = theta;
+    errs.push_back(analysis::sweep_error(sc, 30e3, {.n_events = 4000,
+                                                    .seed = 4})
+                       .weighted_rel_error());
+  }
+  EXPECT_GT(errs[0], errs[1]);
+  EXPECT_GT(errs[1], errs[2]);
+}
+
+TEST(PaperClaims, Fig6_InactiveRegionSaturates) {
+  clockgen::ScheduleConfig sc;
+  sc.theta_div = 64;
+  const auto s = analysis::sweep_error(sc, 100.0, {.n_events = 800,
+                                                   .seed = 5});
+  EXPECT_GT(s.frac_saturated(), 0.5);
+  EXPECT_GT(s.weighted_rel_error(), 0.5);
+}
+
+TEST(PaperClaims, Fig6_HighActivityErrorRises) {
+  clockgen::ScheduleConfig sc;
+  sc.theta_div = 64;
+  const auto mid = analysis::sweep_error(sc, 100e3, {.n_events = 3000,
+                                                     .seed = 6});
+  const auto hi = analysis::sweep_error(sc, 2e6, {.n_events = 3000,
+                                                  .seed = 6});
+  EXPECT_GT(hi.weighted_rel_error(), 2.0 * mid.weighted_rel_error());
+}
+
+// --- Section 5.2 / Fig. 8 --------------------------------------------------
+
+TEST(PaperClaims, Fig8_NaiveBaselineIsFlat) {
+  const double lo = power_at(100.0, 64, false, 7);
+  const double hi = power_at(550e3, 64, false, 7);
+  EXPECT_GT(lo / hi, 0.9);
+  EXPECT_NEAR(hi, 4.5e-3, 0.4e-3);
+}
+
+TEST(PaperClaims, Fig8_ActiveRegionSavingAround55Percent) {
+  const double divided = power_at(2e3, 64, true, 8);
+  const double naive = power_at(2e3, 64, false, 8);
+  const double saving = 1.0 - divided / naive;
+  EXPECT_GT(saving, 0.40);
+  EXPECT_LT(saving, 0.70);
+}
+
+TEST(PaperClaims, Fig8_ProportionalitySpanTens) {
+  const double busy = power_at(550e3, 64, true, 9);
+  core::RunOptions opt;
+  opt.cooldown = Time::sec(1.0);
+  const double idle =
+      core::run_stream(iface_config(64, true), {}, opt).average_power_w;
+  EXPECT_GT(busy / idle, 60.0);  // paper: ~90x
+  EXPECT_LT(busy / idle, 120.0);
+}
+
+TEST(PaperClaims, Fig8_ThetaOrderingOfPowerAtLowRates) {
+  const double p16 = power_at(300.0, 16, true, 10);
+  const double p64 = power_at(300.0, 64, true, 10);
+  EXPECT_LT(p16, p64);  // smaller theta divides/sleeps sooner
+}
+
+TEST(PaperClaims, Fig8_FlexPointNearInverseTmax) {
+  // "The maximum time interval ... can be computed as the inverse of the
+  // event rate in the flex point": below 1/T_max power falls steeply (the
+  // clock sleeps most of the time), above it the curve plateaus.
+  clockgen::ScheduleConfig sc;
+  sc.theta_div = 64;
+  const double flex = 1.0 / clockgen::SamplingSchedule{sc}.awake_span().to_sec();
+  const auto cal = power::PowerCalibration::paper();
+  const double below = analysis::expected_power(sc, cal, flex / 8.0).power_w;
+  const double at = analysis::expected_power(sc, cal, flex).power_w;
+  const double above = analysis::expected_power(sc, cal, flex * 8.0).power_w;
+  // Steep below the flex (more than 2.5x per octave-of-8), flat above.
+  EXPECT_GT(at / below, 2.5);
+  EXPECT_LT(above / at, 1.8);
+}
+
+// --- Section 5.2 in-text -----------------------------------------------------
+
+TEST(PaperClaims, WakeRecoveryComparableToClockPeriod) {
+  // "the time to recover from the off-state is in the order of 100 ns;
+  // comparable with a single clock period at the max freq".
+  core::InterfaceConfig cfg = iface_config(64, true);
+  EXPECT_NEAR(cfg.clock.wake_latency.to_ns(), 100.0, 1.0);
+  sim::Scheduler sched;
+  core::AerToI2sInterface iface{sched, cfg};
+  EXPECT_LT(cfg.clock.wake_latency.to_sec(),
+            2.0 * iface.tick_unit().to_sec());
+}
+
+TEST(PaperClaims, MinInterspike130ns) {
+  sim::Scheduler sched;
+  core::AerToI2sInterface iface{sched, iface_config(64, true)};
+  EXPECT_NEAR((iface.tick_unit() * 2).to_ns(), 133.3, 0.5);
+}
+
+}  // namespace
+}  // namespace aetr

@@ -1,0 +1,172 @@
+// Tests for the GALS pausible-clock port: grant phasing, clock stretching,
+// no-short-pulse guarantee, mutex contention, and queued ports.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clockgen/pausible.hpp"
+#include "sim/scheduler.hpp"
+
+namespace aetr::clockgen {
+namespace {
+
+using namespace time_literals;
+
+PausibleClockConfig cfg_100ns() {
+  PausibleClockConfig cfg;
+  cfg.period = 100_ns;  // rising at 100, 200, ...; low phase [x+50, x+100)
+  cfg.hold = 20_ns;
+  return cfg;
+}
+
+TEST(Pausible, FreeRunsWithoutRequests) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  std::vector<Time> edges;
+  clk.line().on_rising([&](Time t, Time) { edges.push_back(t); });
+  clk.start();
+  sched.run_until(550_ns);
+  ASSERT_EQ(edges.size(), 5u);
+  EXPECT_EQ(edges[0], 100_ns);
+  EXPECT_EQ(edges[4], 500_ns);
+  EXPECT_EQ(clk.total_stretch(), 0_ns);
+}
+
+TEST(Pausible, LowPhaseRequestGrantsImmediately) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  clk.start();
+  Time granted;
+  sched.schedule_at(160_ns, [&] {  // low phase of cycle [100, 200)
+    clk.request([&](Time g) { granted = g; });
+  });
+  sched.run_until(1_us);
+  EXPECT_EQ(granted, 160_ns);
+  EXPECT_EQ(clk.grants(), 1u);
+}
+
+TEST(Pausible, HighPhaseRequestWaitsForFallingEdge) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  clk.start();
+  Time granted;
+  sched.schedule_at(120_ns, [&] {  // high phase [100, 150)
+    clk.request([&](Time g) { granted = g; });
+  });
+  sched.run_until(1_us);
+  EXPECT_EQ(granted, 150_ns);  // the falling edge
+}
+
+TEST(Pausible, GrantNearEdgeStretchesTheClock) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  std::vector<Time> edges;
+  clk.line().on_rising([&](Time t, Time) { edges.push_back(t); });
+  clk.start();
+  sched.schedule_at(190_ns, [&] {  // 10 ns before the rising edge at 200
+    clk.request([](Time) {});
+  });
+  sched.run_until(500_ns);
+  // The edge nominally at 200 ns is postponed to grant + hold = 210 ns;
+  // subsequent edges follow from the stretched one.
+  ASSERT_GE(edges.size(), 3u);
+  EXPECT_EQ(edges[0], 100_ns);
+  EXPECT_EQ(edges[1], 210_ns);
+  EXPECT_EQ(edges[2], 310_ns);
+  EXPECT_EQ(clk.total_stretch(), 10_ns);
+}
+
+TEST(Pausible, NoShortHighPulseEver) {
+  // Property: whatever the request pattern, consecutive rising edges are
+  // never closer than the nominal period (stretching only lengthens).
+  sim::Scheduler sched;
+  PausibleClockConfig cfg = cfg_100ns();
+  cfg.mutex_window = 1_ns;
+  PausibleClock clk{sched, cfg};
+  std::vector<Time> edges;
+  clk.line().on_rising([&](Time t, Time) { edges.push_back(t); });
+  clk.start();
+  for (int i = 0; i < 200; ++i) {
+    sched.schedule_at(Time::ns(37.0 * i + 53.0),
+                      [&] { clk.request([](Time) {}); });
+  }
+  sched.run_until(10_us);
+  ASSERT_GT(edges.size(), 10u);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GE(edges[i] - edges[i - 1], 100_ns);
+  }
+}
+
+TEST(Pausible, GrantAlwaysInSafeWindow) {
+  // Property: a grant never lands inside the high phase of the clock.
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  std::vector<Time> rising;
+  std::vector<Time> grants;
+  clk.line().on_rising([&](Time t, Time) { rising.push_back(t); });
+  clk.start();
+  for (int i = 0; i < 100; ++i) {
+    sched.schedule_at(Time::ns(61.0 * i + 11.0),
+                      [&] { clk.request([&](Time g) { grants.push_back(g); }); });
+  }
+  sched.run_until(10_us);
+  for (const Time g : grants) {
+    // Find the last rising edge at or before g.
+    Time last = Time::ps(-1);
+    for (const Time e : rising) {
+      if (e <= g) last = e;
+    }
+    if (last >= Time::zero()) {
+      EXPECT_GE(g - last, 50_ns) << "grant inside high phase at "
+                                 << g.to_string();
+    }
+  }
+  EXPECT_EQ(grants.size(), 100u);
+}
+
+TEST(Pausible, QueuedRequestsSerialiseByHoldTime) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  clk.start();
+  std::vector<Time> grants;
+  sched.schedule_at(155_ns, [&] {
+    for (int i = 0; i < 3; ++i) {
+      clk.request([&](Time g) { grants.push_back(g); });
+    }
+  });
+  sched.run_until(2_us);
+  ASSERT_EQ(grants.size(), 3u);
+  EXPECT_EQ(grants[0], 155_ns);
+  // Each subsequent grant waits for the previous hold to release and for a
+  // safe window.
+  for (std::size_t i = 1; i < grants.size(); ++i) {
+    EXPECT_GE(grants[i] - grants[i - 1], 20_ns);
+  }
+}
+
+TEST(Pausible, ContentionCountedNearEdge) {
+  sim::Scheduler sched;
+  PausibleClockConfig cfg = cfg_100ns();
+  cfg.mutex_window = 5_ns;
+  cfg.mutex_resolution = 2_ns;
+  PausibleClock clk{sched, cfg};
+  clk.start();
+  sched.schedule_at(197_ns, [&] { clk.request([](Time) {}); });
+  sched.run_until(1_us);
+  EXPECT_EQ(clk.contentions(), 1u);
+  EXPECT_EQ(clk.grants(), 1u);
+}
+
+TEST(Pausible, StoppedClockGrantsFreely) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched, cfg_100ns()};
+  Time granted;
+  sched.schedule_at(42_ns, [&] {
+    clk.request([&](Time g) { granted = g; });
+  });
+  sched.run();
+  EXPECT_EQ(granted, 42_ns);  // never started: always safe
+}
+
+}  // namespace
+}  // namespace aetr::clockgen

@@ -1,0 +1,125 @@
+// Tests for the activity-based power model and its calibration anchors.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "power/model.hpp"
+
+namespace aetr::power {
+namespace {
+
+using namespace time_literals;
+
+ActivityTotals naive_at(double rate_hz, Time window) {
+  // The undivided baseline: oscillator always awake, sampling at 15 MHz.
+  ActivityTotals a;
+  a.window = window;
+  a.osc_awake = window;
+  a.sampling_cycles =
+      static_cast<std::uint64_t>(15e6 * window.to_sec());
+  a.events = static_cast<std::uint64_t>(rate_hz * window.to_sec());
+  a.fifo_writes = a.events;
+  a.fifo_reads = a.events;
+  a.i2s_bits = a.events * 32;
+  return a;
+}
+
+TEST(PowerModel, StaticFloorMatchesPaper) {
+  PowerModel model;
+  ActivityTotals idle;
+  idle.window = 1_sec;
+  EXPECT_NEAR(model.average_power_w(idle), 50e-6, 1e-9);
+}
+
+TEST(PowerModel, NaiveAnchorNear4p5mW) {
+  // Paper: 4.5 mW at 550 kevt/s with the constant 15 MHz clock.
+  PowerModel model;
+  const auto a = naive_at(550e3, 1_sec);
+  EXPECT_NEAR(model.average_power_w(a), 4.5e-3, 0.15e-3);
+}
+
+TEST(PowerModel, NaiveIsRateInsensitive) {
+  // Paper: "a naive constant clock methodology is stuck to the same 4.5 mW
+  // power regardless of the event rate".
+  PowerModel model;
+  const double hi = model.average_power_w(naive_at(550e3, 1_sec));
+  const double lo = model.average_power_w(naive_at(10.0, 1_sec));
+  EXPECT_GT(lo / hi, 0.9);
+}
+
+TEST(PowerModel, EnergyScalesWithWindow) {
+  PowerModel model;
+  const auto a1 = naive_at(100e3, 1_sec);
+  const auto a2 = naive_at(100e3, 2_sec);
+  ActivityTotals doubled = a2;
+  EXPECT_NEAR(model.energy_j(doubled), 2.0 * model.energy_j(a1), 1e-9);
+}
+
+TEST(PowerModel, BreakdownSumsToTotal) {
+  PowerModel model;
+  const auto a = naive_at(250e3, 1_sec);
+  const auto b = model.breakdown(a);
+  EXPECT_NEAR(b.total_w(), model.average_power_w(a), 1e-12);
+  EXPECT_GT(b.sampling_w, 0.0);
+  EXPECT_GT(b.osc_domain_w, 0.0);
+  EXPECT_GT(b.i2s_w, 0.0);
+}
+
+TEST(PowerModel, OscDomainAboutHalfTheDynamicBudget) {
+  // The split that makes division alone saturate at the paper's ~55 %.
+  PowerModel model;
+  const auto b = model.breakdown(naive_at(550e3, 1_sec));
+  const double dynamic = b.total_w() - b.static_w;
+  EXPECT_NEAR(b.osc_domain_w / dynamic, 0.45, 0.1);
+}
+
+TEST(PowerModel, IdealLineEq1) {
+  PowerModel model;
+  const double espike = 8.1e-9;
+  EXPECT_NEAR(model.ideal_power_w(0.0, espike), 50e-6, 1e-9);
+  EXPECT_NEAR(model.ideal_power_w(550e3, espike), 50e-6 + 4.455e-3, 1e-6);
+}
+
+TEST(PowerModel, EstimateEspikeFromHighActivity) {
+  EXPECT_NEAR(estimate_espike_j(4.5e-3, 50e-6, 550e3), 8.09e-9, 0.01e-9);
+  EXPECT_THROW((void)estimate_espike_j(1.0, 0.0, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(estimate_espike_j(1e-6, 50e-6, 1e3), 0.0);  // clamped
+}
+
+TEST(PowerModel, ActivityDifference) {
+  const auto a1 = naive_at(100e3, 1_sec);
+  const auto a2 = naive_at(100e3, 2_sec);
+  const auto d = a2.since(a1);
+  EXPECT_EQ(d.window, 1_sec);
+  EXPECT_EQ(d.events, a1.events);
+  EXPECT_EQ(d.sampling_cycles, a1.sampling_cycles);
+}
+
+TEST(ProportionalityIndex, FlatCurveScoresZero) {
+  const std::vector<double> rates{1e2, 1e3, 1e4, 1e5, 550e3};
+  const std::vector<double> flat(rates.size(), 4.5e-3);
+  EXPECT_NEAR(energy_proportionality_index(rates, flat, 50e-6), 0.0, 1e-6);
+}
+
+TEST(ProportionalityIndex, IdealCurveScoresOne) {
+  const std::vector<double> rates{1e2, 1e3, 1e4, 1e5, 550e3};
+  std::vector<double> ideal;
+  const double espike = estimate_espike_j(4.5e-3, 50e-6, 550e3);
+  for (double r : rates) ideal.push_back(espike * r + 50e-6);
+  EXPECT_NEAR(energy_proportionality_index(rates, ideal, 50e-6), 1.0, 1e-6);
+}
+
+TEST(ProportionalityIndex, IntermediateCurveBetween) {
+  const std::vector<double> rates{1e2, 1e3, 1e4, 1e5, 550e3};
+  std::vector<double> mixed;
+  const double espike = estimate_espike_j(4.5e-3, 50e-6, 550e3);
+  for (double r : rates) {
+    mixed.push_back(0.5 * (espike * r + 50e-6) + 0.5 * 4.5e-3);
+  }
+  const double idx = energy_proportionality_index(rates, mixed, 50e-6);
+  EXPECT_GT(idx, 0.3);
+  EXPECT_LT(idx, 0.7);
+}
+
+}  // namespace
+}  // namespace aetr::power

@@ -1,0 +1,102 @@
+// Tests for the closed-form expected-power model, including the key
+// cross-validation: the analytic curve must agree with full cycle-level
+// simulation across the whole Fig. 8 rate range.
+#include <gtest/gtest.h>
+
+#include "analysis/power_curve.hpp"
+#include "core/runner.hpp"
+#include "gen/sources.hpp"
+
+namespace aetr::analysis {
+namespace {
+
+clockgen::ScheduleConfig paper_schedule(std::uint32_t theta) {
+  clockgen::ScheduleConfig cfg;
+  cfg.theta_div = theta;
+  cfg.n_div = 8;
+  return cfg;
+}
+
+TEST(PowerCurve, StaticFloorAtVanishingRate) {
+  const auto est = expected_power(paper_schedule(64),
+                                  power::PowerCalibration::paper(), 0.1);
+  EXPECT_NEAR(est.power_w, 50e-6, 5e-6);
+  EXPECT_LT(est.awake_fraction, 1e-3);
+}
+
+TEST(PowerCurve, HighRatePinsNearAnchor) {
+  const auto est = expected_power(paper_schedule(64),
+                                  power::PowerCalibration::paper(), 550e3);
+  EXPECT_NEAR(est.power_w, 4.4e-3, 0.3e-3);
+  EXPECT_NEAR(est.awake_fraction, 1.0, 1e-6);
+  // Mean interval 1.8 us < first division at 4.3 us: mostly undivided.
+  EXPECT_GT(est.sampling_freq_hz, 12e6);
+}
+
+TEST(PowerCurve, NaiveModeIsFlat) {
+  auto cfg = paper_schedule(64);
+  cfg.divide_enabled = false;
+  cfg.shutdown_enabled = false;
+  const auto cal = power::PowerCalibration::paper();
+  const auto lo = expected_power(cfg, cal, 100.0);
+  const auto hi = expected_power(cfg, cal, 550e3);
+  EXPECT_NEAR(lo.sampling_freq_hz, 15e6, 0.1e6);
+  EXPECT_NEAR(hi.sampling_freq_hz, 15e6, 0.1e6);
+  EXPECT_GT(lo.power_w / hi.power_w, 0.9);
+}
+
+TEST(PowerCurve, MonotoneInRate) {
+  const auto cal = power::PowerCalibration::paper();
+  double prev = 0.0;
+  for (double rate = 10.0; rate <= 1e6; rate *= 3.0) {
+    const auto est = expected_power(paper_schedule(64), cal, rate);
+    EXPECT_GT(est.power_w, prev) << "rate " << rate;
+    prev = est.power_w;
+  }
+}
+
+TEST(PowerCurve, SmallerThetaSavesMoreAtMidRates) {
+  const auto cal = power::PowerCalibration::paper();
+  const auto p16 = expected_power(paper_schedule(16), cal, 10e3);
+  const auto p64 = expected_power(paper_schedule(64), cal, 10e3);
+  EXPECT_LT(p16.power_w, p64.power_w);
+}
+
+TEST(PowerCurve, WakeupRateMatchesSaturationProbability) {
+  const auto cfg = paper_schedule(64);
+  const clockgen::SamplingSchedule schedule{cfg};
+  const double t = schedule.awake_span().to_sec();
+  const double rate = 1.0 / t;  // at the flex point: P(sat) = 1/e
+  const auto est =
+      expected_power(cfg, power::PowerCalibration::paper(), rate);
+  EXPECT_NEAR(est.wakeups_per_sec, rate / std::numbers::e, rate * 0.01);
+}
+
+// The strong check: analytic expectation vs. full cycle-level simulation.
+class PowerCurveAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerCurveAgreement, AnalyticMatchesDes) {
+  const double rate = GetParam();
+  const auto cal = power::PowerCalibration::paper();
+  const auto est = expected_power(paper_schedule(64), cal, rate);
+
+  core::InterfaceConfig cfg;
+  cfg.front_end.keep_records = false;
+  cfg.fifo.batch_threshold = 512;
+  gen::PoissonSource src{rate, 128, 123};
+  const auto n = static_cast<std::size_t>(
+      std::clamp(rate * 0.5, 300.0, 8000.0));
+  core::RunOptions opt;
+  opt.cooldown = Time::ms(0.01);
+  const auto r = core::run_source(cfg, src, n, opt);
+
+  EXPECT_NEAR(r.average_power_w, est.power_w, 0.12 * est.power_w)
+      << "rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig8Rates, PowerCurveAgreement,
+                         ::testing::Values(30.0, 300.0, 3e3, 30e3, 300e3,
+                                           550e3));
+
+}  // namespace
+}  // namespace aetr::analysis

@@ -1,0 +1,255 @@
+// Tests for the closed-form sampling schedule — the heart of the paper's
+// Fig. 1 algorithm. Includes the Fig. 2 waveform check (Ndiv=3, theta=8)
+// and property sweeps proving the quantisation bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clockgen/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace aetr::clockgen {
+namespace {
+
+using namespace time_literals;
+
+ScheduleConfig fig2_config() {
+  ScheduleConfig cfg;
+  cfg.tmin = 100_ns;  // arbitrary round unit for readability
+  cfg.theta_div = 8;
+  cfg.n_div = 3;
+  return cfg;
+}
+
+TEST(Schedule, LevelStartsFollowGeometricSeries) {
+  const SamplingSchedule s{fig2_config()};
+  EXPECT_EQ(s.level_start(0), Time::zero());
+  EXPECT_EQ(s.level_start(1), 800_ns);    // 8 cycles @ 100 ns
+  EXPECT_EQ(s.level_start(2), 2400_ns);   // + 8 @ 200 ns
+  EXPECT_EQ(s.level_start(3), 5600_ns);   // + 8 @ 400 ns
+  EXPECT_EQ(s.awake_span(), 12000_ns);    // + 8 @ 800 ns -> shutdown
+}
+
+TEST(Schedule, PeriodDoublesPerLevel) {
+  const SamplingSchedule s{fig2_config()};
+  EXPECT_EQ(s.period_of_level(0), 100_ns);
+  EXPECT_EQ(s.period_of_level(1), 200_ns);
+  EXPECT_EQ(s.period_of_level(2), 400_ns);
+  EXPECT_EQ(s.period_of_level(3), 800_ns);
+}
+
+TEST(Schedule, Fig2EdgePattern) {
+  // Reproduces the Fig. 2 waveform: theta_div = 8, N_div = 3. Eight edges
+  // per level, each level half the frequency, then silence.
+  const SamplingSchedule s{fig2_config()};
+  const auto edges = s.enumerate_edges(1_ms);
+  // Levels 0..3, 8 edges each, minus the shutdown instant, plus edge 0.
+  ASSERT_EQ(edges.size(), 32u);
+  // First edges of each level.
+  EXPECT_EQ(edges[0].at, 0_ns);
+  EXPECT_EQ(edges[0].level, 0u);
+  EXPECT_EQ(edges[8].at, 800_ns);
+  EXPECT_EQ(edges[8].level, 1u);
+  EXPECT_EQ(edges[16].at, 2400_ns);
+  EXPECT_EQ(edges[16].level, 2u);
+  EXPECT_EQ(edges[24].at, 5600_ns);
+  EXPECT_EQ(edges[24].level, 3u);
+  // Last edge one slow period before shutdown; no edge at/after 12 us.
+  EXPECT_EQ(edges.back().at, 11200_ns);
+  // Spacing doubles across the pattern. A boundary edge closes the *old*
+  // period (the FSM doubles Tsample at that instant), so each gap equals
+  // the period of the level the previous edge ran at.
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const Time spacing = edges[i].at - edges[i - 1].at;
+    EXPECT_EQ(spacing, s.period_of_level(edges[i - 1].level));
+  }
+}
+
+TEST(Schedule, LevelAtAndAsleep) {
+  const SamplingSchedule s{fig2_config()};
+  EXPECT_EQ(s.level_at(0_ns), 0u);
+  EXPECT_EQ(s.level_at(799_ns), 0u);
+  EXPECT_EQ(s.level_at(800_ns), 1u);
+  EXPECT_EQ(s.level_at(5600_ns), 3u);
+  EXPECT_FALSE(s.is_asleep_at(11999_ns));
+  EXPECT_TRUE(s.is_asleep_at(12000_ns));
+}
+
+TEST(Schedule, CounterTracksElapsedTminUnits) {
+  const SamplingSchedule s{fig2_config()};
+  // Counter value at any edge equals elapsed / Tmin exactly.
+  for (const auto& e : s.enumerate_edges(1_ms)) {
+    EXPECT_EQ(s.counter_at_edge(e.at),
+              static_cast<std::uint64_t>(e.at / Time::ns(100)));
+  }
+  EXPECT_EQ(s.saturation_ticks(), 120u);
+}
+
+TEST(Schedule, FirstEdgeQuantisesUp) {
+  const SamplingSchedule s{fig2_config()};
+  EXPECT_EQ(s.first_edge_at_or_after(1_ns), 100_ns);
+  EXPECT_EQ(s.first_edge_at_or_after(100_ns), 100_ns);  // exact edge
+  EXPECT_EQ(s.first_edge_at_or_after(801_ns), 1000_ns); // level 1 grid
+  EXPECT_EQ(s.first_edge_at_or_after(11201_ns), Time::max());  // sleeps first
+  EXPECT_EQ(s.first_edge_at_or_after(20_ms), Time::max());
+}
+
+TEST(Schedule, CyclesUntilCountsEdges) {
+  const SamplingSchedule s{fig2_config()};
+  EXPECT_EQ(s.cycles_until(800_ns), 8u);
+  EXPECT_EQ(s.cycles_until(850_ns), 8u);
+  EXPECT_EQ(s.cycles_until(1000_ns), 9u);
+  EXPECT_EQ(s.cycles_until(2400_ns), 16u);
+  EXPECT_EQ(s.cycles_until(1_sec), 31u);  // asleep: 4*8 - 1
+}
+
+TEST(Schedule, MeasureExactInterval) {
+  const SamplingSchedule s{fig2_config()};
+  const auto m = s.measure(450_ns);
+  EXPECT_EQ(m.sample_edge, 500_ns);
+  EXPECT_EQ(m.ticks, 5u);
+  EXPECT_FALSE(m.saturated);
+}
+
+TEST(Schedule, MeasureAcrossDivision) {
+  const SamplingSchedule s{fig2_config()};
+  // 1.3 us falls in level 1 (200 ns grid): next edge at 1.4 us -> 14 ticks.
+  const auto m = s.measure(1300_ns);
+  EXPECT_EQ(m.sample_edge, 1400_ns);
+  EXPECT_EQ(m.ticks, 14u);
+}
+
+TEST(Schedule, MeasureWithSyncEdges) {
+  const SamplingSchedule s{fig2_config()};
+  const auto m = s.measure(450_ns, 2);
+  EXPECT_EQ(m.sample_edge, 700_ns);  // 2 extra edges at 100 ns
+  EXPECT_EQ(m.ticks, 7u);
+}
+
+TEST(Schedule, MeasureSaturatedAfterSleep) {
+  const SamplingSchedule s{fig2_config()};
+  const auto m = s.measure(50_us, 2, 100_ns);
+  EXPECT_TRUE(m.saturated);
+  EXPECT_EQ(m.ticks, 120u);
+  // Wakes at request + latency; first edge one Tmin later, then 2 sync
+  // edges at Tmin.
+  EXPECT_EQ(m.sample_edge, 50_us + 100_ns + 300_ns);
+}
+
+TEST(Schedule, MeasureInFinalPeriodBeforeShutdown) {
+  const SamplingSchedule s{fig2_config()};
+  // Request lands between the last edge (11.2 us) and shutdown (12 us):
+  // the pending request keeps the clock alive; the tag is saturated.
+  const auto m = s.measure(11500_ns);
+  EXPECT_TRUE(m.saturated);
+  EXPECT_GE(m.sample_edge, 11500_ns);
+}
+
+TEST(Schedule, DivideDisabledIsConstantRate) {
+  ScheduleConfig cfg = fig2_config();
+  cfg.divide_enabled = false;
+  const SamplingSchedule s{cfg};
+  EXPECT_EQ(s.awake_span(), Time::max());
+  EXPECT_FALSE(s.is_asleep_at(1_sec));
+  const auto m = s.measure(1_ms);
+  EXPECT_EQ(m.ticks, 10000u);
+  EXPECT_FALSE(m.saturated);
+  EXPECT_EQ(s.cycles_until(1_ms), 10000u);
+}
+
+TEST(Schedule, ShutdownDisabledDividesForever) {
+  ScheduleConfig cfg = fig2_config();
+  cfg.shutdown_enabled = false;
+  const SamplingSchedule s{cfg};
+  EXPECT_EQ(s.awake_span(), Time::max());
+  const auto m = s.measure(1_ms);
+  EXPECT_FALSE(m.saturated);
+  // Quantised to the slowest (800 ns) grid beyond the last division.
+  EXPECT_EQ(m.sample_edge % 800_ns, (5600_ns) % 800_ns);
+}
+
+TEST(Schedule, InvalidConfigThrows) {
+  ScheduleConfig cfg;
+  cfg.theta_div = 0;
+  EXPECT_THROW(SamplingSchedule{cfg}, std::invalid_argument);
+  cfg = ScheduleConfig{};
+  cfg.tmin = Time::zero();
+  EXPECT_THROW(SamplingSchedule{cfg}, std::invalid_argument);
+  cfg = ScheduleConfig{};
+  cfg.n_div = 31;
+  EXPECT_THROW(SamplingSchedule{cfg}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps (parameterized over theta_div).
+
+class ScheduleProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ScheduleProperty, MeasurementNeverUnderestimatesByMoreThanOneStep) {
+  ScheduleConfig cfg;
+  cfg.tmin = Time::ns(1e3 / 15.0);
+  cfg.theta_div = GetParam();
+  cfg.n_div = 8;
+  const SamplingSchedule s{cfg};
+  Xoshiro256StarStar rng{GetParam()};
+  for (int i = 0; i < 20000; ++i) {
+    const Time delta = Time::us(rng.uniform(0.1, 3000.0));
+    const auto m = s.measure(delta);
+    if (m.saturated) continue;
+    const Time measured = cfg.tmin * static_cast<Time::Rep>(m.ticks);
+    // The sample edge is the first edge at/after the request, so the
+    // measurement rounds *up* by at most one current period.
+    EXPECT_GE(measured + Time::ps(2), delta);
+    const Time step = s.period_of_level(s.level_at(delta));
+    EXPECT_LE((measured - delta).count_ps(), step.count_ps() + 2);
+  }
+}
+
+TEST_P(ScheduleProperty, RelativeErrorBelowAnalyticBound) {
+  ScheduleConfig cfg;
+  cfg.tmin = Time::ns(1e3 / 15.0);
+  cfg.theta_div = GetParam();
+  cfg.n_div = 8;
+  const SamplingSchedule s{cfg};
+  const double bound = 2.0 / static_cast<double>(GetParam());
+  Xoshiro256StarStar rng{GetParam() * 17};
+  for (int i = 0; i < 20000; ++i) {
+    // Restrict to intervals past the first division (where the bound
+    // applies) and below saturation.
+    const double lo = cfg.tmin.to_sec() * GetParam() * 1.05;
+    // Stay clear of the final slow period, where a pending request races
+    // the shutdown instant and the tag saturates by design.
+    const double hi =
+        (s.awake_span() - s.period_of_level(cfg.n_div) * 2).to_sec();
+    const Time delta = Time::sec(rng.uniform(lo, hi));
+    const auto m = s.measure(delta);
+    ASSERT_FALSE(m.saturated);
+    const Time measured = cfg.tmin * static_cast<Time::Rep>(m.ticks);
+    const double err = std::abs((measured - delta).to_sec()) / delta.to_sec();
+    EXPECT_LE(err, bound * 1.02) << "delta=" << delta.to_string();
+  }
+}
+
+TEST_P(ScheduleProperty, CounterMonotoneAlongEdges) {
+  ScheduleConfig cfg;
+  cfg.tmin = 50_ns;
+  cfg.theta_div = GetParam();
+  cfg.n_div = 5;
+  const SamplingSchedule s{cfg};
+  const auto edges = s.enumerate_edges(s.awake_span());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    const auto c = s.counter_at_edge(edges[i].at);
+    EXPECT_GT(c, prev);
+    // The increment equals the step of the level the *previous* edge ran
+    // at (a boundary edge closes the old period).
+    EXPECT_EQ(c - prev, std::uint64_t{1} << edges[i - 1].level);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThetaSweep, ScheduleProperty,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+}  // namespace
+}  // namespace aetr::clockgen

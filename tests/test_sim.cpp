@@ -1,0 +1,200 @@
+// Unit tests for the discrete-event kernel, clock lines, and VCD writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/vcd.hpp"
+
+namespace aetr::sim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30_ns, [&] { order.push_back(3); });
+  s.schedule_at(10_ns, [&] { order.push_back(1); });
+  s.schedule_at(20_ns, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30_ns);
+}
+
+TEST(Scheduler, SameTimeEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(10_ns, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, CallbackMaySchedule) {
+  Scheduler s;
+  int hits = 0;
+  s.schedule_at(1_ns, [&] {
+    ++hits;
+    s.schedule_after(1_ns, [&] { ++hits; });
+  });
+  s.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(s.now(), 2_ns);
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(10_ns, [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(5_ns, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const auto id = s.schedule_at(10_ns, [&] { ran = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel is a no-op
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelInvalidIdIsSafe) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+  EXPECT_FALSE(s.cancel(EventId{999}));
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeWithoutEvents) {
+  Scheduler s;
+  s.run_until(5_us);
+  EXPECT_EQ(s.now(), 5_us);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int hits = 0;
+  s.schedule_at(10_ns, [&] { ++hits; });
+  s.schedule_at(20_ns, [&] { ++hits; });
+  s.schedule_at(30_ns, [&] { ++hits; });
+  s.run_until(20_ns);
+  EXPECT_EQ(hits, 2);  // event exactly at the boundary runs
+  EXPECT_EQ(s.now(), 20_ns);
+  s.run();
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(Scheduler, RunWithLimit) {
+  Scheduler s;
+  int hits = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(Time::ns(i), [&] { ++hits; });
+  }
+  s.run(4);
+  EXPECT_EQ(hits, 4);
+  EXPECT_EQ(s.pending(), 6u);
+}
+
+TEST(Scheduler, ProcessedCounter) {
+  Scheduler s;
+  for (int i = 1; i <= 3; ++i) s.schedule_at(Time::ns(i), [] {});
+  s.run();
+  EXPECT_EQ(s.processed(), 3u);
+}
+
+TEST(ClockLine, FansOutToAllSubscribers) {
+  ClockLine line;
+  int a = 0, b = 0;
+  line.on_rising([&](Time, Time) { ++a; });
+  line.on_rising([&](Time, Time) { ++b; });
+  line.tick(1_ns, 1_ns);
+  line.tick(2_ns, 1_ns);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(line.edge_count(), 2u);
+  EXPECT_EQ(line.last_edge(), 2_ns);
+}
+
+TEST(FixedClock, ProducesPeriodicEdges) {
+  Scheduler s;
+  FixedClock clk{s, 10_ns};
+  std::vector<Time> edges;
+  clk.line().on_rising([&](Time t, Time p) {
+    edges.push_back(t);
+    EXPECT_EQ(p, 10_ns);
+  });
+  clk.start();
+  s.run_until(35_ns);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], 10_ns);
+  EXPECT_EQ(edges[1], 20_ns);
+  EXPECT_EQ(edges[2], 30_ns);
+}
+
+TEST(FixedClock, StopHaltsEdges) {
+  Scheduler s;
+  FixedClock clk{s, 10_ns};
+  int edges = 0;
+  clk.line().on_rising([&](Time, Time) { ++edges; });
+  clk.start();
+  s.run_until(25_ns);
+  clk.stop();
+  s.run_until(100_ns);
+  EXPECT_EQ(edges, 2);
+}
+
+TEST(FixedClock, SubscriberMayStopClock) {
+  Scheduler s;
+  FixedClock clk{s, 10_ns};
+  int edges = 0;
+  clk.line().on_rising([&](Time, Time) {
+    if (++edges == 3) clk.stop();
+  });
+  clk.start();
+  s.run();
+  EXPECT_EQ(edges, 3);
+}
+
+TEST(Vcd, WritesHeaderAndChanges) {
+  const std::string path = testing::TempDir() + "aetr_vcd_test.vcd";
+  {
+    VcdWriter vcd{path};
+    const auto clk = vcd.add_signal("top", "clk");
+    const auto bus = vcd.add_signal("top", "addr", 10);
+    vcd.change(clk, 1, 5_ns);
+    vcd.change(clk, 0, 10_ns);
+    vcd.change(bus, 0x2A, 10_ns);
+    vcd.change(clk, 0, 12_ns);  // duplicate value: suppressed
+  }
+  std::ifstream f{path};
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(text.find("$var wire 10"), std::string::npos);
+  EXPECT_NE(text.find("#5000"), std::string::npos);
+  EXPECT_NE(text.find("#10000"), std::string::npos);
+  EXPECT_NE(text.find("b101010"), std::string::npos);
+  EXPECT_EQ(text.find("#12000"), std::string::npos);  // suppressed change
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, DeclarationAfterChangeThrows) {
+  const std::string path = testing::TempDir() + "aetr_vcd_test2.vcd";
+  VcdWriter vcd{path};
+  const auto clk = vcd.add_signal("top", "clk");
+  vcd.change(clk, 1, 1_ns);
+  EXPECT_THROW(vcd.add_signal("top", "late"), std::logic_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aetr::sim

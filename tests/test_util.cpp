@@ -1,0 +1,248 @@
+// Unit tests for util: time/frequency types, RNGs, statistics, histograms,
+// tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace aetr {
+namespace {
+
+using namespace time_literals;
+
+TEST(Time, LiteralsAndConversions) {
+  EXPECT_EQ((1_ns).count_ps(), 1000);
+  EXPECT_EQ((1_us).count_ps(), 1'000'000);
+  EXPECT_EQ((1_ms).count_ps(), 1'000'000'000);
+  EXPECT_EQ((1_sec).count_ps(), 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ((2500_ps).to_ns(), 2.5);
+  EXPECT_DOUBLE_EQ((1500_us).to_ms(), 1.5);
+}
+
+TEST(Time, RoundsFractionalInputToNearestPicosecond) {
+  EXPECT_EQ(Time::ns(0.0004).count_ps(), 0);
+  EXPECT_EQ(Time::ns(0.0006).count_ps(), 1);
+  EXPECT_EQ(Time::ns(66.6667).count_ps(), 66667);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(1_us + 500_ns, Time::ns(1500));
+  EXPECT_EQ(1_us - 400_ns, 600_ns);
+  EXPECT_EQ((100_ns) * 3, 300_ns);
+  EXPECT_EQ((1_us) / (250_ns), 4);
+  EXPECT_EQ((1100_ns) % (250_ns), 100_ns);
+  EXPECT_LT(99_ns, 100_ns);
+  EXPECT_GT(1_ms, 999_us);
+}
+
+TEST(Time, RatioAndToString) {
+  EXPECT_DOUBLE_EQ((500_ns).ratio(1_us), 0.5);
+  EXPECT_EQ((1500_ns).to_string(), "1.5us");
+  EXPECT_EQ((250_ps).to_string(), "250ps");
+}
+
+TEST(Frequency, PeriodRoundTrip) {
+  const auto f = Frequency::mhz(15.0);
+  EXPECT_NEAR(f.period().to_ns(), 66.667, 0.001);
+  // The period is rounded to the picosecond grid, so the round trip is
+  // accurate only to ~1e-5 relative.
+  EXPECT_NEAR(Frequency::from_period(f.period()).to_mhz(), 15.0, 1e-3);
+}
+
+TEST(Frequency, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(Frequency::khz(550.0).to_hz(), 550e3);
+  EXPECT_DOUBLE_EQ(Frequency::mhz(120.0).to_hz(), 120e6);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256StarStar a{123}, b{123}, c{124};
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256StarStar rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntBounded) {
+  Xoshiro256StarStar rng{7};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(Xoshiro, ExponentialMeanMatches) {
+  Xoshiro256StarStar rng{99};
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(2.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256StarStar rng{5};
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(3.0, 0.5));
+  EXPECT_NEAR(s.mean(), 3.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.01);
+}
+
+TEST(Xoshiro, ExponentialTime) {
+  Xoshiro256StarStar rng{11};
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) {
+    s.add(rng.exponential_time(10_us).to_sec());
+  }
+  EXPECT_NEAR(s.mean(), 10e-6, 0.2e-6);
+}
+
+TEST(Lfsr, MaximalLength16Bit) {
+  Lfsr lfsr{16, 0x100Bu, 0xACE1u};
+  const auto start = lfsr.state();
+  std::uint64_t period = 0;
+  do {
+    lfsr.step();
+    ++period;
+  } while (lfsr.state() != start && period <= 70000);
+  EXPECT_EQ(period, 65535u);  // maximal length: 2^16 - 1
+}
+
+TEST(Lfsr, NeverReachesZeroState) {
+  Lfsr lfsr{8, 0x1Du, 0x01u};  // maximal 8-bit polynomial x^8+x^6+x^5+x^4+1
+  for (int i = 0; i < 300; ++i) {
+    lfsr.step();
+    EXPECT_NE(lfsr.state(), 0u);
+  }
+}
+
+TEST(Lfsr, ZeroSeedIsCoercedToNonZero) {
+  Lfsr lfsr{16, 0xD008u, 0};
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, StepWordBitWidth) {
+  Lfsr lfsr{12, 0x107u, 0x5A5u};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(lfsr.step_word(), 1u << 12);
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  RunningStats a, b, all;
+  Xoshiro256StarStar rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(0.0, 1.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty) {
+  RunningStats a, b;
+  b.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e{0.1};
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);  // primes on first sample
+  for (int i = 0; i < 200; ++i) e.add(4.0);
+  EXPECT_NEAR(e.value(), 4.0, 1e-6);
+}
+
+TEST(Histogram, BinningAndProbability) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.total(), 12.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(h.count(i), 1.0);
+    EXPECT_NEAR(h.probability(i), 1.0 / 12.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.01);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.01);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const auto art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('\n'), std::string::npos);
+}
+
+TEST(LogHistogram, GeometricBins) {
+  LogHistogram h{1.0, 1000.0, 1};
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.bin_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(2), 1.0);
+  EXPECT_NEAR(h.bin_center(0), std::sqrt(10.0), 1e-9);
+}
+
+TEST(Table, AlignedPrintAndCsv) {
+  Table t{{"rate", "power"}};
+  t.add_row({"100", "4.5"});
+  t.add_row({"100000", "0.05"});
+  std::ostringstream os;
+  t.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("rate"), std::string::npos);
+  EXPECT_NE(text.find("100000"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(Table::num(0.05), "0.05");
+  EXPECT_EQ(Table::num(4500.0, 2), "4.5e+03");
+}
+
+}  // namespace
+}  // namespace aetr

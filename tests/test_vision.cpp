@@ -1,0 +1,203 @@
+// Tests for the DVS sensor model: address packing, change detection,
+// polarity, refractory behaviour, arbitration serialisation, and the scene
+// generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "vision/dvs.hpp"
+
+namespace aetr::vision {
+namespace {
+
+using namespace time_literals;
+
+TEST(DvsAddress, EncodeDecodeRoundTrip) {
+  DvsConfig cfg;
+  for (std::size_t y : {0u, 7u, 15u}) {
+    for (std::size_t x : {0u, 13u, 31u}) {
+      for (Polarity p : {Polarity::kOn, Polarity::kOff}) {
+        const auto code = DvsAddress::encode(cfg, x, y, p);
+        const auto back = DvsAddress::decode(cfg, code);
+        EXPECT_EQ(back.x, x);
+        EXPECT_EQ(back.y, y);
+        EXPECT_EQ(back.polarity, p);
+      }
+    }
+  }
+}
+
+TEST(DvsAddress, FitsTenBits) {
+  DvsConfig cfg;
+  const auto top = DvsAddress::encode(cfg, cfg.width - 1, cfg.height - 1,
+                                      Polarity::kOn);
+  EXPECT_LE(top, aer::kAddressMask);
+}
+
+TEST(Dvs, GeometryOverflowRejected) {
+  DvsConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  EXPECT_THROW(DvsSensor{cfg}, std::invalid_argument);
+}
+
+DvsConfig quiet_config() {
+  DvsConfig cfg;
+  cfg.background_rate_hz = 0.0;  // deterministic tests
+  return cfg;
+}
+
+TEST(Dvs, FirstFrameOnlyPrimes) {
+  DvsSensor sensor{quiet_config()};
+  SceneGenerator scene{32, 16};
+  const auto events = sensor.process_frame(scene.background(0.5), 0_ms);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Dvs, StaticSceneIsSilent) {
+  DvsSensor sensor{quiet_config()};
+  SceneGenerator scene{32, 16};
+  const auto events = sensor.process(scene.static_scene(1e3, 100_ms));
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Dvs, BrighteningEmitsOnEvents) {
+  DvsConfig cfg = quiet_config();
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{32, 16};
+  (void)sensor.process_frame(scene.background(0.5), 0_ms);
+  const auto events = sensor.process_frame(scene.background(1.0), 1_ms);
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_EQ(DvsAddress::decode(cfg, ev.address).polarity, Polarity::kOn);
+  }
+}
+
+TEST(Dvs, DimmingEmitsOffEvents) {
+  DvsConfig cfg = quiet_config();
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{32, 16};
+  (void)sensor.process_frame(scene.background(1.0), 0_ms);
+  const auto events = sensor.process_frame(scene.background(0.5), 1_ms);
+  ASSERT_FALSE(events.empty());
+  for (const auto& ev : events) {
+    EXPECT_EQ(DvsAddress::decode(cfg, ev.address).polarity, Polarity::kOff);
+  }
+}
+
+TEST(Dvs, LargeStepEmitsBurstPerPixel) {
+  DvsConfig cfg = quiet_config();
+  cfg.refractory = Time::zero();  // count every crossing
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{32, 16};
+  (void)sensor.process_frame(scene.background(0.25), 0_ms);
+  const auto events = sensor.process_frame(scene.background(1.0), 1_ms);
+  // log(1.0/0.25) = 1.386; threshold 0.15 -> 9 crossings per pixel.
+  std::map<std::uint16_t, int> per_pixel;
+  for (const auto& ev : events) ++per_pixel[ev.address];
+  for (const auto& [addr, n] : per_pixel) EXPECT_EQ(n, 9);
+}
+
+TEST(Dvs, RefractorySuppressesBurst) {
+  DvsConfig cfg = quiet_config();
+  cfg.refractory = 10_ms;  // longer than the frame: one event per pixel
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{32, 16};
+  (void)sensor.process_frame(scene.background(0.25), 0_ms);
+  const auto events = sensor.process_frame(scene.background(1.0), 1_ms);
+  std::map<std::uint16_t, int> per_address;
+  for (const auto& ev : events) ++per_address[ev.address];
+  for (const auto& [addr, n] : per_address) EXPECT_EQ(n, 1);
+  EXPECT_GT(sensor.refractory_drops(), 0u);
+}
+
+TEST(Dvs, ArbiterSerialisesAndOrders) {
+  DvsConfig cfg = quiet_config();
+  cfg.refractory = Time::zero();
+  ArbiterConfig arb;
+  arb.cycle = 100_ns;
+  DvsSensor sensor{cfg, arb};
+  SceneGenerator scene{32, 16};
+  (void)sensor.process_frame(scene.background(0.5), 0_ms);
+  const auto events = sensor.process_frame(scene.background(1.0), 1_ms);
+  ASSERT_GT(events.size(), 100u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time - events[i - 1].time, 100_ns);
+  }
+}
+
+TEST(Dvs, MovingBarActivatesEdgePixels) {
+  DvsConfig cfg = quiet_config();
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{cfg.width, cfg.height};
+  (void)sensor.process_frame(scene.vertical_bar(10.0), 0_ms);
+  const auto events = sensor.process_frame(scene.vertical_bar(11.0), 1_ms);
+  ASSERT_FALSE(events.empty());
+  // Only columns near the bar edges fire.
+  for (const auto& ev : events) {
+    const auto a = DvsAddress::decode(cfg, ev.address);
+    EXPECT_GE(a.x, 7u);
+    EXPECT_LE(a.x, 14u);
+  }
+  // Leading edge brightens (ON), trailing edge dims (OFF).
+  bool saw_on = false, saw_off = false;
+  for (const auto& ev : events) {
+    const auto a = DvsAddress::decode(cfg, ev.address);
+    if (a.polarity == Polarity::kOn) {
+      saw_on = true;
+      EXPECT_GT(a.x, 10u);
+    } else {
+      saw_off = true;
+      EXPECT_LT(a.x, 12u);
+    }
+  }
+  EXPECT_TRUE(saw_on);
+  EXPECT_TRUE(saw_off);
+}
+
+TEST(Dvs, SweepProducesTimeSortedStream) {
+  DvsConfig cfg = quiet_config();
+  cfg.background_rate_hz = 1.0;
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{cfg.width, cfg.height};
+  const auto events = sensor.process(scene.sweeping_bar(1e3, 200_ms));
+  ASSERT_GT(events.size(), 500u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+}
+
+TEST(Dvs, BackgroundNoiseRateApproximatelyConfigured) {
+  DvsConfig cfg = quiet_config();
+  cfg.background_rate_hz = 20.0;  // per pixel
+  DvsSensor sensor{cfg};
+  SceneGenerator scene{cfg.width, cfg.height};
+  const auto events = sensor.process(scene.static_scene(1e3, 1000_ms));
+  const double expected =
+      20.0 * static_cast<double>(cfg.width * cfg.height);
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, expected * 0.15);
+}
+
+TEST(Scene, DiscCoversExpectedArea) {
+  SceneGenerator scene{32, 16};
+  const auto f = scene.disc(16.0, 8.0, 4.0);
+  double bright = 0.0;
+  for (double p : f.pixels) {
+    if (p > 0.9) bright += 1.0;
+  }
+  // pi * r^2 ~ 50 pixels fully covered.
+  EXPECT_NEAR(bright, 50.0, 15.0);
+}
+
+TEST(Scene, BarCoverageIsAntiAliased) {
+  SceneGenerator scene{32, 16};
+  const auto f = scene.vertical_bar(10.5, 1.0, 0.0, 3.0);
+  // Bar spans [9.0, 12.0): columns 9..11 full, neighbours dark.
+  EXPECT_NEAR(f.at(10, 0), 1.0, 1e-9);
+  EXPECT_NEAR(f.at(8, 0), 0.0, 1e-9);
+  EXPECT_NEAR(f.at(12, 0), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace aetr::vision
