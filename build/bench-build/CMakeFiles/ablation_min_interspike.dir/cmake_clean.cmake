@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_min_interspike"
+  "../bench/ablation_min_interspike.pdb"
+  "CMakeFiles/ablation_min_interspike.dir/ablation_min_interspike.cpp.o"
+  "CMakeFiles/ablation_min_interspike.dir/ablation_min_interspike.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_min_interspike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_agreement"
+  "../bench/ablation_model_agreement.pdb"
+  "CMakeFiles/ablation_model_agreement.dir/ablation_model_agreement.cpp.o"
+  "CMakeFiles/ablation_model_agreement.dir/ablation_model_agreement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ndiv_knob"
+  "../bench/ablation_ndiv_knob.pdb"
+  "CMakeFiles/ablation_ndiv_knob.dir/ablation_ndiv_knob.cpp.o"
+  "CMakeFiles/ablation_ndiv_knob.dir/ablation_ndiv_knob.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ndiv_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

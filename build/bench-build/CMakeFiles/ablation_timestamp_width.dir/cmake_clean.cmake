@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_timestamp_width"
+  "../bench/ablation_timestamp_width.pdb"
+  "CMakeFiles/ablation_timestamp_width.dir/ablation_timestamp_width.cpp.o"
+  "CMakeFiles/ablation_timestamp_width.dir/ablation_timestamp_width.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timestamp_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_clock_waveform"
+  "../bench/fig2_clock_waveform.pdb"
+  "CMakeFiles/fig2_clock_waveform.dir/fig2_clock_waveform.cpp.o"
+  "CMakeFiles/fig2_clock_waveform.dir/fig2_clock_waveform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_clock_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

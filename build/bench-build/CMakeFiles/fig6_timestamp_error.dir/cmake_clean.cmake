@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_timestamp_error"
+  "../bench/fig6_timestamp_error.pdb"
+  "CMakeFiles/fig6_timestamp_error.dir/fig6_timestamp_error.cpp.o"
+  "CMakeFiles/fig6_timestamp_error.dir/fig6_timestamp_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_timestamp_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cochlea_word"
+  "../bench/fig7_cochlea_word.pdb"
+  "CMakeFiles/fig7_cochlea_word.dir/fig7_cochlea_word.cpp.o"
+  "CMakeFiles/fig7_cochlea_word.dir/fig7_cochlea_word.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cochlea_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

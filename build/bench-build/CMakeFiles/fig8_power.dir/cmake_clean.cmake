@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_power"
+  "../bench/fig8_power.pdb"
+  "CMakeFiles/fig8_power.dir/fig8_power.cpp.o"
+  "CMakeFiles/fig8_power.dir/fig8_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_node.dir/adaptive_node.cpp.o"
+  "CMakeFiles/example_adaptive_node.dir/adaptive_node.cpp.o.d"
+  "example_adaptive_node"
+  "example_adaptive_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aetr_cli.dir/aetr_cli.cpp.o"
+  "CMakeFiles/example_aetr_cli.dir/aetr_cli.cpp.o.d"
+  "example_aetr_cli"
+  "example_aetr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aetr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

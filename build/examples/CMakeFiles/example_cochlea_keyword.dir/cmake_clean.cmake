@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cochlea_keyword.dir/cochlea_keyword.cpp.o"
+  "CMakeFiles/example_cochlea_keyword.dir/cochlea_keyword.cpp.o.d"
+  "example_cochlea_keyword"
+  "example_cochlea_keyword.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cochlea_keyword.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

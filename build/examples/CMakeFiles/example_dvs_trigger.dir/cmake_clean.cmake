@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dvs_trigger.dir/dvs_trigger.cpp.o"
+  "CMakeFiles/example_dvs_trigger.dir/dvs_trigger.cpp.o.d"
+  "example_dvs_trigger"
+  "example_dvs_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dvs_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_sensor.dir/multi_sensor.cpp.o"
+  "CMakeFiles/example_multi_sensor.dir/multi_sensor.cpp.o.d"
+  "example_multi_sensor"
+  "example_multi_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aer/aedat.cpp" "src/CMakeFiles/aetr_aer.dir/aer/aedat.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/aedat.cpp.o.d"
+  "/root/repo/src/aer/agents.cpp" "src/CMakeFiles/aetr_aer.dir/aer/agents.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/agents.cpp.o.d"
+  "/root/repo/src/aer/caviar.cpp" "src/CMakeFiles/aetr_aer.dir/aer/caviar.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/caviar.cpp.o.d"
+  "/root/repo/src/aer/channel.cpp" "src/CMakeFiles/aetr_aer.dir/aer/channel.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/channel.cpp.o.d"
+  "/root/repo/src/aer/codec.cpp" "src/CMakeFiles/aetr_aer.dir/aer/codec.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/codec.cpp.o.d"
+  "/root/repo/src/aer/mux.cpp" "src/CMakeFiles/aetr_aer.dir/aer/mux.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/mux.cpp.o.d"
+  "/root/repo/src/aer/trace.cpp" "src/CMakeFiles/aetr_aer.dir/aer/trace.cpp.o" "gcc" "src/CMakeFiles/aetr_aer.dir/aer/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

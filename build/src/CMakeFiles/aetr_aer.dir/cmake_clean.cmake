@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_aer.dir/aer/aedat.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/aedat.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/agents.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/agents.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/caviar.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/caviar.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/channel.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/channel.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/codec.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/codec.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/mux.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/mux.cpp.o.d"
+  "CMakeFiles/aetr_aer.dir/aer/trace.cpp.o"
+  "CMakeFiles/aetr_aer.dir/aer/trace.cpp.o.d"
+  "libaetr_aer.a"
+  "libaetr_aer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_aer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

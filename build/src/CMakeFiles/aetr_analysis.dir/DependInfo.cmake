@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/error.cpp" "src/CMakeFiles/aetr_analysis.dir/analysis/error.cpp.o" "gcc" "src/CMakeFiles/aetr_analysis.dir/analysis/error.cpp.o.d"
+  "/root/repo/src/analysis/power_curve.cpp" "src/CMakeFiles/aetr_analysis.dir/analysis/power_curve.cpp.o" "gcc" "src/CMakeFiles/aetr_analysis.dir/analysis/power_curve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_clockgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_aer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

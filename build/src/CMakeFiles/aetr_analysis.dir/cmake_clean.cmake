@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_analysis.dir/analysis/error.cpp.o"
+  "CMakeFiles/aetr_analysis.dir/analysis/error.cpp.o.d"
+  "CMakeFiles/aetr_analysis.dir/analysis/power_curve.cpp.o"
+  "CMakeFiles/aetr_analysis.dir/analysis/power_curve.cpp.o.d"
+  "libaetr_analysis.a"
+  "libaetr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

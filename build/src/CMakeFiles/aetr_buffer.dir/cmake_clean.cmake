@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_buffer.dir/buffer/fifo.cpp.o"
+  "CMakeFiles/aetr_buffer.dir/buffer/fifo.cpp.o.d"
+  "libaetr_buffer.a"
+  "libaetr_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

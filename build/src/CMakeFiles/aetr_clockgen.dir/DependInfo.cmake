@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clockgen/clock_generator.cpp" "src/CMakeFiles/aetr_clockgen.dir/clockgen/clock_generator.cpp.o" "gcc" "src/CMakeFiles/aetr_clockgen.dir/clockgen/clock_generator.cpp.o.d"
+  "/root/repo/src/clockgen/divider.cpp" "src/CMakeFiles/aetr_clockgen.dir/clockgen/divider.cpp.o" "gcc" "src/CMakeFiles/aetr_clockgen.dir/clockgen/divider.cpp.o.d"
+  "/root/repo/src/clockgen/pausible.cpp" "src/CMakeFiles/aetr_clockgen.dir/clockgen/pausible.cpp.o" "gcc" "src/CMakeFiles/aetr_clockgen.dir/clockgen/pausible.cpp.o.d"
+  "/root/repo/src/clockgen/ring_oscillator.cpp" "src/CMakeFiles/aetr_clockgen.dir/clockgen/ring_oscillator.cpp.o" "gcc" "src/CMakeFiles/aetr_clockgen.dir/clockgen/ring_oscillator.cpp.o.d"
+  "/root/repo/src/clockgen/schedule.cpp" "src/CMakeFiles/aetr_clockgen.dir/clockgen/schedule.cpp.o" "gcc" "src/CMakeFiles/aetr_clockgen.dir/clockgen/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

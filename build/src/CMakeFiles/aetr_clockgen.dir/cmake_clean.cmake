@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_clockgen.dir/clockgen/clock_generator.cpp.o"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/clock_generator.cpp.o.d"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/divider.cpp.o"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/divider.cpp.o.d"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/pausible.cpp.o"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/pausible.cpp.o.d"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/ring_oscillator.cpp.o"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/ring_oscillator.cpp.o.d"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/schedule.cpp.o"
+  "CMakeFiles/aetr_clockgen.dir/clockgen/schedule.cpp.o.d"
+  "libaetr_clockgen.a"
+  "libaetr_clockgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_clockgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cochlea/audio.cpp" "src/CMakeFiles/aetr_cochlea.dir/cochlea/audio.cpp.o" "gcc" "src/CMakeFiles/aetr_cochlea.dir/cochlea/audio.cpp.o.d"
+  "/root/repo/src/cochlea/biquad.cpp" "src/CMakeFiles/aetr_cochlea.dir/cochlea/biquad.cpp.o" "gcc" "src/CMakeFiles/aetr_cochlea.dir/cochlea/biquad.cpp.o.d"
+  "/root/repo/src/cochlea/cochlea.cpp" "src/CMakeFiles/aetr_cochlea.dir/cochlea/cochlea.cpp.o" "gcc" "src/CMakeFiles/aetr_cochlea.dir/cochlea/cochlea.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_aer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_cochlea.dir/cochlea/audio.cpp.o"
+  "CMakeFiles/aetr_cochlea.dir/cochlea/audio.cpp.o.d"
+  "CMakeFiles/aetr_cochlea.dir/cochlea/biquad.cpp.o"
+  "CMakeFiles/aetr_cochlea.dir/cochlea/biquad.cpp.o.d"
+  "CMakeFiles/aetr_cochlea.dir/cochlea/cochlea.cpp.o"
+  "CMakeFiles/aetr_cochlea.dir/cochlea/cochlea.cpp.o.d"
+  "libaetr_cochlea.a"
+  "libaetr_cochlea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_cochlea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_core.dir/core/config_io.cpp.o"
+  "CMakeFiles/aetr_core.dir/core/config_io.cpp.o.d"
+  "CMakeFiles/aetr_core.dir/core/interface.cpp.o"
+  "CMakeFiles/aetr_core.dir/core/interface.cpp.o.d"
+  "CMakeFiles/aetr_core.dir/core/interrupt.cpp.o"
+  "CMakeFiles/aetr_core.dir/core/interrupt.cpp.o.d"
+  "CMakeFiles/aetr_core.dir/core/runner.cpp.o"
+  "CMakeFiles/aetr_core.dir/core/runner.cpp.o.d"
+  "libaetr_core.a"
+  "libaetr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_frontend.dir/frontend/aer_frontend.cpp.o"
+  "CMakeFiles/aetr_frontend.dir/frontend/aer_frontend.cpp.o.d"
+  "libaetr_frontend.a"
+  "libaetr_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_gen.dir/gen/scenario.cpp.o"
+  "CMakeFiles/aetr_gen.dir/gen/scenario.cpp.o.d"
+  "CMakeFiles/aetr_gen.dir/gen/sources.cpp.o"
+  "CMakeFiles/aetr_gen.dir/gen/sources.cpp.o.d"
+  "libaetr_gen.a"
+  "libaetr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/i2s/framing.cpp" "src/CMakeFiles/aetr_i2s.dir/i2s/framing.cpp.o" "gcc" "src/CMakeFiles/aetr_i2s.dir/i2s/framing.cpp.o.d"
+  "/root/repo/src/i2s/i2s.cpp" "src/CMakeFiles/aetr_i2s.dir/i2s/i2s.cpp.o" "gcc" "src/CMakeFiles/aetr_i2s.dir/i2s/i2s.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_i2s.dir/i2s/framing.cpp.o"
+  "CMakeFiles/aetr_i2s.dir/i2s/framing.cpp.o.d"
+  "CMakeFiles/aetr_i2s.dir/i2s/i2s.cpp.o"
+  "CMakeFiles/aetr_i2s.dir/i2s/i2s.cpp.o.d"
+  "libaetr_i2s.a"
+  "libaetr_i2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_i2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_mcu.dir/mcu/adaptive.cpp.o"
+  "CMakeFiles/aetr_mcu.dir/mcu/adaptive.cpp.o.d"
+  "CMakeFiles/aetr_mcu.dir/mcu/consumer.cpp.o"
+  "CMakeFiles/aetr_mcu.dir/mcu/consumer.cpp.o.d"
+  "CMakeFiles/aetr_mcu.dir/mcu/power.cpp.o"
+  "CMakeFiles/aetr_mcu.dir/mcu/power.cpp.o.d"
+  "libaetr_mcu.a"
+  "libaetr_mcu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_mcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_power.dir/power/model.cpp.o"
+  "CMakeFiles/aetr_power.dir/power/model.cpp.o.d"
+  "CMakeFiles/aetr_power.dir/power/probe.cpp.o"
+  "CMakeFiles/aetr_power.dir/power/probe.cpp.o.d"
+  "libaetr_power.a"
+  "libaetr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_rtl.dir/rtl/clock_unit.cpp.o"
+  "CMakeFiles/aetr_rtl.dir/rtl/clock_unit.cpp.o.d"
+  "libaetr_rtl.a"
+  "libaetr_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

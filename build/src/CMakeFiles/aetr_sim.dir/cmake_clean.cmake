@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/aetr_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/aetr_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/aetr_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/aetr_sim.dir/sim/vcd.cpp.o"
+  "CMakeFiles/aetr_sim.dir/sim/vcd.cpp.o.d"
+  "libaetr_sim.a"
+  "libaetr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_spi.dir/spi/spi.cpp.o"
+  "CMakeFiles/aetr_spi.dir/spi/spi.cpp.o.d"
+  "libaetr_spi.a"
+  "libaetr_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aetr_spi.
+# This may be replaced when dependencies are built.

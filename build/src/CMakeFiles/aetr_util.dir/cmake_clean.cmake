@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/aetr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/aetr_util.dir/util/stats.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/aetr_util.dir/util/stats_tests.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/stats_tests.cpp.o.d"
+  "CMakeFiles/aetr_util.dir/util/table.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/aetr_util.dir/util/time.cpp.o"
+  "CMakeFiles/aetr_util.dir/util/time.cpp.o.d"
+  "libaetr_util.a"
+  "libaetr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

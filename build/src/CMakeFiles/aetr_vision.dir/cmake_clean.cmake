@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aetr_vision.dir/vision/dvs.cpp.o"
+  "CMakeFiles/aetr_vision.dir/vision/dvs.cpp.o.d"
+  "libaetr_vision.a"
+  "libaetr_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aetr_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

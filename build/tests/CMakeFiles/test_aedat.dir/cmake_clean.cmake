@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aedat.dir/test_aedat.cpp.o"
+  "CMakeFiles/test_aedat.dir/test_aedat.cpp.o.d"
+  "test_aedat"
+  "test_aedat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aedat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

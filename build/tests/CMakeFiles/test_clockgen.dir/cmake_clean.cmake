@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clockgen.dir/test_clockgen.cpp.o"
+  "CMakeFiles/test_clockgen.dir/test_clockgen.cpp.o.d"
+  "test_clockgen"
+  "test_clockgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clockgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cochlea.dir/test_cochlea.cpp.o"
+  "CMakeFiles/test_cochlea.dir/test_cochlea.cpp.o.d"
+  "test_cochlea"
+  "test_cochlea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cochlea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

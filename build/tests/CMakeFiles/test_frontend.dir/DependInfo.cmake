@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/test_frontend.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/test_frontend.dir/test_frontend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aetr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_mcu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_spi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_i2s.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_buffer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_clockgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_cochlea.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_aer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aetr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

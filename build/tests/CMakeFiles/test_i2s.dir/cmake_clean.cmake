@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_i2s.dir/test_i2s.cpp.o"
+  "CMakeFiles/test_i2s.dir/test_i2s.cpp.o.d"
+  "test_i2s"
+  "test_i2s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_i2s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mcu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcu_power.dir/test_mcu_power.cpp.o"
+  "CMakeFiles/test_mcu_power.dir/test_mcu_power.cpp.o.d"
+  "test_mcu_power"
+  "test_mcu_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcu_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

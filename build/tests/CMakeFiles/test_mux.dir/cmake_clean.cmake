@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mux.dir/test_mux.cpp.o"
+  "CMakeFiles/test_mux.dir/test_mux.cpp.o.d"
+  "test_mux"
+  "test_mux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pausible.dir/test_pausible.cpp.o"
+  "CMakeFiles/test_pausible.dir/test_pausible.cpp.o.d"
+  "test_pausible"
+  "test_pausible.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pausible.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_curve.dir/test_power_curve.cpp.o"
+  "CMakeFiles/test_power_curve.dir/test_power_curve.cpp.o.d"
+  "test_power_curve"
+  "test_power_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

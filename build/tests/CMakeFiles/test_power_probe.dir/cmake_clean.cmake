@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_probe.dir/test_power_probe.cpp.o"
+  "CMakeFiles/test_power_probe.dir/test_power_probe.cpp.o.d"
+  "test_power_probe"
+  "test_power_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

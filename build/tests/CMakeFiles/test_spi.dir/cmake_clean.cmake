@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spi.dir/test_spi.cpp.o"
+  "CMakeFiles/test_spi.dir/test_spi.cpp.o.d"
+  "test_spi"
+  "test_spi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spi_readout.dir/test_spi_readout.cpp.o"
+  "CMakeFiles/test_spi_readout.dir/test_spi_readout.cpp.o.d"
+  "test_spi_readout"
+  "test_spi_readout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spi_readout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
