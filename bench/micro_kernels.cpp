@@ -3,6 +3,10 @@
 // and the end-to-end interface pipeline.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 #include "aer/codec.hpp"
 #include "analysis/error.hpp"
 #include "analysis/power_curve.hpp"
@@ -33,6 +37,85 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerScheduleRun);
+
+// Dense periodic: self-rescheduling clocks with coprime ns-scale periods —
+// the clockgen/divider-cascade workload shape (steady-state, no allocation).
+void BM_SchedulerDensePeriodic(benchmark::State& state) {
+  struct Tick {
+    sim::Scheduler* s{nullptr};
+    Time period{};
+    std::uint64_t remaining{0};
+    void fire() {
+      if (--remaining == 0) return;
+      s->schedule_after(period, [this] { fire(); });
+    }
+  };
+  constexpr std::int64_t kPeriodsPs[8] = {8333,  9973,  12007, 14983,
+                                          20011, 25013, 33347, 50021};
+  constexpr std::uint64_t kFires = 250;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    Tick clocks[8];
+    for (int i = 0; i < 8; ++i) {
+      clocks[i] = Tick{&sched, Time::ps(kPeriodsPs[i]), kFires};
+      sched.schedule_after(clocks[i].period, [t = &clocks[i]] { t->fire(); });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * kFires);
+}
+BENCHMARK(BM_SchedulerDensePeriodic);
+
+// Sparse Poisson: one source with exponential inter-arrival (10 ms mean) —
+// far-future wakeups that walk every wheel level and occasionally overflow
+// into the heap, the sparse-AER-stream shape.
+void BM_SchedulerSparsePoisson(benchmark::State& state) {
+  Xoshiro256StarStar rng{11};
+  std::vector<Time> deltas;
+  deltas.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    deltas.push_back(Time::us(-std::log(rng.uniform(1e-12, 1.0)) * 1e4));
+  }
+  struct Source {
+    sim::Scheduler* s{nullptr};
+    const std::vector<Time>* deltas{nullptr};
+    std::size_t i{0};
+    void fire() {
+      if (i >= deltas->size()) return;
+      s->schedule_after((*deltas)[i++], [this] { fire(); });
+    }
+  };
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    Source src{&sched, &deltas, 0};
+    src.fire();
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerSparsePoisson);
+
+// Heavy cancel: 90% of scheduled events are cancelled before they fire —
+// the pausable-clock pattern (schedule the next edge, cancel it on pause).
+void BM_SchedulerHeavyCancel(benchmark::State& state) {
+  std::vector<sim::EventId> ids(1000);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    for (int i = 0; i < 1000; ++i) {
+      ids[static_cast<std::size_t>(i)] =
+          sched.schedule_at(Time::ns(i + 1), [] {});
+    }
+    for (int i = 0; i < 1000; ++i) {
+      if (i % 10 != 0) sched.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerHeavyCancel);
 
 void BM_ScheduleMeasure(benchmark::State& state) {
   clockgen::ScheduleConfig cfg;

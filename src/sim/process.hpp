@@ -122,7 +122,7 @@ class Trigger {
  private:
   friend struct WaitFor;
   Scheduler& sched_;
-  std::vector<std::function<void()>> waiters_;
+  std::vector<Scheduler::Callback> waiters_;
   std::uint64_t fires_{0};
 };
 

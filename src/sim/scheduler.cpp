@@ -1,68 +1,291 @@
 #include "sim/scheduler.hpp"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace aetr::sim {
 
-EventId Scheduler::schedule_at(Time t, Callback cb) {
+namespace {
+
+/// Wheel level for an event at tick `t` seen from tick `now`: the highest
+/// 8-bit digit in which the two times differ. Same-digit placement is
+/// impossible by construction, so a bucket never collides with the cursor.
+unsigned placement_level(std::uint64_t diff) {
+  if (diff == 0) return 0;
+  return (static_cast<unsigned>(std::bit_width(diff)) - 1u) >> 3u;
+}
+
+}  // namespace
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  if (meta_.size() == meta_.capacity()) {
+    // Grow in large steps: metadata copies trivially, but reallocating the
+    // cell array relocates every callback, so keep reallocations rare.
+    const std::size_t cap = meta_.empty() ? 1024 : meta_.capacity() * 2;
+    meta_.reserve(cap);
+    cells_.reserve(cap);
+  }
+  meta_.emplace_back();
+  cells_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void Scheduler::release_slot(std::uint32_t idx) {
+  SlotMeta& m = meta_[idx];
+  ++m.gen;  // stale EventIds (ran / cancelled / recycled) now never match
+  m.where = Where::kFree;
+  // prev/next were already detached by whichever unlink/pop got us here
+  // (heap slots are never linked in the first place).
+  free_.push_back(idx);
+}
+
+void Scheduler::bucket_push(std::uint16_t bucket, std::uint32_t idx) {
+  SlotMeta& m = meta_[idx];
+  Bucket& b = buckets_[bucket];
+  m.bucket = bucket;
+  m.next = -1;
+  m.prev = b.tail;
+  if (b.tail >= 0) {
+    meta_[static_cast<std::size_t>(b.tail)].next = static_cast<std::int32_t>(idx);
+  } else {
+    b.head = static_cast<std::int32_t>(idx);
+    occ_set(bucket / kSlotsPerLevel, bucket % kSlotsPerLevel);
+  }
+  b.tail = static_cast<std::int32_t>(idx);
+}
+
+void Scheduler::bucket_unlink(std::uint32_t idx) {
+  SlotMeta& m = meta_[idx];
+  Bucket& b = buckets_[m.bucket];
+  if (m.prev >= 0) {
+    meta_[static_cast<std::size_t>(m.prev)].next = m.next;
+  } else {
+    b.head = m.next;
+  }
+  if (m.next >= 0) {
+    meta_[static_cast<std::size_t>(m.next)].prev = m.prev;
+  } else {
+    b.tail = m.prev;
+  }
+  m.prev = m.next = -1;
+  if (b.head < 0) {
+    occ_clear(m.bucket / kSlotsPerLevel, m.bucket % kSlotsPerLevel);
+  }
+}
+
+void Scheduler::wheel_insert(std::uint32_t idx) {
+  SlotMeta& m = meta_[idx];
+  const std::uint64_t tt = ticks(m.t);
+  const unsigned level = placement_level(tt ^ ticks(now_));
+  assert(level < kLevels);
+  const auto index =
+      static_cast<unsigned>((tt >> (kGroupBits * level)) & kIndexMask);
+  m.where = Where::kWheel;
+  bucket_push(static_cast<std::uint16_t>(level * kSlotsPerLevel + index), idx);
+}
+
+std::uint32_t Scheduler::schedule_slot(Time t) {
   if (t < now_) {
     throw std::logic_error("Scheduler: event scheduled in the past (" +
                            t.to_string() + " < " + now_.to_string() + ")");
   }
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id, std::move(cb)});
-  return EventId{id};
+  const std::uint32_t idx = acquire_slot();
+  SlotMeta& m = meta_[idx];
+  m.t = t;
+  m.seq = next_seq_++;
+  if ((ticks(t) ^ ticks(now_)) >> kHorizonBits) {
+    m.where = Where::kHeap;
+    heap_.push(HeapEntry{t, m.seq, idx, m.gen});
+  } else {
+    wheel_insert(idx);
+  }
+  ++live_;
+  return idx;
+}
+
+EventId Scheduler::schedule_at(Time t, Callback cb) {
+  const std::uint32_t idx = schedule_slot(t);
+  cells_[idx] = std::move(cb);
+  return EventId{(std::uint64_t{meta_[idx].gen} << 32) | (idx + 1)};
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
-  // Lazy deletion: remember the id; the entry is dropped when popped.
-  // An id is only cancellable while pending (ran ids are never reused).
-  if (id.id >= next_id_) return false;
-  return cancelled_.insert(id.id).second;
+  const auto biased = static_cast<std::uint32_t>(id.id & 0xFFFFFFFFu);
+  if (biased == 0 || biased > meta_.size()) return false;
+  const std::uint32_t idx = biased - 1;
+  SlotMeta& m = meta_[idx];
+  if (m.gen != static_cast<std::uint32_t>(id.id >> 32)) return false;
+  switch (m.where) {
+    case Where::kWheel:
+      bucket_unlink(idx);
+      cells_[idx].reset();
+      release_slot(idx);
+      --live_;
+      return true;
+    case Where::kHeap:
+      // The heap entry still references the slot; park it as a zombie and
+      // let prune_heap() reclaim it when the entry surfaces.
+      cells_[idx].reset();
+      m.where = Where::kZombie;
+      --live_;
+      return true;
+    default:
+      return false;  // already ran, already cancelled, or recycled
+  }
 }
 
-bool Scheduler::pop_and_dispatch() {
+void Scheduler::prune_heap() {
   while (!heap_.empty()) {
-    // priority_queue::top is const; the callback is moved out via const_cast,
-    // which is safe because the entry is popped immediately afterwards.
-    auto& top = const_cast<Entry&>(heap_.top());
-    if (cancelled_.erase(top.id) > 0) {
-      heap_.pop();
-      continue;
-    }
-    assert(top.t >= now_);
-    now_ = top.t;
-    Callback cb = std::move(top.cb);
+    const HeapEntry& top = heap_.top();
+    SlotMeta& m = meta_[top.slot];
+    if (m.where == Where::kHeap && m.gen == top.gen) return;  // live
+    assert(m.where == Where::kZombie);
+    release_slot(top.slot);
     heap_.pop();
-    ++processed_;
-    cb();
-    return true;
   }
-  return false;
+}
+
+void Scheduler::advance_now_to(Time t) {
+  assert(t >= now_);
+  const std::uint64_t old_ticks = ticks(now_);
+  const std::uint64_t new_ticks = ticks(t);
+  now_ = t;
+  const std::uint64_t diff = old_ticks ^ new_ticks;
+  if (diff == 0) return;
+  unsigned level = placement_level(diff);
+  if (level >= kLevels) level = kLevels - 1;
+  // Cascade, coarsest first, every bucket the cursor just landed in: its
+  // events re-place at a strictly finer level (possibly into a bucket a
+  // later, finer iteration of this same loop then cascades again).
+  for (; level >= 1; --level) {
+    const auto index =
+        static_cast<unsigned>((new_ticks >> (kGroupBits * level)) & kIndexMask);
+    Bucket& b = buckets_[level * kSlotsPerLevel + index];
+    std::int32_t cur = b.head;
+    if (cur < 0) continue;
+    b.head = b.tail = -1;
+    occ_clear(level, index);
+    while (cur >= 0) {  // relink in list order: preserves same-time FIFO
+      const auto idx = static_cast<std::uint32_t>(cur);
+      cur = meta_[idx].next;
+      meta_[idx].prev = meta_[idx].next = -1;
+      wheel_insert(idx);
+    }
+  }
+}
+
+// Locate, position on, pop and invoke the earliest live event with
+// timestamp <= horizon. This is the single dispatch path shared by run(),
+// run_until() and run_next(); it fuses peeking and dispatching so the
+// common case costs one pass over the occupancy bitmaps.
+bool Scheduler::step(Time horizon) {
+  for (;;) {
+    prune_heap();
+    const bool have_heap = !heap_.empty();
+
+    if (levels_ == 0) {
+      if (!have_heap || heap_.top().t > horizon) return false;
+      return dispatch_heap();
+    }
+    const auto level = static_cast<unsigned>(std::countr_zero(levels_));
+    const unsigned index = min_index(level);
+    const auto bucket =
+        static_cast<std::uint16_t>(level * kSlotsPerLevel + index);
+    Bucket& b = buckets_[bucket];
+
+    if (level == 0 || b.head == b.tail) {
+      // Exact-dispatch fast path. A level-0 bucket's head is the wheel
+      // minimum by construction (one shared tick, FIFO list). A *single*
+      // node in the earliest bucket of the lowest occupied level is
+      // likewise the wheel minimum: every finer level is empty and every
+      // other same-level bucket holds a strictly later digit. Either way
+      // the node dispatches straight from here — no cascade, no rescan.
+      const auto idx = static_cast<std::uint32_t>(b.head);
+      SlotMeta& m = meta_[idx];
+      const Time t = m.t;
+      if (have_heap) {
+        const HeapEntry& top = heap_.top();
+        if (top.t < t || (top.t == t && top.seq < m.seq)) {
+          if (top.t > horizon) return false;
+          return dispatch_heap();
+        }
+      }
+      if (t > horizon) return false;
+      assert(t >= now_);
+      // Pop the head, then jump the cursor straight to t: all finer levels
+      // are empty and no other node shares this bucket's digit, so there is
+      // nothing for the cursor to cascade on the way.
+      b.head = m.next;
+      if (m.next >= 0) {
+        meta_[static_cast<std::size_t>(m.next)].prev = -1;
+      } else {
+        b.tail = -1;
+        occ_clear(level, index);
+      }
+      m.prev = m.next = -1;
+      now_ = t;
+      finish_dispatch(idx);
+      return true;
+    }
+
+    // Multi-node coarse bucket: its start time lower-bounds every event
+    // inside it. If the heap's front comes first, dispatch that; if even
+    // the lower bound lies beyond the horizon, nothing qualifies; otherwise
+    // hop the cursor to the bucket start (safe: nothing lives before it)
+    // which cascades the bucket one level finer, and retry.
+    const unsigned parent_shift = kGroupBits * (level + 1);
+    const std::uint64_t bucket_start =
+        ((ticks(now_) >> parent_shift) << parent_shift) |
+        (std::uint64_t{index} << (kGroupBits * level));
+    const Time bucket_t = Time::ps(static_cast<Time::Rep>(bucket_start));
+    assert(bucket_t > now_);
+    if (have_heap && heap_.top().t < bucket_t) {
+      if (heap_.top().t > horizon) return false;
+      return dispatch_heap();
+    }
+    if (bucket_t > horizon) return false;
+    advance_now_to(bucket_t);
+  }
+}
+
+bool Scheduler::dispatch_heap() {
+  const std::uint32_t idx = heap_.top().slot;
+  const Time t = heap_.top().t;
+  heap_.pop();
+  assert(t >= now_);
+  advance_now_to(t);
+  finish_dispatch(idx);
+  return true;
+}
+
+void Scheduler::finish_dispatch(std::uint32_t idx) {
+  Callback cb = std::move(cells_[idx]);
+  release_slot(idx);
+  --live_;
+  ++processed_;
+  cb();
 }
 
 void Scheduler::run(std::uint64_t limit) {
   for (std::uint64_t i = 0; i < limit; ++i) {
-    if (!pop_and_dispatch()) return;
+    if (!step(Time::max())) return;
   }
 }
 
 void Scheduler::run_until(Time t) {
-  while (!heap_.empty()) {
-    const auto& top = heap_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      heap_.pop();
-      continue;
-    }
-    if (top.t > t) break;
-    pop_and_dispatch();
+  while (step(t)) {
   }
-  if (t > now_) now_ = t;
+  if (t > now_) advance_now_to(t);
 }
 
-bool Scheduler::run_next() { return pop_and_dispatch(); }
+bool Scheduler::run_next() { return step(Time::max()); }
 
 }  // namespace aetr::sim

@@ -6,19 +6,40 @@
 // *state-change* instants, so simulated cost scales with activity, not with
 // wall-clock frequency — the same energy-proportionality trick the paper
 // plays in hardware, applied to simulator throughput.
+//
+// The event store is a two-tier kernel (docs/SIMULATOR.md#the-event-kernel):
+//
+//  * a hierarchical timer wheel (kLevels levels of 256 buckets, picosecond
+//    ticks) holds every event within ~1.1 s of now(). Schedule and cancel
+//    are O(1); an event cascades to a finer level at most kLevels-1 times
+//    before it is dispatched at its exact tick, and the earliest bucket
+//    dispatches directly — no cascade — whenever it holds a single event.
+//  * a comparison heap catches the rare far-future event (idle timeouts,
+//    "never" sentinels) whose timestamp lies beyond the wheel horizon.
+//
+// Callbacks live in a generation-tagged slot pool of InplaceFunction cells,
+// so the common capture (component pointer + small ints) never touches the
+// allocator and a stale EventId can never cancel a recycled slot.
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
+#include <type_traits>
 #include <vector>
 
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace aetr::sim {
 
 /// Handle to a scheduled event, usable for cancellation.
+///
+/// Encodes a slot-pool index (low 32 bits, biased by 1 so 0 stays "invalid")
+/// and the slot's generation at scheduling time (high 32 bits). Cancelling
+/// is an O(1) pool lookup; a handle whose generation no longer matches the
+/// slot (the event ran, was cancelled, or the slot was recycled) is simply
+/// stale and cancel() returns false.
 struct EventId {
   std::uint64_t id{0};
   [[nodiscard]] bool valid() const { return id != 0; }
@@ -28,7 +49,11 @@ struct EventId {
 /// further events freely (including at the current time).
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  /// 56 inline bytes covers every capture in the library (the largest is the
+  /// SPI bit-clocking closure at exactly 56 bytes, asserted in spi.cpp) and
+  /// makes the whole cell — buffer plus vtable pointer — exactly one 64-byte
+  /// cache line. Bigger captures still work via the wrapper's heap fallback.
+  using Callback = util::InplaceFunction<void(), 56>;
 
   /// Current simulated time. Monotonically non-decreasing.
   [[nodiscard]] Time now() const { return now_; }
@@ -36,9 +61,37 @@ class Scheduler {
   /// Schedule `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(Time t, Callback cb);
 
+  /// In-place overload: a small nothrow-movable callable is constructed
+  /// directly in its pooled cell, skipping the temporary wrapper and the
+  /// vtable relocate of the Callback path entirely.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, Callback> && std::is_invocable_r_v<void, D&>>>
+  EventId schedule_at(Time t, F&& f) {
+    if constexpr (Callback::stores_inline<F>() &&
+                  std::is_nothrow_constructible_v<D, F&&>) {
+      const std::uint32_t idx = schedule_slot(t);
+      cells_[idx].emplace(std::forward<F>(f));
+      return EventId{(std::uint64_t{meta_[idx].gen} << 32) | (idx + 1)};
+    } else {
+      // Potentially-throwing construction: build the wrapper first so a
+      // throw cannot leave a linked slot with an empty callback.
+      return schedule_at(t, Callback(std::forward<F>(f)));
+    }
+  }
+
   /// Schedule `cb` `delta` after the current time.
   EventId schedule_after(Time delta, Callback cb) {
     return schedule_at(now_ + delta, std::move(cb));
+  }
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, Callback> && std::is_invocable_r_v<void, D&>>>
+  EventId schedule_after(Time delta, F&& f) {
+    return schedule_at(now_ + delta, std::forward<F>(f));
   }
 
   /// Cancel a pending event. Returns false if it already ran or was
@@ -54,28 +107,112 @@ class Scheduler {
   /// Process the single earliest event; returns false if queue empty.
   bool run_next();
 
-  [[nodiscard]] std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 
+  /// Events within this distance of now() live in the timer wheel; farther
+  /// ones overflow into the comparison heap.
+  static constexpr Time wheel_horizon() {
+    return Time::ps(Time::Rep{1} << kHorizonBits);
+  }
+
  private:
-  struct Entry {
+  static constexpr unsigned kGroupBits = 8;                // 256 buckets/level
+  static constexpr unsigned kSlotsPerLevel = 1u << kGroupBits;
+  static constexpr unsigned kLevels = 5;                   // 256^5 ps ≈ 1.1 s
+  static constexpr unsigned kHorizonBits = kGroupBits * kLevels;
+  static constexpr std::uint64_t kIndexMask = kSlotsPerLevel - 1;
+  static constexpr unsigned kWordsPerLevel = kSlotsPerLevel / 64;
+
+  enum class Where : std::uint8_t {
+    kFree,    // on the free list
+    kWheel,   // linked into a wheel bucket
+    kHeap,    // referenced by a live heap entry
+    kZombie,  // cancelled while in the heap; freed when its entry pops
+  };
+
+  /// Hot slot bookkeeping, split from the (larger, colder) callback cell so
+  /// that cascades, cancels and peeks walk dense 32-byte records — two per
+  /// cache line — and pool growth is a trivial copy.
+  struct SlotMeta {
+    Time t{Time::zero()};
+    std::uint64_t seq{0};        // FIFO order among same-time events
+    std::int32_t prev{-1};       // intrusive doubly-linked bucket list
+    std::int32_t next{-1};
+    std::uint32_t gen{1};        // bumped on every release; 0 never matches
+    std::uint16_t bucket{0};     // level * kSlotsPerLevel + index
+    Where where{Where::kFree};
+  };
+  static_assert(sizeof(SlotMeta) <= 32, "keep slot metadata cache-dense");
+
+  struct Bucket {
+    std::int32_t head{-1};
+    std::int32_t tail{-1};
+  };
+
+  /// Heap entries are plain values; the callback stays in the slot pool.
+  struct HeapEntry {
     Time t;
-    std::uint64_t seq;  // FIFO order among same-time events
-    std::uint64_t id;
-    Callback cb;
-    bool operator>(const Entry& other) const {
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const HeapEntry& other) const {
       if (t != other.t) return t > other.t;
       return seq > other.seq;
     }
   };
 
-  bool pop_and_dispatch();
+  static std::uint64_t ticks(Time t) {
+    return static_cast<std::uint64_t>(t.count_ps());
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  void occ_set(unsigned level, unsigned index) {
+    occupancy_[level][index >> 6] |= std::uint64_t{1} << (index & 63u);
+    words_[level] |= static_cast<std::uint8_t>(1u << (index >> 6));
+    levels_ |= 1u << level;
+  }
+  void occ_clear(unsigned level, unsigned index) {
+    std::uint64_t& w = occupancy_[level][index >> 6];
+    w &= ~(std::uint64_t{1} << (index & 63u));
+    if (w == 0) {
+      words_[level] &= static_cast<std::uint8_t>(~(1u << (index >> 6)));
+      if (words_[level] == 0) levels_ &= ~(1u << level);
+    }
+  }
+  /// Index of the earliest non-empty bucket of a non-empty level.
+  [[nodiscard]] unsigned min_index(unsigned level) const {
+    const auto w = static_cast<unsigned>(
+        std::countr_zero(static_cast<unsigned>(words_[level])));
+    return (w << 6) +
+           static_cast<unsigned>(std::countr_zero(occupancy_[level][w]));
+  }
+
+  std::uint32_t acquire_slot();
+  std::uint32_t schedule_slot(Time t);  // validate + acquire + enqueue
+  void release_slot(std::uint32_t idx);
+  void wheel_insert(std::uint32_t idx);
+  void bucket_push(std::uint16_t bucket, std::uint32_t idx);
+  void bucket_unlink(std::uint32_t idx);
+  void advance_now_to(Time t);
+  void prune_heap();
+  bool step(Time horizon);
+  bool dispatch_heap();
+  void finish_dispatch(std::uint32_t idx);
+
+  std::vector<SlotMeta> meta_;
+  std::vector<Callback> cells_;  // cells_[i] is slot i's callback
+  std::vector<std::uint32_t> free_;
+  Bucket buckets_[kLevels * kSlotsPerLevel]{};
+  // Three-deep occupancy hierarchy, finest to coarsest: bit b of
+  // occupancy_[l][w] <=> bucket (l, 64w+b) non-empty; bit w of words_[l]
+  // <=> occupancy_[l][w] != 0; bit l of levels_ <=> level l non-empty.
+  std::uint64_t occupancy_[kLevels][kWordsPerLevel]{};
+  std::uint8_t words_[kLevels]{};
+  std::uint32_t levels_{0};
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
   Time now_{Time::zero()};
-  std::uint64_t next_id_{1};
   std::uint64_t next_seq_{0};
+  std::size_t live_{0};
   std::uint64_t processed_{0};
 };
 

@@ -103,8 +103,7 @@ void SpiMaster::clock_bit(Txn txn, unsigned bit, std::uint16_t miso_accum) {
   // Mode 0: master drives MOSI, then raises SCK (slave samples), then
   // lowers it (slave updates MISO); master samples MISO on the rise.
   const bool mosi = (txn.frame >> (15 - bit)) & 1u;
-  sched_.schedule_after(half_period_, [this, txn = std::move(txn), bit,
-                                       miso_accum, mosi]() mutable {
+  auto rise = [this, txn = std::move(txn), bit, miso_accum, mosi]() mutable {
     const auto accum = static_cast<std::uint16_t>(
         (miso_accum << 1) | (slave_.miso() ? 1u : 0u));
     slave_.sck_rise(mosi);
@@ -113,7 +112,11 @@ void SpiMaster::clock_bit(Txn txn, unsigned bit, std::uint16_t miso_accum) {
           slave_.sck_fall();
           clock_bit(std::move(txn), bit + 1, accum);
         });
-  });
+  };
+  // The library's largest scheduled capture — keep it within the inline
+  // budget so the bit-clocking loop stays allocation-free.
+  static_assert(sim::Scheduler::Callback::stores_inline<decltype(rise)>());
+  sched_.schedule_after(half_period_, std::move(rise));
 }
 
 }  // namespace aetr::spi

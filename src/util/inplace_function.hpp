@@ -1,0 +1,145 @@
+// Small-buffer, move-only callable wrapper.
+//
+// The simulation kernel dispatches millions of callbacks whose captures are
+// almost always tiny (a component pointer plus a small integer or two).
+// std::function heap-allocates most captures beyond ~16 bytes, which turns
+// every scheduled event into an allocator round-trip. InplaceFunction stores
+// captures up to `Capacity` bytes inline in the object itself and only falls
+// back to the heap for oversized or throwing-move callables, so the common
+// case is allocation-free. It is move-only (callbacks are consumed exactly
+// once), which also lets it wrap non-copyable captures that std::function
+// rejects.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aetr::util {
+
+template <typename Signature, std::size_t Capacity = 64>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct<D>(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(&other.buf_, &buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      if (other.vt_ != nullptr) {
+        other.vt_->relocate(&other.buf_, &buf_);
+        vt_ = other.vt_;
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { reset(); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(&buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  /// Destroy the current target (if any) and construct a new one directly in
+  /// the buffer — no temporary wrapper, no relocate call through the vtable.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) {
+    reset();
+    construct<D>(std::forward<F>(f));
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(&buf_, std::forward<Args>(args)...);
+  }
+
+  /// True if a callable of type F would be stored inline (no allocation).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    using D = std::decay_t<F>;
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* src, void* dst) noexcept;  // move into dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      auto* s = static_cast<D*>(src);
+      ::new (dst) D(std::move(*s));
+      s->~D();
+    }
+    static void destroy(void* p) noexcept { static_cast<D*>(p)->~D(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static R invoke(void* p, Args&&... args) {
+      return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* src, void* dst) noexcept {
+      *static_cast<D**>(dst) = *static_cast<D**>(src);
+    }
+    static void destroy(void* p) noexcept { delete *static_cast<D**>(p); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D, typename F>
+  void construct(F&& f) {
+    if constexpr (stores_inline<D>()) {
+      ::new (static_cast<void*>(&buf_)) D(std::forward<F>(f));
+      vt_ = &InlineOps<D>::vtable;
+    } else {
+      *reinterpret_cast<D**>(&buf_) = new D(std::forward<F>(f));
+      vt_ = &HeapOps<D>::vtable;
+    }
+  }
+
+  static_assert(Capacity >= sizeof(void*), "Capacity must hold a pointer");
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_{nullptr};
+};
+
+}  // namespace aetr::util

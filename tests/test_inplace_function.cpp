@@ -1,0 +1,97 @@
+// Unit tests for the small-buffer callable used by the event kernel.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/inplace_function.hpp"
+
+namespace aetr::util {
+namespace {
+
+using Fn = InplaceFunction<int(int), 32>;
+
+TEST(InplaceFunction, DefaultIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Fn g{nullptr};
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InplaceFunction, InvokesSmallCaptureInline) {
+  int base = 40;
+  Fn f{[&base](int x) { return base + x; }};
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(2), 42);
+  static_assert(Fn::stores_inline<decltype([&base](int x) { return base + x; })>());
+}
+
+TEST(InplaceFunction, MoveTransfersOwnership) {
+  int calls = 0;
+  Fn f{[&calls](int x) {
+    ++calls;
+    return x;
+  }};
+  Fn g{std::move(f)};
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(7), 7);
+  Fn h;
+  h = std::move(g);
+  EXPECT_FALSE(static_cast<bool>(g));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(h(9), 9);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InplaceFunction, HoldsMoveOnlyCallable) {
+  auto p = std::make_unique<int>(5);
+  InplaceFunction<int(), 32> f{[q = std::move(p)] { return *q; }};
+  EXPECT_EQ(f(), 5);
+  InplaceFunction<int(), 32> g{std::move(f)};
+  EXPECT_EQ(g(), 5);  // unique_ptr survived the relocation
+}
+
+TEST(InplaceFunction, OversizedCaptureFallsBackToHeap) {
+  struct Big {
+    char data[128];
+  };
+  Big big{};
+  big.data[100] = 7;
+  InplaceFunction<int(), 32> f{[big] { return static_cast<int>(big.data[100]); }};
+  static_assert(
+      !InplaceFunction<int(), 32>::stores_inline<decltype([big] {
+        return static_cast<int>(big.data[100]);
+      })>());
+  EXPECT_EQ(f(), 7);
+  InplaceFunction<int(), 32> g{std::move(f)};
+  EXPECT_EQ(g(), 7);
+  g.reset();
+  EXPECT_FALSE(static_cast<bool>(g));  // heap callable destroyed exactly once
+}
+
+TEST(InplaceFunction, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InplaceFunction<void(), 32> f{[t = std::move(token)] { (void)t; }};
+  EXPECT_FALSE(watch.expired());
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InplaceFunction, AssignmentReplacesPrevious) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InplaceFunction<int(), 32> f{[t = std::move(token)] { return *t; }};
+  f = InplaceFunction<int(), 32>{[] { return 9; }};
+  EXPECT_TRUE(watch.expired());  // old capture destroyed on assignment
+  EXPECT_EQ(f(), 9);
+}
+
+TEST(InplaceFunction, ForwardsArguments) {
+  InplaceFunction<std::string(std::string, int), 48> f{
+      [](std::string s, int n) { return s + std::to_string(n); }};
+  EXPECT_EQ(f("x", 3), "x3");
+}
+
+}  // namespace
+}  // namespace aetr::util

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run the scheduler micro-benchmarks and record the results at repo root.
+
+Writes BENCH_scheduler.json with the current google-benchmark output plus a
+`history` array carrying every earlier recorded run (most recent last), so
+successive PRs accumulate a perf trajectory to regress against.
+
+Usage:
+    tools/bench_report.py [path/to/micro_kernels] [label]
+
+Defaults to build/bench/micro_kernels and an empty label. Also exposed as the
+`bench_report` CMake target.
+"""
+import json
+import pathlib
+import subprocess
+import sys
+import time
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_scheduler.json"
+FILTER = "BM_Scheduler"
+
+
+def compact(benchmarks):
+    """name -> real_time (ns) for the *_mean aggregate rows."""
+    return {
+        b["name"]: round(b["real_time"], 1)
+        for b in benchmarks
+        if b.get("name", "").endswith("_mean")
+    }
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else str(
+        ROOT / "build" / "bench" / "micro_kernels")
+    label = sys.argv[2] if len(sys.argv) > 2 else ""
+    try:
+        proc = subprocess.run(
+            [
+                bench,
+                f"--benchmark_filter={FILTER}",
+                "--benchmark_format=json",
+                "--benchmark_repetitions=9",
+                "--benchmark_report_aggregates_only=true",
+            ],
+            check=True,
+            capture_output=True,
+            text=True,
+        )
+    except FileNotFoundError:
+        print(f"error: benchmark binary not found: {bench}", file=sys.stderr)
+        print("build it first: cmake --build build --target micro_kernels",
+              file=sys.stderr)
+        return 1
+    except subprocess.CalledProcessError as e:
+        print(f"error: {bench} exited {e.returncode}:\n{e.stderr}",
+              file=sys.stderr)
+        return 1
+    data = json.loads(proc.stdout)
+
+    history = []
+    if OUT.exists():
+        old = json.loads(OUT.read_text())
+        history = old.get("history", [])
+        history.append({
+            "label": old.get("label", ""),
+            "date": old.get("date", ""),
+            "benchmarks": compact(old.get("benchmarks", [])),
+        })
+
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "context": data.get("context", {}),
+        "benchmarks": data.get("benchmarks", []),
+        "history": history,
+    }
+    OUT.write_text(json.dumps(doc, indent=1) + "\n")
+    summary = compact(doc["benchmarks"])
+    for name, ns in sorted(summary.items()):
+        print(f"{name:45s} {ns:>12.1f} ns")
+    print(f"wrote {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
