@@ -18,6 +18,7 @@
 #include "mcu/adaptive.hpp"
 #include "mcu/consumer.hpp"
 #include "spi/spi.hpp"
+#include "util/artifacts.hpp"
 #include "util/table.hpp"
 
 using namespace aetr;
@@ -105,7 +106,7 @@ int main() {
   table.add_row({"adaptive (closed loop)", Table::num(ad.power_mw, 4),
                  Table::num(ad.error_pct, 3), std::to_string(ad.retunes)});
   table.print(std::cout);
-  table.write_csv("aetr_ablation_adaptive.csv");
+  table.write_csv(util::artifact_path("aetr_ablation_adaptive.csv"));
 
   std::printf(
       "\nreading: the controller rides the workload — small theta while\n"
@@ -113,5 +114,23 @@ int main() {
       "large static setting at noticeably lower energy. Each retune costs a\n"
       "schedule restart (one partially mistimed interval), visible as a\n"
       "slight error penalty versus the oracle static choice per phase.\n");
-  return 0;
+
+  // Consistency: the closed loop must actually retune, beat the accuracy
+  // of the small static setting, and undercut the power of the large one.
+  bool ok = true;
+  if (ad.retunes == 0) {
+    std::printf("CHECK FAILED: adaptive controller never retuned\n");
+    ok = false;
+  }
+  if (ad.error_pct >= s16.error_pct) {
+    std::printf("CHECK FAILED: adaptive error %.3f%% not below static "
+                "theta=16 (%.3f%%)\n", ad.error_pct, s16.error_pct);
+    ok = false;
+  }
+  if (ad.power_mw >= s64.power_mw) {
+    std::printf("CHECK FAILED: adaptive power %.4f mW not below static "
+                "theta=64 (%.4f mW)\n", ad.power_mw, s64.power_mw);
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 
 #include "core/runner.hpp"
 #include "gen/sources.hpp"
+#include "util/artifacts.hpp"
 #include "util/table.hpp"
 
 using namespace aetr;
@@ -27,6 +28,8 @@ int main() {
   const auto events = gen::take(make, 20000);
   Table t1{{"threshold", "batches", "max occupancy", "words out",
             "overflows"}};
+  bool ok = true;
+  std::uint64_t prev_batches = UINT64_MAX;
   for (const std::size_t threshold : {16u, 64u, 256u, 1024u, 2048u}) {
     core::InterfaceConfig cfg;
     cfg.fifo.batch_threshold = threshold;
@@ -43,9 +46,16 @@ int main() {
                 std::to_string(iface.fifo().max_occupancy()),
                 std::to_string(iface.i2s_master().words_sent()),
                 std::to_string(iface.fifo().overflows())});
+    // Bigger batches must mean strictly fewer MCU wakeups and no losses
+    // at this (drainable) input rate.
+    if (iface.i2s_master().drains() >= prev_batches ||
+        iface.fifo().overflows() != 0) {
+      ok = false;
+    }
+    prev_batches = iface.i2s_master().drains();
   }
   t1.print(std::cout);
-  t1.write_csv("aetr_ablation_batching.csv");
+  t1.write_csv(util::artifact_path("aetr_ablation_batching.csv"));
 
   // --- Part 2: overflow onset ------------------------------------------------
   std::printf("\npart 2: input rate vs. buffer size at a 1 MHz I2S clock"
@@ -54,6 +64,7 @@ int main() {
             "buf 9200: drop%%"}};
   for (const double rate : {10e3, 25e3, 31e3, 50e3, 100e3}) {
     std::vector<std::string> row{Table::num(rate / 1e3, 4)};
+    double prev_drop = 1e18;  // drop%% must not grow with buffer size
     for (const std::size_t capacity : {512u, 2300u, 9200u}) {
       core::InterfaceConfig cfg;
       cfg.fifo.capacity_words = capacity;
@@ -63,19 +74,22 @@ int main() {
       gen::PoissonSource src{rate, 128, 11};
       const auto r =
           core::run_source(cfg, src, static_cast<std::size_t>(rate * 0.4));
-      row.push_back(Table::num(
-          100.0 * static_cast<double>(r.fifo_overflows) /
-              static_cast<double>(r.events_in), 3));
+      const double drop = 100.0 * static_cast<double>(r.fifo_overflows) /
+                          static_cast<double>(r.events_in);
+      if (drop > prev_drop + 1e-9) ok = false;
+      prev_drop = drop;
+      row.push_back(Table::num(drop, 3));
     }
     t2.add_row(std::move(row));
   }
   t2.print(std::cout);
-  t2.write_csv("aetr_ablation_buffer.csv");
+  t2.write_csv(util::artifact_path("aetr_ablation_buffer.csv"));
 
   std::printf(
       "\nreading: below the drain rate all buffers survive transients; the\n"
       "bigger the buffer the longer the burst it can absorb, but sustained\n"
       "input above the output bitrate overflows any finite buffer —\n"
       "the input/output bitrate ratio bounds the achievable batching.\n");
-  return 0;
+  if (!ok) std::printf("\nCHECK FAILED: batching/overflow trends violated\n");
+  return ok ? 0 : 1;
 }

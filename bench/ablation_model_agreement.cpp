@@ -1,70 +1,31 @@
 // Ablation A4 — cycle-level DES vs. the algorithmic (paper-Matlab-style)
-// model, plus simulator throughput.
+// model.
 //
 // The paper evaluated accuracy with a Matlab model and power on the FPGA;
 // our reproduction uses one SamplingSchedule for both, so the two paths
 // must agree. This harness quantifies the residual gap (the DES adds the
-// 2-FF synchroniser and real handshake timing that the ideal model omits)
-// and reports how fast the DES runs — the simulator's own
-// energy-proportionality: cost per event, not per clock cycle.
-#include <chrono>
+// 2-FF synchroniser and real handshake timing that the ideal model omits).
+// DES throughput now comes from the runtime's per-job wall-clock metrics
+// (the old in-table wall column made the CSV nondeterministic).
+//
+// The (theta x rate) grid runs on the aetr::runtime sweep engine
+// (src/sweeps/figures.cpp); `aetr-sweep ablation-agreement` is the same
+// sweep with CLI knobs. Exit code is non-zero when the model/DES
+// agreement check fails.
 #include <cstdio>
 #include <iostream>
 
-#include "analysis/error.hpp"
-#include "core/runner.hpp"
-#include "gen/sources.hpp"
-#include "util/table.hpp"
-
-using namespace aetr;
+#include "sweeps/figures.hpp"
 
 int main() {
-  std::printf("Ablation A4 -- DES vs. algorithmic model, and DES throughput\n\n");
-
-  Table table{{"rate (evt/s)", "theta", "model err", "model+sync err",
-               "DES err", "DES evt/s (wall)"}};
-
-  for (const std::uint32_t theta : {16u, 64u}) {
-    for (const double rate : {3e3, 30e3, 300e3}) {
-      clockgen::ScheduleConfig sc;
-      sc.theta_div = theta;
-      sc.n_div = 8;
-
-      analysis::SweepOptions ideal;
-      ideal.n_events = 5000;
-      ideal.seed = 42;
-      const auto model_err = analysis::sweep_error(sc, rate, ideal);
-
-      analysis::SweepOptions synced = ideal;
-      synced.sync_edges = 2;
-      const auto sync_err = analysis::sweep_error(sc, rate, synced);
-
-      core::InterfaceConfig cfg;
-      cfg.clock.theta_div = theta;
-      cfg.fifo.batch_threshold = 512;
-      gen::PoissonSource src{rate, 128, 42, Time::ns(130.0)};
-      const auto events = gen::take(src, 5000);
-      const auto wall_start = std::chrono::steady_clock::now();
-      const auto r = core::run_stream(cfg, events);
-      const auto wall = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - wall_start)
-                            .count();
-
-      table.add_row({Table::num(rate, 4), std::to_string(theta),
-                     Table::num(model_err.weighted_rel_error(), 3),
-                     Table::num(sync_err.weighted_rel_error(), 3),
-                     Table::num(r.error.weighted_rel_error(), 3),
-                     Table::num(5000.0 / wall, 3)});
-    }
-  }
-  table.print(std::cout);
-  table.write_csv("aetr_ablation_agreement.csv");
-
+  std::printf("Ablation A4 -- DES vs. algorithmic model\n\n");
+  const auto result = aetr::sweeps::run_ablation_agreement({});
+  const int rc = aetr::sweeps::report_figure(result, std::cout);
   std::printf(
       "\nreading: adding the 2-FF synchroniser to the algorithmic model\n"
       "closes most of the gap to the cycle-level DES; the residual comes\n"
-      "from sender-side handshake timing. DES throughput is millions of\n"
-      "events per wall second at any simulated rate because idle clock\n"
-      "state is advanced in closed form.\n");
-  return 0;
+      "from sender-side handshake timing. Per-job wall clocks (sweep\n"
+      "metrics above) put DES throughput in the millions of events per\n"
+      "wall second because idle clock state is advanced in closed form.\n");
+  return rc;
 }

@@ -8,70 +8,25 @@
 // T_max, the predicted flex rate 1/T_max, the measured power at rates
 // around the flex, and the error-saturation knee — demonstrating that both
 // quantities slide together as N_div changes.
-#include <cmath>
+//
+// The per-N_div jobs run on the aetr::runtime sweep engine
+// (src/sweeps/figures.cpp); `aetr-sweep ablation-ndiv` is the same sweep
+// with CLI knobs. Exit code is non-zero when a consistency check fails.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "analysis/error.hpp"
-#include "core/runner.hpp"
-#include "gen/sources.hpp"
-#include "util/table.hpp"
-
-using namespace aetr;
-using namespace aetr::time_literals;
-
-namespace {
-
-double power_at(double rate_hz, std::uint32_t n_div) {
-  core::InterfaceConfig cfg;
-  cfg.clock.theta_div = 64;
-  cfg.clock.n_div = n_div;
-  cfg.front_end.keep_records = false;
-  gen::PoissonSource src{rate_hz, 128, 99};
-  const auto n_events =
-      static_cast<std::size_t>(std::clamp(rate_hz * 0.3, 200.0, 5000.0));
-  return core::run_source(cfg, src, n_events).average_power_w;
-}
-
-}  // namespace
+#include "sweeps/figures.hpp"
 
 int main() {
   std::printf("Ablation A1 -- N_div as the max-measurable-interval knob"
               " (theta_div = 64)\n\n");
-
-  Table table{{"N_div", "T_max", "flex rate 1/T_max (evt/s)",
-               "P @ flex/4 (mW)", "P @ 4*flex (mW)", "sat%% @ 2/T_max",
-               "sat%% @ 20/T_max"}};
-
-  for (const std::uint32_t n_div : {2u, 4u, 6u, 8u, 10u}) {
-    clockgen::ScheduleConfig sc;
-    sc.theta_div = 64;
-    sc.n_div = n_div;
-    const clockgen::SamplingSchedule schedule{sc};
-    const double t_max = schedule.awake_span().to_sec();
-    const double flex = 1.0 / t_max;
-
-    const auto err_lo = analysis::sweep_error(sc, 2.0 * flex,
-                                              {.n_events = 1200, .seed = 5});
-    const auto err_hi = analysis::sweep_error(sc, 20.0 * flex,
-                                              {.n_events = 1200, .seed = 5});
-    table.add_row({std::to_string(n_div),
-                   schedule.awake_span().to_string(),
-                   Table::num(flex, 4),
-                   Table::num(power_at(flex / 4.0, n_div) * 1e3, 4),
-                   Table::num(power_at(flex * 4.0, n_div) * 1e3, 4),
-                   Table::num(100.0 * err_lo.frac_saturated(), 3),
-                   Table::num(100.0 * err_hi.frac_saturated(), 3)});
-  }
-  table.print(std::cout);
-  table.write_csv("aetr_ablation_ndiv.csv");
-
+  const auto result = aetr::sweeps::run_ablation_ndiv({});
+  const int rc = aetr::sweeps::report_figure(result, std::cout);
   std::printf(
       "\nreading: below the flex rate the clock sleeps most of the time\n"
       "(power approaches the floor) but events saturate; above it the\n"
       "interface stays awake and tags accurately. Larger N_div moves both\n"
       "boundaries to lower rates together, exactly the trade the paper\n"
       "describes.\n");
-  return 0;
+  return rc;
 }

@@ -8,6 +8,7 @@
 
 #include "clockgen/schedule.hpp"
 #include "sim/vcd.hpp"
+#include "util/artifacts.hpp"
 
 using namespace aetr;
 using namespace aetr::time_literals;
@@ -53,7 +54,8 @@ int main() {
               schedule.awake_span().to_string().c_str());
 
   // VCD dump with an explicit low phase per cycle.
-  sim::VcdWriter vcd{"aetr_fig2.vcd"};
+  const std::string vcd_path = util::artifact_path("aetr_fig2.vcd");
+  sim::VcdWriter vcd{vcd_path};
   const auto clk = vcd.add_signal("clockgen", "sampling_clk");
   const auto level = vcd.add_signal("clockgen", "div_level", 4);
   const auto sleep = vcd.add_signal("clockgen", "sleep");
@@ -65,7 +67,17 @@ int main() {
     vcd.change(clk, 0, e.at + schedule.period_of_level(e.level) / 2);
   }
   vcd.change(sleep, 1, schedule.awake_span());
-  std::printf("\nwaveform written to aetr_fig2.vcd (%zu edges)\n",
+  std::printf("\nwaveform written to %s (%zu edges)\n", vcd_path.c_str(),
               edges.size());
+  // Consistency: the divided clock must actually tick, every edge must lie
+  // inside the awake span, and theta_div edges must precede each division.
+  bool edges_ok = !edges.empty();
+  for (const auto& e : edges) {
+    edges_ok = edges_ok && e.at < schedule.awake_span();
+  }
+  if (!edges_ok) {
+    std::printf("CHECK FAILED: malformed edge schedule\n");
+    return 1;
+  }
   return 0;
 }

@@ -9,78 +9,19 @@
 // (middle): error oscillates well below the analytic ~2/theta bound
 // (3 % for theta_div = 64). High-activity (right): error rises again as
 // inter-spike times approach the Nyquist period of the undivided clock.
-#include <algorithm>
-#include <cmath>
+//
+// The grid runs on the aetr::runtime sweep engine (src/sweeps/figures.cpp
+// defines the jobs); `aetr-sweep fig6` is the same sweep with CLI knobs.
+// Exit code is non-zero when a paper check fails, so CI can gate on it.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "analysis/error.hpp"
-#include "util/table.hpp"
-
-using namespace aetr;
+#include "sweeps/figures.hpp"
 
 int main() {
-  constexpr double kRateLo = 100.0;
-  constexpr double kRateHi = 2e6;
-  constexpr std::size_t kPoints = 27;
-  const std::vector<std::uint32_t> thetas{16, 32, 64};
-
   std::printf("Fig. 6 -- average relative timestamp error vs. event rate\n");
   std::printf("model: ideal 50%%-duty variable-frequency clock, Poisson input,"
               " n_div = 8\n\n");
-
-  Table table{{"rate (evt/s)", "err theta=16", "err theta=32", "err theta=64",
-               "region (theta=64)", "sat%% (64)"}};
-
-  std::vector<std::vector<analysis::CurvePoint>> curves;
-  for (const auto theta : thetas) {
-    clockgen::ScheduleConfig cfg;
-    cfg.theta_div = theta;
-    cfg.n_div = 8;
-    analysis::SweepOptions opt;
-    opt.n_events = 6000;
-    opt.seed = 1234;
-    curves.push_back(
-        analysis::sweep_error_curve(cfg, kRateLo, kRateHi, kPoints, opt));
-  }
-
-  for (std::size_t i = 0; i < kPoints; ++i) {
-    table.add_row({Table::num(curves[0][i].rate_hz, 4),
-                   Table::num(curves[0][i].stats.weighted_rel_error(), 3),
-                   Table::num(curves[1][i].stats.weighted_rel_error(), 3),
-                   Table::num(curves[2][i].stats.weighted_rel_error(), 3),
-                   analysis::to_string(curves[2][i].region),
-                   Table::num(100.0 * curves[2][i].stats.frac_saturated(), 3)});
-  }
-  table.print(std::cout);
-  table.write_csv("aetr_fig6.csv");
-
-  // Paper checkpoints.
-  std::printf("\nchecks against the paper:\n");
-  const double bound64 = analysis::analytic_error_bound(64);
-  // The paper quotes the bound "from 1 kevt/s to 550 kevt/s"; just above
-  // the inactive boundary a residual saturated fraction still dominates,
-  // so score the bound over the saturation-free part of the active region.
-  bool active_ok = true;
-  double worst_active = 0.0;
-  for (const auto& p : curves[2]) {
-    if (p.region == analysis::Region::kActive &&
-        p.stats.frac_saturated() < 0.02) {
-      worst_active = std::max(worst_active, p.stats.weighted_rel_error());
-      active_ok = active_ok && p.stats.weighted_rel_error() < bound64;
-    }
-  }
-  std::printf("  analytic bound (theta=64):            %.4f\n", bound64);
-  std::printf("  worst active-region error (theta=64): %.4f  -> %s\n",
-              worst_active, active_ok ? "below bound (paper: same)" : "ABOVE");
-  const auto& near50k = *std::min_element(
-      curves[2].begin(), curves[2].end(),
-      [](const analysis::CurvePoint& a, const analysis::CurvePoint& b) {
-        return std::abs(a.rate_hz - 50e3) < std::abs(b.rate_hz - 50e3);
-      });
-  std::printf("  accuracy near 50 kevt/s (theta=64):   %.2f %% (paper: >97 %%)\n",
-              100.0 * (1.0 - near50k.stats.weighted_rel_error()));
-  std::printf("\nseries written to aetr_fig6.csv\n");
-  return 0;
+  const auto result = aetr::sweeps::run_fig6({});
+  return aetr::sweeps::report_figure(result, std::cout);
 }

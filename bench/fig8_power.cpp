@@ -12,143 +12,20 @@
 // divided configurations save up to ~55 % across the active region and drop
 // towards the 50 uW static floor below the flex point at ~1/T_max,
 // reaching near-ideal power at the lowest rates (90x overall span).
-#include <algorithm>
-#include <cmath>
+//
+// The (series x rate) grid runs on the aetr::runtime sweep engine
+// (src/sweeps/figures.cpp defines the jobs); `aetr-sweep fig8 --jobs N`
+// is the same sweep parallelised. Exit code is non-zero when a paper
+// check fails, so CI can gate on it.
 #include <cstdio>
 #include <iostream>
-#include <vector>
 
-#include "core/runner.hpp"
-#include "gen/sources.hpp"
-#include "power/model.hpp"
-#include "util/table.hpp"
-
-using namespace aetr;
-using namespace aetr::time_literals;
-
-namespace {
-
-struct Series {
-  std::string name;
-  std::vector<double> power_w;
-};
-
-core::InterfaceConfig config_for(std::uint32_t theta, bool divide) {
-  core::InterfaceConfig cfg;
-  cfg.clock.theta_div = theta;
-  cfg.clock.n_div = 8;
-  cfg.clock.divide_enabled = divide;
-  cfg.clock.shutdown_enabled = divide;
-  cfg.front_end.keep_records = false;  // long runs; no need for logs
-  cfg.fifo.batch_threshold = 512;
-  return cfg;
-}
-
-double measure_power(const core::InterfaceConfig& cfg, double rate_hz,
-                     std::uint32_t seed) {
-  core::RunOptions opt;
-  if (rate_hz <= 0.0) {
-    // "Absence of spikes": a long idle window, clock long shut down.
-    opt.cooldown = Time::sec(2.0);
-    return core::run_stream(cfg, {}, opt).average_power_w;
-  }
-  // Enough events for a stable average, enough window to see shutdown.
-  const auto n_events = static_cast<std::size_t>(
-      std::clamp(rate_hz * 0.5, 300.0, 20000.0));
-  gen::LfsrRateSource src{rate_hz, Frequency::mhz(30.0), 128,
-                          0xACE1u + seed, 0x1234u + seed};
-  opt.cooldown = Time::ms(0.1);
-  const auto r = core::run_source(cfg, src, n_events, opt);
-  return r.average_power_w;
-}
-
-}  // namespace
+#include "sweeps/figures.hpp"
 
 int main() {
-  // Rate 0 is the paper's "absence of spikes" anchor; the rest spans the
-  // figure's 0.01-800 kevt/s axis.
-  const std::vector<double> rates{0,     10,    30,    100,   300,   1e3,  3e3,
-                                  10e3,  30e3,  100e3, 300e3, 550e3, 800e3};
-  const std::vector<std::uint32_t> thetas{64, 32, 16};
-
   std::printf("Fig. 8 -- power consumption vs. event rate\n");
   std::printf("workload: LFSR pseudo-random spike streams; power: calibrated"
               " activity model\n\n");
-
-  std::vector<Series> series;
-  for (const auto theta : thetas) {
-    Series s;
-    s.name = "theta=" + std::to_string(theta);
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-      s.power_w.push_back(measure_power(config_for(theta, true), rates[i],
-                                        static_cast<std::uint32_t>(i)));
-    }
-    series.push_back(std::move(s));
-  }
-  Series naive{"no division", {}};
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    naive.power_w.push_back(measure_power(config_for(64, false), rates[i],
-                                          static_cast<std::uint32_t>(i)));
-  }
-
-  // Eq. 1: E_spike estimated from the high-activity region (top rate).
-  const power::PowerModel model;
-  const double espike = power::estimate_espike_j(
-      naive.power_w.back(), model.calibration().static_w, rates.back());
-
-  Table table{{"rate (evt/s)", "P mW theta=64", "P mW theta=32",
-               "P mW theta=16", "P mW no-div", "P mW ideal"}};
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    table.add_row({Table::num(rates[i], 4),
-                   Table::num(series[0].power_w[i] * 1e3, 4),
-                   Table::num(series[1].power_w[i] * 1e3, 4),
-                   Table::num(series[2].power_w[i] * 1e3, 4),
-                   Table::num(naive.power_w[i] * 1e3, 4),
-                   Table::num(model.ideal_power_w(rates[i], espike) * 1e3, 4)});
-  }
-  table.print(std::cout);
-  table.write_csv("aetr_fig8.csv");
-
-  // --- paper checkpoints -----------------------------------------------------
-  const auto& p64 = series[0].power_w;
-  auto at_rate = [&rates](const std::vector<double>& p, double r) {
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-      if (rates[i] == r) return p[i];
-    }
-    return 0.0;
-  };
-  std::printf("\nchecks against the paper (theta=64 unless noted):\n");
-  std::printf("  E_spike (high-activity estimate):  %.2f nJ\n", espike * 1e9);
-  std::printf("  power at 550 kevt/s:               %.2f mW (paper: ~4.5 mW)\n",
-              at_rate(p64, 550e3) * 1e3);
-  std::printf("  power with no spikes:              %.1f uW (paper: ~50 uW)\n",
-              at_rate(p64, 0) * 1e6);
-  std::printf("  power at 10 evt/s:                 %.1f uW (paper: ~50+ uW)\n",
-              at_rate(p64, 10) * 1e6);
-  std::printf("  proportionality span:              %.0fx (paper: ~90x)\n",
-              at_rate(p64, 550e3) / at_rate(p64, 0));
-  double best_saving = 0.0;
-  double best_rate = 0.0;
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    if (rates[i] < 1e3 || rates[i] > 300e3) continue;  // active region
-    const double saving = 1.0 - p64[i] / naive.power_w[i];
-    if (saving > best_saving) {
-      best_saving = saving;
-      best_rate = rates[i];
-    }
-  }
-  std::printf("  max active-region saving:          %.0f %% at %.3g evt/s"
-              " (paper: up to 55 %% at a few kevt/s)\n",
-              100.0 * best_saving, best_rate);
-  std::printf("  naive flatness (P(10)/P(550k)):    %.2f (paper: flat)\n",
-              at_rate(naive.power_w, 10) / at_rate(naive.power_w, 550e3));
-  std::vector<double> rates_copy{rates};
-  std::printf("  energy-proportionality index:      %.2f (theta=64) vs %.2f"
-              " (naive)\n",
-              power::energy_proportionality_index(
-                  rates_copy, p64, model.calibration().static_w),
-              power::energy_proportionality_index(
-                  rates_copy, naive.power_w, model.calibration().static_w));
-  std::printf("\nseries written to aetr_fig8.csv\n");
-  return 0;
+  const auto result = aetr::sweeps::run_fig8({});
+  return aetr::sweeps::report_figure(result, std::cout);
 }

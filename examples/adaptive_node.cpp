@@ -6,7 +6,7 @@
 // interface ride the workload: small theta (early sleep) through silence,
 // large theta (accuracy) through bursts.
 //
-//   $ ./example_adaptive_node        # writes aetr_adaptive_profile.csv
+//   $ ./example_adaptive_node        # writes results/aetr_adaptive_profile.csv
 #include <cstdio>
 
 #include "aer/agents.hpp"
@@ -16,6 +16,7 @@
 #include "mcu/consumer.hpp"
 #include "power/probe.hpp"
 #include "spi/spi.hpp"
+#include "util/artifacts.hpp"
 
 using namespace aetr;
 using namespace aetr::time_literals;
@@ -90,7 +91,8 @@ int main() {
   std::printf("\nprofile dynamic range: %.0fx (peak %.2f mW, floor %.0f uW)\n",
               probe.dynamic_range(), probe.peak_w() * 1e3,
               probe.floor_w() * 1e6);
-  probe.write_csv("aetr_adaptive_profile.csv");
-  std::printf("20 ms profile written to aetr_adaptive_profile.csv\n");
+  const std::string csv = util::artifact_path("aetr_adaptive_profile.csv");
+  probe.write_csv(csv);
+  std::printf("20 ms profile written to %s\n", csv.c_str());
   return 0;
 }

@@ -13,12 +13,14 @@
 #include "core/runner.hpp"
 #include "gen/sources.hpp"
 #include "sim/vcd.hpp"
+#include "util/artifacts.hpp"
 
 using namespace aetr;
 using namespace aetr::time_literals;
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : "aetr_session.trace";
+  const std::string path =
+      argc > 1 ? argv[1] : aetr::util::artifact_path("aetr_session.trace");
 
   // --- record -----------------------------------------------------------------
   gen::BurstSource sensor{120e3, 8_ms, 40_ms, 128, 77};
@@ -59,7 +61,8 @@ int main(int argc, char** argv) {
   sim::Scheduler sched;
   core::AerToI2sInterface iface{sched, divided};
   aer::AerSender sender{sched, iface.aer_in()};
-  sim::VcdWriter vcd{"aetr_replay.vcd"};
+  const std::string vcd_path = util::artifact_path("aetr_replay.vcd");
+  sim::VcdWriter vcd{vcd_path};
   const auto v_req = vcd.add_signal("aer", "req");
   const auto v_ack = vcd.add_signal("aer", "ack");
   const auto v_level = vcd.add_signal("clockgen", "div_level", 4);
@@ -84,6 +87,7 @@ int main(int argc, char** argv) {
     sender.submit(ev);
   }
   sched.run();
-  std::printf("\nwaveform of the first 60 ms written to aetr_replay.vcd\n");
+  std::printf("\nwaveform of the first 60 ms written to %s\n",
+              vcd_path.c_str());
   return 0;
 }

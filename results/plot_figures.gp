@@ -1,5 +1,6 @@
 # Gnuplot script regenerating the paper-style figures from the CSVs the
-# benches write (run the benches first; then: gnuplot results/plot_figures.gp).
+# benches write into this directory (run the benches or `aetr-sweep all`
+# first; then: cd results && gnuplot plot_figures.gp).
 # Produces fig6.png, fig7b.png, fig8.png alongside the CSVs.
 
 set datafile separator ','

@@ -1,0 +1,93 @@
+#include "runtime/sweep_grid.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace aetr::runtime {
+
+double GridPoint::at(std::string_view axis) const {
+  for (std::size_t i = 0; i < axes_->size(); ++i) {
+    if ((*axes_)[i].name == axis) return (*axes_)[i].values[ordinals_[i]];
+  }
+  throw std::out_of_range{"GridPoint: unknown axis '" + std::string{axis} +
+                          "'"};
+}
+
+std::size_t GridPoint::ordinal(std::string_view axis) const {
+  for (std::size_t i = 0; i < axes_->size(); ++i) {
+    if ((*axes_)[i].name == axis) return ordinals_[i];
+  }
+  throw std::out_of_range{"GridPoint: unknown axis '" + std::string{axis} +
+                          "'"};
+}
+
+std::string GridPoint::tag() const {
+  std::string tag;
+  for (std::size_t i = 0; i < axes_->size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s%s=%g", i ? "," : "",
+                  (*axes_)[i].name.c_str(), (*axes_)[i].values[ordinals_[i]]);
+    tag += buf;
+  }
+  return tag;
+}
+
+SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument{"SweepGrid axis '" + name + "' has no values"};
+  }
+  axes_.push_back(GridAxis{std::move(name), std::move(values)});
+  return *this;
+}
+
+std::vector<double> SweepGrid::log_space(double lo, double hi,
+                                         std::size_t points) {
+  assert(points >= 2 && lo > 0.0 && hi > lo);
+  std::vector<double> values;
+  values.reserve(points);
+  const double step = std::log(hi / lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    values.push_back(lo * std::exp(step * static_cast<double>(i)));
+  }
+  return values;
+}
+
+std::vector<double> SweepGrid::lin_space(double lo, double hi,
+                                         std::size_t points) {
+  assert(points >= 2);
+  std::vector<double> values;
+  values.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    values.push_back(lo + step * static_cast<double>(i));
+  }
+  return values;
+}
+
+std::size_t SweepGrid::size() const {
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const auto& a : axes_) n *= a.values.size();
+  return n;
+}
+
+GridPoint SweepGrid::point(std::size_t index) const {
+  assert(index < size());
+  GridPoint p;
+  p.axes_ = &axes_;
+  p.index_ = index;
+  p.ordinals_.resize(axes_.size());
+  // Row-major: last axis varies fastest.
+  std::size_t rem = index;
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const std::size_t n = axes_[i].values.size();
+    p.ordinals_[i] = rem % n;
+    rem /= n;
+  }
+  return p;
+}
+
+}  // namespace aetr::runtime

@@ -1,0 +1,124 @@
+#include "runtime/thread_pool.hpp"
+
+#include <utility>
+
+namespace aetr::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  deques_.resize(threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock{mutex_};
+    deques_[next_worker_].push_back(std::move(task));
+    next_worker_ = (next_worker_ + 1) % deques_.size();
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::submit_to(std::size_t worker, std::function<void()> task) {
+  {
+    std::lock_guard lock{mutex_};
+    deques_[worker % deques_.size()].push_back(std::move(task));
+    ++queued_;
+  }
+  work_cv_.notify_all();
+}
+
+bool ThreadPool::pop_or_steal(std::size_t self, std::function<void()>& out) {
+  if (!deques_[self].empty()) {
+    out = std::move(deques_[self].back());  // own work: newest first (LIFO)
+    deques_[self].pop_back();
+    --queued_;
+    return true;
+  }
+  for (std::size_t k = 1; k < deques_.size(); ++k) {
+    const std::size_t victim = (self + k) % deques_.size();
+    if (!deques_[victim].empty()) {
+      out = std::move(deques_[victim].front());  // steal oldest (FIFO)
+      deques_[victim].pop_front();
+      --queued_;
+      ++steals_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::unique_lock lock{mutex_};
+  for (;;) {
+    std::function<void()> task;
+    if (pop_or_steal(self, task)) {
+      ++active_;
+      lock.unlock();
+      try {
+        task();
+      } catch (...) {
+        lock.lock();
+        if (!first_exception_) first_exception_ = std::current_exception();
+        lock.unlock();
+      }
+      task = nullptr;  // run destructors outside the lock
+      lock.lock();
+      --active_;
+      if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock, [this, self] {
+      if (stop_ || !deques_[self].empty()) return true;
+      for (const auto& d : deques_) {
+        if (!d.empty()) return true;
+      }
+      return false;
+    });
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock{mutex_};
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && active_ == 0; });
+}
+
+void ThreadPool::cancel_pending() {
+  {
+    std::lock_guard lock{mutex_};
+    for (auto& d : deques_) {
+      queued_ -= d.size();
+      d.clear();
+    }
+    if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+std::uint64_t ThreadPool::steal_count() const {
+  std::lock_guard lock{mutex_};
+  return steals_;
+}
+
+std::exception_ptr ThreadPool::first_exception() const {
+  std::lock_guard lock{mutex_};
+  return first_exception_;
+}
+
+}  // namespace aetr::runtime

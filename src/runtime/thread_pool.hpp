@@ -1,0 +1,88 @@
+// Work-stealing thread pool for sweep execution.
+//
+// Each worker owns a deque of tasks. submit() deals tasks round-robin across
+// the workers (submit_to() pins one); a worker pops newest-first from its own
+// deque and, when empty, steals oldest-first from a victim. Stealing keeps
+// every core busy under skewed job durations (one 100 ms grid point next to
+// a hundred 1 ms ones) without any up-front cost model.
+//
+// The pool makes no ordering promises across workers — determinism is the
+// job model's concern (seeds derive from the job index, results are
+// re-ordered by the collector; see sweep.hpp), never the scheduler's.
+//
+// Synchronisation is one pool-wide mutex. Sweep jobs are whole simulations
+// (microseconds to seconds each), so queue traffic is far too sparse for a
+// lock-free deque to pay for its complexity; the single lock also keeps the
+// pool trivially race-free under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aetr::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Tasks still queued are dropped, not run; call
+  /// wait_idle() first if completion matters.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a task on the next worker (round-robin).
+  ///
+  /// Tasks must not throw: an escaping exception is captured (first one
+  /// wins, exposed via first_exception()) rather than propagated, because
+  /// there is no caller on a worker thread to propagate to. Layers that
+  /// need failure semantics wrap their work (see run_sweep()).
+  void submit(std::function<void()> task);
+
+  /// Enqueue on a specific worker's deque (it may still be stolen).
+  void submit_to(std::size_t worker, std::function<void()> task);
+
+  /// Block until every submitted task has finished or been cancelled.
+  void wait_idle();
+
+  /// Drop all tasks that have not started yet. Running tasks finish.
+  void cancel_pending();
+
+  /// Tasks executed by a worker other than the one they were submitted to.
+  [[nodiscard]] std::uint64_t steal_count() const;
+
+  /// First exception thrown by a task, if any (null otherwise).
+  [[nodiscard]] std::exception_ptr first_exception() const;
+
+ private:
+  void worker_loop(std::size_t self);
+
+  // Pops a task for worker `self`: own deque back first, then steal the
+  // oldest task from another worker. Caller must hold mutex_.
+  bool pop_or_steal(std::size_t self, std::function<void()>& out);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers: work available or stopping
+  std::condition_variable idle_cv_;   // waiters: queue drained + all idle
+  std::vector<std::deque<std::function<void()>>> deques_;
+  std::vector<std::thread> workers_;
+  std::size_t next_worker_{0};  // round-robin submit cursor
+  std::size_t queued_{0};       // tasks in deques
+  std::size_t active_{0};       // tasks currently executing
+  std::uint64_t steals_{0};
+  std::exception_ptr first_exception_;
+  bool stop_{false};
+};
+
+}  // namespace aetr::runtime

@@ -1,0 +1,81 @@
+// Figure/ablation sweep definitions on top of aetr::runtime.
+//
+// Each run_*() builds a parameter grid, maps one simulation job per grid
+// point onto the work-stealing pool, and post-processes the ordered outputs
+// into the paper-style table, the CSV series, and the self-checks the
+// legacy bench mains used to hand-roll sequentially. The bench binaries
+// and the `aetr-sweep` CLI are both thin wrappers over these functions, so
+// a figure is defined in exactly one place.
+//
+// Determinism: for a fixed (figure, seed, grid) every output file is
+// byte-identical whatever `jobs` is — see runtime/sweep.hpp for the
+// contract. Figure default seeds reproduce the published repo numbers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+#include "util/table.hpp"
+
+namespace aetr::sweeps {
+
+struct FigureOptions {
+  /// Worker threads; 0 = hardware_concurrency.
+  std::size_t jobs = 0;
+  /// Root seed; 0 = the figure's own default (stable across releases).
+  std::uint64_t seed = 0;
+  /// Output directory for CSV series; "" = results/ (or $AETR_OUT).
+  std::string out_dir;
+  /// Reduced grid + event counts for tests and smoke runs. Paper checks
+  /// are skipped: the thresholds are only meaningful on the full grid.
+  bool quick = false;
+  /// Forwarded to runtime::SweepOptions::progress.
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/// One self-check against the paper (or internal consistency).
+struct Check {
+  std::string name;
+  bool ok{false};
+  std::string detail;
+};
+
+struct FigureResult {
+  Table table;                    ///< the paper-style series table
+  runtime::SweepReport report;    ///< per-job + whole-sweep metrics
+  std::vector<Check> checks;      ///< empty in --quick mode
+  std::string csv_path;           ///< main series CSV
+  std::string points_csv_path;    ///< long-format per-job CSV (streamed)
+
+  [[nodiscard]] bool ok() const {
+    for (const auto& c : checks) {
+      if (!c.ok) return false;
+    }
+    return true;
+  }
+};
+
+FigureResult run_fig6(const FigureOptions& opt);
+FigureResult run_fig8(const FigureOptions& opt);
+FigureResult run_ablation_ndiv(const FigureOptions& opt);
+FigureResult run_ablation_agreement(const FigureOptions& opt);
+
+/// Registry shared by the CLI and the bench mains.
+struct FigureDef {
+  const char* name;     ///< CLI subcommand ("fig6", "ablation-ndiv", ...)
+  const char* summary;
+  FigureResult (*run)(const FigureOptions&);
+};
+[[nodiscard]] const std::vector<FigureDef>& figures();
+[[nodiscard]] const FigureDef* find_figure(const std::string& name);
+
+/// Print the table, the checks, and the sweep metrics; returns 0 when all
+/// checks passed, 1 otherwise — the bench/CI exit code.
+int report_figure(const FigureResult& result, std::ostream& os);
+
+}  // namespace aetr::sweeps

@@ -1,0 +1,25 @@
+#include "util/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace aetr::util {
+
+std::string artifact_dir(const std::string& dir) {
+  std::string out = dir;
+  if (out.empty()) {
+    if (const char* env = std::getenv("AETR_OUT"); env && *env) {
+      out = env;
+    } else {
+      out = "results";
+    }
+  }
+  std::filesystem::create_directories(out);
+  return out;
+}
+
+std::string artifact_path(const std::string& filename, const std::string& dir) {
+  return (std::filesystem::path{artifact_dir(dir)} / filename).string();
+}
+
+}  // namespace aetr::util

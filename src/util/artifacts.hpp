@@ -1,0 +1,20 @@
+// Where generated artifacts (CSV series, VCD waveforms, session traces)
+// land. Benches and sweeps write under results/ — or $AETR_OUT, or an
+// explicit --out directory — instead of scattering files over the source
+// tree (which is why none of these outputs are version-controlled).
+#pragma once
+
+#include <string>
+
+namespace aetr::util {
+
+/// Output directory for generated artifacts: `dir` if non-empty, else the
+/// AETR_OUT environment variable, else "results". Created (with parents)
+/// if it does not exist.
+std::string artifact_dir(const std::string& dir = "");
+
+/// artifact_dir(dir) joined with `filename`.
+std::string artifact_path(const std::string& filename,
+                          const std::string& dir = "");
+
+}  // namespace aetr::util

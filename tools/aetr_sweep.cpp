@@ -1,0 +1,182 @@
+// aetr-sweep — unified sweep driver for the figure/ablation reproductions.
+//
+//   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|all
+//              [--jobs N] [--seed S] [--out DIR] [--quick]
+//              [--report FILE] [--quiet]
+//   aetr-sweep list
+//
+// Runs the selected figure's parameter grid on the work-stealing runtime
+// (src/runtime), prints the paper-style table plus self-checks, and writes
+// the CSV series under --out (default results/, or $AETR_OUT). Output files
+// are byte-identical for any --jobs value; see docs/RUNTIME.md for the
+// determinism contract.
+//
+// Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error,
+// 3 = a sweep job threw.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep.hpp"
+#include "sweeps/figures.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> figures;
+  aetr::sweeps::FigureOptions fig;
+  std::string report_path;
+  bool quiet = false;
+};
+
+int usage(std::ostream& os) {
+  os << "usage: aetr-sweep <figure>|all|list [options]\n\nfigures:\n";
+  for (const auto& d : aetr::sweeps::figures()) {
+    os << "  " << d.name << "\n      " << d.summary << "\n";
+  }
+  os << "\noptions:\n"
+        "  --jobs N       worker threads (default: hardware concurrency)\n"
+        "  --seed S       root seed (default: per-figure)\n"
+        "  --out DIR      output directory (default: results/ or $AETR_OUT)\n"
+        "  --quick        reduced grid, paper checks skipped\n"
+        "  --report FILE  write sweep metrics as JSON\n"
+        "  --quiet        suppress tables and progress\n";
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end) return false;
+  out = v;
+  return true;
+}
+
+void write_json_report(const std::string& path,
+                       const std::vector<std::pair<std::string,
+                                                   aetr::sweeps::FigureResult>>&
+                           results,
+                       std::size_t jobs) {
+  std::ofstream os{path};
+  if (!os) {
+    std::cerr << "aetr-sweep: cannot write report: " << path << "\n";
+    return;
+  }
+  os << "[\n";
+  for (std::size_t f = 0; f < results.size(); ++f) {
+    const auto& [name, r] = results[f];
+    const auto& rep = r.report;
+    os << " {\"figure\": \"" << name << "\", \"jobs_requested\": " << jobs
+       << ", \"threads\": " << rep.threads << ", \"n_jobs\": "
+       << rep.metrics.size() << ", \"wall_sec\": " << rep.wall_sec
+       << ", \"busy_sec\": " << rep.busy_sec() << ", \"jobs_per_sec\": "
+       << rep.jobs_per_sec() << ", \"steals\": " << rep.steals
+       << ", \"checks_ok\": " << (r.ok() ? "true" : "false")
+       << ", \"csv\": \"" << r.csv_path << "\",\n  \"per_job\": [";
+    for (std::size_t i = 0; i < rep.metrics.size(); ++i) {
+      const auto& m = rep.metrics[i];
+      os << (i ? ", " : "") << "{\"index\": " << m.index << ", \"tag\": \""
+         << m.tag << "\", \"wall_sec\": " << m.wall_sec << "}";
+    }
+    os << "]}" << (f + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (argc < 2) return usage(std::cerr);
+
+  const std::string cmd = argv[1];
+  if (cmd == "list" || cmd == "--help" || cmd == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  if (cmd == "all") {
+    for (const auto& d : aetr::sweeps::figures()) cli.figures.push_back(d.name);
+  } else if (aetr::sweeps::find_figure(cmd)) {
+    cli.figures.push_back(cmd);
+  } else {
+    std::cerr << "aetr-sweep: unknown figure '" << cmd << "'\n\n";
+    return usage(std::cerr);
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "aetr-sweep: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      std::uint64_t v = 0;
+      const char* s = next();
+      if (!s || !parse_u64(s, v)) return usage(std::cerr);
+      cli.fig.jobs = static_cast<std::size_t>(v);
+    } else if (arg == "--seed") {
+      std::uint64_t v = 0;
+      const char* s = next();
+      if (!s || !parse_u64(s, v)) return usage(std::cerr);
+      cli.fig.seed = v;
+    } else if (arg == "--out") {
+      const char* s = next();
+      if (!s) return usage(std::cerr);
+      cli.fig.out_dir = s;
+    } else if (arg == "--report") {
+      const char* s = next();
+      if (!s) return usage(std::cerr);
+      cli.report_path = s;
+    } else if (arg == "--quick") {
+      cli.fig.quick = true;
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else {
+      std::cerr << "aetr-sweep: unknown option '" << arg << "'\n\n";
+      return usage(std::cerr);
+    }
+  }
+
+  const bool show_progress = !cli.quiet && isatty(fileno(stderr));
+  int exit_code = 0;
+  std::vector<std::pair<std::string, aetr::sweeps::FigureResult>> results;
+
+  for (const auto& name : cli.figures) {
+    const auto* def = aetr::sweeps::find_figure(name);
+    aetr::sweeps::FigureOptions opt = cli.fig;
+    if (show_progress) {
+      opt.progress = [&name](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r%s: %zu/%zu", name.c_str(), done, total);
+        if (done == total) std::fprintf(stderr, "\n");
+      };
+    }
+    try {
+      auto result = def->run(opt);
+      if (!cli.quiet) {
+        std::printf("== %s — %s ==\n", def->name, def->summary);
+        const int rc = aetr::sweeps::report_figure(result, std::cout);
+        if (rc != 0) exit_code = 1;
+      } else if (!result.ok()) {
+        exit_code = 1;
+      }
+      results.emplace_back(name, std::move(result));
+    } catch (const aetr::runtime::SweepError& e) {
+      std::cerr << "aetr-sweep: " << e.what() << "\n";
+      return 3;
+    }
+  }
+
+  if (!cli.report_path.empty()) {
+    write_json_report(cli.report_path, results, cli.fig.jobs);
+  }
+  return exit_code;
+}

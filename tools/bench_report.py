@@ -1,26 +1,51 @@
 #!/usr/bin/env python3
-"""Run the scheduler micro-benchmarks and record the results at repo root.
+"""Run a benchmark suite and record the results at repo root.
 
-Writes BENCH_scheduler.json with the current google-benchmark output plus a
-`history` array carrying every earlier recorded run (most recent last), so
-successive PRs accumulate a perf trajectory to regress against.
+Two modes, selected by the first argument:
 
-Usage:
-    tools/bench_report.py [path/to/micro_kernels] [label]
+  tools/bench_report.py [path/to/micro_kernels] [label]
+      Scheduler micro-benchmarks (google-benchmark JSON) -> BENCH_scheduler.json.
+      Also exposed as the `bench_report` CMake target.
 
-Defaults to build/bench/micro_kernels and an empty label. Also exposed as the
-`bench_report` CMake target.
+  tools/bench_report.py runtime [path/to/aetr-sweep] [label]
+      Sweep-runtime scaling: runs `aetr-sweep fig8` at --jobs 1 and
+      --jobs max(4, cpu_count), checks the output CSVs are byte-identical
+      (the runtime's determinism contract), and records both wall clocks
+      -> BENCH_runtime.json. Also exposed as the `runtime_report` target.
+
+Each output file carries a `history` array with every earlier recorded run
+(most recent last), so successive PRs accumulate a perf trajectory to
+regress against.
 """
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import tempfile
 import time
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-OUT = ROOT / "BENCH_scheduler.json"
 FILTER = "BM_Scheduler"
 
+
+def load_history(out, summarize):
+    """Previous runs of `out`, with the most recent one compacted via
+    `summarize` and appended."""
+    if not out.exists():
+        return []
+    old = json.loads(out.read_text())
+    history = old.get("history", [])
+    history.append(summarize(old))
+    return history
+
+
+def write_doc(out, doc):
+    out.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"wrote {out}")
+
+
+# --- scheduler micro-benchmarks ---------------------------------------------
 
 def compact(benchmarks):
     """name -> real_time (ns) for the *_mean aggregate rows."""
@@ -31,10 +56,8 @@ def compact(benchmarks):
     }
 
 
-def main() -> int:
-    bench = sys.argv[1] if len(sys.argv) > 1 else str(
-        ROOT / "build" / "bench" / "micro_kernels")
-    label = sys.argv[2] if len(sys.argv) > 2 else ""
+def scheduler_mode(bench, label):
+    out = ROOT / "BENCH_scheduler.json"
     try:
         proc = subprocess.run(
             [
@@ -59,16 +82,11 @@ def main() -> int:
         return 1
     data = json.loads(proc.stdout)
 
-    history = []
-    if OUT.exists():
-        old = json.loads(OUT.read_text())
-        history = old.get("history", [])
-        history.append({
-            "label": old.get("label", ""),
-            "date": old.get("date", ""),
-            "benchmarks": compact(old.get("benchmarks", [])),
-        })
-
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "benchmarks": compact(old.get("benchmarks", [])),
+    })
     doc = {
         "label": label,
         "date": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -76,12 +94,97 @@ def main() -> int:
         "benchmarks": data.get("benchmarks", []),
         "history": history,
     }
-    OUT.write_text(json.dumps(doc, indent=1) + "\n")
-    summary = compact(doc["benchmarks"])
-    for name, ns in sorted(summary.items()):
+    for name, ns in sorted(compact(doc["benchmarks"]).items()):
         print(f"{name:45s} {ns:>12.1f} ns")
-    print(f"wrote {OUT}")
+    write_doc(out, doc)
     return 0
+
+
+# --- sweep-runtime scaling ---------------------------------------------------
+
+def run_sweep(cli, jobs, out_dir):
+    report = out_dir / "report.json"
+    proc = subprocess.run(
+        [cli, "fig8", "--jobs", str(jobs), "--quiet",
+         "--out", str(out_dir), "--report", str(report)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"error: aetr-sweep fig8 --jobs {jobs} exited "
+              f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+        return None
+    entry = json.loads(report.read_text())[0]
+    entry.pop("per_job", None)  # bulky; the summary numbers suffice here
+    return entry
+
+
+def runtime_mode(cli, label):
+    out = ROOT / "BENCH_runtime.json"
+    if not pathlib.Path(cli).exists():
+        print(f"error: aetr-sweep binary not found: {cli}", file=sys.stderr)
+        print("build it first: cmake --build build --target aetr_sweep",
+              file=sys.stderr)
+        return 1
+    cpus = os.cpu_count() or 1
+    jobs_n = max(4, cpus)
+    with tempfile.TemporaryDirectory(prefix="aetr_runtime_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        (tmp / "j1").mkdir()
+        (tmp / "jN").mkdir()
+        serial = run_sweep(cli, 1, tmp / "j1")
+        parallel = run_sweep(cli, jobs_n, tmp / "jN")
+        if serial is None or parallel is None:
+            return 1
+        identical = all(
+            (tmp / "j1" / f).read_bytes() == (tmp / "jN" / f).read_bytes()
+            for f in ("aetr_fig8.csv", "aetr_fig8_points.csv")
+        )
+
+    speedup = (serial["wall_sec"] / parallel["wall_sec"]
+               if parallel["wall_sec"] > 0 else 0.0)
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "wall_sec_serial": old.get("serial", {}).get("wall_sec"),
+        "wall_sec_parallel": old.get("parallel", {}).get("wall_sec"),
+        "speedup": old.get("speedup"),
+        "cpu_count": old.get("cpu_count"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "figure": "fig8",
+        "cpu_count": cpus,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": round(speedup, 3),
+        "outputs_identical": identical,
+        "history": history,
+    }
+    print(f"fig8  --jobs 1                  {serial['wall_sec']:8.3f} s")
+    print(f"fig8  --jobs {jobs_n:<4d}"
+          f"               {parallel['wall_sec']:8.3f} s"
+          f"  ({parallel['threads']} threads, {parallel['steals']} steals)")
+    print(f"speedup {speedup:.2f}x on {cpus} CPU(s); outputs byte-identical:"
+          f" {identical}")
+    if cpus == 1:
+        print("note: single-CPU host — speedup cannot exceed ~1x here; the"
+              " determinism check is the meaningful signal.")
+    write_doc(out, doc)
+    return 0 if identical else 1
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if args and args[0] == "runtime":
+        cli = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "aetr-sweep")
+        label = args[2] if len(args) > 2 else ""
+        return runtime_mode(cli, label)
+    bench = args[0] if args else str(
+        ROOT / "build" / "bench" / "micro_kernels")
+    label = args[1] if len(args) > 1 else ""
+    return scheduler_mode(bench, label)
 
 
 if __name__ == "__main__":
