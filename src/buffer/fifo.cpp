@@ -17,25 +17,45 @@ AetrFifo::AetrFifo(FifoConfig config) : cfg_{config} {
 }
 
 bool AetrFifo::push(aer::AetrWord word, Time now) {
+  // Per-word hot path: one tracing() test guards each emission cluster so
+  // the disabled path never materialises the TraceArg lists.
   if (data_.size() >= cfg_.capacity_words) {
     ++overflows_;
+    if (tel_.tracing()) [[unlikely]] {
+      tel_.instant("overflow", now,
+                   {{"occupancy", static_cast<double>(data_.size())}});
+    }
     return false;
   }
   data_.push_back(word);
   ++pushes_;
   max_occupancy_ = std::max(max_occupancy_, data_.size());
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.counter("occupancy", now, static_cast<double>(data_.size()));
+  }
+  if (occ_hist_ != nullptr) [[unlikely]] {
+    occ_hist_->add(static_cast<double>(data_.size()));
+  }
   if (armed_ && data_.size() >= cfg_.batch_threshold) {
     armed_ = false;
+    if (tel_.tracing()) [[unlikely]] {
+      tel_.instant("batch_ready", now,
+                   {{"occupancy", static_cast<double>(data_.size())},
+                    {"threshold", static_cast<double>(cfg_.batch_threshold)}});
+    }
     if (threshold_fn_) threshold_fn_(now);
   }
   return true;
 }
 
-aer::AetrWord AetrFifo::pop(Time /*now*/) {
+aer::AetrWord AetrFifo::pop(Time now) {
   assert(!data_.empty());
   const aer::AetrWord word = data_.front();
   data_.pop_front();
   ++pops_;
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.counter("occupancy", now, static_cast<double>(data_.size()));
+  }
   if (data_.size() < cfg_.batch_threshold) armed_ = true;
   return word;
 }
@@ -49,6 +69,28 @@ void AetrFifo::set_batch_threshold(std::size_t words) {
   // Re-arm: if the occupancy already sits at/above the new threshold the
   // next push delivers the (still unconsumed) crossing notification.
   armed_ = true;
+}
+
+void AetrFifo::attach_telemetry(telemetry::TelemetrySession* session) {
+  tel_ = telemetry::BlockTelemetry{session, "fifo"};
+  if (auto* m = tel_.metrics()) {
+    m->probe("fifo.occupancy", [this] {
+      return static_cast<double>(data_.size());
+    });
+    m->probe("fifo.pushes", [this] {
+      return static_cast<double>(pushes_);
+    });
+    m->probe("fifo.pops", [this] { return static_cast<double>(pops_); });
+    m->probe("fifo.overflows", [this] {
+      return static_cast<double>(overflows_);
+    });
+    m->probe("fifo.max_occupancy", [this] {
+      return static_cast<double>(max_occupancy_);
+    });
+    occ_hist_ = m->log_histogram("fifo.occupancy_words", 1.0,
+                                 static_cast<double>(cfg_.capacity_words) * 2.0,
+                                 4);
+  }
 }
 
 }  // namespace aetr::buffer

@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "aer/event.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace aetr::buffer {
@@ -48,6 +49,12 @@ class AetrFifo {
   /// Runtime threshold reconfiguration (SPI register).
   void set_batch_threshold(std::size_t words);
 
+  /// Attach run telemetry (the FIFO holds no scheduler reference, so the
+  /// harness passes the session explicitly). Emits an "occupancy" counter
+  /// track, "overflow"/"batch_ready" instants and an occupancy histogram;
+  /// registers fifo.* probes.
+  void attach_telemetry(telemetry::TelemetrySession* session);
+
   // --- statistics ----------------------------------------------------------
   [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
   [[nodiscard]] std::uint64_t pops() const { return pops_; }
@@ -63,6 +70,8 @@ class AetrFifo {
   std::uint64_t pops_{0};
   std::uint64_t overflows_{0};
   std::size_t max_occupancy_{0};
+  telemetry::BlockTelemetry tel_;
+  LogHistogram* occ_hist_{nullptr};  ///< occupancy sampled at each push
 };
 
 }  // namespace aetr::buffer

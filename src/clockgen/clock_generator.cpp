@@ -26,7 +26,25 @@ ClockGenerator::ClockGenerator(sim::Scheduler& sched,
     : sched_{sched},
       cfg_{config},
       schedule_{to_schedule_config(config)},
-      origin_{sched.now()} {}
+      tel_{sched.telemetry(), "clockgen"},
+      origin_{sched.now()} {
+  if (auto* m = tel_.metrics()) {
+    m->probe("clockgen.captures", [this] {
+      return static_cast<double>(captures_);
+    });
+    m->probe("clockgen.wakeups", [this] {
+      return static_cast<double>(wakeups_);
+    });
+    m->probe("clockgen.level", [this] {
+      return asleep() ? -1.0 : static_cast<double>(level());
+    });
+    m->probe("clockgen.awake_s", [this] { return activity().awake.to_sec(); });
+    m->probe("clockgen.sampling_cycles", [this] {
+      return static_cast<double>(activity().sampling_cycles);
+    });
+  }
+  tel_.counter("level", origin_, 0.0);
+}
 
 void ClockGenerator::rebuild_schedule() {
   // Settle the open interval under the old schedule, then restart the
@@ -37,6 +55,10 @@ void ClockGenerator::rebuild_schedule() {
   sampling_cycles_accum_ += schedule_.cycles_until(e);
   origin_ = sched_.now();
   schedule_ = SamplingSchedule{to_schedule_config(cfg_)};
+  tel_.instant("reconfig", origin_,
+               {{"theta_div", static_cast<double>(cfg_.theta_div)},
+                {"n_div", static_cast<double>(cfg_.n_div)}});
+  tel_.counter("level", origin_, 0.0);
 }
 
 void ClockGenerator::set_theta_div(std::uint32_t theta_div) {
@@ -89,10 +111,35 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
           sampling_cycles_accum_ += schedule_.cycles_until(m.sample_edge);
         }
         ++captures_;
+        if (tel_.tracing()) {
+          trace_closed_interval(sched_.now() - m.sample_edge, m.sample_edge,
+                                was_asleep, delta);
+        }
         origin_ = sched_.now();  // the sample edge is the new counter origin
         capture_pending_ = false;
         done(sched_.now(), m.ticks, m.saturated);
       });
+}
+
+void ClockGenerator::trace_closed_interval(Time old_origin, Time end_rel,
+                                           bool was_asleep, Time request_rel) {
+  const ScheduleConfig& sc = schedule_.config();
+  if (sc.divide_enabled) {
+    for (std::uint32_t k = 1; k <= sc.n_div; ++k) {
+      const Time s = schedule_.level_start(k);
+      if (s > end_rel) break;
+      tel_.counter("level", old_origin + s, static_cast<double>(k));
+    }
+  }
+  if (was_asleep) {
+    // The schedule ran dry, the ring paused, and the request restarted it.
+    const Time span = schedule_.awake_span();
+    if (span < end_rel) tel_.instant("pause", old_origin + span);
+    tel_.instant("wake", old_origin + request_rel,
+                 {{"latency_ns", cfg_.wake_latency.to_ns()}});
+  }
+  // The sample edge resets the schedule: back to full speed.
+  tel_.counter("level", old_origin + end_rel, 0.0);
 }
 
 bool ClockGenerator::asleep() const {

@@ -15,6 +15,7 @@
 
 #include "clockgen/schedule.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace aetr::clockgen {
@@ -90,6 +91,12 @@ class ClockGenerator {
  private:
   void rebuild_schedule();
   [[nodiscard]] Time elapsed() const { return sched_.now() - origin_; }
+  /// Materialise the FSM trace of a just-closed inter-capture interval:
+  /// between captures the division level is a pure function of elapsed
+  /// time, so the transitions (and the pause/wake pair, if the clock shut
+  /// down) are emitted retroactively when the sample edge closes the books.
+  void trace_closed_interval(Time old_origin, Time end_rel, bool was_asleep,
+                             Time request_rel);
 
   sim::Scheduler& sched_;
   ClockGeneratorConfig cfg_;
@@ -102,6 +109,8 @@ class ClockGenerator {
   std::uint64_t sampling_cycles_accum_{0};
   std::uint64_t wakeups_{0};
   std::uint64_t captures_{0};
+  // Last: keeps the capture-path members on their seed cache lines.
+  telemetry::BlockTelemetry tel_;
 };
 
 }  // namespace aetr::clockgen

@@ -1,5 +1,6 @@
 #include "core/runner.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "mcu/consumer.hpp"
@@ -7,10 +8,46 @@
 
 namespace aetr::core {
 
+namespace {
+
+/// Self-rearming snapshot tick: samples every registered probe on the
+/// metrics grid. Armed only up to the last input event so the grid never
+/// extends the simulated timeline (RunResult must be telemetry-invariant).
+struct MetricsGrid {
+  telemetry::TelemetrySession* tel;
+  sim::Scheduler* sched;
+  Time pitch;
+  Time until;
+
+  void arm(Time at) {
+    sched->schedule_at(at, [this] {
+      tel->metrics().snapshot(sched->now());
+      const Time next = sched->now() + pitch;
+      if (next <= until) arm(next);
+    });
+  }
+};
+
+}  // namespace
+
 RunResult run_stream(const InterfaceConfig& config,
                      const aer::EventStream& events,
                      const RunOptions& options) {
   sim::Scheduler sched;
+
+  // Resolve the run's telemetry session: harness-owned wins; otherwise the
+  // runner owns one for the duration of the call.
+  std::optional<telemetry::TelemetrySession> owned_tel;
+  telemetry::TelemetrySession* tel = options.telemetry_session;
+  if (tel == nullptr && telemetry::compiled_in() && options.telemetry.any()) {
+    owned_tel.emplace(options.telemetry);
+    tel = &*owned_tel;
+  }
+  if (tel != nullptr) {
+    tel->set_clock([&sched] { return sched.now(); });
+    sched.set_telemetry(tel);  // components pick it up at construction
+  }
+
   AerToI2sInterface iface{sched, config};
   iface.aer_in().set_strict(options.strict_protocol);
   aer::AerSender sender{sched, iface.aer_in(), options.sender};
@@ -24,6 +61,44 @@ RunResult run_stream(const InterfaceConfig& config,
         [&mcu](aer::AetrWord w, Time t) { mcu.on_word(w, t); });
   }
 
+  // Blocks without a scheduler reference get the session explicitly.
+  iface.fifo().attach_telemetry(tel);
+  if (options.attach_mcu) mcu.attach_telemetry(tel);
+
+  telemetry::BlockTelemetry run_tel{tel, "runner"};
+  if (auto* m = run_tel.metrics()) {
+    m->probe("sched.events_dispatched", [&sched] {
+      return static_cast<double>(sched.processed());
+    });
+    m->probe("sched.scheduled", [&sched] {
+      return static_cast<double>(sched.stats().scheduled);
+    });
+    m->probe("sched.wheel_dispatches", [&sched] {
+      return static_cast<double>(sched.stats().wheel_dispatches);
+    });
+    m->probe("sched.heap_dispatches", [&sched] {
+      return static_cast<double>(sched.stats().heap_dispatches);
+    });
+    m->probe("sched.cascaded", [&sched] {
+      return static_cast<double>(sched.stats().cascaded);
+    });
+    m->probe("sched.pending", [&sched] {
+      return static_cast<double>(sched.pending());
+    });
+    m->probe("power.avg_w", [&iface] { return iface.average_power_w(); });
+  }
+
+  std::optional<MetricsGrid> grid;
+  if (tel != nullptr && tel->metrics_on() && !events.empty()) {
+    grid.emplace(MetricsGrid{tel, &sched, tel->options().metrics_window,
+                             events.back().time});
+    grid->arm(Time::zero());
+  }
+
+  telemetry::Span run_span{
+      tel, "runner", "run_stream",
+      {{"events", static_cast<double>(events.size())}}};
+
   sender.submit_stream(events);
   sched.run();
 
@@ -33,6 +108,15 @@ RunResult run_stream(const InterfaceConfig& config,
   }
   // Cooldown so the power window reflects the post-stream idle period too.
   sched.run_until(sched.now() + options.cooldown);
+
+  run_span.close();
+  if (tel != nullptr) {
+    if (tel->metrics_on()) tel->metrics().snapshot(sched.now());
+    // The clock closure captures this frame's scheduler; detach it before
+    // a harness-owned session outlives the run.
+    tel->set_clock({});
+  }
+  if (owned_tel) owned_tel->write_artifacts();
 
   RunResult r;
   r.activity = iface.activity();

@@ -13,6 +13,7 @@
 #include "core/interface.hpp"
 #include "gen/sources.hpp"
 #include "power/model.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace aetr::core {
 
@@ -23,6 +24,14 @@ struct RunOptions {
   bool strict_protocol = false;            ///< throw on AER violations
   bool final_flush = true;                 ///< drain FIFO residue at the end
   bool attach_mcu = true;                  ///< decode the I2S stream
+  /// Telemetry for this run (off by default). When `telemetry_session` is
+  /// null and `telemetry.any()`, the runner owns a session for the run and
+  /// writes the configured artifact paths before returning. A non-null
+  /// `telemetry_session` overrides `telemetry` entirely: the harness owns
+  /// the session and its artifacts (the sweep runtime does this to name
+  /// outputs per job).
+  telemetry::SessionOptions telemetry;
+  telemetry::TelemetrySession* telemetry_session = nullptr;
 };
 
 /// Everything measured in one run.

@@ -11,7 +11,24 @@ AerFrontEnd::AerFrontEnd(sim::Scheduler& sched, aer::AerChannel& channel,
       channel_{channel},
       clkgen_{clkgen},
       cfg_{config},
-      rng_{config.seed} {
+      rng_{config.seed},
+      tel_{sched.telemetry(), "frontend"} {
+  if (auto* m = tel_.metrics()) {
+    m->probe("frontend.events", [this] {
+      return static_cast<double>(events_);
+    });
+    m->probe("frontend.saturated", [this] {
+      return static_cast<double>(saturated_);
+    });
+    m->probe("frontend.metastable", [this] {
+      return static_cast<double>(metastable_);
+    });
+    m->probe("frontend.handshakes", [this] {
+      return static_cast<double>(channel_.handshakes());
+    });
+    // Inter-capture intervals, 1 µs .. 10 s (the paper's ISI span).
+    isi_hist_ = m->log_histogram("frontend.isi_s", 1e-6, 10.0, 4);
+  }
   channel_.on_req_change([this](bool level, Time t) {
     if (level) {
       handle_request(t);
@@ -29,8 +46,13 @@ void AerFrontEnd::handle_request(Time t) {
       rng_.bernoulli(cfg_.metastability_prob)) {
     ++sync;  // the first FF went metastable; one extra edge to resolve
     ++metastable_;
+    tel_.instant("metastable", t);
   }
   const aer::Event request{channel_.addr(), t};
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.begin("capture", t,
+               {{"addr", static_cast<double>(request.address)}});
+  }
   clkgen_.capture_request(
       sync, [this, request](Time edge, std::uint64_t ticks, bool saturated) {
         // At the sample edge: ADDR was stable since before REQ, so the
@@ -39,7 +61,18 @@ void AerFrontEnd::handle_request(Time t) {
             saturated ? aer::AetrWord::saturated(request.address)
                       : aer::AetrWord::make(request.address, ticks);
         ++events_;
-        if (word.is_saturated()) ++saturated_;
+        if (word.is_saturated()) {
+          ++saturated_;
+          // The timestamp counter rolled over its measurable span: the
+          // clock had shut down and the word carries the saturation tag.
+          tel_.instant("ts_rollover", edge);
+        }
+        tel_.end("capture", edge);
+        if (isi_hist_ != nullptr) [[unlikely]] {
+          if (have_last_edge_) isi_hist_->add((edge - last_edge_).to_sec());
+          last_edge_ = edge;
+          have_last_edge_ = true;
+        }
         if (cfg_.keep_records) {
           if (cfg_.max_records > 0 && records_.size() >= cfg_.max_records) {
             records_.erase(records_.begin(),

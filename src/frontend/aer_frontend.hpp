@@ -20,6 +20,7 @@
 #include "aer/event.hpp"
 #include "clockgen/clock_generator.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -84,6 +85,13 @@ class AerFrontEnd {
   std::uint64_t events_{0};
   std::uint64_t saturated_{0};
   std::uint64_t metastable_{0};
+  // Telemetry (no-ops unless a session is attached to the scheduler):
+  // "capture" spans cover REQ rise -> sample edge, instants mark
+  // metastable resolutions and timestamp-counter saturation.
+  telemetry::BlockTelemetry tel_;
+  LogHistogram* isi_hist_{nullptr};  ///< inter-capture interval, seconds
+  Time last_edge_{Time::zero()};
+  bool have_last_edge_{false};
 };
 
 }  // namespace aetr::frontend

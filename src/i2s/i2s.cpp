@@ -10,7 +10,19 @@ I2sMaster::I2sMaster(sim::Scheduler& sched, buffer::AetrFifo& fifo,
     : sched_{sched},
       fifo_{fifo},
       cfg_{config},
-      sck_period_{config.sck.period()} {}
+      sck_period_{config.sck.period()},
+      tel_{sched.telemetry(), "i2s"} {
+  if (auto* m = tel_.metrics()) {
+    m->probe("i2s.words_sent", [this] {
+      return static_cast<double>(words_sent_);
+    });
+    m->probe("i2s.drains", [this] { return static_cast<double>(drains_); });
+    m->probe("i2s.busy_s", [this] { return busy_accum_.to_sec(); });
+    m->probe("i2s.bits_shifted", [this] {
+      return static_cast<double>(bits_shifted_);
+    });
+  }
+}
 
 void I2sMaster::request_drain(Time now) {
   if (draining_) return;
@@ -18,6 +30,8 @@ void I2sMaster::request_drain(Time now) {
   draining_ = true;
   ++drains_;
   drain_start_ = now;
+  tel_.begin("drain", now,
+             {{"backlog", static_cast<double>(fifo_.size())}});
   send_next(fifo_.size());
 }
 
@@ -25,6 +39,7 @@ void I2sMaster::send_next(std::size_t remaining_in_batch) {
   if (fifo_.empty() || remaining_in_batch == 0) {
     draining_ = false;
     busy_accum_ += sched_.now() - drain_start_;
+    tel_.end("drain", sched_.now());
     if (drain_done_fn_) drain_done_fn_(sched_.now());
     return;
   }
@@ -32,12 +47,17 @@ void I2sMaster::send_next(std::size_t remaining_in_batch) {
     if (fifo_.empty()) {  // defensive: nothing to send after all
       draining_ = false;
       busy_accum_ += sched_.now() - drain_start_;
+      tel_.end("drain", sched_.now());
       if (drain_done_fn_) drain_done_fn_(sched_.now());
       return;
     }
     const aer::AetrWord word = fifo_.pop(sched_.now());
     ++words_sent_;
     bits_shifted_ += cfg_.word_bits;
+    if (tel_.tracing()) [[unlikely]] {
+      tel_.instant("word", sched_.now(),
+                   {{"remaining", static_cast<double>(fifo_.size())}});
+    }
     if (word_fn_) word_fn_(word, sched_.now());
     const std::size_t next_remaining =
         cfg_.drain_until_empty ? fifo_.size() : remaining_in_batch - 1;

@@ -19,6 +19,7 @@
 #include "aer/event.hpp"
 #include "buffer/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace aetr::i2s {
@@ -77,6 +78,9 @@ class I2sMaster {
   std::uint64_t bits_shifted_{0};
   std::uint64_t drains_{0};
   Time busy_accum_{Time::zero()};
+  // "drain" spans cover request -> batch completion; "word" instants mark
+  // each word leaving on the wire. Last: off the word-loop cache lines.
+  telemetry::BlockTelemetry tel_;
 };
 
 /// Philips-I2S bit-level serializer: drives SCK/WS/SD callbacks for every

@@ -107,13 +107,34 @@ McuConsumer::McuConsumer(Time tick_unit, Time saturation_span, Time batch_gap)
 void McuConsumer::on_word(aer::AetrWord word, Time arrival) {
   if (!any_ || arrival - last_arrival_ > batch_gap_) {
     ++batches_;
+    if (tel_.tracing()) [[unlikely]] {
+      tel_.instant("batch_start", arrival,
+                   {{"batch", static_cast<double>(batches_)}});
+    }
   } else {
     bus_active_ += arrival - last_arrival_;
   }
   any_ = true;
   last_arrival_ = arrival;
   ++words_;
-  events_.push_back(decoder_.decode(word));
+  const aer::TimedEvent ev = decoder_.decode(word);
+  if (ev.saturated) tel_.instant("saturated_decode", arrival);
+  events_.push_back(ev);
+}
+
+void McuConsumer::attach_telemetry(telemetry::TelemetrySession* session) {
+  tel_ = telemetry::BlockTelemetry{session, "mcu"};
+  if (auto* m = tel_.metrics()) {
+    m->probe("mcu.words", [this] { return static_cast<double>(words_); });
+    m->probe("mcu.batches", [this] { return static_cast<double>(batches_); });
+    m->probe("mcu.decoded", [this] {
+      return static_cast<double>(decoder_.decoded());
+    });
+    m->probe("mcu.saturated", [this] {
+      return static_cast<double>(decoder_.saturated());
+    });
+    m->probe("mcu.bus_active_s", [this] { return bus_active_.to_sec(); });
+  }
 }
 
 }  // namespace aetr::mcu

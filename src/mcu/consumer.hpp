@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aer/event.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace aetr::mcu {
@@ -113,6 +114,12 @@ class McuConsumer {
   /// Total I2S-bus-active time (the MCU must be awake at least this long).
   [[nodiscard]] Time bus_active() const { return bus_active_; }
 
+  /// Attach run telemetry (the consumer holds no scheduler reference, so
+  /// the harness passes the session explicitly). Emits "batch_start"
+  /// instants and "decode" instants for saturated words; registers mcu.*
+  /// probes.
+  void attach_telemetry(telemetry::TelemetrySession* session);
+
  private:
   AetrDecoder decoder_;
   Time batch_gap_;
@@ -122,6 +129,7 @@ class McuConsumer {
   Time last_arrival_{Time::zero()};
   Time bus_active_{Time::zero()};
   bool any_{false};
+  telemetry::BlockTelemetry tel_;
 };
 
 }  // namespace aetr::mcu

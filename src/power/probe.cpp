@@ -49,7 +49,7 @@ double PowerProbe::floor_w() const {
 
 double PowerProbe::dynamic_range() const {
   const double f = floor_w();
-  return f > 0.0 ? peak_w() / f : 0.0;
+  return f > kFloorEpsilonW ? peak_w() / f : 0.0;
 }
 
 void PowerProbe::write_csv(const std::string& path) const {

@@ -47,8 +47,18 @@ class PowerProbe {
   [[nodiscard]] double floor_w() const;
 
   /// Ratio of peak to floor — the profile's dynamic range (the paper's 90x
-  /// claim, measured over time instead of across workloads).
+  /// claim, measured over time instead of across workloads). Returns 0.0
+  /// (the documented "no meaningful range" sentinel) when the profile is
+  /// empty or the floor window's power is zero or denormal-small: a
+  /// near-zero floor would otherwise report an astronomically large,
+  /// physically meaningless ratio.
   [[nodiscard]] double dynamic_range() const;
+
+  /// Floor powers at or below this are treated as zero by dynamic_range():
+  /// 1 fW is far below anything the calibrated model can produce (static
+  /// power alone is tens of µW), so a floor under it means "no activity
+  /// model attached", not "very efficient idle".
+  static constexpr double kFloorEpsilonW = 1e-15;
 
   /// Write "start_ms,end_ms,power_mw,events" rows.
   void write_csv(const std::string& path) const;

@@ -129,6 +129,7 @@ bool Scheduler::cancel(EventId id) {
       cells_[idx].reset();
       release_slot(idx);
       --live_;
+      ++stats_.cancelled;
       return true;
     case Where::kHeap:
       // The heap entry still references the slot; park it as a zombie and
@@ -136,6 +137,7 @@ bool Scheduler::cancel(EventId id) {
       cells_[idx].reset();
       m.where = Where::kZombie;
       --live_;
+      ++stats_.cancelled;
       return true;
     default:
       return false;  // already ran, already cancelled, or recycled
@@ -178,6 +180,7 @@ void Scheduler::advance_now_to(Time t) {
       cur = meta_[idx].next;
       meta_[idx].prev = meta_[idx].next = -1;
       wheel_insert(idx);
+      ++stats_.cascaded;
     }
   }
 }
@@ -262,6 +265,7 @@ bool Scheduler::dispatch_heap() {
   heap_.pop();
   assert(t >= now_);
   advance_now_to(t);
+  ++stats_.heap_dispatches;
   finish_dispatch(idx);
   return true;
 }

@@ -31,6 +31,10 @@
 #include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
+namespace aetr::telemetry {
+class TelemetrySession;
+}  // namespace aetr::telemetry
+
 namespace aetr::sim {
 
 /// Handle to a scheduled event, usable for cancellation.
@@ -109,6 +113,36 @@ class Scheduler {
 
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+  /// Event-kernel self-metrics: how events were stored and dispatched.
+  /// Free to keep always-on: the per-event numbers (scheduled, wheel
+  /// dispatches) are derived from counters the kernel maintains anyway, so
+  /// only the rare paths (heap dispatch, cascade, cancel) carry an
+  /// increment. Telemetry registers them as sampled probes.
+  struct Stats {
+    std::uint64_t scheduled{0};        ///< schedule_at/after calls accepted
+    std::uint64_t wheel_dispatches{0};  ///< exact-dispatch fast-path hits
+    std::uint64_t heap_dispatches{0};   ///< overflow-heap (far-future) hits
+    std::uint64_t cascaded{0};          ///< events re-placed by a cascade
+    std::uint64_t cancelled{0};         ///< successful cancel() calls
+  };
+  [[nodiscard]] Stats stats() const {
+    Stats s = stats_;
+    s.scheduled = processed_ + live_ + stats_.cancelled;
+    s.wheel_dispatches = processed_ - stats_.heap_dispatches;
+    return s;
+  }
+
+  /// Telemetry session for this run, or nullptr (the default). The
+  /// scheduler only carries the pointer — components reach their telemetry
+  /// through the scheduler reference they already hold. Attach before
+  /// constructing the components that should pick it up.
+  void set_telemetry(telemetry::TelemetrySession* session) {
+    telemetry_ = session;
+  }
+  [[nodiscard]] telemetry::TelemetrySession* telemetry() const {
+    return telemetry_;
+  }
 
   /// Events within this distance of now() live in the timer wheel; farther
   /// ones overflow into the comparison heap.
@@ -214,6 +248,8 @@ class Scheduler {
   std::uint64_t next_seq_{0};
   std::size_t live_{0};
   std::uint64_t processed_{0};
+  Stats stats_;
+  telemetry::TelemetrySession* telemetry_{nullptr};
 };
 
 }  // namespace aetr::sim

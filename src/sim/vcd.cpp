@@ -28,7 +28,10 @@ VcdWriter::~VcdWriter() { close(); }
 VcdSignal VcdWriter::add_signal(const std::string& scope,
                                 const std::string& name, unsigned width) {
   if (header_written_) {
-    throw std::logic_error("VcdWriter: declarations must precede changes");
+    throw std::logic_error("VcdWriter: add_signal(\"" + scope + "." + name +
+                           "\") after the first change(); the VCD header is "
+                           "already streamed, so every signal must be "
+                           "declared before any change is logged");
   }
   decls_.push_back(Decl{scope, name, width, vcd_id(decls_.size()), 0, false});
   return VcdSignal{decls_.size() - 1};

@@ -12,6 +12,7 @@
 #include "gen/sources.hpp"
 #include "power/model.hpp"
 #include "runtime/sink.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/artifacts.hpp"
 
 namespace aetr::sweeps {
@@ -42,6 +43,33 @@ runtime::SweepOptions sweep_options(const FigureOptions& opt,
 
 Check make_check(std::string name, bool ok, std::string detail) {
   return Check{std::move(name), ok, std::move(detail)};
+}
+
+/// Per-job telemetry options with deterministic artifact names
+/// (aetr_<figure>_j<NNN>_trace.json / _trace.csv / _metrics.csv). Jobs run
+/// concurrently but each writes only its own files, and every recorded
+/// timestamp is sim time, so the sweep's telemetry output is byte-identical
+/// for any `jobs` value. Returns any() == false when neither flag is set.
+telemetry::SessionOptions job_telemetry(const FigureOptions& opt,
+                                        const char* figure,
+                                        std::size_t job_index) {
+  telemetry::SessionOptions so;
+  so.trace = opt.trace;
+  so.metrics = opt.metrics;
+  if (!so.any()) return so;
+  char stem[96];
+  std::snprintf(stem, sizeof stem, "aetr_%s_j%03zu", figure, job_index);
+  if (so.trace) {
+    so.trace_json_path =
+        util::artifact_path(std::string{stem} + "_trace.json", opt.out_dir);
+    so.trace_csv_path =
+        util::artifact_path(std::string{stem} + "_trace.csv", opt.out_dir);
+  }
+  if (so.metrics) {
+    so.metrics_csv_path =
+        util::artifact_path(std::string{stem} + "_metrics.csv", opt.out_dir);
+  }
+  return so;
 }
 
 // --- Fig. 6: average relative timestamp error vs. event rate ---------------
@@ -152,8 +180,10 @@ core::InterfaceConfig fig8_config(std::uint32_t theta, bool divide) {
 }
 
 double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
-                          std::uint64_t seed) {
+                          std::uint64_t seed,
+                          const telemetry::SessionOptions& tel = {}) {
   core::RunOptions opt;
+  opt.telemetry = tel;
   if (rate_hz <= 0.0) {
     // "Absence of spikes": a long idle window, clock long shut down.
     opt.cooldown = Time::sec(2.0);
@@ -186,11 +216,12 @@ FigureResult fig8_impl(const FigureOptions& opt) {
   SweepGrid grid;
   grid.axis("theta", thetas).axis("rate", rates);
 
-  const auto job = [](const JobContext& ctx) {
+  const auto job = [&opt](const JobContext& ctx) {
     const auto theta = static_cast<std::uint32_t>(ctx.point.at("theta"));
     const double rate = ctx.point.at("rate");
     const auto cfg = fig8_config(theta ? theta : 64, theta != 0);
-    const double p = fig8_measure_power(cfg, rate, ctx.seed);
+    const double p = fig8_measure_power(cfg, rate, ctx.seed,
+                                        job_telemetry(opt, "fig8", ctx.index));
     JobOutput out;
     out.values = {p};
     out.rows = {{fmt("%g", ctx.point.at("theta")), fmt("%.6g", rate),
@@ -396,7 +427,7 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
   SweepGrid grid;
   grid.axis("theta", thetas).axis("rate", rates);
 
-  const auto job = [n_events](const JobContext& ctx) {
+  const auto job = [n_events, &opt](const JobContext& ctx) {
     const auto theta = static_cast<std::uint32_t>(ctx.point.at("theta"));
     const double rate = ctx.point.at("rate");
     clockgen::ScheduleConfig sc;
@@ -420,7 +451,9 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
     cfg.fifo.batch_threshold = 512;
     gen::PoissonSource src{rate, 128, ctx.seed, Time::ns(130.0)};
     const auto events = gen::take(src, n_events);
-    const auto r = core::run_stream(cfg, events);
+    core::RunOptions run_opt;
+    run_opt.telemetry = job_telemetry(opt, "ablation_agreement", ctx.index);
+    const auto r = core::run_stream(cfg, events, run_opt);
 
     JobOutput out;
     out.values = {model_err.weighted_rel_error(),

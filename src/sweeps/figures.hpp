@@ -34,6 +34,13 @@ struct FigureOptions {
   /// Reduced grid + event counts for tests and smoke runs. Paper checks
   /// are skipped: the thresholds are only meaningful on the full grid.
   bool quick = false;
+  /// Per-job sim-time telemetry for the figures that run the DES pipeline
+  /// (fig8, ablation-agreement). Each job writes deterministically named
+  /// artifacts — aetr_<figure>_j<NNN>_trace.json/.csv, _metrics.csv — into
+  /// the same directory as the series CSVs; outputs are byte-identical for
+  /// any `jobs` value. No-ops when the build has AETR_TELEMETRY=0.
+  bool trace = false;
+  bool metrics = false;
   /// Forwarded to runtime::SweepOptions::progress.
   std::function<void(std::size_t, std::size_t)> progress;
 };

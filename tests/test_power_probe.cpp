@@ -95,5 +95,52 @@ TEST(Probe, EmptyProfileSafeAccessors) {
   EXPECT_DOUBLE_EQ(probe.dynamic_range(), 0.0);
 }
 
+TEST(Probe, ZeroFloorDynamicRangeReturnsSentinel) {
+  // A calibration with no static power plus idle windows drives the floor
+  // to exactly zero; peak/floor would be inf. dynamic_range() must return
+  // the documented 0.0 sentinel instead of a meaningless huge ratio.
+  sim::Scheduler sched;
+  PowerCalibration cal;
+  cal.static_w = 0.0;
+  ActivityTotals acc;
+  PowerProbe probe{
+      sched,
+      [&] {
+        acc.window = sched.now();
+        return acc;
+      },
+      PowerModel{cal}, 10_ms};
+  sched.schedule_at(25_ms, [&] { acc.events += 1000; });
+  probe.arm(50_ms);
+  sched.run();
+  ASSERT_EQ(probe.samples().size(), 5u);
+  EXPECT_GT(probe.peak_w(), 0.0);          // the burst window is non-zero
+  EXPECT_DOUBLE_EQ(probe.floor_w(), 0.0);  // idle windows are exactly zero
+  EXPECT_DOUBLE_EQ(probe.dynamic_range(), 0.0);
+}
+
+TEST(Probe, DenormalFloorDynamicRangeReturnsSentinel) {
+  // A floor below kFloorEpsilonW (1 fW — far under anything the calibrated
+  // model can produce) must also hit the sentinel: dividing by a denormal
+  // would "succeed" with an absurd ratio.
+  sim::Scheduler sched;
+  PowerCalibration cal;
+  cal.static_w = 1e-18;
+  ActivityTotals acc;
+  PowerProbe probe{
+      sched,
+      [&] {
+        acc.window = sched.now();
+        return acc;
+      },
+      PowerModel{cal}, 10_ms};
+  sched.schedule_at(25_ms, [&] { acc.events += 1000; });
+  probe.arm(50_ms);
+  sched.run();
+  EXPECT_GT(probe.floor_w(), 0.0);
+  EXPECT_LE(probe.floor_w(), PowerProbe::kFloorEpsilonW);
+  EXPECT_DOUBLE_EQ(probe.dynamic_range(), 0.0);
+}
+
 }  // namespace
 }  // namespace aetr::power

@@ -196,5 +196,42 @@ TEST(Vcd, DeclarationAfterChangeThrows) {
   std::remove(path.c_str());
 }
 
+TEST(Vcd, DeclarationAfterChangeErrorNamesTheSignal) {
+  const std::string path = testing::TempDir() + "aetr_vcd_test3.vcd";
+  VcdWriter vcd{path};
+  const auto clk = vcd.add_signal("top", "clk");
+  vcd.change(clk, 1, 1_ns);
+  try {
+    vcd.add_signal("top", "late_signal");
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    // The message must identify the offending declaration, not just say
+    // "wrong order" — that's what makes the error actionable.
+    EXPECT_NE(std::string{e.what()}.find("late_signal"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("add_signal"), std::string::npos);
+  }
+  // The writer stays usable for further changes after the failed declare.
+  vcd.change(clk, 0, 2_ns);
+  std::remove(path.c_str());
+}
+
+TEST(Vcd, DestructorFlushesBufferedChanges) {
+  const std::string path = testing::TempDir() + "aetr_vcd_test4.vcd";
+  {
+    VcdWriter vcd{path};
+    const auto clk = vcd.add_signal("top", "clk");
+    vcd.change(clk, 1, 7_ns);
+    // No explicit close(): the destructor must flush both the header and
+    // the change stream.
+  }
+  std::ifstream f{path};
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(text.find("#7000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace aetr::sim

@@ -2,7 +2,7 @@
 //
 //   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|all
 //              [--jobs N] [--seed S] [--out DIR] [--quick]
-//              [--report FILE] [--quiet]
+//              [--trace] [--metrics] [--report FILE] [--quiet]
 //   aetr-sweep list
 //
 // Runs the selected figure's parameter grid on the work-stealing runtime
@@ -25,6 +25,7 @@
 
 #include "runtime/sweep.hpp"
 #include "sweeps/figures.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -45,6 +46,9 @@ int usage(std::ostream& os) {
         "  --seed S       root seed (default: per-figure)\n"
         "  --out DIR      output directory (default: results/ or $AETR_OUT)\n"
         "  --quick        reduced grid, paper checks skipped\n"
+        "  --trace        per-job Chrome trace JSON + CSV (DES figures:\n"
+        "                 fig8, ablation-agreement; see docs/OBSERVABILITY.md)\n"
+        "  --metrics      per-job sampled-metrics CSV (same figures)\n"
         "  --report FILE  write sweep metrics as JSON\n"
         "  --quiet        suppress tables and progress\n";
   return 2;
@@ -138,12 +142,21 @@ int main(int argc, char** argv) {
       cli.report_path = s;
     } else if (arg == "--quick") {
       cli.fig.quick = true;
+    } else if (arg == "--trace") {
+      cli.fig.trace = true;
+    } else if (arg == "--metrics") {
+      cli.fig.metrics = true;
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else {
       std::cerr << "aetr-sweep: unknown option '" << arg << "'\n\n";
       return usage(std::cerr);
     }
+  }
+
+  if ((cli.fig.trace || cli.fig.metrics) && !aetr::telemetry::compiled_in()) {
+    std::cerr << "aetr-sweep: built with AETR_TELEMETRY=0; "
+                 "--trace/--metrics are ignored\n";
   }
 
   const bool show_progress = !cli.quiet && isatty(fileno(stderr));
