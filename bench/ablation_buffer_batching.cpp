@@ -11,7 +11,7 @@
 #include <iostream>
 #include <string>
 
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"
@@ -66,14 +66,14 @@ int main() {
     std::vector<std::string> row{Table::num(rate / 1e3, 4)};
     double prev_drop = 1e18;  // drop%% must not grow with buffer size
     for (const std::size_t capacity : {512u, 2300u, 9200u}) {
-      core::InterfaceConfig cfg;
-      cfg.fifo.capacity_words = capacity;
-      cfg.fifo.batch_threshold = capacity / 4;
-      cfg.i2s.sck = Frequency::mhz(1.0);
-      cfg.front_end.keep_records = false;
+      core::ScenarioConfig scn;
+      scn.interface.fifo.capacity_words = capacity;
+      scn.interface.fifo.batch_threshold = capacity / 4;
+      scn.interface.i2s.sck = Frequency::mhz(1.0);
+      scn.interface.front_end.keep_records = false;
       gen::PoissonSource src{rate, 128, 11};
       const auto r =
-          core::run_source(cfg, src, static_cast<std::size_t>(rate * 0.4));
+          core::run_scenario(scn, src, static_cast<std::size_t>(rate * 0.4));
       const double drop = 100.0 * static_cast<double>(r.fifo_overflows) /
                           static_cast<double>(r.events_in);
       if (drop > prev_drop + 1e-9) ok = false;

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "mcu/power.hpp"
 #include "util/artifacts.hpp"
@@ -34,13 +34,13 @@ int main() {
   for (const double rate : {1e3, 10e3, 100e3}) {
     for (const std::size_t batch : {64u, 1024u}) {
       // Batch-mode system: divided interface + batch MCU.
-      core::InterfaceConfig cfg;
-      cfg.fifo.batch_threshold = batch;
-      cfg.front_end.keep_records = false;
+      core::ScenarioConfig scn;
+      scn.interface.fifo.batch_threshold = batch;
+      scn.interface.front_end.keep_records = false;
       gen::PoissonSource src{rate, 128, 31};
       const auto n = static_cast<std::size_t>(
           std::clamp(rate * 0.5, 500.0, 20000.0));
-      const auto r = core::run_source(cfg, src, n);
+      const auto r = core::run_scenario(scn, src, n);
 
       mcu::McuDuty duty;
       duty.window = r.sim_end;
@@ -50,11 +50,11 @@ int main() {
       const double system = r.average_power_w + batch_mcu.average_power_w;
 
       // Naive system: constant-clock interface + always-on MCU.
-      core::InterfaceConfig naive_cfg = cfg;
-      naive_cfg.clock.divide_enabled = false;
-      naive_cfg.clock.shutdown_enabled = false;
+      core::ScenarioConfig naive_scn = scn;
+      naive_scn.interface.clock.divide_enabled = false;
+      naive_scn.interface.clock.shutdown_enabled = false;
       gen::PoissonSource src2{rate, 128, 31};
-      const auto rn = core::run_source(naive_cfg, src2, n);
+      const auto rn = core::run_scenario(naive_scn, src2, n);
       const auto on_mcu = mcu::always_on_mcu_energy(duty, mcu_cal);
       const double naive_system = rn.average_power_w + on_mcu.average_power_w;
 

@@ -20,7 +20,7 @@
 #include "analysis/error.hpp"
 #include "cochlea/audio.hpp"
 #include "cochlea/cochlea.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "util/artifacts.hpp"
 #include "util/histogram.hpp"
 #include "util/table.hpp"
@@ -95,10 +95,10 @@ int main() {
   std::vector<Histogram> hists;
   std::vector<double> means;
   for (const std::uint32_t theta : {16u, 32u, 64u}) {
-    core::InterfaceConfig cfg;
-    cfg.clock.theta_div = theta;
-    cfg.fifo.batch_threshold = 256;
-    const auto result = core::run_stream(cfg, events);
+    core::ScenarioConfig scn;
+    scn.interface.clock.theta_div = theta;
+    scn.interface.fifo.batch_threshold = 256;
+    const auto result = core::run_scenario(scn, events);
     const auto errors = analysis::record_errors(
         result.records, result.tick_unit, result.saturation_span);
     Histogram h{0.0, 12.0, 16};  // error %, like the paper's x axis

@@ -13,7 +13,7 @@
 #include "clockgen/schedule.hpp"
 #include "cochlea/audio.hpp"
 #include "cochlea/cochlea.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "i2s/framing.hpp"
 #include "sim/scheduler.hpp"
@@ -181,11 +181,11 @@ void BM_EndToEndInterface(benchmark::State& state) {
   const double rate = static_cast<double>(state.range(0));
   gen::PoissonSource src{rate, 128, 9, Time::ns(130.0)};
   const auto events = gen::take(src, 2000);
-  core::InterfaceConfig cfg;
-  cfg.front_end.keep_records = false;
-  cfg.fifo.batch_threshold = 512;
+  core::ScenarioConfig scn;
+  scn.interface.front_end.keep_records = false;
+  scn.interface.fifo.batch_threshold = 512;
   for (auto _ : state) {
-    const auto r = core::run_stream(cfg, events);
+    const auto r = core::run_scenario(scn, events);
     benchmark::DoNotOptimize(r.words_out);
   }
   state.SetItemsProcessed(state.iterations() * 2000);

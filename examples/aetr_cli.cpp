@@ -7,7 +7,8 @@
 //
 // Usage:
 //   aetr_cli [options]
-//     --config FILE        load interface configuration (see --dump-config)
+//     --config FILE        load a scenario file (interface + fault keys;
+//                          see --dump-config for every key)
 //     --set KEY=VALUE      override one configuration key (repeatable)
 //     --source KIND        poisson | lfsr | burst | regular   (default poisson)
 //     --rate HZ            source rate                        (default 10000)
@@ -22,6 +23,7 @@
 // Examples:
 //   aetr_cli --source lfsr --rate 550000 --events 20000
 //   aetr_cli --set clock.theta_div=16 --set clock.n_div=4 --rate 100
+//   aetr_cli --set fault.aer.drop_req_prob=0.01 --set fault.seed=7
 //   aetr_cli --aedat recording.aedat --config lowpower.conf
 #include <cstdio>
 #include <cstdlib>
@@ -50,7 +52,7 @@ namespace {
 }  // namespace
 
 int main(int argc, char** argv) {
-  core::InterfaceConfig config;
+  core::ScenarioConfig scenario;
   std::vector<std::string> overrides;
   std::string source_kind = "poisson";
   double rate = 10e3;
@@ -66,7 +68,7 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--config") {
-      config = core::load_config_file(next());
+      scenario = core::load_scenario_file(next());
     } else if (arg == "--set") {
       overrides.push_back(next());
     } else if (arg == "--source") {
@@ -95,14 +97,14 @@ int main(int argc, char** argv) {
   // Apply --set overrides through the same parser as config files.
   if (!overrides.empty()) {
     std::ostringstream merged;
-    merged << core::dump_config(config);
+    merged << core::dump_scenario(scenario);
     for (const auto& o : overrides) merged << o << '\n';
     std::istringstream in{merged.str()};
-    config = core::load_config(in);
+    scenario = core::load_scenario(in);
   }
 
   if (dump_only) {
-    std::fputs(core::dump_config(config).c_str(), stdout);
+    std::fputs(core::dump_scenario(scenario).c_str(), stdout);
     return 0;
   }
 
@@ -138,7 +140,7 @@ int main(int argc, char** argv) {
   if (!save_aedat.empty()) aer::save_aedat(save_aedat, events);
 
   // Run and report.
-  const auto r = core::run_stream(config, events);
+  const auto r = core::run_scenario(scenario, events);
   std::printf("events in / words out:   %llu / %llu (%llu dropped)\n",
               static_cast<unsigned long long>(r.events_in),
               static_cast<unsigned long long>(r.words_out),
@@ -164,5 +166,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(r.caviar_violations));
   std::printf("mcu:                     %llu batches, %zu events decoded\n",
               static_cast<unsigned long long>(r.batches), r.decoded.size());
+  if (scenario.faults.any()) {
+    std::printf("faults:                  %llu injected, %llu recovered "
+                "(%llu resyncs, %llu crc-rejected words)\n",
+                static_cast<unsigned long long>(r.faults.injected_total()),
+                static_cast<unsigned long long>(r.faults.recovered_total()),
+                static_cast<unsigned long long>(r.faults.watchdog_resyncs),
+                static_cast<unsigned long long>(r.faults.crc_rejected_words));
+  }
   return 0;
 }

@@ -15,7 +15,7 @@
 
 #include "cochlea/audio.hpp"
 #include "cochlea/cochlea.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "mcu/consumer.hpp"
 
 using namespace aetr;
@@ -38,9 +38,9 @@ int main() {
                   sensor.config().sample_rate * 1e3);
 
   // --- through the interface -------------------------------------------------
-  core::InterfaceConfig config;
-  config.fifo.batch_threshold = 256;
-  const auto result = core::run_stream(config, spikes);
+  core::ScenarioConfig scenario;
+  scenario.interface.fifo.batch_threshold = 256;
+  const auto result = core::run_scenario(scenario, spikes);
   std::printf("interface: %llu words out, %llu batches, %.3f mW average, "
               "error %.2f %%\n",
               static_cast<unsigned long long>(result.words_out),

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "util/table.hpp"
 
@@ -47,11 +47,11 @@ int main(int argc, char** argv) {
                "saturated %", "meets spec"}};
   for (const std::uint32_t theta : {16u, 32u, 64u, 128u}) {
     for (const std::uint32_t n_div : {4u, 6u, 8u, 10u}) {
-      core::InterfaceConfig cfg;
-      cfg.clock.theta_div = theta;
-      cfg.clock.n_div = n_div;
-      cfg.fifo.batch_threshold = 256;
-      const auto r = core::run_stream(cfg, events);
+      core::ScenarioConfig scn;
+      scn.interface.clock.theta_div = theta;
+      scn.interface.clock.n_div = n_div;
+      scn.interface.fifo.batch_threshold = 256;
+      const auto r = core::run_scenario(scn, events);
       const Candidate c{theta, n_div, r.average_power_w,
                         r.error.weighted_rel_error(),
                         r.error.frac_saturated()};

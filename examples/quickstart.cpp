@@ -8,7 +8,7 @@
 //   $ ./example_quickstart
 #include <cstdio>
 
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 
 using namespace aetr;
@@ -18,8 +18,8 @@ int main() {
   // 1. Configure the interface. Defaults follow the DAC'17 paper: 120 MHz
   //    pausable ring oscillator, 15 MHz base sampling, theta_div = 64,
   //    N_div = 8, 9.2 kB FIFO, I2S output.
-  core::InterfaceConfig config;
-  config.fifo.batch_threshold = 64;  // small batches so we see several
+  core::ScenarioConfig scenario;
+  scenario.interface.fifo.batch_threshold = 64;  // small batches, so we see several
 
   // 2. Make a sensor stand-in: 20 kevt/s Poisson spikes on 128 addresses.
   gen::PoissonSource sensor{20e3, 128, /*seed=*/1};
@@ -27,7 +27,7 @@ int main() {
 
   // 3. Run the full system: sender -> AER handshake -> front-end ->
   //    FIFO -> I2S -> MCU decoder.
-  const auto result = core::run_stream(config, spikes);
+  const auto result = core::run_scenario(scenario, spikes);
 
   std::printf("pushed %llu spikes; received %llu AETR words in %llu batches\n",
               static_cast<unsigned long long>(result.events_in),

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "aer/trace.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "sim/vcd.hpp"
 #include "util/artifacts.hpp"
@@ -30,14 +30,14 @@ int main(int argc, char** argv) {
 
   // --- replay through two configurations --------------------------------------
   const auto replayed = aer::load_trace(path);
-  core::InterfaceConfig divided;
-  divided.fifo.batch_threshold = 256;
-  core::InterfaceConfig naive = divided;
-  naive.clock.divide_enabled = false;
-  naive.clock.shutdown_enabled = false;
+  core::ScenarioConfig divided;
+  divided.interface.fifo.batch_threshold = 256;
+  core::ScenarioConfig naive = divided;
+  naive.interface.clock.divide_enabled = false;
+  naive.interface.clock.shutdown_enabled = false;
 
-  const auto r_div = core::run_stream(divided, replayed);
-  const auto r_naive = core::run_stream(naive, replayed);
+  const auto r_div = core::run_scenario(divided, replayed);
+  const auto r_naive = core::run_scenario(naive, replayed);
 
   std::printf("\n%-22s %12s %12s\n", "", "divided", "naive");
   std::printf("%-22s %11.3f%% %11.3f%%\n", "timestamp error",
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
   // --- waveform dump of the first inter-burst gap ------------------------------
   // Re-simulate the first 60 ms capturing the divided clock, REQ and ACK.
   sim::Scheduler sched;
-  core::AerToI2sInterface iface{sched, divided};
+  core::AerToI2sInterface iface{sched, divided.interface};
   aer::AerSender sender{sched, iface.aer_in()};
   const std::string vcd_path = util::artifact_path("aetr_replay.vcd");
   sim::VcdWriter vcd{vcd_path};

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aer/event.hpp"
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 
@@ -47,7 +48,9 @@ class AerChannel {
   void deassert_ack();
 
   // --- observation ---------------------------------------------------------
-  [[nodiscard]] bool req() const { return req_; }
+  /// Observable REQ level (a runt-pulse fault can dip it below the driven
+  /// state for a few tens of nanoseconds).
+  [[nodiscard]] bool req() const { return req_ && !runt_dip_; }
   [[nodiscard]] bool ack() const { return ack_; }
   [[nodiscard]] std::uint16_t addr() const { return addr_; }
   [[nodiscard]] Time last_req_rise() const { return last_req_rise_; }
@@ -72,12 +75,19 @@ class AerChannel {
   /// being recorded (tests use this; production sims record and continue).
   void set_strict(bool strict) { strict_ = strict; }
 
+  /// Wire-level fault lotteries (drop REQ / stuck ACK / runt pulses). Null
+  /// (the default) means the channel behaves exactly as without the hook.
+  void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
 
  private:
   void violation(const std::string& what);
 
   sim::Scheduler& sched_;
+  fault::FaultInjector* faults_{nullptr};
+  bool runt_pending_{false};
+  bool runt_dip_{false};
   bool req_{false};
   bool ack_{false};
   std::uint16_t addr_{0};

@@ -1,7 +1,6 @@
 #include "buffer/fifo.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace aetr::buffer {
@@ -25,7 +24,10 @@ bool AetrFifo::push(aer::AetrWord word, Time now) {
       tel_.instant("overflow", now,
                    {{"occupancy", static_cast<double>(data_.size())}});
     }
-    return false;
+    if (cfg_.overflow_policy == OverflowPolicy::kDropNewest) return false;
+    // kDropOldest: evict the stalest word to keep the freshest timing info
+    // (the overflow above counts the evicted word as lost).
+    data_.pop_front();
   }
   data_.push_back(word);
   ++pushes_;
@@ -49,10 +51,29 @@ bool AetrFifo::push(aer::AetrWord word, Time now) {
 }
 
 aer::AetrWord AetrFifo::pop(Time now) {
-  assert(!data_.empty());
-  const aer::AetrWord word = data_.front();
+  last_pop_parity_ok_ = true;
+  if (data_.empty()) {
+    // Saturating read: the SRAM read port returns the idle bus pattern.
+    ++underflows_;
+    return aer::AetrWord{};
+  }
+  aer::AetrWord word = data_.front();
   data_.pop_front();
   ++pops_;
+  if (faults_ != nullptr &&
+      faults_->roll(fault::Site::kFifoCell,
+                    faults_->plan().fifo.cell_bit_flip_prob)) {
+    // A cell upset while the word was resident, observed at the read port.
+    word = aer::AetrWord{
+        word.raw() ^ (1u << faults_->pick_bit(fault::Site::kFifoCell, 32))};
+    ++faults_->counters().fifo_bit_flips;
+    if (faults_->plan().recovery.fifo_parity) {
+      // The per-word parity bit catches single-bit upsets; the reader is
+      // told to drop the word rather than forward a corrupt timestamp.
+      last_pop_parity_ok_ = false;
+      ++faults_->counters().fifo_parity_drops;
+    }
+  }
   if (tel_.tracing()) [[unlikely]] {
     tel_.counter("occupancy", now, static_cast<double>(data_.size()));
   }
@@ -83,6 +104,9 @@ void AetrFifo::attach_telemetry(telemetry::TelemetrySession* session) {
     m->probe("fifo.pops", [this] { return static_cast<double>(pops_); });
     m->probe("fifo.overflows", [this] {
       return static_cast<double>(overflows_);
+    });
+    m->probe("fifo.underflows", [this] {
+      return static_cast<double>(underflows_);
     });
     m->probe("fifo.max_occupancy", [this] {
       return static_cast<double>(max_occupancy_);

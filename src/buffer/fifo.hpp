@@ -12,15 +12,24 @@
 #include <functional>
 
 #include "aer/event.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
 namespace aetr::buffer {
 
+/// What a full FIFO does with the next arriving word.
+enum class OverflowPolicy {
+  kDropNewest,  ///< the incoming word is lost (paper behaviour: the timed
+                ///< event cannot be stalled, the SRAM write is suppressed)
+  kDropOldest,  ///< the stalest buffered word is evicted to make room
+};
+
 /// Buffer geometry. The paper's 9.2 kB SRAM holds 2300 32-bit AETR words.
 struct FifoConfig {
   std::size_t capacity_words = 2300;
   std::size_t batch_threshold = 1024;  ///< raise drain request at this fill
+  OverflowPolicy overflow_policy = OverflowPolicy::kDropNewest;
 };
 
 /// Word FIFO with occupancy accounting and threshold signalling.
@@ -38,8 +47,18 @@ class AetrFifo {
   /// dropped) when full — AER has no way to stall an already-timed event.
   bool push(aer::AetrWord word, Time now);
 
-  /// Remove the oldest word; behaviour undefined when empty (check first).
+  /// Remove the oldest word. Reads are saturating: popping an empty FIFO
+  /// returns the all-zero bus pattern and counts an underflow instead of
+  /// corrupting state (the SRAM read port has no handshake to stall on).
   aer::AetrWord pop(Time now);
+
+  /// Parity verdict of the most recent pop: false when a cell upset was
+  /// injected into the returned word and parity checking is enabled — the
+  /// reader is expected to drop the word instead of forwarding it.
+  [[nodiscard]] bool last_pop_parity_ok() const { return last_pop_parity_ok_; }
+
+  /// SRAM cell-upset lottery. Null is inert.
+  void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
 
   [[nodiscard]] bool empty() const { return data_.empty(); }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
@@ -59,16 +78,20 @@ class AetrFifo {
   [[nodiscard]] std::uint64_t pushes() const { return pushes_; }
   [[nodiscard]] std::uint64_t pops() const { return pops_; }
   [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
+  [[nodiscard]] std::uint64_t underflows() const { return underflows_; }
   [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
 
  private:
   FifoConfig cfg_;
   std::deque<aer::AetrWord> data_;
   ThresholdFn threshold_fn_;
+  fault::FaultInjector* faults_{nullptr};
   bool armed_{true};  // threshold edge-triggered re-arm
+  bool last_pop_parity_ok_{true};
   std::uint64_t pushes_{0};
   std::uint64_t pops_{0};
   std::uint64_t overflows_{0};
+  std::uint64_t underflows_{0};
   std::size_t max_occupancy_{0};
   telemetry::BlockTelemetry tel_;
   LogHistogram* occ_hist_{nullptr};  ///< occupancy sampled at each push

@@ -1,6 +1,7 @@
 #include "clockgen/clock_generator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -90,11 +91,24 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
   capture_pending_ = true;
   const Time delta = elapsed();
   const bool was_asleep = schedule_.is_asleep_at(delta);
-  const auto m = schedule_.measure(delta, sync_edges, cfg_.wake_latency);
+  // Restart-latency variation: a jittered wakeup stretches the wake
+  // latency of this capture only (the draw happens before measure() so
+  // the sample edge itself shifts, exactly like real restart slew).
+  Time wake = cfg_.wake_latency;
+  if (faults_ != nullptr && was_asleep) {
+    const double sig = faults_->plan().clock.wake_jitter_rel;
+    if (sig > 0.0) {
+      const double stretch =
+          std::abs(faults_->rng(fault::Site::kClock).normal(0.0, sig));
+      wake = Time::ns(wake.to_ns() * (1.0 + stretch));
+      ++faults_->counters().wake_jitter_events;
+    }
+  }
+  const auto m = schedule_.measure(delta, sync_edges, wake);
   const Time sample_abs = origin_ + m.sample_edge;
 
   sched_.schedule_at(
-      sample_abs, [this, m, delta, was_asleep, done = std::move(done)] {
+      sample_abs, [this, m, delta, was_asleep, wake, done = std::move(done)] {
         // Close the books on the interval [origin_, sample edge].
         if (was_asleep) {
           // Ring ran for the full schedule, paused, and restarted at the
@@ -103,7 +117,7 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
           sampling_cycles_accum_ +=
               schedule_.cycles_until(schedule_.awake_span()) +
               static_cast<std::uint64_t>(
-                  (m.sample_edge - delta - cfg_.wake_latency) / tmin()) +
+                  (m.sample_edge - delta - wake) / tmin()) +
               1;
           ++wakeups_;
         } else {
@@ -117,7 +131,25 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
         }
         origin_ = sched_.now();  // the sample edge is the new counter origin
         capture_pending_ = false;
-        done(sched_.now(), m.ticks, m.saturated);
+        // Period jitter accumulates in the timestamp counter: the latched
+        // tick count gains a zero-mean error with sigma growing as
+        // sqrt(ticks) (independent per-cycle jitter).
+        std::uint64_t ticks = m.ticks;
+        if (faults_ != nullptr && !m.saturated) {
+          const double sig = faults_->plan().clock.period_jitter_rel;
+          if (sig > 0.0) {
+            const double err = faults_->rng(fault::Site::kClock)
+                                   .normal(0.0, sig * std::sqrt(
+                                                    static_cast<double>(
+                                                        m.ticks) +
+                                                    1.0));
+            const auto jit = static_cast<std::int64_t>(std::llround(err));
+            if (jit != 0) ++faults_->counters().tick_jitter_events;
+            ticks = static_cast<std::uint64_t>(std::max<std::int64_t>(
+                0, static_cast<std::int64_t>(m.ticks) + jit));
+          }
+        }
+        done(sched_.now(), ticks, m.saturated);
       });
 }
 

@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "clockgen/schedule.hpp"
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
@@ -88,6 +89,9 @@ class ClockGenerator {
   /// Activity totals settled up to the current simulation time.
   [[nodiscard]] ClockActivity activity() const;
 
+  /// Period-jitter / wake-latency-variation lotteries. Null is inert.
+  void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
   void rebuild_schedule();
   [[nodiscard]] Time elapsed() const { return sched_.now() - origin_; }
@@ -101,6 +105,7 @@ class ClockGenerator {
   sim::Scheduler& sched_;
   ClockGeneratorConfig cfg_;
   SamplingSchedule schedule_;
+  fault::FaultInjector* faults_{nullptr};
   Time origin_{Time::zero()};  ///< absolute time of the last schedule reset
   bool capture_pending_{false};
 

@@ -119,6 +119,18 @@ const std::map<std::string, Setter>& setters() {
          c.fifo.batch_threshold =
              static_cast<std::size_t>(parse_uint(v, "fifo.batch_threshold"));
        }},
+      {"fifo.overflow_policy",
+       [](InterfaceConfig& c, const std::string& v) {
+         if (v == "drop_newest") {
+           c.fifo.overflow_policy = buffer::OverflowPolicy::kDropNewest;
+         } else if (v == "drop_oldest") {
+           c.fifo.overflow_policy = buffer::OverflowPolicy::kDropOldest;
+         } else {
+           throw std::runtime_error(
+               "config: fifo.overflow_policy must be drop_newest or "
+               "drop_oldest: " + v);
+         }
+       }},
       {"i2s.sck_mhz",
        [](InterfaceConfig& c, const std::string& v) {
          c.i2s.sck = Frequency::mhz(parse_double(v, "i2s.sck_mhz"));
@@ -144,6 +156,156 @@ const std::map<std::string, Setter>& setters() {
        [](InterfaceConfig& c, const std::string& v) {
          c.calibration.osc_domain_w =
              parse_double(v, "power.osc_domain_mw") * 1e-3;
+       }},
+  };
+  return kSetters;
+}
+
+using ScenarioSetter = std::function<void(ScenarioConfig&, const std::string&)>;
+
+/// Scenario-only keys; interface keys fall through to setters() applied to
+/// scenario.interface, so the two key namespaces stay disjoint by design.
+const std::map<std::string, ScenarioSetter>& scenario_setters() {
+  static const std::map<std::string, ScenarioSetter> kSetters{
+      // Sensor-side wire timing.
+      {"sender.addr_setup_ns",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.sender.addr_setup = Time::ns(parse_double(v, "sender.addr_setup_ns"));
+       }},
+      {"sender.req_release_ns",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.sender.req_release =
+             Time::ns(parse_double(v, "sender.req_release_ns"));
+       }},
+      {"sender.min_gap_ns",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.sender.min_gap = Time::ns(parse_double(v, "sender.min_gap_ns"));
+       }},
+      // Harness behaviour.
+      {"run.cooldown_us",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.cooldown = Time::us(parse_double(v, "run.cooldown_us"));
+       }},
+      {"run.strict_protocol",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.strict_protocol = parse_bool(v, "run.strict_protocol");
+       }},
+      {"run.final_flush",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.final_flush = parse_bool(v, "run.final_flush");
+       }},
+      {"run.attach_mcu",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.attach_mcu = parse_bool(v, "run.attach_mcu");
+       }},
+      // Fault plan.
+      {"fault.seed",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.seed = parse_uint(v, "fault.seed");
+       }},
+      {"fault.aer.drop_req_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.aer.drop_req_prob = parse_double(v, "fault.aer.drop_req_prob");
+       }},
+      {"fault.aer.stuck_ack_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.aer.stuck_ack_prob =
+             parse_double(v, "fault.aer.stuck_ack_prob");
+       }},
+      {"fault.aer.addr_bit_flip_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.aer.addr_bit_flip_prob =
+             parse_double(v, "fault.aer.addr_bit_flip_prob");
+       }},
+      {"fault.aer.runt_req_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.aer.runt_req_prob =
+             parse_double(v, "fault.aer.runt_req_prob");
+       }},
+      {"fault.aer.runt_width_ns",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.aer.runt_width =
+             Time::ns(parse_double(v, "fault.aer.runt_width_ns"));
+       }},
+      {"fault.clock.period_jitter_rel",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.clock.period_jitter_rel =
+             parse_double(v, "fault.clock.period_jitter_rel");
+       }},
+      {"fault.clock.wake_jitter_rel",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.clock.wake_jitter_rel =
+             parse_double(v, "fault.clock.wake_jitter_rel");
+       }},
+      {"fault.fifo.cell_bit_flip_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.fifo.cell_bit_flip_prob =
+             parse_double(v, "fault.fifo.cell_bit_flip_prob");
+       }},
+      {"fault.spi.word_bit_flip_prob",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.spi.word_bit_flip_prob =
+             parse_double(v, "fault.spi.word_bit_flip_prob");
+       }},
+      {"fault.i2s.bit_error_rate",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.i2s.bit_error_rate =
+             parse_double(v, "fault.i2s.bit_error_rate");
+       }},
+      {"fault.recovery.watchdog",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.recovery.watchdog = parse_bool(v, "fault.recovery.watchdog");
+       }},
+      {"fault.recovery.watchdog_timeout_us",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.recovery.watchdog_timeout =
+             Time::us(parse_double(v, "fault.recovery.watchdog_timeout_us"));
+       }},
+      {"fault.recovery.fifo_parity",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.recovery.fifo_parity =
+             parse_bool(v, "fault.recovery.fifo_parity");
+       }},
+      {"fault.recovery.crc_frames",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.faults.recovery.crc_frames =
+             parse_bool(v, "fault.recovery.crc_frames");
+       }},
+  };
+  return kSetters;
+}
+
+/// The telemetry.* keys mutate a SessionOptions that load_scenario folds
+/// into a TelemetryChoice once the whole file is parsed.
+using TelemetrySetter =
+    std::function<void(telemetry::SessionOptions&, const std::string&)>;
+
+const std::map<std::string, TelemetrySetter>& telemetry_setters() {
+  static const std::map<std::string, TelemetrySetter> kSetters{
+      {"telemetry.trace",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.trace = parse_bool(v, "telemetry.trace");
+       }},
+      {"telemetry.metrics",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.metrics = parse_bool(v, "telemetry.metrics");
+       }},
+      {"telemetry.metrics_window_ms",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.metrics_window =
+             Time::ms(parse_double(v, "telemetry.metrics_window_ms"));
+       }},
+      {"telemetry.trace_json_path",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.trace_json_path = v;
+       }},
+      {"telemetry.trace_csv_path",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.trace_csv_path = v;
+       }},
+      {"telemetry.metrics_csv_path",
+       [](telemetry::SessionOptions& o, const std::string& v) {
+         o.metrics_csv_path = v;
        }},
   };
   return kSetters;
@@ -203,6 +365,11 @@ std::string dump_config(const InterfaceConfig& c) {
      << (c.front_end.keep_records ? "true" : "false") << '\n';
   os << "fifo.capacity_words = " << c.fifo.capacity_words << '\n';
   os << "fifo.batch_threshold = " << c.fifo.batch_threshold << '\n';
+  os << "fifo.overflow_policy = "
+     << (c.fifo.overflow_policy == buffer::OverflowPolicy::kDropOldest
+             ? "drop_oldest"
+             : "drop_newest")
+     << '\n';
   os << "i2s.sck_mhz = " << c.i2s.sck.to_mhz() << '\n';
   os << "i2s.word_bits = " << c.i2s.word_bits << '\n';
   os << "i2s.drain_until_empty = "
@@ -210,6 +377,102 @@ std::string dump_config(const InterfaceConfig& c) {
   os << "drain_timeout_us = " << c.drain_timeout.to_us() << '\n';
   os << "power.static_uw = " << c.calibration.static_w * 1e6 << '\n';
   os << "power.osc_domain_mw = " << c.calibration.osc_domain_w * 1e3 << '\n';
+  return os.str();
+}
+
+ScenarioConfig load_scenario(std::istream& is) {
+  ScenarioConfig scenario;
+  telemetry::SessionOptions tel_opts;
+  bool tel_seen = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("config: line " + std::to_string(line_no) +
+                               " is not 'key = value': " + stripped);
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (const auto it = scenario_setters().find(key);
+        it != scenario_setters().end()) {
+      it->second(scenario, value);
+      continue;
+    }
+    if (const auto it = telemetry_setters().find(key);
+        it != telemetry_setters().end()) {
+      it->second(tel_opts, value);
+      tel_seen = true;
+      continue;
+    }
+    if (const auto it = setters().find(key); it != setters().end()) {
+      it->second(scenario.interface, value);
+      continue;
+    }
+    throw std::runtime_error("config: unknown key at line " +
+                             std::to_string(line_no) + ": " + key);
+  }
+  if (tel_seen) scenario.telemetry = TelemetryChoice::owned(tel_opts);
+  scenario.validate();
+  return scenario;
+}
+
+ScenarioConfig load_scenario_file(const std::string& path) {
+  std::ifstream f{path};
+  if (!f) throw std::runtime_error("config: cannot open " + path);
+  return load_scenario(f);
+}
+
+std::string dump_scenario(const ScenarioConfig& s) {
+  std::ostringstream os;
+  os << "# aetr scenario configuration\n";
+  os << dump_config(s.interface);
+  os << "sender.addr_setup_ns = " << s.sender.addr_setup.to_ns() << '\n';
+  os << "sender.req_release_ns = " << s.sender.req_release.to_ns() << '\n';
+  os << "sender.min_gap_ns = " << s.sender.min_gap.to_ns() << '\n';
+  os << "run.cooldown_us = " << s.cooldown.to_us() << '\n';
+  os << "run.strict_protocol = " << (s.strict_protocol ? "true" : "false")
+     << '\n';
+  os << "run.final_flush = " << (s.final_flush ? "true" : "false") << '\n';
+  os << "run.attach_mcu = " << (s.attach_mcu ? "true" : "false") << '\n';
+  const fault::FaultPlan& f = s.faults;
+  os << "fault.seed = " << f.seed << '\n';
+  os << "fault.aer.drop_req_prob = " << f.aer.drop_req_prob << '\n';
+  os << "fault.aer.stuck_ack_prob = " << f.aer.stuck_ack_prob << '\n';
+  os << "fault.aer.addr_bit_flip_prob = " << f.aer.addr_bit_flip_prob << '\n';
+  os << "fault.aer.runt_req_prob = " << f.aer.runt_req_prob << '\n';
+  os << "fault.aer.runt_width_ns = " << f.aer.runt_width.to_ns() << '\n';
+  os << "fault.clock.period_jitter_rel = " << f.clock.period_jitter_rel
+     << '\n';
+  os << "fault.clock.wake_jitter_rel = " << f.clock.wake_jitter_rel << '\n';
+  os << "fault.fifo.cell_bit_flip_prob = " << f.fifo.cell_bit_flip_prob
+     << '\n';
+  os << "fault.spi.word_bit_flip_prob = " << f.spi.word_bit_flip_prob << '\n';
+  os << "fault.i2s.bit_error_rate = " << f.i2s.bit_error_rate << '\n';
+  os << "fault.recovery.watchdog = "
+     << (f.recovery.watchdog ? "true" : "false") << '\n';
+  os << "fault.recovery.watchdog_timeout_us = "
+     << f.recovery.watchdog_timeout.to_us() << '\n';
+  os << "fault.recovery.fifo_parity = "
+     << (f.recovery.fifo_parity ? "true" : "false") << '\n';
+  os << "fault.recovery.crc_frames = "
+     << (f.recovery.crc_frames ? "true" : "false") << '\n';
+  // A borrowed session cannot be named in a file; it dumps as defaults
+  // (telemetry off), which is what a fresh load of this text reproduces.
+  const telemetry::SessionOptions defaults;
+  const telemetry::SessionOptions& t =
+      s.telemetry.mode() == TelemetryChoice::Mode::kOwned
+          ? s.telemetry.options()
+          : defaults;
+  os << "telemetry.trace = " << (t.trace ? "true" : "false") << '\n';
+  os << "telemetry.metrics = " << (t.metrics ? "true" : "false") << '\n';
+  os << "telemetry.metrics_window_ms = " << t.metrics_window.to_ms() << '\n';
+  os << "telemetry.trace_json_path = " << t.trace_json_path << '\n';
+  os << "telemetry.trace_csv_path = " << t.trace_csv_path << '\n';
+  os << "telemetry.metrics_csv_path = " << t.metrics_csv_path << '\n';
   return os.str();
 }
 

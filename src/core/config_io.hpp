@@ -15,7 +15,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "core/interface.hpp"
+#include "core/scenario.hpp"
 
 namespace aetr::core {
 
@@ -29,5 +29,18 @@ InterfaceConfig load_config_file(const std::string& path);
 
 /// Render every tunable of `config` in load_config() syntax.
 std::string dump_config(const InterfaceConfig& config);
+
+/// Parse a full scenario (interface keys plus sender.*, run.*, fault.* and
+/// telemetry.*) on top of default values. Every interface key is accepted
+/// unchanged, so an InterfaceConfig file is a valid scenario file.
+ScenarioConfig load_scenario(std::istream& is);
+
+/// Load a scenario file; throws std::runtime_error on failure.
+ScenarioConfig load_scenario_file(const std::string& path);
+
+/// Render every tunable of `scenario` in load_scenario() syntax. Emits every
+/// key, so dump -> load -> dump is byte-identical. A borrowed telemetry
+/// session is an in-process handle and dumps as telemetry off.
+std::string dump_scenario(const ScenarioConfig& scenario);
 
 }  // namespace aetr::core

@@ -3,7 +3,8 @@
 namespace aetr::core {
 
 AerToI2sInterface::AerToI2sInterface(sim::Scheduler& sched,
-                                     InterfaceConfig config)
+                                     InterfaceConfig config,
+                                     fault::FaultInjector* faults)
     : sched_{sched},
       cfg_{config},
       channel_{sched},
@@ -14,12 +15,23 @@ AerToI2sInterface::AerToI2sInterface(sim::Scheduler& sched,
       spi_slave_{bus_},
       irq_{sched},
       power_{config.calibration} {
+  if (faults != nullptr) {
+    channel_.attach_faults(faults);
+    front_end_.attach_faults(faults);
+    clkgen_.attach_faults(faults);
+    fifo_.attach_faults(faults);
+    i2s_.attach_faults(faults);
+    spi_slave_.attach_faults(faults);
+  }
   // Crossbar: front-end AETR words flow into the FIFO; the FIFO threshold
   // kicks the I2S drain and the INT sources feed the controller.
   front_end_.on_word([this](aer::AetrWord word, Time now) {
     const bool was_empty = fifo_.empty();
-    if (!fifo_.push(word, now)) {
-      ++dropped_words_;
+    const std::uint64_t overflows_before = fifo_.overflows();
+    fifo_.push(word, now);
+    if (fifo_.overflows() != overflows_before) {
+      // A word was lost under either overflow policy; the FIFO's counter is
+      // the single source of truth for the drop.
       irq_.raise(Irq::kFifoOverflow);
     }
     if (word.is_saturated()) irq_.raise(Irq::kWakeup);

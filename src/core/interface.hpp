@@ -17,6 +17,7 @@
 #include "buffer/fifo.hpp"
 #include "clockgen/clock_generator.hpp"
 #include "core/interrupt.hpp"
+#include "fault/injector.hpp"
 #include "frontend/aer_frontend.hpp"
 #include "i2s/i2s.hpp"
 #include "power/model.hpp"
@@ -45,7 +46,11 @@ struct InterfaceConfig {
 /// power/activity accounting.
 class AerToI2sInterface {
  public:
-  AerToI2sInterface(sim::Scheduler& sched, InterfaceConfig config = {});
+  /// `faults` (optional) is the run's fault injector: the constructor
+  /// attaches it to every instrumented block. Null builds the ordinary
+  /// fault-free interface with zero added cost on the hot paths.
+  AerToI2sInterface(sim::Scheduler& sched, InterfaceConfig config = {},
+                    fault::FaultInjector* faults = nullptr);
 
   /// The asynchronous sensor-facing port.
   [[nodiscard]] aer::AerChannel& aer_in() { return channel_; }
@@ -60,8 +65,12 @@ class AerToI2sInterface {
   /// wakeup / drain-done sources, SPI-maskable and write-1-to-clear.
   [[nodiscard]] InterruptController& irq() { return irq_; }
 
-  /// Words dropped at the FIFO so far.
-  [[nodiscard]] std::uint64_t dropped_words() const { return dropped_words_; }
+  /// Words dropped at the FIFO so far. Reads the FIFO's own overflow
+  /// counter — the single source the telemetry fifo.overflows probe and
+  /// RunResult::fifo_overflows also report, so they can never disagree.
+  [[nodiscard]] std::uint64_t dropped_words() const {
+    return fifo_.overflows();
+  }
 
   // --- component access for tests / analysis -------------------------------
   [[nodiscard]] clockgen::ClockGenerator& clock_generator() { return clkgen_; }
@@ -99,7 +108,6 @@ class AerToI2sInterface {
   spi::SpiSlave spi_slave_;
   InterruptController irq_;
   power::PowerModel power_;
-  std::uint64_t dropped_words_{0};
   bool spi_readout_{false};        ///< CTRL bit2: MCU polls the FIFO over SPI
   std::uint32_t readout_latch_{0};  ///< word latched by a kFifoData0 read
 };

@@ -1,154 +1,29 @@
 #include "core/runner.hpp"
 
-#include <optional>
-#include <utility>
-
-#include "mcu/consumer.hpp"
-#include "sim/scheduler.hpp"
-
 namespace aetr::core {
 
-namespace {
-
-/// Self-rearming snapshot tick: samples every registered probe on the
-/// metrics grid. Armed only up to the last input event so the grid never
-/// extends the simulated timeline (RunResult must be telemetry-invariant).
-struct MetricsGrid {
-  telemetry::TelemetrySession* tel;
-  sim::Scheduler* sched;
-  Time pitch;
-  Time until;
-
-  void arm(Time at) {
-    sched->schedule_at(at, [this] {
-      tel->metrics().snapshot(sched->now());
-      const Time next = sched->now() + pitch;
-      if (next <= until) arm(next);
-    });
-  }
-};
-
-}  // namespace
+ScenarioConfig to_scenario(const InterfaceConfig& config,
+                           const RunOptions& options) {
+  ScenarioConfig sc;
+  sc.interface = config;
+  sc.sender = options.sender;
+  sc.cooldown = options.cooldown;
+  sc.strict_protocol = options.strict_protocol;
+  sc.final_flush = options.final_flush;
+  sc.attach_mcu = options.attach_mcu;
+  sc.telemetry = options.telemetry;
+  return sc;  // fault plan stays empty: legacy runs inject nothing
+}
 
 RunResult run_stream(const InterfaceConfig& config,
                      const aer::EventStream& events,
                      const RunOptions& options) {
-  sim::Scheduler sched;
-
-  // Resolve the run's telemetry session: harness-owned wins; otherwise the
-  // runner owns one for the duration of the call.
-  std::optional<telemetry::TelemetrySession> owned_tel;
-  telemetry::TelemetrySession* tel = options.telemetry_session;
-  if (tel == nullptr && telemetry::compiled_in() && options.telemetry.any()) {
-    owned_tel.emplace(options.telemetry);
-    tel = &*owned_tel;
-  }
-  if (tel != nullptr) {
-    tel->set_clock([&sched] { return sched.now(); });
-    sched.set_telemetry(tel);  // components pick it up at construction
-  }
-
-  AerToI2sInterface iface{sched, config};
-  iface.aer_in().set_strict(options.strict_protocol);
-  aer::AerSender sender{sched, iface.aer_in(), options.sender};
-  aer::CaviarChecker caviar{iface.aer_in()};
-  mcu::McuConsumer mcu{iface.tick_unit(),
-                       iface.saturation_span() == Time::max()
-                           ? Time::zero()
-                           : iface.saturation_span()};
-  if (options.attach_mcu) {
-    iface.on_i2s_word(
-        [&mcu](aer::AetrWord w, Time t) { mcu.on_word(w, t); });
-  }
-
-  // Blocks without a scheduler reference get the session explicitly.
-  iface.fifo().attach_telemetry(tel);
-  if (options.attach_mcu) mcu.attach_telemetry(tel);
-
-  telemetry::BlockTelemetry run_tel{tel, "runner"};
-  if (auto* m = run_tel.metrics()) {
-    m->probe("sched.events_dispatched", [&sched] {
-      return static_cast<double>(sched.processed());
-    });
-    m->probe("sched.scheduled", [&sched] {
-      return static_cast<double>(sched.stats().scheduled);
-    });
-    m->probe("sched.wheel_dispatches", [&sched] {
-      return static_cast<double>(sched.stats().wheel_dispatches);
-    });
-    m->probe("sched.heap_dispatches", [&sched] {
-      return static_cast<double>(sched.stats().heap_dispatches);
-    });
-    m->probe("sched.cascaded", [&sched] {
-      return static_cast<double>(sched.stats().cascaded);
-    });
-    m->probe("sched.pending", [&sched] {
-      return static_cast<double>(sched.pending());
-    });
-    m->probe("power.avg_w", [&iface] { return iface.average_power_w(); });
-  }
-
-  std::optional<MetricsGrid> grid;
-  if (tel != nullptr && tel->metrics_on() && !events.empty()) {
-    grid.emplace(MetricsGrid{tel, &sched, tel->options().metrics_window,
-                             events.back().time});
-    grid->arm(Time::zero());
-  }
-
-  telemetry::Span run_span{
-      tel, "runner", "run_stream",
-      {{"events", static_cast<double>(events.size())}}};
-
-  sender.submit_stream(events);
-  sched.run();
-
-  if (options.final_flush && !iface.fifo().empty()) {
-    iface.i2s_master().request_drain(sched.now());
-    sched.run();
-  }
-  // Cooldown so the power window reflects the post-stream idle period too.
-  sched.run_until(sched.now() + options.cooldown);
-
-  run_span.close();
-  if (tel != nullptr) {
-    if (tel->metrics_on()) tel->metrics().snapshot(sched.now());
-    // The clock closure captures this frame's scheduler; detach it before
-    // a harness-owned session outlives the run.
-    tel->set_clock({});
-  }
-  if (owned_tel) owned_tel->write_artifacts();
-
-  RunResult r;
-  r.activity = iface.activity();
-  r.average_power_w = iface.average_power_w();
-  r.breakdown = iface.power_breakdown();
-  r.records = iface.front_end().records();
-  r.error = analysis::analyze_records(r.records, iface.tick_unit(),
-                                      iface.saturation_span());
-  r.decoded = mcu.events();
-  r.events_in = events.size();
-  r.words_out = iface.i2s_master().words_sent();
-  r.fifo_overflows = iface.fifo().overflows();
-  r.batches = mcu.batches();
-  r.handshakes = iface.aer_in().handshakes();
-  r.caviar_violations = caviar.violations().size();
-  r.protocol_violations = iface.aer_in().violations().size();
-  r.sim_end = sched.now();
-  r.tick_unit = iface.tick_unit();
-  r.saturation_span = iface.saturation_span();
-  if (events.size() >= 2) {
-    const double span =
-        (events.back().time - events.front().time).to_sec();
-    if (span > 0.0) {
-      r.input_rate_hz = static_cast<double>(events.size() - 1) / span;
-    }
-  }
-  return r;
+  return run_scenario(to_scenario(config, options), events);
 }
 
 RunResult run_source(const InterfaceConfig& config, gen::SpikeSource& source,
                      std::size_t n_events, const RunOptions& options) {
-  return run_stream(config, gen::take(source, n_events), options);
+  return run_scenario(to_scenario(config, options), gen::take(source, n_events));
 }
 
 }  // namespace aetr::core

@@ -1,6 +1,10 @@
-// One-call experiment harness: build a full system (sensor-side AER sender,
-// the interface, an MCU consumer, protocol checkers), push a spike stream
-// through it, and collect every observable the paper's evaluation uses.
+// One-call experiment harness — compatibility shim.
+//
+// The run API now lives in core/scenario.hpp: a single ScenarioConfig
+// (interface + sender timing + fault plan + telemetry choice) consumed by
+// run_scenario(). The run_stream()/run_source() entry points below forward
+// there and will be removed one release after the migration; new code
+// should call run_scenario() directly.
 #pragma once
 
 #include <cstdint>
@@ -9,67 +13,38 @@
 #include "aer/agents.hpp"
 #include "aer/caviar.hpp"
 #include "aer/event.hpp"
-#include "analysis/error.hpp"
-#include "core/interface.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
-#include "power/model.hpp"
-#include "telemetry/telemetry.hpp"
 
 namespace aetr::core {
 
-/// Harness options.
+/// Legacy harness options (deprecated: prefer ScenarioConfig, which also
+/// carries the interface config and the fault plan). The former
+/// telemetry/telemetry_session dual-ownership pair is collapsed into the
+/// single TelemetryChoice variant.
 struct RunOptions {
   aer::SenderTiming sender;                ///< sensor-side wire timing
   Time cooldown = Time::ms(1.0);           ///< settle time after last event
   bool strict_protocol = false;            ///< throw on AER violations
   bool final_flush = true;                 ///< drain FIFO residue at the end
   bool attach_mcu = true;                  ///< decode the I2S stream
-  /// Telemetry for this run (off by default). When `telemetry_session` is
-  /// null and `telemetry.any()`, the runner owns a session for the run and
-  /// writes the configured artifact paths before returning. A non-null
-  /// `telemetry_session` overrides `telemetry` entirely: the harness owns
-  /// the session and its artifacts (the sweep runtime does this to name
-  /// outputs per job).
-  telemetry::SessionOptions telemetry;
-  telemetry::TelemetrySession* telemetry_session = nullptr;
+  TelemetryChoice telemetry;               ///< off / runner-owned / borrowed
 };
 
-/// Everything measured in one run.
-struct RunResult {
-  // Power
-  power::ActivityTotals activity;
-  double average_power_w{0.0};
-  power::PowerBreakdown breakdown;
-  // Accuracy
-  analysis::ErrorStats error;
-  std::vector<frontend::CaptureRecord> records;
-  // Data path
-  std::vector<aer::TimedEvent> decoded;  ///< MCU-side reconstructed events
-  std::uint64_t events_in{0};
-  std::uint64_t words_out{0};
-  std::uint64_t fifo_overflows{0};
-  std::uint64_t batches{0};
-  // Protocol
-  std::uint64_t handshakes{0};
-  std::uint64_t caviar_violations{0};
-  std::uint64_t protocol_violations{0};
-  // Timeline
-  Time sim_end{Time::zero()};
-  double input_rate_hz{0.0};  ///< measured from the stream span
-  // Interface scale factors (for re-scoring the records externally)
-  Time tick_unit{Time::zero()};        ///< Tmin
-  Time saturation_span{Time::zero()};  ///< max measurable interval
-};
-
-/// Run a pre-materialised stream through a freshly built system.
+/// Deprecated shim: forwards to run_scenario() with an empty fault plan.
 [[nodiscard]] RunResult run_stream(const InterfaceConfig& config,
                                    const aer::EventStream& events,
                                    const RunOptions& options = {});
 
-/// Convenience: draw `n_events` from a source, then run them.
+/// Deprecated shim: draw `n_events` from a source, then run them.
 [[nodiscard]] RunResult run_source(const InterfaceConfig& config,
                                    gen::SpikeSource& source,
                                    std::size_t n_events,
                                    const RunOptions& options = {});
+
+/// The ScenarioConfig equivalent of an (InterfaceConfig, RunOptions) pair —
+/// what the shims build; exposed so call sites can migrate piecewise.
+[[nodiscard]] ScenarioConfig to_scenario(const InterfaceConfig& config,
+                                         const RunOptions& options);
 
 }  // namespace aetr::core

@@ -1,0 +1,310 @@
+#include "core/scenario.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "aer/caviar.hpp"
+#include "mcu/consumer.hpp"
+#include "sim/scheduler.hpp"
+
+namespace aetr::core {
+
+namespace {
+
+void check_prob(double p, const char* what) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(std::string{"ScenarioConfig: "} + what +
+                                " must be a probability in [0, 1]");
+  }
+}
+
+/// Self-rearming snapshot tick: samples every registered probe on the
+/// metrics grid. Armed only up to the last input event so the grid never
+/// extends the simulated timeline (RunResult must be telemetry-invariant).
+struct MetricsGrid {
+  telemetry::TelemetrySession* tel;
+  sim::Scheduler* sched;
+  Time pitch;
+  Time until;
+
+  void arm(Time at) {
+    sched->schedule_at(at, [this] {
+      tel->metrics().snapshot(sched->now());
+      const Time next = sched->now() + pitch;
+      if (next <= until) arm(next);
+    });
+  }
+};
+
+/// Handshake watchdog (RecoveryConfig::watchdog): a periodic link check
+/// that repairs the two ways an injected wire fault can wedge the 4-phase
+/// handshake — a REQ edge the synchroniser missed (re-delivered to the
+/// front-end) and a lost ACK fall (ACK re-driven low). Both repairs demand
+/// the suspect state to persist across two consecutive ticks with no
+/// completed handshake in between, so the nanosecond-scale transients of a
+/// healthy handshake can never trip it. The timer re-arms only while the
+/// link or the sender still has work, so an idle run winds down naturally.
+struct Watchdog {
+  sim::Scheduler* sched;
+  aer::AerChannel* ch;
+  frontend::AerFrontEnd* fe;
+  aer::AerSender* sender;
+  fault::FaultInjector* faults;
+  Time period;
+
+  int suspect_ticks{0};
+  std::uint64_t suspect_handshakes{0};
+
+  void arm() {
+    sched->schedule_after(period, [this] { check(); });
+  }
+
+  void check() {
+    const bool stuck_ack = ch->ack() && !ch->req() && !fe->in_flight();
+    const bool lost_req = ch->req() && !ch->ack() && !fe->in_flight();
+    if ((stuck_ack || lost_req) &&
+        (suspect_ticks == 0 || ch->handshakes() == suspect_handshakes)) {
+      ++suspect_ticks;
+      if (suspect_ticks == 1) suspect_handshakes = ch->handshakes();
+      if (suspect_ticks >= 2) {
+        suspect_ticks = 0;
+        if (stuck_ack) {
+          // Phase 4 never completed: re-drive ACK low so the sender's
+          // ack-fall observer finally fires and the stream resumes.
+          ch->deassert_ack();
+          ++faults->counters().ack_recoveries;
+        } else if (fe->resync(ch->last_req_rise())) {
+          // The wire still shows the (dropped or runt-aborted) request;
+          // ground truth keeps the original REQ rise so the recovery
+          // latency lands in the timestamp error where it belongs.
+          ++faults->counters().watchdog_resyncs;
+        }
+      }
+    } else {
+      suspect_ticks = 0;
+    }
+    if (sender->backlog() > 0 || ch->req() || ch->ack()) arm();
+  }
+};
+
+}  // namespace
+
+void ScenarioConfig::validate() const {
+  // Interface geometry (mirrors the block constructors so a bad scenario
+  // fails before anything is built).
+  if (interface.fifo.capacity_words == 0) {
+    throw std::invalid_argument("ScenarioConfig: fifo capacity must be > 0");
+  }
+  if (interface.fifo.batch_threshold == 0 ||
+      interface.fifo.batch_threshold > interface.fifo.capacity_words) {
+    throw std::invalid_argument(
+        "ScenarioConfig: fifo batch threshold must be in [1, capacity]");
+  }
+  if (interface.front_end.sync_stages == 0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: front-end needs at least one synchroniser stage");
+  }
+  if (interface.i2s.word_bits == 0 || interface.i2s.word_bits > 32) {
+    throw std::invalid_argument(
+        "ScenarioConfig: i2s word width must be in [1, 32] bits");
+  }
+  if (interface.clock.theta_div == 0) {
+    throw std::invalid_argument("ScenarioConfig: theta_div must be > 0");
+  }
+  check_prob(interface.front_end.metastability_prob, "metastability_prob");
+  if (cooldown < Time::zero()) {
+    throw std::invalid_argument("ScenarioConfig: cooldown must be >= 0");
+  }
+  // Fault plan.
+  check_prob(faults.aer.drop_req_prob, "fault.aer.drop_req_prob");
+  check_prob(faults.aer.stuck_ack_prob, "fault.aer.stuck_ack_prob");
+  check_prob(faults.aer.addr_bit_flip_prob, "fault.aer.addr_bit_flip_prob");
+  check_prob(faults.aer.runt_req_prob, "fault.aer.runt_req_prob");
+  check_prob(faults.fifo.cell_bit_flip_prob, "fault.fifo.cell_bit_flip_prob");
+  check_prob(faults.spi.word_bit_flip_prob, "fault.spi.word_bit_flip_prob");
+  check_prob(faults.i2s.bit_error_rate, "fault.i2s.bit_error_rate");
+  if (faults.clock.period_jitter_rel < 0.0 ||
+      faults.clock.wake_jitter_rel < 0.0) {
+    throw std::invalid_argument(
+        "ScenarioConfig: clock jitter sigmas must be >= 0");
+  }
+  if (faults.aer.runt_req_prob > 0.0 && faults.aer.runt_width <= Time::zero()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: runt_width must be > 0 when runts are injected");
+  }
+  if (faults.recovery.watchdog &&
+      faults.recovery.watchdog_timeout <= Time::zero()) {
+    throw std::invalid_argument(
+        "ScenarioConfig: watchdog_timeout must be > 0");
+  }
+}
+
+RunResult run_scenario(const ScenarioConfig& scenario,
+                       const aer::EventStream& events) {
+  scenario.validate();
+  sim::Scheduler sched;
+
+  // Resolve the run's telemetry session per the scenario's choice.
+  std::optional<telemetry::TelemetrySession> owned_tel;
+  telemetry::TelemetrySession* tel = nullptr;
+  switch (scenario.telemetry.mode()) {
+    case TelemetryChoice::Mode::kBorrowed:
+      tel = scenario.telemetry.session();
+      break;
+    case TelemetryChoice::Mode::kOwned:
+      if (telemetry::compiled_in() && scenario.telemetry.options().any()) {
+        owned_tel.emplace(scenario.telemetry.options());
+        tel = &*owned_tel;
+      }
+      break;
+    case TelemetryChoice::Mode::kOff:
+      break;
+  }
+  if (tel != nullptr) {
+    tel->set_clock([&sched] { return sched.now(); });
+    sched.set_telemetry(tel);  // components pick it up at construction
+  }
+
+  // An empty plan attaches no injector at all: the fault hooks stay null
+  // and the run is bit-identical to one with no fault plumbing.
+  std::optional<fault::FaultInjector> injector;
+  if (scenario.faults.any()) injector.emplace(scenario.faults);
+  fault::FaultInjector* faults = injector ? &*injector : nullptr;
+
+  AerToI2sInterface iface{sched, scenario.interface, faults};
+  iface.aer_in().set_strict(scenario.strict_protocol);
+  aer::AerSender sender{sched, iface.aer_in(), scenario.sender};
+  aer::CaviarChecker caviar{iface.aer_in()};
+  mcu::McuConsumer mcu{iface.tick_unit(),
+                       iface.saturation_span() == Time::max()
+                           ? Time::zero()
+                           : iface.saturation_span()};
+  if (scenario.attach_mcu) {
+    iface.on_i2s_word([&mcu](aer::AetrWord w, Time t) { mcu.on_word(w, t); });
+    mcu.attach_faults(faults);
+  }
+
+  // Blocks without a scheduler reference get the session explicitly.
+  iface.fifo().attach_telemetry(tel);
+  if (scenario.attach_mcu) mcu.attach_telemetry(tel);
+
+  telemetry::BlockTelemetry run_tel{tel, "runner"};
+  if (auto* m = run_tel.metrics()) {
+    m->probe("sched.events_dispatched", [&sched] {
+      return static_cast<double>(sched.processed());
+    });
+    m->probe("sched.scheduled", [&sched] {
+      return static_cast<double>(sched.stats().scheduled);
+    });
+    m->probe("sched.wheel_dispatches", [&sched] {
+      return static_cast<double>(sched.stats().wheel_dispatches);
+    });
+    m->probe("sched.heap_dispatches", [&sched] {
+      return static_cast<double>(sched.stats().heap_dispatches);
+    });
+    m->probe("sched.cascaded", [&sched] {
+      return static_cast<double>(sched.stats().cascaded);
+    });
+    m->probe("sched.pending", [&sched] {
+      return static_cast<double>(sched.pending());
+    });
+    m->probe("power.avg_w", [&iface] { return iface.average_power_w(); });
+    if (faults != nullptr) {
+      // The fault.* probes read the injector's counters — the same fields
+      // RunResult::faults is copied from, so the two can never disagree.
+      m->probe("fault.injected", [faults] {
+        return static_cast<double>(faults->counters().injected_total());
+      });
+      m->probe("fault.recovered", [faults] {
+        return static_cast<double>(faults->counters().recovered_total());
+      });
+      m->probe("fault.watchdog_resyncs", [faults] {
+        return static_cast<double>(faults->counters().watchdog_resyncs);
+      });
+      m->probe("fault.crc_rejected_words", [faults] {
+        return static_cast<double>(faults->counters().crc_rejected_words);
+      });
+    }
+  }
+
+  std::optional<MetricsGrid> grid;
+  if (tel != nullptr && tel->metrics_on() && !events.empty()) {
+    grid.emplace(MetricsGrid{tel, &sched, tel->options().metrics_window,
+                             events.back().time});
+    grid->arm(Time::zero());
+  }
+
+  // Handshake watchdog: armed only when a wire fault that can wedge the
+  // link is actually injected (and recovery is enabled), so fault-free
+  // runs schedule nothing extra.
+  std::optional<Watchdog> watchdog;
+  if (faults != nullptr && scenario.faults.aer.any() &&
+      scenario.faults.recovery.watchdog) {
+    watchdog.emplace(Watchdog{&sched, &iface.aer_in(), &iface.front_end(),
+                              &sender, faults,
+                              scenario.faults.recovery.watchdog_timeout});
+    watchdog->arm();
+  }
+
+  telemetry::Span run_span{
+      tel, "runner", "run_stream",
+      {{"events", static_cast<double>(events.size())}}};
+
+  sender.submit_stream(events);
+  sched.run();
+
+  if (scenario.final_flush && !iface.fifo().empty()) {
+    iface.i2s_master().request_drain(sched.now());
+    sched.run();
+  }
+  // Cooldown so the power window reflects the post-stream idle period too.
+  sched.run_until(sched.now() + scenario.cooldown);
+  // Flush any CRC-gated batch still pending on the MCU side.
+  if (scenario.attach_mcu) mcu.finish(sched.now());
+
+  run_span.close();
+  if (tel != nullptr) {
+    if (tel->metrics_on()) tel->metrics().snapshot(sched.now());
+    // The clock closure captures this frame's scheduler; detach it before
+    // a harness-owned session outlives the run.
+    tel->set_clock({});
+  }
+  if (owned_tel) owned_tel->write_artifacts();
+
+  RunResult r;
+  r.activity = iface.activity();
+  r.average_power_w = iface.average_power_w();
+  r.breakdown = iface.power_breakdown();
+  r.records = iface.front_end().records();
+  r.error = analysis::analyze_records(r.records, iface.tick_unit(),
+                                      iface.saturation_span());
+  r.decoded = mcu.events();
+  r.events_in = events.size();
+  r.words_out = iface.i2s_master().words_sent();
+  r.fifo_overflows = iface.fifo().overflows();
+  r.batches = mcu.batches();
+  r.handshakes = iface.aer_in().handshakes();
+  r.caviar_violations = caviar.violations().size();
+  r.protocol_violations = iface.aer_in().violations().size();
+  if (faults != nullptr) r.faults = faults->counters();
+  r.sim_end = sched.now();
+  r.tick_unit = iface.tick_unit();
+  r.saturation_span = iface.saturation_span();
+  if (events.size() >= 2) {
+    const double span =
+        (events.back().time - events.front().time).to_sec();
+    if (span > 0.0) {
+      r.input_rate_hz = static_cast<double>(events.size() - 1) / span;
+    }
+  }
+  return r;
+}
+
+RunResult run_scenario(const ScenarioConfig& scenario, gen::SpikeSource& source,
+                       std::size_t n_events) {
+  return run_scenario(scenario, gen::take(source, n_events));
+}
+
+}  // namespace aetr::core

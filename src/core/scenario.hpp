@@ -1,0 +1,123 @@
+// The unified run API: one validated, config_io-round-trippable object
+// describing everything a run needs — per-block interface configs, the
+// sensor-side wire timing, the fault plan with its recovery knobs, and the
+// telemetry choice — consumed by run_scenario().
+//
+// This replaces the old (InterfaceConfig, RunOptions) pair whose telemetry
+// fields had dual ownership; core/runner.hpp keeps those entry points as a
+// one-release compatibility shim forwarding here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aer/agents.hpp"
+#include "aer/event.hpp"
+#include "analysis/error.hpp"
+#include "core/interface.hpp"
+#include "fault/fault_plan.hpp"
+#include "gen/sources.hpp"
+#include "power/model.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace aetr::core {
+
+/// How a run's telemetry is provided: off entirely, owned by the runner for
+/// the duration of the call (built from SessionOptions, artifacts written
+/// before returning), or borrowed from an outer harness that owns the
+/// session and its artifacts (the sweep runtime does this to name outputs
+/// per job). Exactly one of the three — the old telemetry/telemetry_session
+/// pair whose meaning depended on which fields were set is gone.
+class TelemetryChoice {
+ public:
+  enum class Mode { kOff, kOwned, kBorrowed };
+
+  /// Default: no telemetry.
+  TelemetryChoice() = default;
+
+  [[nodiscard]] static TelemetryChoice off() { return TelemetryChoice{}; }
+  [[nodiscard]] static TelemetryChoice owned(telemetry::SessionOptions opts) {
+    TelemetryChoice c;
+    c.mode_ = Mode::kOwned;
+    c.options_ = opts;
+    return c;
+  }
+  [[nodiscard]] static TelemetryChoice borrowed(
+      telemetry::TelemetrySession* session) {
+    TelemetryChoice c;
+    c.mode_ = session != nullptr ? Mode::kBorrowed : Mode::kOff;
+    c.session_ = session;
+    return c;
+  }
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  /// Session options (meaningful in kOwned mode; defaults otherwise).
+  [[nodiscard]] const telemetry::SessionOptions& options() const {
+    return options_;
+  }
+  /// Borrowed session (non-null exactly in kBorrowed mode).
+  [[nodiscard]] telemetry::TelemetrySession* session() const {
+    return session_;
+  }
+
+ private:
+  Mode mode_{Mode::kOff};
+  telemetry::SessionOptions options_{};
+  telemetry::TelemetrySession* session_{nullptr};
+};
+
+/// Everything one run needs, in one place.
+struct ScenarioConfig {
+  InterfaceConfig interface;        ///< per-block hardware configuration
+  aer::SenderTiming sender;         ///< sensor-side wire timing
+  fault::FaultPlan faults;          ///< injected faults + recovery knobs
+  Time cooldown = Time::ms(1.0);    ///< settle time after last event
+  bool strict_protocol = false;     ///< throw on AER violations
+  bool final_flush = true;          ///< drain FIFO residue at the end
+  bool attach_mcu = true;           ///< decode the I2S stream
+  TelemetryChoice telemetry;        ///< off / runner-owned / borrowed
+
+  /// Throws std::invalid_argument on the first inconsistency (probability
+  /// out of [0,1], zero-width runt, degenerate FIFO geometry, ...).
+  void validate() const;
+};
+
+/// Everything measured in one run.
+struct RunResult {
+  // Power
+  power::ActivityTotals activity;
+  double average_power_w{0.0};
+  power::PowerBreakdown breakdown;
+  // Accuracy
+  analysis::ErrorStats error;
+  std::vector<frontend::CaptureRecord> records;
+  // Data path
+  std::vector<aer::TimedEvent> decoded;  ///< MCU-side reconstructed events
+  std::uint64_t events_in{0};
+  std::uint64_t words_out{0};
+  std::uint64_t fifo_overflows{0};
+  std::uint64_t batches{0};
+  // Protocol
+  std::uint64_t handshakes{0};
+  std::uint64_t caviar_violations{0};
+  std::uint64_t protocol_violations{0};
+  // Faults (all zero when the scenario's plan is empty)
+  fault::FaultCounters faults;
+  // Timeline
+  Time sim_end{Time::zero()};
+  double input_rate_hz{0.0};  ///< measured from the stream span
+  // Interface scale factors (for re-scoring the records externally)
+  Time tick_unit{Time::zero()};        ///< Tmin
+  Time saturation_span{Time::zero()};  ///< max measurable interval
+};
+
+/// Run a pre-materialised stream through a freshly built system.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& scenario,
+                                     const aer::EventStream& events);
+
+/// Convenience: draw `n_events` from a source, then run them.
+[[nodiscard]] RunResult run_scenario(const ScenarioConfig& scenario,
+                                     gen::SpikeSource& source,
+                                     std::size_t n_events);
+
+}  // namespace aetr::core

@@ -1,0 +1,172 @@
+// Declarative fault-injection plan for a whole scenario run.
+//
+// The paper's interface exists because asynchronous AER handshakes are
+// fragile when bridged onto synchronous logic; this subsystem asks the
+// quantitative follow-up — how do timestamp accuracy and energy
+// proportionality degrade as the link gets noisy? A FaultPlan names every
+// injectable fault per pipeline block; fault::FaultInjector (injector.hpp)
+// turns the plan into seed-deterministic per-site lotteries that the blocks
+// consult at their natural emission points.
+//
+// Determinism contract: a run with the same (ScenarioConfig, stream,
+// FaultPlan) produces an identical RunResult on every host and for every
+// sweep --jobs value. A plan with all probabilities zero draws no random
+// numbers and perturbs no timing: it is byte-identical to a run with no
+// fault plumbing attached at all.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace aetr::fault {
+
+/// AER handshake / address-bus faults injected at the wire (aer::AerChannel)
+/// and the latch (frontend::AerFrontEnd).
+struct AerFaults {
+  /// P(a REQ rising edge is swallowed by the receiver synchroniser): the
+  /// wire level is driven high but the observers never see the edge. The
+  /// handshake wedges until the watchdog resyncs (RecoveryConfig::watchdog).
+  double drop_req_prob = 0.0;
+  /// P(an ACK falling edge is lost): the wire stays high, the sender never
+  /// observes phase 4 and stalls. Recovered by the watchdog re-driving ACK.
+  double stuck_ack_prob = 0.0;
+  /// P(one ADDR bus line flips between the sender pads and the address
+  /// register). Undetectable without an ECC the hardware does not have —
+  /// the event is timestamped correctly but attributed to a wrong address.
+  double addr_bit_flip_prob = 0.0;
+  /// P(a REQ rise is a runt pulse): the level collapses after `runt_width`
+  /// and recovers after another `runt_width` (pad-driver glitch). A capture
+  /// whose sample edge lands inside the dip is aborted by the front-end's
+  /// level-confirmed sampling and retried via the watchdog.
+  double runt_req_prob = 0.0;
+  Time runt_width = Time::ns(40);
+
+  [[nodiscard]] bool any() const {
+    return drop_req_prob > 0.0 || stuck_ack_prob > 0.0 ||
+           addr_bit_flip_prob > 0.0 || runt_req_prob > 0.0;
+  }
+};
+
+/// Clock-generator faults: sampling-period jitter accumulating in the
+/// timestamp counter, and restart-latency variation after shutdown.
+struct ClockFaults {
+  /// Per-cycle period jitter, sigma relative to the nominal period. The
+  /// latched tick count gains a zero-mean error with sigma
+  /// `period_jitter_rel * sqrt(ticks)` (independent cycle jitter).
+  double period_jitter_rel = 0.0;
+  /// Restart-latency variation: the wake latency of a shutdown ring is
+  /// multiplied by (1 + |N(0, wake_jitter_rel)|) for each wakeup.
+  double wake_jitter_rel = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return period_jitter_rel > 0.0 || wake_jitter_rel > 0.0;
+  }
+};
+
+/// SRAM buffer faults (buffer::AetrFifo).
+struct FifoFaults {
+  /// P(a stored word suffers a single-bit upset while resident, observed at
+  /// the read port). With RecoveryConfig::fifo_parity the flip is detected
+  /// and the word dropped; without it the corrupt word flows downstream.
+  double cell_bit_flip_prob = 0.0;
+
+  [[nodiscard]] bool any() const { return cell_bit_flip_prob > 0.0; }
+};
+
+/// SPI configuration-path faults (spi::SpiSlave).
+struct SpiFaults {
+  /// P(one bit of a 16-bit SPI transaction frame flips before decode).
+  /// Register-level range validation rejects out-of-range values; in-range
+  /// corruption lands in the registers, as it would on the die.
+  double word_bit_flip_prob = 0.0;
+
+  [[nodiscard]] bool any() const { return word_bit_flip_prob > 0.0; }
+};
+
+/// I2S carrier faults (i2s::I2sMaster word path; unifies the ad-hoc BER
+/// model of the bit-level wire tests).
+struct I2sFaults {
+  /// Per-bit flip probability on the serial data line.
+  double bit_error_rate = 0.0;
+
+  [[nodiscard]] bool any() const { return bit_error_rate > 0.0; }
+};
+
+/// Recovery mechanisms paired with the faults above. Each is honoured only
+/// while the matching fault is actually injected, so a zero-rate plan (and
+/// a recovery-disabled run) never changes the no-fault pipeline.
+struct RecoveryConfig {
+  /// Handshake watchdog: the run harness polls the link every
+  /// `watchdog_timeout` and repairs a wedged channel (missed REQ edge is
+  /// re-delivered to the front-end, a stuck ACK is re-driven low).
+  bool watchdog = true;
+  Time watchdog_timeout = Time::us(10.0);
+  /// Parity-checked FIFO reads: a cell upset is detected at the read port
+  /// and the word dropped instead of delivered corrupt.
+  bool fifo_parity = true;
+  /// CRC-gated batch acceptance: the I2S master appends a CRC-32 word to
+  /// every drained batch and the MCU rejects batches whose CRC fails,
+  /// so corrupt timestamps can never silently skew the reconstruction.
+  bool crc_frames = true;
+};
+
+/// The whole scenario's fault declaration. `seed` feeds per-site
+/// splitmix-derived lotteries, so fault draws never couple across blocks.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA017;
+  AerFaults aer;
+  ClockFaults clock;
+  FifoFaults fifo;
+  SpiFaults spi;
+  I2sFaults i2s;
+  RecoveryConfig recovery;
+
+  [[nodiscard]] bool any() const {
+    return aer.any() || clock.any() || fifo.any() || spi.any() || i2s.any();
+  }
+};
+
+/// CRC batch framing engages only when a fault it can catch is actually
+/// injected (payload corruption on the FIFO or the I2S link) — recovery
+/// must never perturb a fault-free pipeline. Both ends of the link (the
+/// I2S master appending the CRC word, the MCU gating acceptance) key off
+/// this same predicate so they can never disagree.
+[[nodiscard]] inline bool crc_framing_active(const FaultPlan& p) {
+  return p.recovery.crc_frames && (p.fifo.any() || p.i2s.any());
+}
+
+/// Aggregated injection / recovery counters, the single source of truth
+/// surfaced both in core::RunResult and through the telemetry fault.*
+/// probes (they can never disagree — both read these fields).
+struct FaultCounters {
+  // Injected faults.
+  std::uint64_t req_dropped{0};
+  std::uint64_t ack_stuck{0};
+  std::uint64_t addr_flips{0};
+  std::uint64_t runt_pulses{0};
+  std::uint64_t tick_jitter_events{0};
+  std::uint64_t wake_jitter_events{0};
+  std::uint64_t fifo_bit_flips{0};
+  std::uint64_t spi_corrupted{0};
+  std::uint64_t i2s_bit_errors{0};
+  // Recovery actions.
+  std::uint64_t watchdog_resyncs{0};
+  std::uint64_t ack_recoveries{0};
+  std::uint64_t runts_filtered{0};
+  std::uint64_t fifo_parity_drops{0};
+  std::uint64_t crc_rejected_batches{0};
+  std::uint64_t crc_rejected_words{0};
+
+  [[nodiscard]] std::uint64_t injected_total() const {
+    return req_dropped + ack_stuck + addr_flips + runt_pulses +
+           tick_jitter_events + wake_jitter_events + fifo_bit_flips +
+           spi_corrupted + i2s_bit_errors;
+  }
+  [[nodiscard]] std::uint64_t recovered_total() const {
+    return watchdog_resyncs + ack_recoveries + runts_filtered +
+           fifo_parity_drops + crc_rejected_batches;
+  }
+};
+
+}  // namespace aetr::fault

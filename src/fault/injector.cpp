@@ -1,0 +1,28 @@
+#include "fault/injector.hpp"
+
+// Header-only constexpr utility; no link dependency on the runtime module.
+#include "runtime/seed.hpp"
+
+namespace aetr::fault {
+
+namespace {
+
+std::array<Xoshiro256StarStar, static_cast<std::size_t>(Site::kCount)>
+make_streams(std::uint64_t seed) {
+  // One derived stream per site, same derivation as the sweep runtime's
+  // per-job seeds: adjacent sites are statistically independent and the
+  // whole pattern is a pure function of the plan seed.
+  return {Xoshiro256StarStar{runtime::derive_seed(seed, 0)},
+          Xoshiro256StarStar{runtime::derive_seed(seed, 1)},
+          Xoshiro256StarStar{runtime::derive_seed(seed, 2)},
+          Xoshiro256StarStar{runtime::derive_seed(seed, 3)},
+          Xoshiro256StarStar{runtime::derive_seed(seed, 4)},
+          Xoshiro256StarStar{runtime::derive_seed(seed, 5)}};
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan)
+    : plan_{plan}, rngs_{make_streams(plan.seed)} {}
+
+}  // namespace aetr::fault

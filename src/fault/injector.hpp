@@ -1,0 +1,62 @@
+// Seed-deterministic fault lotteries over a FaultPlan.
+//
+// One FaultInjector lives for the duration of a run (owned by the run
+// harness) and every instrumented block holds a nullable pointer to it —
+// null means no faults, and every injection site is then a single pointer
+// test, exactly like the telemetry hooks. Each site draws from its own
+// splitmix-derived RNG stream so the draw order inside one block never
+// depends on what another block injected; for a fixed plan seed the fault
+// pattern is a pure function of each block's own event sequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace aetr::fault {
+
+/// Injection sites, one independent RNG stream each.
+enum class Site : std::size_t {
+  kAerWire = 0,   ///< REQ/ACK edge lottery (drop / stuck / runt)
+  kAddrBus,       ///< address-bus bit flips
+  kClock,         ///< period + wake-latency jitter
+  kFifoCell,      ///< SRAM cell upsets
+  kSpiWord,       ///< configuration-word corruption
+  kI2sLink,       ///< serial-data bit errors
+  kCount,
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] FaultCounters& counters() { return counters_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+  /// The site's private RNG stream.
+  [[nodiscard]] Xoshiro256StarStar& rng(Site s) {
+    return rngs_[static_cast<std::size_t>(s)];
+  }
+
+  /// Bernoulli gate: draws only when p > 0, so a zero-probability fault
+  /// consumes no randomness and the zero plan is bit-for-bit inert.
+  [[nodiscard]] bool roll(Site s, double p) {
+    return p > 0.0 && rng(s).bernoulli(p);
+  }
+
+  /// Uniform bit index in [0, bits) from the site's stream.
+  [[nodiscard]] unsigned pick_bit(Site s, unsigned bits) {
+    return static_cast<unsigned>(rng(s).uniform_int(bits));
+  }
+
+ private:
+  FaultPlan plan_;
+  FaultCounters counters_;
+  std::array<Xoshiro256StarStar,
+             static_cast<std::size_t>(Site::kCount)> rngs_;
+};
+
+}  // namespace aetr::fault

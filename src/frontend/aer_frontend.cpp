@@ -40,6 +40,12 @@ AerFrontEnd::AerFrontEnd(sim::Scheduler& sched, aer::AerChannel& channel,
   });
 }
 
+bool AerFrontEnd::resync(Time now) {
+  if (in_flight_ || !channel_.req()) return false;
+  handle_request(now);
+  return true;
+}
+
 void AerFrontEnd::handle_request(Time t) {
   std::uint32_t sync = cfg_.sync_stages;
   if (cfg_.metastability_prob > 0.0 &&
@@ -49,17 +55,38 @@ void AerFrontEnd::handle_request(Time t) {
     tel_.instant("metastable", t);
   }
   const aer::Event request{channel_.addr(), t};
+  // The address register can latch a corrupted bus (fault injection); the
+  // ground-truth record keeps the address the sender actually drove.
+  std::uint16_t latched = request.address;
+  if (faults_ != nullptr &&
+      faults_->roll(fault::Site::kAddrBus,
+                    faults_->plan().aer.addr_bit_flip_prob)) {
+    latched ^= static_cast<std::uint16_t>(
+        1u << faults_->pick_bit(fault::Site::kAddrBus, aer::kAddressBits));
+    ++faults_->counters().addr_flips;
+  }
+  in_flight_ = true;
   if (tel_.tracing()) [[unlikely]] {
     tel_.begin("capture", t,
                {{"addr", static_cast<double>(request.address)}});
   }
   clkgen_.capture_request(
-      sync, [this, request](Time edge, std::uint64_t ticks, bool saturated) {
+      sync, [this, request, latched](Time edge, std::uint64_t ticks,
+                                     bool saturated) {
+        in_flight_ = false;
+        if (faults_ != nullptr && !channel_.req()) {
+          // Level-confirmed sampling: the REQ level collapsed under us (a
+          // runt dip). Abort the capture — no word, no ACK; the watchdog
+          // re-delivers the request once the level has recovered.
+          ++faults_->counters().runts_filtered;
+          tel_.end("capture", edge);
+          return;
+        }
         // At the sample edge: ADDR was stable since before REQ, so the
         // address register holds it; the counter value is latched with it.
         const aer::AetrWord word =
-            saturated ? aer::AetrWord::saturated(request.address)
-                      : aer::AetrWord::make(request.address, ticks);
+            saturated ? aer::AetrWord::saturated(latched)
+                      : aer::AetrWord::make(latched, ticks);
         ++events_;
         if (word.is_saturated()) {
           ++saturated_;

@@ -19,6 +19,7 @@
 #include "aer/channel.hpp"
 #include "aer/event.hpp"
 #include "clockgen/clock_generator.hpp"
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
@@ -72,6 +73,19 @@ class AerFrontEnd {
     return records_;
   }
 
+  /// Address-bus flip lottery + runt filtering. Null (default) is inert.
+  void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
+  /// True while a capture FSM pass is between REQ observation and its
+  /// sample edge — the watchdog must not re-deliver during this window.
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
+
+  /// Handshake-watchdog entry point: if the wire shows a pending REQ that
+  /// the synchroniser missed (dropped edge, or a capture aborted on a runt
+  /// dip) and no capture is in flight, re-deliver it. Returns true when a
+  /// capture was restarted.
+  bool resync(Time now);
+
  private:
   void handle_request(Time t);
 
@@ -80,6 +94,8 @@ class AerFrontEnd {
   clockgen::ClockGenerator& clkgen_;
   FrontEndConfig cfg_;
   WordFn word_fn_;
+  fault::FaultInjector* faults_{nullptr};
+  bool in_flight_{false};
   Xoshiro256StarStar rng_;
   std::vector<CaptureRecord> records_;
   std::uint64_t events_{0};

@@ -25,15 +25,18 @@ const std::array<std::uint32_t, 256>& crc_table() {
 
 }  // namespace
 
-std::uint32_t crc32_words(const std::vector<std::uint32_t>& words) {
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const std::uint32_t w : words) {
-    for (int byte = 0; byte < 4; ++byte) {
-      const auto b = static_cast<std::uint8_t>((w >> (8 * byte)) & 0xFFu);
-      crc = crc_table()[(crc ^ b) & 0xFFu] ^ (crc >> 8);
-    }
+std::uint32_t crc32_update(std::uint32_t state, std::uint32_t word) {
+  for (int byte = 0; byte < 4; ++byte) {
+    const auto b = static_cast<std::uint8_t>((word >> (8 * byte)) & 0xFFu);
+    state = crc_table()[(state ^ b) & 0xFFu] ^ (state >> 8);
   }
-  return crc ^ 0xFFFFFFFFu;
+  return state;
+}
+
+std::uint32_t crc32_words(const std::vector<std::uint32_t>& words) {
+  std::uint32_t crc = crc32_init();
+  for (const std::uint32_t w : words) crc = crc32_update(crc, w);
+  return crc32_final(crc);
 }
 
 std::vector<std::uint32_t> FrameEncoder::encode(

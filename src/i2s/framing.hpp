@@ -25,6 +25,15 @@ namespace aetr::i2s {
 /// fed little-endian byte order.
 [[nodiscard]] std::uint32_t crc32_words(const std::vector<std::uint32_t>& words);
 
+/// Incremental form: seed with crc32_init(), fold words in one at a time,
+/// finalise with crc32_final(). Streaming consumers (the MCU's CRC batch
+/// gate) use this to avoid re-hashing the accumulated payload per word.
+[[nodiscard]] constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, std::uint32_t word);
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
 /// Frame assembly.
 class FrameEncoder {
  public:

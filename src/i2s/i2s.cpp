@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "i2s/framing.hpp"
+
 namespace aetr::i2s {
 
 I2sMaster::I2sMaster(sim::Scheduler& sched, buffer::AetrFifo& fifo,
@@ -24,6 +26,11 @@ I2sMaster::I2sMaster(sim::Scheduler& sched, buffer::AetrFifo& fifo,
   }
 }
 
+void I2sMaster::attach_faults(fault::FaultInjector* faults) {
+  faults_ = faults;
+  crc_active_ = faults != nullptr && fault::crc_framing_active(faults->plan());
+}
+
 void I2sMaster::request_drain(Time now) {
   if (draining_) return;
   if (fifo_.empty()) return;
@@ -35,20 +42,54 @@ void I2sMaster::request_drain(Time now) {
   send_next(fifo_.size());
 }
 
+std::uint32_t I2sMaster::apply_line_noise(std::uint32_t raw) {
+  const double ber = faults_->plan().i2s.bit_error_rate;
+  if (ber <= 0.0) return raw;
+  for (unsigned b = 0; b < cfg_.word_bits && b < 32; ++b) {
+    if (faults_->roll(fault::Site::kI2sLink, ber)) {
+      raw ^= 1u << b;
+      ++faults_->counters().i2s_bit_errors;
+    }
+  }
+  return raw;
+}
+
+void I2sMaster::complete_drain() {
+  draining_ = false;
+  busy_accum_ += sched_.now() - drain_start_;
+  tel_.end("drain", sched_.now());
+  if (drain_done_fn_) drain_done_fn_(sched_.now());
+}
+
+void I2sMaster::finish_drain() {
+  if (!crc_active_ || batch_words_.empty()) {
+    complete_drain();
+    return;
+  }
+  // CRC batch framing: one extra word slot carries the CRC-32 of the words
+  // the shifter transmitted this drain. The CRC word rides the same noisy
+  // line as the payload.
+  const std::uint32_t crc = crc32_words(batch_words_);
+  batch_words_.clear();
+  sched_.schedule_after(word_time(), [this, crc] {
+    ++words_sent_;
+    bits_shifted_ += cfg_.word_bits;
+    if (tel_.tracing()) [[unlikely]] {
+      tel_.instant("crc_word", sched_.now());
+    }
+    if (word_fn_) word_fn_(aer::AetrWord{apply_line_noise(crc)}, sched_.now());
+    complete_drain();
+  });
+}
+
 void I2sMaster::send_next(std::size_t remaining_in_batch) {
   if (fifo_.empty() || remaining_in_batch == 0) {
-    draining_ = false;
-    busy_accum_ += sched_.now() - drain_start_;
-    tel_.end("drain", sched_.now());
-    if (drain_done_fn_) drain_done_fn_(sched_.now());
+    finish_drain();
     return;
   }
   sched_.schedule_after(word_time(), [this, remaining_in_batch] {
     if (fifo_.empty()) {  // defensive: nothing to send after all
-      draining_ = false;
-      busy_accum_ += sched_.now() - drain_start_;
-      tel_.end("drain", sched_.now());
-      if (drain_done_fn_) drain_done_fn_(sched_.now());
+      finish_drain();
       return;
     }
     const aer::AetrWord word = fifo_.pop(sched_.now());
@@ -58,7 +99,15 @@ void I2sMaster::send_next(std::size_t remaining_in_batch) {
       tel_.instant("word", sched_.now(),
                    {{"remaining", static_cast<double>(fifo_.size())}});
     }
-    if (word_fn_) word_fn_(word, sched_.now());
+    if (faults_ != nullptr && !fifo_.last_pop_parity_ok()) {
+      // Parity-checked read caught a cell upset: the slot was consumed but
+      // the corrupt word is suppressed instead of forwarded.
+    } else {
+      std::uint32_t raw = word.raw();
+      if (faults_ != nullptr) raw = apply_line_noise(raw);
+      if (crc_active_) batch_words_.push_back(word.raw());
+      if (word_fn_) word_fn_(aer::AetrWord{raw}, sched_.now());
+    }
     const std::size_t next_remaining =
         cfg_.drain_until_empty ? fifo_.size() : remaining_in_batch - 1;
     send_next(next_remaining);

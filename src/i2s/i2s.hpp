@@ -18,6 +18,7 @@
 
 #include "aer/event.hpp"
 #include "buffer/fifo.hpp"
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
@@ -57,6 +58,10 @@ class I2sMaster {
     return sck_period_ * static_cast<Time::Rep>(cfg_.word_bits);
   }
 
+  /// Serial-line bit-error lottery + CRC batch framing (when the plan's
+  /// recovery enables it). Null is inert.
+  void attach_faults(fault::FaultInjector* faults);
+
   // --- statistics ----------------------------------------------------------
   [[nodiscard]] std::uint64_t words_sent() const { return words_sent_; }
   [[nodiscard]] std::uint64_t bits_shifted() const { return bits_shifted_; }
@@ -65,6 +70,9 @@ class I2sMaster {
 
  private:
   void send_next(std::size_t remaining_in_batch);
+  void finish_drain();
+  void complete_drain();
+  [[nodiscard]] std::uint32_t apply_line_noise(std::uint32_t raw);
 
   sim::Scheduler& sched_;
   buffer::AetrFifo& fifo_;
@@ -72,6 +80,9 @@ class I2sMaster {
   Time sck_period_;
   WordFn word_fn_;
   DrainDoneFn drain_done_fn_;
+  fault::FaultInjector* faults_{nullptr};
+  bool crc_active_{false};
+  std::vector<std::uint32_t> batch_words_;  ///< shifter-side words (pre-noise)
   bool draining_{false};
   Time drain_start_{Time::zero()};
   std::uint64_t words_sent_{0};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "i2s/framing.hpp"
+
 namespace aetr::mcu {
 
 AetrDecoder::AetrDecoder(Time tick_unit, Time saturation_span)
@@ -104,8 +106,17 @@ std::string TimeFrequencyMap::ascii() const {
 McuConsumer::McuConsumer(Time tick_unit, Time saturation_span, Time batch_gap)
     : decoder_{tick_unit, saturation_span}, batch_gap_{batch_gap} {}
 
+void McuConsumer::attach_faults(fault::FaultInjector* faults) {
+  faults_ = faults;
+  crc_gate_ = faults != nullptr && fault::crc_framing_active(faults->plan());
+  running_crc_ = i2s::crc32_init();
+}
+
 void McuConsumer::on_word(aer::AetrWord word, Time arrival) {
   if (!any_ || arrival - last_arrival_ > batch_gap_) {
+    // A bus-idle gap can only fall between drains, so an unterminated CRC
+    // payload at a gap means the frame trailer was corrupted: reject it.
+    if (crc_gate_) reject_pending(arrival);
     ++batches_;
     if (tel_.tracing()) [[unlikely]] {
       tel_.instant("batch_start", arrival,
@@ -117,9 +128,43 @@ void McuConsumer::on_word(aer::AetrWord word, Time arrival) {
   any_ = true;
   last_arrival_ = arrival;
   ++words_;
+  if (crc_gate_) {
+    if (!pending_.empty() && word.raw() == i2s::crc32_final(running_crc_)) {
+      // The trailer matches the payload hash: accept the whole batch.
+      for (const std::uint32_t raw : pending_) {
+        decode_one(aer::AetrWord{raw}, arrival);
+      }
+      pending_.clear();
+      running_crc_ = i2s::crc32_init();
+      return;
+    }
+    pending_.push_back(word.raw());
+    running_crc_ = i2s::crc32_update(running_crc_, word.raw());
+    return;
+  }
+  decode_one(word, arrival);
+}
+
+void McuConsumer::decode_one(aer::AetrWord word, Time arrival) {
   const aer::TimedEvent ev = decoder_.decode(word);
   if (ev.saturated) tel_.instant("saturated_decode", arrival);
   events_.push_back(ev);
+}
+
+void McuConsumer::reject_pending(Time now) {
+  if (pending_.empty()) return;
+  ++faults_->counters().crc_rejected_batches;
+  faults_->counters().crc_rejected_words += pending_.size();
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.instant("crc_reject", now,
+                 {{"words", static_cast<double>(pending_.size())}});
+  }
+  pending_.clear();
+  running_crc_ = i2s::crc32_init();
+}
+
+void McuConsumer::finish(Time now) {
+  if (crc_gate_) reject_pending(now);
 }
 
 void McuConsumer::attach_telemetry(telemetry::TelemetrySession* session) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "aer/event.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
@@ -120,10 +121,28 @@ class McuConsumer {
   /// probes.
   void attach_telemetry(telemetry::TelemetrySession* session);
 
+  /// Attach the run's fault injector. When the plan's CRC batch framing is
+  /// active (fault::crc_framing_active) the consumer defers decoding: words
+  /// accumulate until one matches the running CRC-32 of the accumulated
+  /// payload (the frame trailer the I2S master appended), at which point the
+  /// whole batch is accepted. A bus-idle gap or end-of-run flushes any
+  /// unterminated payload as a rejected batch. Null is inert.
+  void attach_faults(fault::FaultInjector* faults);
+
+  /// End-of-run hook: flush (and reject) any CRC-pending payload.
+  void finish(Time now);
+
  private:
+  void decode_one(aer::AetrWord word, Time arrival);
+  void reject_pending(Time now);
+
   AetrDecoder decoder_;
   Time batch_gap_;
   std::vector<aer::TimedEvent> events_;
+  fault::FaultInjector* faults_{nullptr};
+  bool crc_gate_{false};
+  std::vector<std::uint32_t> pending_;  ///< payload awaiting its CRC trailer
+  std::uint32_t running_crc_{0};
   std::uint64_t batches_{0};
   std::uint64_t words_{0};
   Time last_arrival_{Time::zero()};

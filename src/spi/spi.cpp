@@ -31,12 +31,28 @@ void SpiSlave::set_csn(bool csn) {
     shift_in_ = 0;
     shift_out_ = 0;
     miso_ = false;
+    corrupt_bit_ = -1;
   }
   csn_ = csn;
 }
 
 void SpiSlave::sck_rise(bool mosi) {
   if (csn_) return;
+  if (faults_ != nullptr) {
+    if (bit_count_ == 0) {
+      // One lottery per 16-bit frame: pick the bit (if any) that the noisy
+      // MOSI sampling path will invert.
+      corrupt_bit_ =
+          faults_->roll(fault::Site::kSpiWord,
+                        faults_->plan().spi.word_bit_flip_prob)
+              ? static_cast<int>(faults_->pick_bit(fault::Site::kSpiWord, 16))
+              : -1;
+    }
+    if (corrupt_bit_ == static_cast<int>(bit_count_)) {
+      mosi = !mosi;
+      ++faults_->counters().spi_corrupted;
+    }
+  }
   ++bits_clocked_;
   shift_in_ = static_cast<std::uint16_t>((shift_in_ << 1) | (mosi ? 1u : 0u));
   ++bit_count_;

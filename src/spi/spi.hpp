@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 
@@ -84,8 +85,14 @@ class SpiSlave {
   [[nodiscard]] std::uint64_t transactions() const { return transactions_; }
   [[nodiscard]] std::uint64_t bits_clocked() const { return bits_clocked_; }
 
+  /// Config-word corruption lottery (one bit of a 16-bit frame flips on the
+  /// MOSI sampling path). Null is inert.
+  void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
  private:
   ConfigBus& bus_;
+  fault::FaultInjector* faults_{nullptr};
+  int corrupt_bit_{-1};  ///< frame bit to flip this transaction (-1: none)
   bool csn_{true};
   bool miso_{false};
   unsigned bit_count_{0};

@@ -183,7 +183,7 @@ double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
                           std::uint64_t seed,
                           const telemetry::SessionOptions& tel = {}) {
   core::RunOptions opt;
-  opt.telemetry = tel;
+  opt.telemetry = core::TelemetryChoice::owned(tel);
   if (rate_hz <= 0.0) {
     // "Absence of spikes": a long idle window, clock long shut down.
     opt.cooldown = Time::sec(2.0);
@@ -452,7 +452,8 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
     gen::PoissonSource src{rate, 128, ctx.seed, Time::ns(130.0)};
     const auto events = gen::take(src, n_events);
     core::RunOptions run_opt;
-    run_opt.telemetry = job_telemetry(opt, "ablation_agreement", ctx.index);
+    run_opt.telemetry = core::TelemetryChoice::owned(
+        job_telemetry(opt, "ablation_agreement", ctx.index));
     const auto r = core::run_stream(cfg, events, run_opt);
 
     JobOutput out;
@@ -509,6 +510,153 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
                       points_csv};
 }
 
+// --- Faults: accuracy / power degradation vs. fault rate -------------------
+
+/// One fault plan per sweep level: every per-site probability scales with
+/// `level` so the x axis reads as "fraction of handshakes / words exposed
+/// to an upset". All levels share ONE fault seed (derived from the sweep's
+/// root, not the per-job seed) and the event stream is likewise shared, so
+/// the curves are coupled: a glitch injected at a low level is, with high
+/// probability, also injected at every higher level.
+fault::FaultPlan faults_plan_at(double level, std::uint64_t fault_seed) {
+  fault::FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.aer.drop_req_prob = level;
+  plan.aer.stuck_ack_prob = level;
+  plan.aer.addr_bit_flip_prob = level;
+  plan.aer.runt_req_prob = level;
+  // Wide enough for the dip to cover the synchroniser's sample edge
+  // (sync_stages * Tmin + wake latency ~ 230 ns with default clocking).
+  plan.aer.runt_width = Time::ns(150.0);
+  plan.clock.period_jitter_rel = 0.2 * level;
+  plan.clock.wake_jitter_rel = 0.2 * level;
+  plan.fifo.cell_bit_flip_prob = level;
+  plan.spi.word_bit_flip_prob = level;
+  // Per-bit, so deliberately softer than the per-word knobs: a whole batch
+  // is rejected when its CRC trailer misses, and the curve should degrade,
+  // not fall off a cliff at the first non-zero level.
+  plan.i2s.bit_error_rate = 0.02 * level;
+  return plan;
+}
+
+FigureResult faults_impl(const FigureOptions& opt) {
+  const std::vector<double> levels =
+      opt.quick ? std::vector<double>{0, 1e-2, 5e-2}
+                : std::vector<double>{0, 2e-3, 1e-2, 3e-2, 1e-1};
+  const std::size_t n_events = opt.quick ? 600 : 3000;
+  const double rate_hz = 30e3;
+  const std::uint64_t root = opt.seed ? opt.seed : 77;
+
+  // The SAME stream and the SAME fault seed for every level — the whole
+  // point of the figure is the marginal effect of the level knob.
+  const std::uint64_t stream_seed = runtime::derive_seed(root, 1);
+  const std::uint64_t fault_seed = runtime::derive_seed(root, 2);
+
+  SweepGrid grid;
+  grid.axis("level", levels);
+
+  const auto scenario_at = [=](double level) {
+    core::ScenarioConfig sc;
+    sc.interface.fifo.batch_threshold = 64;
+    if (level > 0.0) sc.faults = faults_plan_at(level, fault_seed);
+    return sc;
+  };
+  const auto stream = [=] {
+    gen::PoissonSource src{rate_hz, 128, stream_seed, Time::ns(130.0)};
+    return gen::take(src, n_events);
+  };
+
+  const auto job = [&](const JobContext& ctx) {
+    const double level = ctx.point.at("level");
+    const auto events = stream();
+    const auto r = core::run_scenario(scenario_at(level), events);
+    const double delivered =
+        r.events_in ? static_cast<double>(r.decoded.size()) /
+                          static_cast<double>(r.events_in)
+                    : 1.0;
+    // The degradation score the monotonicity check runs on: timestamp
+    // error plus the fraction of events the pipeline failed to deliver.
+    const double degradation =
+        r.error.weighted_rel_error() + (1.0 - delivered);
+    JobOutput out;
+    out.values = {r.error.weighted_rel_error(),
+                  delivered,
+                  r.average_power_w,
+                  static_cast<double>(r.faults.injected_total()),
+                  static_cast<double>(r.faults.recovered_total()),
+                  degradation};
+    out.rows = {{fmt("%g", level), fmt("%.6g", out.values[0]),
+                 fmt("%.6g", delivered), fmt("%.8g", r.average_power_w * 1e3),
+                 fmt("%g", out.values[3]), fmt("%g", out.values[4]),
+                 fmt("%g", static_cast<double>(r.faults.watchdog_resyncs)),
+                 fmt("%g", static_cast<double>(r.faults.crc_rejected_words))}};
+    return out;
+  };
+
+  const std::string points_csv =
+      util::artifact_path("aetr_faults_points.csv", opt.out_dir);
+  runtime::CsvSink sink{points_csv};
+  const auto report = runtime::run_sweep(
+      grid, job,
+      sweep_options(opt, 77,
+                    {"level", "err", "delivered", "power_mw", "injected",
+                     "recovered", "watchdog_resyncs", "crc_rejected_words"}),
+      &sink);
+
+  Table table{{"fault level", "ts err", "delivered", "P (mW)", "injected",
+               "recovered"}};
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const auto& v = report.outputs[i].values;
+    table.add_row({fmt("%g", levels[i]), Table::num(v[0], 3),
+                   Table::num(v[1], 4), Table::num(v[2] * 1e3, 4),
+                   fmt("%g", v[3]), fmt("%g", v[4])});
+  }
+  const std::string csv = util::artifact_path("aetr_faults.csv", opt.out_dir);
+  table.write_csv(csv);
+
+  std::vector<Check> checks;
+  {
+    // Zero-rate identity: an empty plan must be byte-identical to a run
+    // with no fault plumbing at all (the injector is simply absent).
+    const auto events = stream();
+    const auto baseline = core::run_scenario(scenario_at(0.0), events);
+    const auto& v0 = report.outputs[0].values;
+    const bool identical =
+        baseline.error.weighted_rel_error() == v0[0] &&
+        baseline.average_power_w == v0[2] &&
+        static_cast<double>(baseline.decoded.size()) ==
+            v0[1] * static_cast<double>(baseline.events_in);
+    checks.push_back(make_check(
+        "zero fault level is bit-identical to the fault-free baseline",
+        identical,
+        identical ? "" : fmt("%.6g", v0[0]) + " vs " +
+                             fmt("%.6g", baseline.error.weighted_rel_error())));
+  }
+  bool monotone = true;
+  std::string worst;
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    const double prev = report.outputs[i - 1].values[5];
+    const double cur = report.outputs[i].values[5];
+    if (cur < prev) {
+      monotone = false;
+      worst = "level " + fmt("%g", levels[i]) + ": " + fmt("%.4f", cur) +
+              " < " + fmt("%.4f", prev);
+    }
+  }
+  checks.push_back(make_check(
+      "degradation (err + loss) is monotone in the fault level", monotone,
+      worst));
+  if (!opt.quick) {
+    const auto& top = report.outputs.back().values;
+    checks.push_back(make_check(
+        "recovery engages at the top fault level (recovered > 0)",
+        top[4] > 0.0, fmt("%g", top[4]) + " recoveries"));
+  }
+
+  return FigureResult{std::move(table), report, std::move(checks), csv,
+                      points_csv};
+}
+
 }  // namespace
 
 FigureResult run_fig6(const FigureOptions& opt) { return fig6_impl(opt); }
@@ -519,6 +667,7 @@ FigureResult run_ablation_ndiv(const FigureOptions& opt) {
 FigureResult run_ablation_agreement(const FigureOptions& opt) {
   return ablation_agreement_impl(opt);
 }
+FigureResult run_faults(const FigureOptions& opt) { return faults_impl(opt); }
 
 const std::vector<FigureDef>& figures() {
   static const std::vector<FigureDef> defs{
@@ -529,6 +678,8 @@ const std::vector<FigureDef>& figures() {
        &run_ablation_ndiv},
       {"ablation-agreement", "A4 — cycle-level DES vs. algorithmic model",
        &run_ablation_agreement},
+      {"faults", "R1 — accuracy/power degradation vs. injected fault rate",
+       &run_faults},
   };
   return defs;
 }

@@ -71,6 +71,10 @@ FigureResult run_fig6(const FigureOptions& opt);
 FigureResult run_fig8(const FigureOptions& opt);
 FigureResult run_ablation_ndiv(const FigureOptions& opt);
 FigureResult run_ablation_agreement(const FigureOptions& opt);
+/// R1: scenario runs under a scaled FaultPlan — timestamp error, delivered
+/// fraction and power vs. the fault level, with the zero level checked
+/// bit-identical against a fault-free baseline.
+FigureResult run_faults(const FigureOptions& opt);
 
 /// Registry shared by the CLI and the bench mains.
 struct FigureDef {

@@ -153,7 +153,9 @@ class MetricsRegistry {
   /// identity stable for re-wired components).
   void probe(const std::string& name, SampleFn fn);
 
-  /// Get-or-create a log-scale histogram over [lo, hi).
+  /// Get-or-create a log-scale histogram over [lo, hi). The returned
+  /// pointer stays valid for the registry's lifetime (deque storage), so
+  /// components may cache it across later registrations.
   LogHistogram* log_histogram(const std::string& name, double lo, double hi,
                               std::size_t bins_per_decade);
 
@@ -181,7 +183,7 @@ class MetricsRegistry {
   std::vector<std::string> names_;
   std::vector<SampleFn> samplers_;
   std::vector<Snapshot> snapshots_;
-  std::vector<std::pair<std::string, LogHistogram>> histograms_;
+  std::deque<std::pair<std::string, LogHistogram>> histograms_;
 };
 
 /// Per-run telemetry configuration (the Runner's RunOptions::telemetry).

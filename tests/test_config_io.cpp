@@ -118,5 +118,107 @@ TEST(ConfigIo, PowerCalibrationKeys) {
   EXPECT_NEAR(cfg.calibration.osc_domain_w, 1.5e-3, 1e-12);
 }
 
+
+// --- ScenarioConfig serialization -------------------------------------------
+
+TEST(ScenarioIo, DefaultsRoundTripByteIdentical) {
+  const ScenarioConfig scenario;
+  const std::string first = dump_scenario(scenario);
+  std::stringstream ss{first};
+  const auto back = load_scenario(ss);
+  EXPECT_EQ(dump_scenario(back), first);
+}
+
+TEST(ScenarioIo, EveryFaultKindRoundTrips) {
+  ScenarioConfig scenario;
+  scenario.interface.clock.theta_div = 32;
+  scenario.interface.fifo.batch_threshold = 96;
+  scenario.interface.fifo.overflow_policy = buffer::OverflowPolicy::kDropOldest;
+  scenario.sender.addr_setup = Time::ns(7.0);
+  scenario.sender.req_release = Time::ns(9.0);
+  scenario.sender.min_gap = Time::ns(11.0);
+  scenario.cooldown = Time::us(450.0);
+  scenario.strict_protocol = true;
+  scenario.final_flush = false;
+  scenario.attach_mcu = false;
+  scenario.faults.seed = 20260807;
+  scenario.faults.aer.drop_req_prob = 0.01;
+  scenario.faults.aer.stuck_ack_prob = 0.02;
+  scenario.faults.aer.addr_bit_flip_prob = 0.03;
+  scenario.faults.aer.runt_req_prob = 0.04;
+  scenario.faults.aer.runt_width = Time::ns(155.0);
+  scenario.faults.clock.period_jitter_rel = 0.05;
+  scenario.faults.clock.wake_jitter_rel = 0.06;
+  scenario.faults.fifo.cell_bit_flip_prob = 0.07;
+  scenario.faults.spi.word_bit_flip_prob = 0.08;
+  scenario.faults.i2s.bit_error_rate = 0.005;
+  scenario.faults.recovery.watchdog = false;
+  scenario.faults.recovery.watchdog_timeout = Time::us(25.0);
+  scenario.faults.recovery.fifo_parity = false;
+  scenario.faults.recovery.crc_frames = false;
+  telemetry::SessionOptions tel;
+  tel.trace = true;
+  tel.metrics = true;
+  tel.metrics_window = Time::ms(3.0);
+  tel.trace_json_path = "/tmp/t.json";
+  scenario.telemetry = TelemetryChoice::owned(tel);
+
+  const std::string first = dump_scenario(scenario);
+  std::stringstream ss{first};
+  const auto back = load_scenario(ss);
+  EXPECT_EQ(dump_scenario(back), first);  // dump -> load -> dump, byte-exact
+
+  EXPECT_EQ(back.interface.clock.theta_div, 32u);
+  EXPECT_EQ(back.interface.fifo.overflow_policy,
+            buffer::OverflowPolicy::kDropOldest);
+  EXPECT_EQ(back.sender.min_gap, Time::ns(11.0));
+  EXPECT_EQ(back.cooldown, Time::us(450.0));
+  EXPECT_TRUE(back.strict_protocol);
+  EXPECT_FALSE(back.final_flush);
+  EXPECT_FALSE(back.attach_mcu);
+  EXPECT_EQ(back.faults.seed, 20260807u);
+  EXPECT_NEAR(back.faults.aer.drop_req_prob, 0.01, 1e-12);
+  EXPECT_NEAR(back.faults.aer.addr_bit_flip_prob, 0.03, 1e-12);
+  EXPECT_EQ(back.faults.aer.runt_width, Time::ns(155.0));
+  EXPECT_NEAR(back.faults.clock.period_jitter_rel, 0.05, 1e-12);
+  EXPECT_NEAR(back.faults.fifo.cell_bit_flip_prob, 0.07, 1e-12);
+  EXPECT_NEAR(back.faults.spi.word_bit_flip_prob, 0.08, 1e-12);
+  EXPECT_NEAR(back.faults.i2s.bit_error_rate, 0.005, 1e-12);
+  EXPECT_FALSE(back.faults.recovery.watchdog);
+  EXPECT_EQ(back.faults.recovery.watchdog_timeout, Time::us(25.0));
+  EXPECT_FALSE(back.faults.recovery.fifo_parity);
+  EXPECT_FALSE(back.faults.recovery.crc_frames);
+  ASSERT_EQ(back.telemetry.mode(), TelemetryChoice::Mode::kOwned);
+  EXPECT_TRUE(back.telemetry.options().trace);
+  EXPECT_EQ(back.telemetry.options().metrics_window, Time::ms(3.0));
+  EXPECT_EQ(back.telemetry.options().trace_json_path, "/tmp/t.json");
+}
+
+TEST(ScenarioIo, InterfaceFileIsValidScenarioFile) {
+  std::stringstream ss{dump_config(InterfaceConfig{})};
+  const auto scenario = load_scenario(ss);
+  EXPECT_FALSE(scenario.faults.any());
+  EXPECT_EQ(scenario.telemetry.mode(), TelemetryChoice::Mode::kOff);
+}
+
+TEST(ScenarioIo, UnknownKeyThrows) {
+  std::stringstream ss{"fault.aer.drop_req = 0.5\n"};
+  EXPECT_THROW(load_scenario(ss), std::runtime_error);
+}
+
+TEST(ScenarioIo, OutOfRangeProbabilityThrowsAtLoad) {
+  std::stringstream ss{"fault.fifo.cell_bit_flip_prob = 1.25\n"};
+  EXPECT_THROW(load_scenario(ss), std::invalid_argument);
+}
+
+TEST(ScenarioIo, BorrowedTelemetryDumpsAsOff) {
+  // A borrowed session is an in-process handle; it must serialise as
+  // telemetry off rather than leak a dangling reference into the file.
+  telemetry::TelemetrySession session{telemetry::SessionOptions{}};
+  ScenarioConfig scenario;
+  scenario.telemetry = TelemetryChoice::borrowed(&session);
+  EXPECT_EQ(dump_scenario(scenario), dump_scenario(ScenarioConfig{}));
+}
+
 }  // namespace
 }  // namespace aetr::core

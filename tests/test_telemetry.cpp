@@ -401,16 +401,15 @@ TEST(Disabled, CompiledOutSessionIsInertEvenWhenEnabled) {
 // --- full-pipeline integration ---------------------------------------------
 
 core::RunOptions traced_run_options(const std::string& tag) {
+  SessionOptions so;
+  so.trace = true;
+  so.metrics = true;
+  so.metrics_window = Time::ms(0.5);
+  so.trace_json_path = testing::TempDir() + "aetr_run_" + tag + ".json";
+  so.trace_csv_path = testing::TempDir() + "aetr_run_" + tag + "_trace.csv";
+  so.metrics_csv_path = testing::TempDir() + "aetr_run_" + tag + "_metrics.csv";
   core::RunOptions opt;
-  opt.telemetry.trace = true;
-  opt.telemetry.metrics = true;
-  opt.telemetry.metrics_window = Time::ms(0.5);
-  opt.telemetry.trace_json_path =
-      testing::TempDir() + "aetr_run_" + tag + ".json";
-  opt.telemetry.trace_csv_path =
-      testing::TempDir() + "aetr_run_" + tag + "_trace.csv";
-  opt.telemetry.metrics_csv_path =
-      testing::TempDir() + "aetr_run_" + tag + "_metrics.csv";
+  opt.telemetry = core::TelemetryChoice::owned(so);
   return opt;
 }
 
@@ -427,7 +426,7 @@ TEST(Integration, RunStreamTraceCoversEveryPipelineStage) {
   const auto r = core::run_stream(cfg, pipeline_stream(), opt);
   EXPECT_GT(r.events_in, 0u);
 
-  const std::string text = slurp(opt.telemetry.trace_json_path);
+  const std::string text = slurp(opt.telemetry.options().trace_json_path);
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonParser{text}.valid()) << "trace JSON must parse";
   // One named Perfetto lane per pipeline block, plus the harness lane.
@@ -447,16 +446,16 @@ TEST(Integration, RunStreamTraceCoversEveryPipelineStage) {
   EXPECT_NE(text.find("\"name\":\"run_stream\""), std::string::npos);
 
   // Metrics CSV: probes from every block on the snapshot grid.
-  const std::string metrics = slurp(opt.telemetry.metrics_csv_path);
+  const std::string metrics = slurp(opt.telemetry.options().metrics_csv_path);
   for (const char* col :
        {"frontend.events", "fifo.occupancy", "clockgen.captures",
         "i2s.words_sent", "mcu.words", "sched.events_dispatched",
         "power.avg_w"}) {
     EXPECT_NE(metrics.find(col), std::string::npos) << "missing " << col;
   }
-  std::remove(opt.telemetry.trace_json_path.c_str());
-  std::remove(opt.telemetry.trace_csv_path.c_str());
-  std::remove(opt.telemetry.metrics_csv_path.c_str());
+  std::remove(opt.telemetry.options().trace_json_path.c_str());
+  std::remove(opt.telemetry.options().trace_csv_path.c_str());
+  std::remove(opt.telemetry.options().metrics_csv_path.c_str());
 }
 
 TEST(Integration, IdenticalRunsProduceByteIdenticalArtifacts) {
@@ -468,16 +467,16 @@ TEST(Integration, IdenticalRunsProduceByteIdenticalArtifacts) {
   const auto opt_b = traced_run_options("det_b");
   (void)core::run_stream(cfg, events, opt_a);
   (void)core::run_stream(cfg, events, opt_b);
-  EXPECT_EQ(slurp(opt_a.telemetry.trace_json_path),
-            slurp(opt_b.telemetry.trace_json_path));
-  EXPECT_EQ(slurp(opt_a.telemetry.trace_csv_path),
-            slurp(opt_b.telemetry.trace_csv_path));
-  EXPECT_EQ(slurp(opt_a.telemetry.metrics_csv_path),
-            slurp(opt_b.telemetry.metrics_csv_path));
+  EXPECT_EQ(slurp(opt_a.telemetry.options().trace_json_path),
+            slurp(opt_b.telemetry.options().trace_json_path));
+  EXPECT_EQ(slurp(opt_a.telemetry.options().trace_csv_path),
+            slurp(opt_b.telemetry.options().trace_csv_path));
+  EXPECT_EQ(slurp(opt_a.telemetry.options().metrics_csv_path),
+            slurp(opt_b.telemetry.options().metrics_csv_path));
   for (const auto* o : {&opt_a, &opt_b}) {
-    std::remove(o->telemetry.trace_json_path.c_str());
-    std::remove(o->telemetry.trace_csv_path.c_str());
-    std::remove(o->telemetry.metrics_csv_path.c_str());
+    std::remove(o->telemetry.options().trace_json_path.c_str());
+    std::remove(o->telemetry.options().trace_csv_path.c_str());
+    std::remove(o->telemetry.options().metrics_csv_path.c_str());
   }
 }
 
@@ -496,9 +495,9 @@ TEST(Integration, TelemetryDoesNotChangeRunResults) {
   EXPECT_EQ(traced.handshakes, plain.handshakes);
   EXPECT_EQ(traced.average_power_w, plain.average_power_w);
   EXPECT_EQ(traced.error.weighted_rel_error(), plain.error.weighted_rel_error());
-  std::remove(opt.telemetry.trace_json_path.c_str());
-  std::remove(opt.telemetry.trace_csv_path.c_str());
-  std::remove(opt.telemetry.metrics_csv_path.c_str());
+  std::remove(opt.telemetry.options().trace_json_path.c_str());
+  std::remove(opt.telemetry.options().trace_csv_path.c_str());
+  std::remove(opt.telemetry.options().metrics_csv_path.c_str());
 }
 
 }  // namespace

@@ -13,6 +13,13 @@ Two modes, selected by the first argument:
       (the runtime's determinism contract), and records both wall clocks
       -> BENCH_runtime.json. Also exposed as the `runtime_report` target.
 
+  tools/bench_report.py faults [path/to/aetr-sweep] [label]
+      Fault-injection sweep: runs `aetr-sweep faults --quick` at --jobs 1
+      and --jobs max(4, cpu_count), checks the degradation CSVs are
+      byte-identical across --jobs (the fault layer's determinism gate),
+      and records the wall clocks plus the degradation series
+      -> BENCH_faults.json. Also exposed as the `faults_report` target.
+
   tools/bench_report.py telemetry [path/to/aetr-sweep] [stripped-sweep] [label]
       Telemetry overhead on the fig8 quick sweep -> BENCH_telemetry.json.
       Always records the *recording* cost (no flags vs --trace --metrics
@@ -184,6 +191,89 @@ def runtime_mode(cli, label):
     return 0 if identical else 1
 
 
+# --- fault-injection sweep ----------------------------------------------------
+
+def run_faults_sweep(cli, jobs, out_dir):
+    report = out_dir / "report.json"
+    proc = subprocess.run(
+        [cli, "faults", "--quick", "--jobs", str(jobs), "--quiet",
+         "--out", str(out_dir), "--report", str(report)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"error: aetr-sweep faults --jobs {jobs} exited "
+              f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+        return None
+    entry = json.loads(report.read_text())[0]
+    entry.pop("per_job", None)
+    return entry
+
+
+def read_faults_series(csv_path):
+    """aetr_faults_points.csv -> list of per-level dicts."""
+    lines = csv_path.read_text().strip().splitlines()
+    header = lines[0].split(",")
+    return [dict(zip(header, line.split(","))) for line in lines[1:]]
+
+
+def faults_mode(cli, label):
+    out = ROOT / "BENCH_faults.json"
+    if not pathlib.Path(cli).exists():
+        print(f"error: aetr-sweep binary not found: {cli}", file=sys.stderr)
+        print("build it first: cmake --build build --target aetr_sweep",
+              file=sys.stderr)
+        return 1
+    cpus = os.cpu_count() or 1
+    jobs_n = max(4, cpus)
+    with tempfile.TemporaryDirectory(prefix="aetr_faults_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        (tmp / "j1").mkdir()
+        (tmp / "jN").mkdir()
+        serial = run_faults_sweep(cli, 1, tmp / "j1")
+        parallel = run_faults_sweep(cli, jobs_n, tmp / "jN")
+        if serial is None or parallel is None:
+            return 1
+        identical = all(
+            (tmp / "j1" / f).read_bytes() == (tmp / "jN" / f).read_bytes()
+            for f in ("aetr_faults.csv", "aetr_faults_points.csv")
+        )
+        series = read_faults_series(tmp / "j1" / "aetr_faults_points.csv")
+
+    # The grid's zero level is the fault-free baseline, so the serial wall
+    # clock split per level approximates the injection overhead; the
+    # meaningful signals recorded here are the determinism bit and the
+    # degradation trajectory.
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "wall_sec_serial": old.get("serial", {}).get("wall_sec"),
+        "wall_sec_parallel": old.get("parallel", {}).get("wall_sec"),
+        "outputs_identical": old.get("outputs_identical"),
+        "series": old.get("series"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "figure": "faults --quick",
+        "cpu_count": cpus,
+        "serial": serial,
+        "parallel": parallel,
+        "outputs_identical": identical,
+        "series": series,
+        "history": history,
+    }
+    for row in series:
+        print(f"level {row['level']:>8s}  err {row['err']:>10s}"
+              f"  delivered {row['delivered']:>10s}"
+              f"  injected {row['injected']:>8s}"
+              f"  recovered {row['recovered']:>8s}")
+    print(f"faults --quick  --jobs 1 {serial['wall_sec']:8.3f} s |"
+          f" --jobs {jobs_n} {parallel['wall_sec']:8.3f} s |"
+          f" outputs byte-identical: {identical}")
+    write_doc(out, doc)
+    return 0 if identical else 1
+
+
 # --- telemetry overhead -------------------------------------------------------
 
 def timed_quick_sweep(cli, out_dir, telemetry, repetitions=5):
@@ -294,6 +384,11 @@ def main() -> int:
             rest = rest[1:]
         label = rest[0] if rest else ""
         return telemetry_mode(cli, cli_stripped, label)
+    if args and args[0] == "faults":
+        cli = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "aetr-sweep")
+        label = args[2] if len(args) > 2 else ""
+        return faults_mode(cli, label)
     if args and args[0] == "runtime":
         cli = args[1] if len(args) > 1 else str(
             ROOT / "build" / "bench" / "aetr-sweep")
