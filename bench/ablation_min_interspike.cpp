@@ -11,8 +11,9 @@
 #include <cstdio>
 #include <iostream>
 
+#include "aer/caviar.hpp"
 #include "analysis/error.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "util/artifacts.hpp"
 #include "util/table.hpp"

@@ -36,7 +36,7 @@
 #include "aer/aedat.hpp"
 #include "aer/trace.hpp"
 #include "core/config_io.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 
 using namespace aetr;

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "mcu/consumer.hpp"
 #include "vision/dvs.hpp"
 

@@ -1,5 +1,6 @@
 #include "core/config_io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <functional>
@@ -311,7 +312,97 @@ const std::map<std::string, TelemetrySetter>& telemetry_setters() {
   return kSetters;
 }
 
+/// Classic two-row Levenshtein distance, for the unknown-key suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// Nearest key among `candidates`, or "" when nothing is within the typo
+/// threshold (a third of the key's length, but at least two edits — short
+/// keys still deserve a hint, unrelated keys must not produce one).
+std::string nearest_key(const std::string& key,
+                        const std::vector<std::string>& candidates) {
+  const std::size_t threshold = std::max<std::size_t>(2, key.size() / 3);
+  std::size_t best = threshold + 1;
+  std::string match;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(key, c);
+    if (d < best) {
+      best = d;
+      match = c;
+    }
+  }
+  return match;
+}
+
+/// "config: unknown key at line N: <key>", plus a did-you-mean hint when a
+/// known key is plausibly what the author typed.
+[[noreturn]] void throw_unknown_key(const std::string& key,
+                                    std::size_t line_no,
+                                    const std::vector<std::string>& known) {
+  std::string msg = "config: unknown key";
+  if (line_no != 0) msg += " at line " + std::to_string(line_no);
+  msg += ": " + key;
+  if (const std::string hint = nearest_key(key, known); !hint.empty()) {
+    msg += " (did you mean '" + hint + "'?)";
+  }
+  throw std::runtime_error(msg);
+}
+
+std::vector<std::string> interface_keys() {
+  std::vector<std::string> keys;
+  for (const auto& [key, setter] : setters()) keys.push_back(key);
+  return keys;
+}
+
 }  // namespace
+
+std::vector<std::string> scenario_keys() {
+  std::vector<std::string> keys;
+  for (const auto& [key, setter] : setters()) keys.push_back(key);
+  for (const auto& [key, setter] : scenario_setters()) keys.push_back(key);
+  for (const auto& [key, setter] : telemetry_setters()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::string suggest_scenario_key(const std::string& key) {
+  return nearest_key(key, scenario_keys());
+}
+
+void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
+                        const std::string& value) {
+  if (const auto it = scenario_setters().find(key);
+      it != scenario_setters().end()) {
+    it->second(scenario, value);
+    return;
+  }
+  if (const auto it = telemetry_setters().find(key);
+      it != telemetry_setters().end()) {
+    telemetry::SessionOptions opts =
+        scenario.telemetry.mode() == TelemetryChoice::Mode::kOwned
+            ? scenario.telemetry.options()
+            : telemetry::SessionOptions{};
+    it->second(opts, value);
+    scenario.telemetry = TelemetryChoice::owned(opts);
+    return;
+  }
+  if (const auto it = setters().find(key); it != setters().end()) {
+    it->second(scenario.interface, value);
+    return;
+  }
+  throw_unknown_key(key, 0, scenario_keys());
+}
 
 InterfaceConfig load_config(std::istream& is) {
   InterfaceConfig config;
@@ -329,10 +420,7 @@ InterfaceConfig load_config(std::istream& is) {
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
     const auto it = setters().find(key);
-    if (it == setters().end()) {
-      throw std::runtime_error("config: unknown key at line " +
-                               std::to_string(line_no) + ": " + key);
-    }
+    if (it == setters().end()) throw_unknown_key(key, line_no, interface_keys());
     it->second(config, value);
   }
   return config;
@@ -412,8 +500,7 @@ ScenarioConfig load_scenario(std::istream& is) {
       it->second(scenario.interface, value);
       continue;
     }
-    throw std::runtime_error("config: unknown key at line " +
-                             std::to_string(line_no) + ": " + key);
+    throw_unknown_key(key, line_no, scenario_keys());
   }
   if (tel_seen) scenario.telemetry = TelemetryChoice::owned(tel_opts);
   scenario.validate();

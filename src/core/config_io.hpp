@@ -14,6 +14,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 
@@ -42,5 +43,23 @@ ScenarioConfig load_scenario_file(const std::string& path);
 /// key, so dump -> load -> dump is byte-identical. A borrowed telemetry
 /// session is an in-process handle and dumps as telemetry off.
 std::string dump_scenario(const ScenarioConfig& scenario);
+
+/// Apply one `key = value` assignment — any key load_scenario() accepts —
+/// to an existing scenario. This is the single-key counterpart of
+/// load_scenario() that the `opt` search spaces drive: a parameter axis
+/// names a scenario key and materialises each sampled point through here.
+/// A telemetry.* key switches the scenario's telemetry choice to owned
+/// options (mutating the current owned options when already owned). Throws
+/// std::runtime_error on unknown keys (with a nearest-key suggestion) or
+/// unparsable values.
+void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
+                        const std::string& value);
+
+/// Every key load_scenario() understands, in sorted order.
+[[nodiscard]] std::vector<std::string> scenario_keys();
+
+/// The known scenario key nearest to `key` by edit distance, or "" when
+/// nothing is close enough to be a plausible typo.
+[[nodiscard]] std::string suggest_scenario_key(const std::string& key);
 
 }  // namespace aetr::core

@@ -181,8 +181,23 @@ RunResult run_scenario(const ScenarioConfig& scenario,
                        iface.saturation_span() == Time::max()
                            ? Time::zero()
                            : iface.saturation_span()};
+  // Delivery-latency log: every word (or CRC-gated batch) the MCU accepts
+  // appends decoded events; the gap between acceptance time and each
+  // event's reconstructed instant is the batching latency RunResult
+  // reports (and the optimizer's p99-latency objective minimises).
+  std::vector<double> latencies;
+  std::size_t harvested = 0;
+  const auto harvest = [&latencies, &harvested, &mcu](Time now) {
+    const auto& evs = mcu.events();
+    for (; harvested < evs.size(); ++harvested) {
+      latencies.push_back((now - evs[harvested].reconstructed_time).to_sec());
+    }
+  };
   if (scenario.attach_mcu) {
-    iface.on_i2s_word([&mcu](aer::AetrWord w, Time t) { mcu.on_word(w, t); });
+    iface.on_i2s_word([&mcu, &harvest](aer::AetrWord w, Time t) {
+      mcu.on_word(w, t);
+      harvest(t);
+    });
     mcu.attach_faults(faults);
   }
 
@@ -249,7 +264,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   }
 
   telemetry::Span run_span{
-      tel, "runner", "run_stream",
+      tel, "runner", "run_scenario",
       {{"events", static_cast<double>(events.size())}}};
 
   sender.submit_stream(events);
@@ -262,7 +277,10 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   // Cooldown so the power window reflects the post-stream idle period too.
   sched.run_until(sched.now() + scenario.cooldown);
   // Flush any CRC-gated batch still pending on the MCU side.
-  if (scenario.attach_mcu) mcu.finish(sched.now());
+  if (scenario.attach_mcu) {
+    mcu.finish(sched.now());
+    harvest(sched.now());
+  }
 
   run_span.close();
   if (tel != nullptr) {
@@ -281,6 +299,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   r.error = analysis::analyze_records(r.records, iface.tick_unit(),
                                       iface.saturation_span());
   r.decoded = mcu.events();
+  r.delivery_latency_sec = std::move(latencies);
   r.events_in = events.size();
   r.words_out = iface.i2s_master().words_sent();
   r.fifo_overflows = iface.fifo().overflows();

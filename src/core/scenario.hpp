@@ -4,8 +4,8 @@
 // telemetry choice — consumed by run_scenario().
 //
 // This replaces the old (InterfaceConfig, RunOptions) pair whose telemetry
-// fields had dual ownership; core/runner.hpp keeps those entry points as a
-// one-release compatibility shim forwarding here.
+// fields had dual ownership; the core/runner.hpp compatibility shim that
+// forwarded those entry points here has been removed.
 #pragma once
 
 #include <cstdint>
@@ -93,6 +93,11 @@ struct RunResult {
   std::vector<frontend::CaptureRecord> records;
   // Data path
   std::vector<aer::TimedEvent> decoded;  ///< MCU-side reconstructed events
+  /// Per decoded event: sim time between the event (its reconstructed
+  /// instant) and the MCU accepting the batch carrying it — the delivery
+  /// latency the FIFO batching trades against power. Same order as
+  /// `decoded`; empty when no MCU is attached.
+  std::vector<double> delivery_latency_sec;
   std::uint64_t events_in{0};
   std::uint64_t words_out{0};
   std::uint64_t fifo_overflows{0};

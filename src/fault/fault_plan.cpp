@@ -1,0 +1,24 @@
+#include "fault/fault_plan.hpp"
+
+namespace aetr::fault {
+
+FaultPlan scaled_plan(double level, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (level <= 0.0) return plan;
+  plan.aer.drop_req_prob = level;
+  plan.aer.stuck_ack_prob = level;
+  plan.aer.addr_bit_flip_prob = level;
+  plan.aer.runt_req_prob = level;
+  // Wide enough for the dip to cover the synchroniser's sample edge
+  // (sync_stages * Tmin + wake latency ~ 230 ns with default clocking).
+  plan.aer.runt_width = Time::ns(150.0);
+  plan.clock.period_jitter_rel = 0.2 * level;
+  plan.clock.wake_jitter_rel = 0.2 * level;
+  plan.fifo.cell_bit_flip_prob = level;
+  plan.spi.word_bit_flip_prob = level;
+  plan.i2s.bit_error_rate = 0.02 * level;
+  return plan;
+}
+
+}  // namespace aetr::fault

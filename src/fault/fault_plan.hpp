@@ -127,6 +127,15 @@ struct FaultPlan {
   }
 };
 
+/// The canonical "everything at level x" plan shared by the faults figure
+/// and the optimizer's robust-evaluation mode: every per-site probability
+/// scales with `level` so one number reads as "fraction of handshakes /
+/// cells / words exposed to an upset". Clock jitter scales at 0.2x (it is
+/// a sigma, not a probability) and the I2S knob at 0.02x (it is per-bit —
+/// a whole CRC-gated batch dies per hit, so the per-word sites would
+/// otherwise drown it). Level 0 returns an empty plan (any() == false).
+[[nodiscard]] FaultPlan scaled_plan(double level, std::uint64_t seed);
+
 /// CRC batch framing engages only when a fault it can catch is actually
 /// injected (payload corruption on the FIFO or the I2S link) — recovery
 /// must never perturb a fault-free pipeline. Both ends of the link (the

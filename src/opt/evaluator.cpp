@@ -1,0 +1,123 @@
+#include "opt/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/error.hpp"
+#include "fault/fault_plan.hpp"
+#include "gen/sources.hpp"
+#include "runtime/seed.hpp"
+
+namespace aetr::opt {
+
+const char* to_string(Objective o) {
+  switch (o) {
+    case Objective::kEnergyPerEvent: return "energy";
+    case Objective::kErrorRms: return "error";
+    case Objective::kLoss: return "loss";
+    case Objective::kLatencyP99: return "latency";
+  }
+  return "?";
+}
+
+std::vector<Objective> parse_objectives(const std::string& spec) {
+  std::vector<Objective> out;
+  std::istringstream is(spec);
+  std::string name;
+  while (std::getline(is, name, ',')) {
+    const auto b = name.find_first_not_of(" \t");
+    const auto e = name.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      throw std::runtime_error("objectives: empty name in '" + spec + "'");
+    }
+    name = name.substr(b, e - b + 1);
+    Objective o;
+    if (name == "energy") o = Objective::kEnergyPerEvent;
+    else if (name == "error") o = Objective::kErrorRms;
+    else if (name == "loss") o = Objective::kLoss;
+    else if (name == "latency") o = Objective::kLatencyP99;
+    else
+      throw std::runtime_error(
+          "objectives: unknown name '" + name +
+          "' (expected energy, error, loss, or latency)");
+    if (std::find(out.begin(), out.end(), o) != out.end()) {
+      throw std::runtime_error("objectives: duplicate '" + name + "'");
+    }
+    out.push_back(o);
+  }
+  if (out.empty()) throw std::runtime_error("objectives: empty list");
+  return out;
+}
+
+Evaluation evaluate(const core::ScenarioConfig& scenario,
+                    const Workload& workload,
+                    const std::vector<Objective>& objectives,
+                    std::uint64_t stream_seed, std::size_t n_events) {
+  core::ScenarioConfig sc = scenario;
+  // The error objective scores capture records; force them on regardless of
+  // what the candidate point set.
+  sc.interface.front_end.keep_records = true;
+  if (workload.fault_level > 0.0) {
+    sc.faults = fault::scaled_plan(workload.fault_level,
+                                   runtime::derive_seed(stream_seed, 0x77));
+  }
+  const std::size_t n = n_events != 0 ? n_events : workload.n_events;
+
+  gen::PoissonSource source{workload.rate_hz, workload.address_range,
+                            stream_seed, workload.min_gap};
+  const core::RunResult r = core::run_scenario(sc, source, n);
+
+  Evaluation ev;
+  ev.average_power_w = r.average_power_w;
+  ev.events_in = r.events_in;
+  ev.words_out = r.words_out;
+  ev.energy_per_event_j =
+      r.events_in > 0
+          ? r.average_power_w * r.sim_end.to_sec() /
+                static_cast<double>(r.events_in)
+          : r.average_power_w * r.sim_end.to_sec();
+  ev.delivered = r.events_in > 0
+                     ? static_cast<double>(r.decoded.size()) /
+                           static_cast<double>(r.events_in)
+                     : 1.0;
+
+  const auto errors =
+      analysis::record_errors(r.records, r.tick_unit, r.saturation_span);
+  if (!errors.empty()) {
+    double sum_sq = 0.0;
+    for (double e : errors) sum_sq += e * e;
+    ev.err_rms = std::sqrt(sum_sq / static_cast<double>(errors.size()));
+  }
+
+  if (!r.delivery_latency_sec.empty()) {
+    std::vector<double> sorted = r.delivery_latency_sec;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(sorted.size())));
+    ev.p99_latency_s = sorted[std::min(rank > 0 ? rank - 1 : 0,
+                                       sorted.size() - 1)];
+  }
+
+  ev.objectives.reserve(objectives.size());
+  for (Objective o : objectives) {
+    switch (o) {
+      case Objective::kEnergyPerEvent:
+        ev.objectives.push_back(ev.energy_per_event_j);
+        break;
+      case Objective::kErrorRms:
+        ev.objectives.push_back(ev.err_rms);
+        break;
+      case Objective::kLoss:
+        ev.objectives.push_back(1.0 - ev.delivered);
+        break;
+      case Objective::kLatencyP99:
+        ev.objectives.push_back(ev.p99_latency_s);
+        break;
+    }
+  }
+  return ev;
+}
+
+}  // namespace aetr::opt

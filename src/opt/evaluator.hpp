@@ -1,0 +1,75 @@
+// Objective extraction: one scenario in, one minimised objective vector out.
+//
+// The evaluator wraps core::run_scenario() with the measurement conventions
+// the optimizer needs to compare candidates fairly:
+//   * the workload (rate, length, address range, minimum gap) is pinned, and
+//     the spike stream's seed comes from the caller — every candidate in a
+//     comparison rung sees the *same* stream (paired evaluation), so
+//     objective deltas measure the configuration, not sampling noise;
+//   * capture records are forced on, because the timestamp-error objective
+//     scores them;
+//   * an optional fault level wraps the run in fault::scaled_plan() for
+//     robust optimisation — search for configs that hold up under noise.
+//
+// All objectives are minimised; "delivered fraction" therefore enters the
+// vector as loss = 1 - delivered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace aetr::opt {
+
+/// Minimised objectives the evaluator can extract.
+enum class Objective {
+  kEnergyPerEvent,  ///< average_power * sim_time / events_in   [J/event]
+  kErrorRms,        ///< RMS per-event relative timestamp error
+  kLoss,            ///< 1 - decoded/events_in (delivered fraction)
+  kLatencyP99,      ///< p99 of per-event delivery latency       [s]
+};
+
+[[nodiscard]] const char* to_string(Objective o);
+
+/// Parse "energy,error,loss,latency" (any non-empty subset, any order).
+/// Throws std::runtime_error on unknown names or duplicates.
+[[nodiscard]] std::vector<Objective> parse_objectives(
+    const std::string& spec);
+
+/// The stream every candidate is scored on. Defaults match the Fig. 6
+/// active-region workload (50 kevt/s Poisson, 130 ns minimum gap).
+struct Workload {
+  double rate_hz = 50e3;
+  std::size_t n_events = 4000;
+  std::uint16_t address_range = 128;
+  Time min_gap = Time::ns(130.0);
+  /// 0 = fault-free; otherwise the fault::scaled_plan() level applied to
+  /// every evaluation (robust optimisation).
+  double fault_level = 0.0;
+};
+
+/// One scored run: the requested objective vector plus the raw metrics it
+/// was assembled from (for reports and checkpoints).
+struct Evaluation {
+  std::vector<double> objectives;
+  double energy_per_event_j{0.0};
+  double err_rms{0.0};
+  double delivered{0.0};      ///< decoded / events_in
+  double p99_latency_s{0.0};
+  double average_power_w{0.0};
+  std::uint64_t events_in{0};
+  std::uint64_t words_out{0};
+};
+
+/// Run `scenario` over the workload stream seeded with `stream_seed` and
+/// extract `objectives`. `n_events` overrides workload.n_events when
+/// non-zero (successive halving promotes by lengthening the stream).
+[[nodiscard]] Evaluation evaluate(const core::ScenarioConfig& scenario,
+                                  const Workload& workload,
+                                  const std::vector<Objective>& objectives,
+                                  std::uint64_t stream_seed,
+                                  std::size_t n_events = 0);
+
+}  // namespace aetr::opt

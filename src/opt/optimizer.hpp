@@ -1,0 +1,106 @@
+// Budgeted, deterministic, parallel multi-objective search over
+// core::ScenarioConfig.
+//
+// Strategies:
+//   * factorial — every point of the space's per-axis grids (budget ignored);
+//   * random    — `budget` points sampled from the space;
+//   * halving   — successive halving: a warm-started population is scored on
+//     a quarter-length stream, the non-dominated half is promoted to a
+//     half-length stream, and the survivors to the full workload. Quick
+//     screening spends most of the budget where it is cheap.
+//
+// Determinism contract (same spirit as runtime::run_sweep, extended to
+// resume): the trial list, every evaluation, and every artifact byte are a
+// pure function of (space, options, base scenario). Per-trial seeds derive
+// from stable trial ids — never from execution order, thread identity, or
+// which trials a resumed run found already checkpointed — so `--jobs 1`,
+// `--jobs N`, and any interrupt/--resume split produce identical results.
+//
+// Every completed evaluation is appended to a checkpoint CSV; optimize()
+// with resume=true reloads it, verifies it matches this invocation
+// (same axes, params, objectives), and only runs what is missing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "opt/evaluator.hpp"
+#include "opt/pareto.hpp"
+#include "opt/search_space.hpp"
+
+namespace aetr::opt {
+
+enum class Strategy { kFactorial, kRandom, kHalving };
+
+[[nodiscard]] const char* to_string(Strategy s);
+/// Parse "factorial" | "random" | "halving"; throws on anything else.
+[[nodiscard]] Strategy parse_strategy(const std::string& name);
+
+struct OptOptions {
+  Strategy strategy = Strategy::kHalving;
+  /// Trial budget: population size for halving, trial count for random;
+  /// ignored by factorial (the grid is the budget).
+  std::size_t budget = 16;
+  std::size_t jobs = 0;       ///< worker threads; 0 = hardware concurrency
+  std::uint64_t seed = 1;     ///< root seed for all derived streams
+  std::string out_dir;        ///< artifact directory ("" = results/$AETR_OUT)
+  Workload workload;          ///< stream every candidate is scored on
+  std::vector<Objective> objectives{Objective::kEnergyPerEvent,
+                                    Objective::kErrorRms};
+  /// Resume from the checkpoint left in out_dir by an earlier run.
+  bool resume = false;
+  /// Testing hook: throw OptInterrupted after this many evaluations have
+  /// completed in this process (0 = disabled). The checkpoint holds them.
+  std::size_t interrupt_after = 0;
+  /// Per-trial telemetry artifacts (aetr_opt_r<rung>_t<id>_*.json/.csv).
+  bool trace = false;
+  bool metrics = false;
+  /// Progress lines ("rung 1/3: 16 trials ..."); null = silent.
+  std::function<void(const std::string&)> progress;
+};
+
+/// One scored candidate.
+struct Trial {
+  std::uint64_t id{0};       ///< stable identity within the run
+  std::size_t rung{0};       ///< halving rung (0 for flat strategies)
+  std::size_t n_events{0};   ///< stream length it was scored on
+  std::vector<double> params;
+  Evaluation eval;
+  bool from_checkpoint{false};  ///< loaded, not evaluated, this process
+};
+
+struct OptResult {
+  std::vector<Trial> trials;        ///< every evaluation, (rung, id) order
+  ParetoFront front;                ///< over full-length evaluations only
+  std::vector<double> baseline_params;
+  Evaluation baseline;              ///< default config, full length, paired
+  bool dominated_baseline{false};   ///< front strictly dominates the default
+  double hypervolume{0.0};
+  std::vector<double> reference;    ///< hypervolume reference point
+  std::size_t evaluations_run{0};   ///< evaluated in this process
+  std::vector<std::string> artifacts;  ///< files written (in write order)
+};
+
+/// Thrown by the interrupt_after testing hook; everything evaluated so far
+/// is already in the checkpoint, so a resume run completes the search.
+class OptInterrupted : public std::runtime_error {
+ public:
+  explicit OptInterrupted(std::size_t evaluations);
+  [[nodiscard]] std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  std::size_t evaluations_;
+};
+
+/// Run the search. `base` is the scenario every candidate perturbs (and the
+/// baseline the front is judged against). Writes aetr_opt_trials.csv,
+/// aetr_opt_pareto.csv, aetr_opt_pareto.svg, aetr_opt_summary.json, and the
+/// aetr_opt_checkpoint.csv into the artifact directory.
+[[nodiscard]] OptResult optimize(const SearchSpace& space,
+                                 const core::ScenarioConfig& base,
+                                 const OptOptions& options);
+
+}  // namespace aetr::opt

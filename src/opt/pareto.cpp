@@ -1,0 +1,111 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace aetr::opt {
+namespace {
+
+bool objectives_less(const ParetoPoint& a, const ParetoPoint& b) {
+  if (a.objectives != b.objectives) return a.objectives < b.objectives;
+  return a.id < b.id;
+}
+
+/// Recursive slicing: sort by the last objective, sweep slices upward, and
+/// weight each slice's (d-1)-dimensional hypervolume by its thickness.
+double hv_recursive(std::vector<std::vector<double>> pts,
+                    const std::vector<double>& ref) {
+  const std::size_t d = ref.size();
+  if (pts.empty()) return 0.0;
+  if (d == 1) {
+    double best = pts.front()[0];
+    for (const auto& p : pts) best = std::min(best, p[0]);
+    return best < ref[0] ? ref[0] - best : 0.0;
+  }
+  std::sort(pts.begin(), pts.end(),
+            [d](const std::vector<double>& a, const std::vector<double>& b) {
+              return a[d - 1] < b[d - 1];
+            });
+  double volume = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    // Slab along the last objective: from this point's coordinate up to the
+    // next point's (or the reference). Points 0..i are active inside it.
+    const double z_lo = pts[i][d - 1];
+    const double z_hi = (i + 1 < pts.size())
+                            ? std::min(pts[i + 1][d - 1], ref[d - 1])
+                            : ref[d - 1];
+    if (z_hi <= z_lo) continue;
+    std::vector<std::vector<double>> slice;
+    slice.reserve(i + 1);
+    for (std::size_t j = 0; j <= i; ++j) {
+      slice.emplace_back(pts[j].begin(), pts[j].end() - 1);
+    }
+    std::vector<double> sub_ref(ref.begin(), ref.end() - 1);
+    volume += (z_hi - z_lo) * hv_recursive(std::move(slice), sub_ref);
+  }
+  return volume;
+}
+
+}  // namespace
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("pareto: objective vectors differ in size");
+  }
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+bool ParetoFront::add(ParetoPoint point) {
+  for (const auto& member : points_) {
+    if (member.objectives == point.objectives ||
+        dominates(member.objectives, point.objectives)) {
+      return false;
+    }
+  }
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&point](const ParetoPoint& member) {
+                                 return dominates(point.objectives,
+                                                  member.objectives);
+                               }),
+                points_.end());
+  const auto pos =
+      std::lower_bound(points_.begin(), points_.end(), point, objectives_less);
+  points_.insert(pos, std::move(point));
+  return true;
+}
+
+bool ParetoFront::contains_dominator_of(
+    const std::vector<double>& objectives) const {
+  for (const auto& member : points_) {
+    if (dominates(member.objectives, objectives)) return true;
+  }
+  return false;
+}
+
+double ParetoFront::hypervolume(const std::vector<double>& reference) const {
+  std::vector<std::vector<double>> pts;
+  pts.reserve(points_.size());
+  for (const auto& member : points_) {
+    if (member.objectives.size() != reference.size()) {
+      throw std::invalid_argument(
+          "pareto: reference dimension mismatches the front");
+    }
+    bool inside = true;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      if (member.objectives[i] >= reference[i]) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) pts.push_back(member.objectives);
+  }
+  return hv_recursive(std::move(pts), reference);
+}
+
+}  // namespace aetr::opt

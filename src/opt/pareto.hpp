@@ -1,0 +1,61 @@
+// Pareto front over minimised objective vectors.
+//
+// Dominance (all objectives minimised): a dominates b iff a is no worse in
+// every objective and strictly better in at least one. The front keeps the
+// mutually non-dominated set; points whose objective vector duplicates one
+// already on the front are dropped (first id wins), so the front is a set
+// of distinct trade-offs, not a multiset of ties.
+//
+// The front order is deterministic — ascending lexicographic by objective
+// vector, ties by id — so serialising a front is byte-stable regardless of
+// insertion order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aetr::opt {
+
+/// One candidate on (or tested against) the front. `params` is carried
+/// opaquely — the front only reads `objectives`.
+struct ParetoPoint {
+  std::uint64_t id{0};
+  std::vector<double> params;
+  std::vector<double> objectives;  ///< all minimised
+};
+
+/// Strict Pareto dominance (minimisation). Vectors must be the same size.
+[[nodiscard]] bool dominates(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+class ParetoFront {
+ public:
+  /// Insert a candidate. Returns true when the point joins the front
+  /// (evicting any now-dominated members); false when it is dominated by
+  /// or duplicates an existing member.
+  bool add(ParetoPoint point);
+
+  /// Current front, sorted lexicographically by objectives (ties by id).
+  [[nodiscard]] const std::vector<ParetoPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// True when some member strictly dominates `objectives`.
+  [[nodiscard]] bool contains_dominator_of(
+      const std::vector<double>& objectives) const;
+
+  /// Exact hypervolume dominated by the front below `reference` (the
+  /// region { x : some member dominates-or-equals x, x <= reference },
+  /// computed by recursive slicing on the last objective). Members not
+  /// strictly below the reference in every coordinate contribute nothing.
+  /// Works for any dimension; 0 for an empty front.
+  [[nodiscard]] double hypervolume(
+      const std::vector<double>& reference) const;
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+}  // namespace aetr::opt

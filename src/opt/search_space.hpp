@@ -1,0 +1,104 @@
+// Typed parameter axes over core::ScenarioConfig for the optimizer.
+//
+// A SearchSpace is an ordered list of named axes; each axis names a scenario
+// key (any key core::load_scenario() accepts) and a domain to draw values
+// from. Points materialise through core::apply_scenario_key(), so the space
+// can tune exactly what a scenario file can express — and a typo'd key fails
+// with the same did-you-mean diagnostic a config file gets.
+//
+// Domains:
+//   lin(lo, hi, steps)     continuous, linear;  grid = lin_space(lo,hi,steps)
+//   log(lo, hi, steps)     continuous, log;     grid = log_space(lo,hi,steps)
+//   logint(lo, hi, steps)  log-spaced integers (rounded, deduplicated)
+//   int(lo, hi)            every integer in [lo, hi]
+//   choice(v1, v2, ...)    explicit value list
+//
+// The text form (one axis per line, same "key = domain" shape as the config
+// format) round-trips through parse()/dump(), so a space travels next to the
+// scenario file it perturbs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace aetr::opt {
+
+enum class AxisKind { kLinear, kLog, kLogInt, kInteger, kChoice };
+
+[[nodiscard]] const char* to_string(AxisKind k);
+
+/// One tunable dimension: a scenario key plus a value domain.
+struct ParamAxis {
+  std::string key;
+  AxisKind kind{AxisKind::kLinear};
+  double lo{0.0};
+  double hi{0.0};
+  std::size_t steps{0};          ///< grid points (kLinear/kLog/kLogInt)
+  std::vector<double> choices;   ///< kChoice values, in declaration order
+
+  /// The finite grid this axis contributes to a full-factorial search.
+  /// Integer-valued kinds return exact integers (deduplicated for kLogInt).
+  [[nodiscard]] std::vector<double> grid_values() const;
+
+  /// Map a uniform u in [0, 1) into the domain. Integer-valued kinds round
+  /// to an exact integer; kChoice picks by index. Deterministic in u.
+  [[nodiscard]] double value_at(double u) const;
+
+  /// Render one value of this axis as the string apply_scenario_key()
+  /// receives: integers exactly, reals with round-trip precision.
+  [[nodiscard]] std::string format(double value) const;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace& linear(std::string key, double lo, double hi,
+                      std::size_t steps);
+  SearchSpace& log(std::string key, double lo, double hi, std::size_t steps);
+  SearchSpace& log_int(std::string key, double lo, double hi,
+                       std::size_t steps);
+  SearchSpace& integer(std::string key, double lo, double hi);
+  SearchSpace& choice(std::string key, std::vector<double> values);
+
+  [[nodiscard]] const std::vector<ParamAxis>& axes() const { return axes_; }
+  [[nodiscard]] std::size_t size() const { return axes_.size(); }
+
+  /// Product of per-axis grid sizes — the full-factorial trial count.
+  [[nodiscard]] std::size_t factorial_size() const;
+
+  /// Decode flat factorial index -> one value per axis (row-major, first
+  /// axis slowest, matching runtime::SweepGrid).
+  [[nodiscard]] std::vector<double> factorial_point(std::size_t index) const;
+
+  /// Draw one point from `seed`: axis i consumes derive_seed(seed, i), so a
+  /// point is a pure function of (space, seed) — never of execution order.
+  [[nodiscard]] std::vector<double> sample(std::uint64_t seed) const;
+
+  /// Apply a point (one value per axis, axis order) to a scenario via
+  /// core::apply_scenario_key. Throws std::runtime_error on size mismatch
+  /// or an unknown/invalid key.
+  void apply(core::ScenarioConfig& scenario,
+             const std::vector<double>& values) const;
+
+  /// One "key = domain" line per axis; parse(dump()) round-trips.
+  [[nodiscard]] std::string dump() const;
+
+  /// Parse the text form. Throws std::runtime_error with the line number on
+  /// syntax errors, unknown scenario keys, or empty/invalid domains.
+  /// telemetry.* keys are rejected: observers must not join the search.
+  [[nodiscard]] static SearchSpace parse(std::istream& is);
+  [[nodiscard]] static SearchSpace parse_file(const std::string& path);
+
+  /// The built-in space over the knobs that trade energy against accuracy
+  /// and latency (theta_div, n_div, batch threshold, sync stages).
+  [[nodiscard]] static SearchSpace default_space();
+
+ private:
+  SearchSpace& add(ParamAxis axis);
+  std::vector<ParamAxis> axes_;
+};
+
+}  // namespace aetr::opt

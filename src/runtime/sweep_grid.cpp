@@ -45,9 +45,21 @@ SweepGrid& SweepGrid::axis(std::string name, std::vector<double> values) {
 
 std::vector<double> SweepGrid::log_space(double lo, double hi,
                                          std::size_t points) {
-  assert(points >= 2 && lo > 0.0 && hi > lo);
+  if (points == 0) {
+    throw std::invalid_argument{"SweepGrid::log_space: zero points"};
+  }
+  if (lo <= 0.0 || hi < lo) {
+    throw std::invalid_argument{
+        "SweepGrid::log_space: needs 0 < lo <= hi"};
+  }
   std::vector<double> values;
   values.reserve(points);
+  // Degenerate spans (one point, or equal endpoints) collapse to a
+  // constant axis instead of dividing by zero.
+  if (points == 1 || hi == lo) {
+    values.assign(points, lo);
+    return values;
+  }
   const double step = std::log(hi / lo) / static_cast<double>(points - 1);
   for (std::size_t i = 0; i < points; ++i) {
     values.push_back(lo * std::exp(step * static_cast<double>(i)));
@@ -57,9 +69,15 @@ std::vector<double> SweepGrid::log_space(double lo, double hi,
 
 std::vector<double> SweepGrid::lin_space(double lo, double hi,
                                          std::size_t points) {
-  assert(points >= 2);
+  if (points == 0) {
+    throw std::invalid_argument{"SweepGrid::lin_space: zero points"};
+  }
   std::vector<double> values;
   values.reserve(points);
+  if (points == 1 || hi == lo) {
+    values.assign(points, lo);
+    return values;
+  }
   const double step = (hi - lo) / static_cast<double>(points - 1);
   for (std::size_t i = 0; i < points; ++i) {
     values.push_back(lo + step * static_cast<double>(i));

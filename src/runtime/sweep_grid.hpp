@@ -65,10 +65,15 @@ class SweepGrid {
 
   /// `points` log-spaced values from `lo` to `hi` inclusive, the grid the
   /// figure benches use for event-rate axes: lo * (hi/lo)^(i/(points-1)).
+  /// Degenerate spans are well-defined: points == 1 or hi == lo yield a
+  /// constant axis. Throws std::invalid_argument for zero points, lo <= 0,
+  /// or hi < lo.
   [[nodiscard]] static std::vector<double> log_space(double lo, double hi,
                                                      std::size_t points);
 
-  /// `points` linearly spaced values from `lo` to `hi` inclusive.
+  /// `points` linearly spaced values from `lo` to `hi` inclusive. As with
+  /// log_space, points == 1 or hi == lo yield a constant axis; zero points
+  /// throw std::invalid_argument.
   [[nodiscard]] static std::vector<double> lin_space(double lo, double hi,
                                                      std::size_t points);
 

@@ -8,7 +8,7 @@
 #include <utility>
 
 #include "analysis/error.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "power/model.hpp"
 #include "runtime/sink.hpp"
@@ -182,12 +182,13 @@ core::InterfaceConfig fig8_config(std::uint32_t theta, bool divide) {
 double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
                           std::uint64_t seed,
                           const telemetry::SessionOptions& tel = {}) {
-  core::RunOptions opt;
-  opt.telemetry = core::TelemetryChoice::owned(tel);
+  core::ScenarioConfig sc;
+  sc.interface = cfg;
+  sc.telemetry = core::TelemetryChoice::owned(tel);
   if (rate_hz <= 0.0) {
     // "Absence of spikes": a long idle window, clock long shut down.
-    opt.cooldown = Time::sec(2.0);
-    return core::run_stream(cfg, {}, opt).average_power_w;
+    sc.cooldown = Time::sec(2.0);
+    return core::run_scenario(sc, {}).average_power_w;
   }
   // Enough events for a stable average, enough window to see shutdown.
   const auto n_events =
@@ -195,8 +196,8 @@ double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
   gen::LfsrRateSource src{rate_hz, Frequency::mhz(30.0), 128,
                           static_cast<std::uint32_t>(seed),
                           static_cast<std::uint32_t>(seed >> 32)};
-  opt.cooldown = Time::ms(0.1);
-  return core::run_source(cfg, src, n_events, opt).average_power_w;
+  sc.cooldown = Time::ms(0.1);
+  return core::run_scenario(sc, src, n_events).average_power_w;
 }
 
 FigureResult fig8_impl(const FigureOptions& opt) {
@@ -332,14 +333,14 @@ FigureResult ablation_ndiv_impl(const FigureOptions& opt) {
     const double flex = 1.0 / t_max;
 
     const auto power_at = [&](double rate_hz, std::uint64_t seed) {
-      core::InterfaceConfig cfg;
-      cfg.clock.theta_div = 64;
-      cfg.clock.n_div = n_div;
-      cfg.front_end.keep_records = false;
+      core::ScenarioConfig sc;
+      sc.interface.clock.theta_div = 64;
+      sc.interface.clock.n_div = n_div;
+      sc.interface.front_end.keep_records = false;
       gen::PoissonSource src{rate_hz, 128, seed};
       const auto n =
           static_cast<std::size_t>(std::clamp(rate_hz * 0.3, 200.0, 5000.0));
-      return core::run_source(cfg, src, n).average_power_w;
+      return core::run_scenario(sc, src, n).average_power_w;
     };
 
     analysis::SweepOptions so;
@@ -446,15 +447,14 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
     synced.sync_edges = 2;
     const auto sync_err = analysis::sweep_error(sc, rate, synced);
 
-    core::InterfaceConfig cfg;
-    cfg.clock.theta_div = theta;
-    cfg.fifo.batch_threshold = 512;
+    core::ScenarioConfig run_sc;
+    run_sc.interface.clock.theta_div = theta;
+    run_sc.interface.fifo.batch_threshold = 512;
     gen::PoissonSource src{rate, 128, ctx.seed, Time::ns(130.0)};
     const auto events = gen::take(src, n_events);
-    core::RunOptions run_opt;
-    run_opt.telemetry = core::TelemetryChoice::owned(
+    run_sc.telemetry = core::TelemetryChoice::owned(
         job_telemetry(opt, "ablation_agreement", ctx.index));
-    const auto r = core::run_stream(cfg, events, run_opt);
+    const auto r = core::run_scenario(run_sc, events);
 
     JobOutput out;
     out.values = {model_err.weighted_rel_error(),
@@ -512,32 +512,11 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
 
 // --- Faults: accuracy / power degradation vs. fault rate -------------------
 
-/// One fault plan per sweep level: every per-site probability scales with
-/// `level` so the x axis reads as "fraction of handshakes / words exposed
-/// to an upset". All levels share ONE fault seed (derived from the sweep's
-/// root, not the per-job seed) and the event stream is likewise shared, so
-/// the curves are coupled: a glitch injected at a low level is, with high
-/// probability, also injected at every higher level.
-fault::FaultPlan faults_plan_at(double level, std::uint64_t fault_seed) {
-  fault::FaultPlan plan;
-  plan.seed = fault_seed;
-  plan.aer.drop_req_prob = level;
-  plan.aer.stuck_ack_prob = level;
-  plan.aer.addr_bit_flip_prob = level;
-  plan.aer.runt_req_prob = level;
-  // Wide enough for the dip to cover the synchroniser's sample edge
-  // (sync_stages * Tmin + wake latency ~ 230 ns with default clocking).
-  plan.aer.runt_width = Time::ns(150.0);
-  plan.clock.period_jitter_rel = 0.2 * level;
-  plan.clock.wake_jitter_rel = 0.2 * level;
-  plan.fifo.cell_bit_flip_prob = level;
-  plan.spi.word_bit_flip_prob = level;
-  // Per-bit, so deliberately softer than the per-word knobs: a whole batch
-  // is rejected when its CRC trailer misses, and the curve should degrade,
-  // not fall off a cliff at the first non-zero level.
-  plan.i2s.bit_error_rate = 0.02 * level;
-  return plan;
-}
+// The per-level plan is fault::scaled_plan — shared with the optimizer's
+// robust-evaluation mode. All levels share ONE fault seed (derived from the
+// sweep's root, not the per-job seed) and the event stream is likewise
+// shared, so the curves are coupled: a glitch injected at a low level is,
+// with high probability, also injected at every higher level.
 
 FigureResult faults_impl(const FigureOptions& opt) {
   const std::vector<double> levels =
@@ -558,7 +537,7 @@ FigureResult faults_impl(const FigureOptions& opt) {
   const auto scenario_at = [=](double level) {
     core::ScenarioConfig sc;
     sc.interface.fifo.batch_threshold = 64;
-    if (level > 0.0) sc.faults = faults_plan_at(level, fault_seed);
+    if (level > 0.0) sc.faults = fault::scaled_plan(level, fault_seed);
     return sc;
   };
   const auto stream = [=] {

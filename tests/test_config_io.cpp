@@ -1,6 +1,7 @@
 // Tests for the textual InterfaceConfig format.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/config_io.hpp"
@@ -209,6 +210,58 @@ TEST(ScenarioIo, UnknownKeyThrows) {
 TEST(ScenarioIo, OutOfRangeProbabilityThrowsAtLoad) {
   std::stringstream ss{"fault.fifo.cell_bit_flip_prob = 1.25\n"};
   EXPECT_THROW(load_scenario(ss), std::invalid_argument);
+}
+
+TEST(ScenarioIo, UnknownKeySuggestsNearestKey) {
+  // A one-letter typo must fail with a did-you-mean hint naming the real
+  // key, so a misspelt scenario file is a one-line fix, not a hunt.
+  std::stringstream ss{"fifo.overlow_policy = drop_oldest\n"};
+  try {
+    (void)load_scenario(ss);
+    FAIL() << "expected unknown-key rejection";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("fifo.overlow_policy"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("did you mean 'fifo.overflow_policy'"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(ScenarioIo, SuggestScenarioKeyDistanceCutoff) {
+  EXPECT_EQ(suggest_scenario_key("clock.n_dib"), "clock.n_div");
+  EXPECT_EQ(suggest_scenario_key("colck.theta_div"), "clock.theta_div");
+  // Nothing plausibly close: no suggestion rather than a misleading one.
+  EXPECT_EQ(suggest_scenario_key("zzzzzzzzzzzz"), "");
+}
+
+TEST(ScenarioIo, ApplyScenarioKeySetsAndValidates) {
+  ScenarioConfig scenario;
+  apply_scenario_key(scenario, "clock.n_div", "5");
+  apply_scenario_key(scenario, "fifo.batch_threshold", "256");
+  EXPECT_EQ(scenario.interface.clock.n_div, 5u);
+  EXPECT_EQ(scenario.interface.fifo.batch_threshold, 256u);
+  EXPECT_THROW(apply_scenario_key(scenario, "clock.n_dib", "5"),
+               std::runtime_error);
+  EXPECT_THROW(apply_scenario_key(scenario, "clock.n_div", "bogus"),
+               std::runtime_error);
+}
+
+TEST(ScenarioIo, ScenarioKeysCoverTheDumpFormat) {
+  // Every key dump_scenario() emits must be in scenario_keys(): the list
+  // is what the optimizer and the did-you-mean hint search.
+  const auto keys = scenario_keys();
+  EXPECT_FALSE(keys.empty());
+  std::istringstream dump{dump_scenario(ScenarioConfig{})};
+  std::string line;
+  while (std::getline(dump, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos || line[0] == '#') continue;
+    auto key = line.substr(0, eq);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    EXPECT_NE(std::find(keys.begin(), keys.end(), key), keys.end())
+        << "dumped key missing from scenario_keys(): " << key;
+  }
 }
 
 TEST(ScenarioIo, BorrowedTelemetryDumpsAsOff) {

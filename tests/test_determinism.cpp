@@ -6,7 +6,7 @@
 #include "analysis/error.hpp"
 #include "cochlea/audio.hpp"
 #include "cochlea/cochlea.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "vision/dvs.hpp"
 
@@ -16,11 +16,11 @@ namespace {
 using namespace time_literals;
 
 core::RunResult run_once(std::uint64_t seed) {
-  core::InterfaceConfig cfg;
-  cfg.fifo.batch_threshold = 128;
-  cfg.front_end.metastability_prob = 0.01;  // exercises the front-end RNG
+  core::ScenarioConfig sc;
+  sc.interface.fifo.batch_threshold = 128;
+  sc.interface.front_end.metastability_prob = 0.01;  // exercises the RNG
   gen::PoissonSource src{40e3, 128, seed};
-  return core::run_stream(cfg, gen::take(src, 1500));
+  return core::run_scenario(sc, gen::take(src, 1500));
 }
 
 TEST(Determinism, FullRunsAreBitIdentical) {

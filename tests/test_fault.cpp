@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/runner.hpp"
 #include "core/scenario.hpp"
 #include "fault/injector.hpp"
 #include "gen/sources.hpp"
@@ -62,18 +61,24 @@ fault::FaultPlan rich_plan(std::uint64_t seed = 99) {
 
 // --- determinism contract ----------------------------------------------------
 
-TEST(FaultDeterminism, ZeroPlanIdenticalToLegacyRun) {
+TEST(FaultDeterminism, ZeroRatePlanIdenticalToEmptyPlan) {
   const auto events = test_stream();
   core::ScenarioConfig scenario;
   scenario.interface.fifo.batch_threshold = 64;
   ASSERT_FALSE(scenario.faults.any());
 
-  core::InterfaceConfig legacy_cfg;
-  legacy_cfg.fifo.batch_threshold = 64;
+  // Same scenario, but with every recovery knob toggled and a different
+  // seed: with all rates at zero, none of it may perturb the pipeline.
+  core::ScenarioConfig zero_rate = scenario;
+  zero_rate.faults.seed = 0xDEADBEEF;
+  zero_rate.faults.recovery.watchdog = false;
+  zero_rate.faults.recovery.fifo_parity = false;
+  zero_rate.faults.recovery.crc_frames = false;
+  ASSERT_FALSE(zero_rate.faults.any());
 
   const auto with_plan = core::run_scenario(scenario, events);
-  const auto legacy = core::run_stream(legacy_cfg, events);
-  expect_identical(with_plan, legacy);
+  const auto baseline = core::run_scenario(zero_rate, events);
+  expect_identical(with_plan, baseline);
   EXPECT_EQ(with_plan.faults.injected_total(), 0u);
   EXPECT_EQ(with_plan.faults.recovered_total(), 0u);
 }

@@ -7,7 +7,7 @@
 #include <cmath>
 
 #include "analysis/error.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "spi/spi.hpp"
 
@@ -20,6 +20,15 @@ InterfaceConfig fast_batch_config() {
   InterfaceConfig cfg;
   cfg.fifo.batch_threshold = 32;
   return cfg;
+}
+
+// File-local shorthand: run a stream through a default scenario wrapping
+// the given interface config.
+RunResult run_stream(const InterfaceConfig& cfg,
+                     const aer::EventStream& events) {
+  ScenarioConfig sc;
+  sc.interface = cfg;
+  return run_scenario(sc, events);
 }
 
 TEST(EndToEnd, EveryEventReachesTheMcu) {
@@ -212,11 +221,12 @@ TEST(EndToEnd, SpiCtrlTogglesNaiveMode) {
 }
 
 TEST(EndToEnd, StrictProtocolRunStaysClean) {
-  RunOptions opt;
-  opt.strict_protocol = true;  // throws on any 4-phase violation
+  ScenarioConfig sc;
+  sc.interface = fast_batch_config();
+  sc.strict_protocol = true;  // throws on any 4-phase violation
   gen::BurstSource src{80e3, 5_ms, 20_ms, 128, 23};
   const auto events = gen::take(src, 1500);
-  const auto r = run_stream(fast_batch_config(), events, opt);
+  const auto r = run_scenario(sc, events);
   EXPECT_EQ(r.events_in, r.words_out);
 }
 

@@ -6,7 +6,7 @@
 
 #include "aer/agents.hpp"
 #include "aer/mux.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 
 namespace aetr::aer {

@@ -10,7 +10,7 @@
 #include "analysis/error.hpp"
 #include "analysis/power_curve.hpp"
 #include "clockgen/schedule.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 
 namespace aetr {
@@ -34,8 +34,9 @@ double power_at(double rate_hz, std::uint32_t theta, bool divide,
                           0x1234u + seed};
   const auto n = static_cast<std::size_t>(
       std::clamp(rate_hz * 0.3, 200.0, 6000.0));
-  return core::run_source(iface_config(theta, divide), src, n)
-      .average_power_w;
+  core::ScenarioConfig sc;
+  sc.interface = iface_config(theta, divide);
+  return core::run_scenario(sc, src, n).average_power_w;
 }
 
 // --- Abstract -----------------------------------------------------------
@@ -46,9 +47,10 @@ TEST(PaperClaims, Abstract_4p5mW_At550k) {
 }
 
 TEST(PaperClaims, Abstract_50uW_NoSpikes) {
-  core::RunOptions opt;
-  opt.cooldown = Time::sec(1.0);
-  const auto r = core::run_stream(iface_config(64, true), {}, opt);
+  core::ScenarioConfig sc;
+  sc.interface = iface_config(64, true);
+  sc.cooldown = Time::sec(1.0);
+  const auto r = core::run_scenario(sc, {});
   EXPECT_LT(r.average_power_w, 60e-6);
   EXPECT_GT(r.average_power_w, 49e-6);
 }
@@ -125,10 +127,10 @@ TEST(PaperClaims, Fig8_ActiveRegionSavingAround55Percent) {
 
 TEST(PaperClaims, Fig8_ProportionalitySpanTens) {
   const double busy = power_at(550e3, 64, true, 9);
-  core::RunOptions opt;
-  opt.cooldown = Time::sec(1.0);
-  const double idle =
-      core::run_stream(iface_config(64, true), {}, opt).average_power_w;
+  core::ScenarioConfig sc;
+  sc.interface = iface_config(64, true);
+  sc.cooldown = Time::sec(1.0);
+  const double idle = core::run_scenario(sc, {}).average_power_w;
   EXPECT_GT(busy / idle, 60.0);  // paper: ~90x
   EXPECT_LT(busy / idle, 120.0);
 }

@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/power_curve.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 
 namespace aetr::analysis {
@@ -80,15 +80,14 @@ TEST_P(PowerCurveAgreement, AnalyticMatchesDes) {
   const auto cal = power::PowerCalibration::paper();
   const auto est = expected_power(paper_schedule(64), cal, rate);
 
-  core::InterfaceConfig cfg;
-  cfg.front_end.keep_records = false;
-  cfg.fifo.batch_threshold = 512;
+  core::ScenarioConfig sc;
+  sc.interface.front_end.keep_records = false;
+  sc.interface.fifo.batch_threshold = 512;
   gen::PoissonSource src{rate, 128, 123};
   const auto n = static_cast<std::size_t>(
       std::clamp(rate * 0.5, 300.0, 8000.0));
-  core::RunOptions opt;
-  opt.cooldown = Time::ms(0.01);
-  const auto r = core::run_source(cfg, src, n, opt);
+  sc.cooldown = Time::ms(0.01);
+  const auto r = core::run_scenario(sc, src, n);
 
   EXPECT_NEAR(r.average_power_w, est.power_w, 0.12 * est.power_w)
       << "rate " << rate;

@@ -6,7 +6,7 @@
 
 #include "aer/agents.hpp"
 #include "aer/channel.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "util/rng.hpp"
 
@@ -153,9 +153,9 @@ TEST(Fuzz, InterfaceSurvivesAdversarialBurstiness) {
     }
     t += Time::ms(5.0);  // beyond the awake span: forces sleep + wake
   }
-  core::InterfaceConfig cfg;
-  cfg.fifo.batch_threshold = 64;
-  const auto r = core::run_stream(cfg, events);
+  core::ScenarioConfig sc;
+  sc.interface.fifo.batch_threshold = 64;
+  const auto r = core::run_scenario(sc, events);
   EXPECT_EQ(r.protocol_violations, 0u);
   EXPECT_EQ(r.words_out, events.size());
   // One saturated event per inter-burst gap (29 gaps are followed by a
@@ -167,13 +167,13 @@ TEST(Fuzz, InterfaceSurvivesAdversarialBurstiness) {
 TEST(Fuzz, MetastabilityInjectionPreservesCorrectness) {
   // Even at an absurd 30 % metastability rate, no events are lost and the
   // accuracy degrades only mildly (one extra period per hit).
-  core::InterfaceConfig cfg;
-  cfg.front_end.metastability_prob = 0.3;
-  cfg.front_end.seed = 5;
-  cfg.fifo.batch_threshold = 64;
+  core::ScenarioConfig sc;
+  sc.interface.front_end.metastability_prob = 0.3;
+  sc.interface.front_end.seed = 5;
+  sc.interface.fifo.batch_threshold = 64;
   gen::PoissonSource src{20e3, 128, 51, Time::ns(200.0)};
   const auto events = gen::take(src, 2000);
-  const auto r = core::run_stream(cfg, events);
+  const auto r = core::run_scenario(sc, events);
   EXPECT_EQ(r.words_out, 2000u);
   EXPECT_EQ(r.protocol_violations, 0u);
   EXPECT_LT(r.error.weighted_rel_error(), 0.10);

@@ -126,6 +126,50 @@ TEST(SweepGrid, LinSpaceEndpoints) {
   EXPECT_DOUBLE_EQ(v[4], 10.0);
 }
 
+TEST(SweepGrid, SinglePointAxesAreConstant) {
+  // points == 1 pins the axis to lo; equal endpoints pin it regardless of
+  // the point count. Both are legal degenerate axes, not errors: a sweep
+  // definition that collapses one dimension should still run.
+  EXPECT_EQ(SweepGrid::log_space(500.0, 2e6, 1),
+            (std::vector<double>{500.0}));
+  EXPECT_EQ(SweepGrid::lin_space(7.0, 7.0, 4),
+            (std::vector<double>{7.0, 7.0, 7.0, 7.0}));
+  const auto v = SweepGrid::log_space(1e3, 1e3, 3);
+  ASSERT_EQ(v.size(), 3u);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 1e3);
+}
+
+TEST(SweepGrid, ZeroPointsAndInvalidSpansThrow) {
+  EXPECT_THROW((void)SweepGrid::log_space(100.0, 2e6, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)SweepGrid::lin_space(0.0, 1.0, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)SweepGrid::log_space(0.0, 1.0, 3),
+               std::invalid_argument);  // log of a non-positive lo
+  EXPECT_THROW((void)SweepGrid::log_space(10.0, 1.0, 3),
+               std::invalid_argument);  // hi < lo
+  // lin_space has no positivity constraint, so a reversed span is simply a
+  // descending axis, not an error.
+  EXPECT_EQ(SweepGrid::lin_space(10.0, 1.0, 3),
+            (std::vector<double>{10.0, 5.5, 1.0}));
+}
+
+TEST(SweepGrid, ZeroTrialGridRunsNoJobs) {
+  // A grid with no axes has size 0; run_sweep over it must complete
+  // without ever invoking the job function.
+  SweepGrid grid;
+  EXPECT_EQ(grid.size(), 0u);
+  std::atomic<int> calls{0};
+  const auto report = runtime::run_sweep(grid, [&calls](
+                                                   const runtime::JobContext&) {
+    calls.fetch_add(1);
+    return runtime::JobOutput{};
+  });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(report.outputs.empty());
+  EXPECT_TRUE(report.metrics.empty());
+}
+
 // --- thread pool -----------------------------------------------------------
 
 TEST(ThreadPool, RunsEverythingUnderSkewedDurations) {

@@ -16,7 +16,7 @@
 #include <string>
 
 #include "aer/event.hpp"
-#include "core/runner.hpp"
+#include "core/scenario.hpp"
 #include "gen/sources.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
@@ -400,7 +400,7 @@ TEST(Disabled, CompiledOutSessionIsInertEvenWhenEnabled) {
 
 // --- full-pipeline integration ---------------------------------------------
 
-core::RunOptions traced_run_options(const std::string& tag) {
+core::ScenarioConfig traced_scenario(const std::string& tag) {
   SessionOptions so;
   so.trace = true;
   so.metrics = true;
@@ -408,9 +408,10 @@ core::RunOptions traced_run_options(const std::string& tag) {
   so.trace_json_path = testing::TempDir() + "aetr_run_" + tag + ".json";
   so.trace_csv_path = testing::TempDir() + "aetr_run_" + tag + "_trace.csv";
   so.metrics_csv_path = testing::TempDir() + "aetr_run_" + tag + "_metrics.csv";
-  core::RunOptions opt;
-  opt.telemetry = core::TelemetryChoice::owned(so);
-  return opt;
+  core::ScenarioConfig sc;
+  sc.interface.fifo.batch_threshold = 32;  // several drains within the stream
+  sc.telemetry = core::TelemetryChoice::owned(so);
+  return sc;
 }
 
 aer::EventStream pipeline_stream() {
@@ -420,13 +421,11 @@ aer::EventStream pipeline_stream() {
 
 TEST(Integration, RunStreamTraceCoversEveryPipelineStage) {
   if (!compiled_in()) GTEST_SKIP() << "built with AETR_TELEMETRY=0";
-  core::InterfaceConfig cfg;
-  cfg.fifo.batch_threshold = 32;  // several drains within the stream
-  const auto opt = traced_run_options("cover");
-  const auto r = core::run_stream(cfg, pipeline_stream(), opt);
+  const auto sc = traced_scenario("cover");
+  const auto r = core::run_scenario(sc, pipeline_stream());
   EXPECT_GT(r.events_in, 0u);
 
-  const std::string text = slurp(opt.telemetry.options().trace_json_path);
+  const std::string text = slurp(sc.telemetry.options().trace_json_path);
   ASSERT_FALSE(text.empty());
   EXPECT_TRUE(JsonParser{text}.valid()) << "trace JSON must parse";
   // One named Perfetto lane per pipeline block, plus the harness lane.
@@ -443,37 +442,35 @@ TEST(Integration, RunStreamTraceCoversEveryPipelineStage) {
   EXPECT_NE(text.find("\"name\":\"level\""), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"drain\""), std::string::npos);
   EXPECT_NE(text.find("\"name\":\"batch_start\""), std::string::npos);
-  EXPECT_NE(text.find("\"name\":\"run_stream\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"run_scenario\""), std::string::npos);
 
   // Metrics CSV: probes from every block on the snapshot grid.
-  const std::string metrics = slurp(opt.telemetry.options().metrics_csv_path);
+  const std::string metrics = slurp(sc.telemetry.options().metrics_csv_path);
   for (const char* col :
        {"frontend.events", "fifo.occupancy", "clockgen.captures",
         "i2s.words_sent", "mcu.words", "sched.events_dispatched",
         "power.avg_w"}) {
     EXPECT_NE(metrics.find(col), std::string::npos) << "missing " << col;
   }
-  std::remove(opt.telemetry.options().trace_json_path.c_str());
-  std::remove(opt.telemetry.options().trace_csv_path.c_str());
-  std::remove(opt.telemetry.options().metrics_csv_path.c_str());
+  std::remove(sc.telemetry.options().trace_json_path.c_str());
+  std::remove(sc.telemetry.options().trace_csv_path.c_str());
+  std::remove(sc.telemetry.options().metrics_csv_path.c_str());
 }
 
 TEST(Integration, IdenticalRunsProduceByteIdenticalArtifacts) {
   if (!compiled_in()) GTEST_SKIP() << "built with AETR_TELEMETRY=0";
-  core::InterfaceConfig cfg;
-  cfg.fifo.batch_threshold = 32;
   const auto events = pipeline_stream();
-  const auto opt_a = traced_run_options("det_a");
-  const auto opt_b = traced_run_options("det_b");
-  (void)core::run_stream(cfg, events, opt_a);
-  (void)core::run_stream(cfg, events, opt_b);
-  EXPECT_EQ(slurp(opt_a.telemetry.options().trace_json_path),
-            slurp(opt_b.telemetry.options().trace_json_path));
-  EXPECT_EQ(slurp(opt_a.telemetry.options().trace_csv_path),
-            slurp(opt_b.telemetry.options().trace_csv_path));
-  EXPECT_EQ(slurp(opt_a.telemetry.options().metrics_csv_path),
-            slurp(opt_b.telemetry.options().metrics_csv_path));
-  for (const auto* o : {&opt_a, &opt_b}) {
+  const auto sc_a = traced_scenario("det_a");
+  const auto sc_b = traced_scenario("det_b");
+  (void)core::run_scenario(sc_a, events);
+  (void)core::run_scenario(sc_b, events);
+  EXPECT_EQ(slurp(sc_a.telemetry.options().trace_json_path),
+            slurp(sc_b.telemetry.options().trace_json_path));
+  EXPECT_EQ(slurp(sc_a.telemetry.options().trace_csv_path),
+            slurp(sc_b.telemetry.options().trace_csv_path));
+  EXPECT_EQ(slurp(sc_a.telemetry.options().metrics_csv_path),
+            slurp(sc_b.telemetry.options().metrics_csv_path));
+  for (const auto* o : {&sc_a, &sc_b}) {
     std::remove(o->telemetry.options().trace_json_path.c_str());
     std::remove(o->telemetry.options().trace_csv_path.c_str());
     std::remove(o->telemetry.options().metrics_csv_path.c_str());
@@ -481,12 +478,12 @@ TEST(Integration, IdenticalRunsProduceByteIdenticalArtifacts) {
 }
 
 TEST(Integration, TelemetryDoesNotChangeRunResults) {
-  core::InterfaceConfig cfg;
-  cfg.fifo.batch_threshold = 32;
+  core::ScenarioConfig plain_sc;
+  plain_sc.interface.fifo.batch_threshold = 32;
   const auto events = pipeline_stream();
-  const auto plain = core::run_stream(cfg, events);
-  const auto opt = traced_run_options("invariant");
-  const auto traced = core::run_stream(cfg, events, opt);
+  const auto plain = core::run_scenario(plain_sc, events);
+  const auto sc = traced_scenario("invariant");
+  const auto traced = core::run_scenario(sc, events);
   // Telemetry must be a pure observer: every simulation observable is
   // bit-identical with and without it.
   EXPECT_EQ(traced.sim_end, plain.sim_end);
@@ -495,9 +492,9 @@ TEST(Integration, TelemetryDoesNotChangeRunResults) {
   EXPECT_EQ(traced.handshakes, plain.handshakes);
   EXPECT_EQ(traced.average_power_w, plain.average_power_w);
   EXPECT_EQ(traced.error.weighted_rel_error(), plain.error.weighted_rel_error());
-  std::remove(opt.telemetry.options().trace_json_path.c_str());
-  std::remove(opt.telemetry.options().trace_csv_path.c_str());
-  std::remove(opt.telemetry.options().metrics_csv_path.c_str());
+  std::remove(sc.telemetry.options().trace_json_path.c_str());
+  std::remove(sc.telemetry.options().trace_csv_path.c_str());
+  std::remove(sc.telemetry.options().metrics_csv_path.c_str());
 }
 
 }  // namespace

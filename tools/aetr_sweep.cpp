@@ -1,18 +1,23 @@
-// aetr-sweep — unified sweep driver for the figure/ablation reproductions.
+// aetr-sweep — unified sweep driver for the figure/ablation reproductions
+// and the design-space optimizer.
 //
 //   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|all
 //              [--jobs N] [--seed S] [--out DIR] [--quick]
 //              [--trace] [--metrics] [--report FILE] [--quiet]
+//   aetr-sweep opt [--strategy factorial|random|halving] [--budget N]
+//              [--objectives energy,error[,loss,latency]] [--space FILE]
+//              [--events N] [--rate HZ] [--fault-level X] [--resume]
+//              [--interrupt-after N] [common options]
 //   aetr-sweep list
 //
 // Runs the selected figure's parameter grid on the work-stealing runtime
 // (src/runtime), prints the paper-style table plus self-checks, and writes
 // the CSV series under --out (default results/, or $AETR_OUT). Output files
 // are byte-identical for any --jobs value; see docs/RUNTIME.md for the
-// determinism contract.
+// determinism contract, and docs/OPTIMIZER.md for the `opt` subcommand.
 //
 // Exit codes: 0 = all checks passed, 1 = a check failed, 2 = usage error,
-// 3 = a sweep job threw.
+// 3 = a sweep job threw, 4 = optimizer interrupted (--interrupt-after).
 #include <unistd.h>
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "opt/optimizer.hpp"
 #include "runtime/sweep.hpp"
 #include "sweeps/figures.hpp"
 #include "telemetry/telemetry.hpp"
@@ -36,11 +42,21 @@ struct CliOptions {
   bool quiet = false;
 };
 
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end) return false;
+  out = v;
+  return true;
+}
+
 int usage(std::ostream& os) {
-  os << "usage: aetr-sweep <figure>|all|list [options]\n\nfigures:\n";
+  os << "usage: aetr-sweep <figure>|all|opt|list [options]\n\nfigures:\n";
   for (const auto& d : aetr::sweeps::figures()) {
     os << "  " << d.name << "\n      " << d.summary << "\n";
   }
+  os << "  opt\n      multi-objective design-space search over "
+        "ScenarioConfig (docs/OPTIMIZER.md)\n";
   os << "\noptions:\n"
         "  --jobs N       worker threads (default: hardware concurrency)\n"
         "  --seed S       root seed (default: per-figure)\n"
@@ -50,16 +66,158 @@ int usage(std::ostream& os) {
         "                 fig8, ablation-agreement; see docs/OBSERVABILITY.md)\n"
         "  --metrics      per-job sampled-metrics CSV (same figures)\n"
         "  --report FILE  write sweep metrics as JSON\n"
-        "  --quiet        suppress tables and progress\n";
+        "  --quiet        suppress tables and progress\n"
+        "\nopt options:\n"
+        "  --strategy S          factorial | random | halving (default)\n"
+        "  --budget N            trials (halving population / random count)\n"
+        "  --objectives LIST     energy,error[,loss,latency] (minimised)\n"
+        "  --space FILE          search-space file (default: built-in)\n"
+        "  --events N            full workload length (default 4000;\n"
+        "                        --quick drops it to 2000)\n"
+        "  --rate HZ             workload event rate (default 50e3)\n"
+        "  --fault-level X       robust mode: scaled_plan(X) per trial\n"
+        "  --resume              continue from aetr_opt_checkpoint.csv\n"
+        "  --interrupt-after N   stop (exit 4) after N evaluations\n";
   return 2;
 }
 
-bool parse_u64(const char* s, std::uint64_t& out) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 0);
-  if (end == s || *end) return false;
-  out = v;
-  return true;
+int run_opt(int argc, char** argv, bool* usage_error) {
+  aetr::opt::OptOptions opt;
+  std::string space_file;
+  bool quick = false;
+  bool quiet = false;
+  double rate_hz = 0.0;
+  std::size_t events = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "aetr-sweep: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--jobs") {
+        std::uint64_t v = 0;
+        const char* s = next();
+        if (!s || !parse_u64(s, v)) { *usage_error = true; return 2; }
+        opt.jobs = static_cast<std::size_t>(v);
+      } else if (arg == "--seed") {
+        std::uint64_t v = 0;
+        const char* s = next();
+        if (!s || !parse_u64(s, v)) { *usage_error = true; return 2; }
+        opt.seed = v;
+      } else if (arg == "--out") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        opt.out_dir = s;
+      } else if (arg == "--strategy") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        opt.strategy = aetr::opt::parse_strategy(s);
+      } else if (arg == "--budget") {
+        std::uint64_t v = 0;
+        const char* s = next();
+        if (!s || !parse_u64(s, v) || v == 0) {
+          *usage_error = true;
+          return 2;
+        }
+        opt.budget = static_cast<std::size_t>(v);
+      } else if (arg == "--objectives") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        opt.objectives = aetr::opt::parse_objectives(s);
+      } else if (arg == "--space") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        space_file = s;
+      } else if (arg == "--events") {
+        std::uint64_t v = 0;
+        const char* s = next();
+        if (!s || !parse_u64(s, v) || v == 0) {
+          *usage_error = true;
+          return 2;
+        }
+        events = static_cast<std::size_t>(v);
+      } else if (arg == "--rate") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        rate_hz = std::strtod(s, nullptr);
+      } else if (arg == "--fault-level") {
+        const char* s = next();
+        if (!s) { *usage_error = true; return 2; }
+        opt.workload.fault_level = std::strtod(s, nullptr);
+      } else if (arg == "--resume") {
+        opt.resume = true;
+      } else if (arg == "--interrupt-after") {
+        std::uint64_t v = 0;
+        const char* s = next();
+        if (!s || !parse_u64(s, v)) { *usage_error = true; return 2; }
+        opt.interrupt_after = static_cast<std::size_t>(v);
+      } else if (arg == "--quick") {
+        quick = true;
+      } else if (arg == "--trace") {
+        opt.trace = true;
+      } else if (arg == "--metrics") {
+        opt.metrics = true;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else {
+        std::cerr << "aetr-sweep: unknown option '" << arg << "'\n";
+        *usage_error = true;
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "aetr-sweep: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (quick) {
+    opt.workload.n_events = 2000;
+    if (opt.budget > 16) opt.budget = 16;
+  }
+  if (events != 0) opt.workload.n_events = events;
+  if (rate_hz > 0.0) opt.workload.rate_hz = rate_hz;
+  if (!quiet) {
+    opt.progress = [](const std::string& line) {
+      std::fprintf(stderr, "opt: %s\n", line.c_str());
+    };
+  }
+
+  try {
+    const aetr::opt::SearchSpace space =
+        space_file.empty() ? aetr::opt::SearchSpace::default_space()
+                           : aetr::opt::SearchSpace::parse_file(space_file);
+    const aetr::core::ScenarioConfig base;  // the paper-default scenario
+    const auto result = aetr::opt::optimize(space, base, opt);
+    if (!quiet) {
+      std::printf("== opt — %s, budget %zu, %zu evaluations run ==\n",
+                  aetr::opt::to_string(opt.strategy), opt.budget,
+                  result.evaluations_run);
+      std::printf("front: %zu points, hypervolume %.6g\n",
+                  result.front.size(), result.hypervolume);
+      std::printf("baseline energy/event: %.6g J, err RMS: %.6g\n",
+                  result.baseline.energy_per_event_j,
+                  result.baseline.err_rms);
+      std::printf("front %s the paper-default configuration\n",
+                  result.dominated_baseline ? "strictly dominates"
+                                            : "does NOT dominate");
+      for (const auto& a : result.artifacts) {
+        std::printf("wrote %s\n", a.c_str());
+      }
+    }
+    return 0;
+  } catch (const aetr::opt::OptInterrupted& e) {
+    std::cerr << "aetr-sweep: " << e.what() << "\n";
+    return 4;
+  } catch (const aetr::runtime::SweepError& e) {
+    std::cerr << "aetr-sweep: " << e.what() << "\n";
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "aetr-sweep: " << e.what() << "\n";
+    return 2;
+  }
 }
 
 void write_json_report(const std::string& path,
@@ -103,6 +261,12 @@ int main(int argc, char** argv) {
   if (cmd == "list" || cmd == "--help" || cmd == "-h") {
     usage(std::cout);
     return 0;
+  }
+  if (cmd == "opt") {
+    bool usage_error = false;
+    const int rc = run_opt(argc, argv, &usage_error);
+    if (usage_error) return usage(std::cerr);
+    return rc;
   }
   if (cmd == "all") {
     for (const auto& d : aetr::sweeps::figures()) cli.figures.push_back(d.name);

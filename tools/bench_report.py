@@ -20,6 +20,15 @@ Two modes, selected by the first argument:
       and records the wall clocks plus the degradation series
       -> BENCH_faults.json. Also exposed as the `faults_report` target.
 
+  tools/bench_report.py opt [path/to/aetr-sweep] [label]
+      Design-space optimizer: runs `aetr-sweep opt --quick` at --jobs 1
+      and --jobs max(4, cpu_count), checks the Pareto-front artifacts are
+      byte-identical across --jobs, then replays the search interrupted +
+      --resume and checks those bytes too. Records the best-found energy
+      per event against the paper-default configuration and whether the
+      front strictly dominates it -> BENCH_opt.json. Also exposed as the
+      `opt_report` target.
+
   tools/bench_report.py telemetry [path/to/aetr-sweep] [stripped-sweep] [label]
       Telemetry overhead on the fig8 quick sweep -> BENCH_telemetry.json.
       Always records the *recording* cost (no flags vs --trace --metrics
@@ -274,6 +283,113 @@ def faults_mode(cli, label):
     return 0 if identical else 1
 
 
+# --- design-space optimizer ---------------------------------------------------
+
+OPT_ARTIFACTS = ("aetr_opt_trials.csv", "aetr_opt_pareto.csv",
+                 "aetr_opt_pareto.svg", "aetr_opt_summary.json",
+                 "aetr_opt_checkpoint.csv")
+
+
+def run_opt(cli, out_dir, jobs, extra=()):
+    cmd = [cli, "opt", "--quick", "--jobs", str(jobs), "--quiet",
+           "--out", str(out_dir)] + list(extra)
+    t0 = time.monotonic()
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    wall = time.monotonic() - t0
+    # --interrupt-after exits 4 by design.
+    expected = {0, 4} if "--interrupt-after" in extra else {0}
+    if proc.returncode not in expected:
+        print(f"error: {' '.join(cmd[1:])} exited {proc.returncode}:\n"
+              f"{proc.stderr}", file=sys.stderr)
+        return None
+    return wall
+
+
+def opt_mode(cli, label):
+    out = ROOT / "BENCH_opt.json"
+    if not pathlib.Path(cli).exists():
+        print(f"error: aetr-sweep binary not found: {cli}", file=sys.stderr)
+        print("build it first: cmake --build build --target aetr_sweep",
+              file=sys.stderr)
+        return 1
+    cpus = os.cpu_count() or 1
+    jobs_n = max(4, cpus)
+    with tempfile.TemporaryDirectory(prefix="aetr_opt_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        for d in ("j1", "jN", "resumed"):
+            (tmp / d).mkdir()
+        serial = run_opt(cli, tmp / "j1", 1)
+        parallel = run_opt(cli, tmp / "jN", jobs_n)
+        if serial is None or parallel is None:
+            return 1
+        identical = all(
+            (tmp / "j1" / f).read_bytes() == (tmp / "jN" / f).read_bytes()
+            for f in OPT_ARTIFACTS
+        )
+        # Interrupt the search mid-flight, then resume it; the final
+        # artifacts must match the uninterrupted run byte for byte.
+        if run_opt(cli, tmp / "resumed", jobs_n,
+                   ("--interrupt-after", "10")) is None:
+            return 1
+        if run_opt(cli, tmp / "resumed", jobs_n, ("--resume",)) is None:
+            return 1
+        resume_identical = all(
+            (tmp / "j1" / f).read_bytes()
+            == (tmp / "resumed" / f).read_bytes()
+            for f in OPT_ARTIFACTS
+        )
+        summary = json.loads((tmp / "j1" / "aetr_opt_summary.json")
+                             .read_text())
+
+    baseline = summary["baseline"]["energy_per_event_j"]
+    best = summary["best_energy_per_event_j"]
+    saving_pct = (baseline - best) / baseline * 100.0 if baseline else 0.0
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "wall_sec_serial": old.get("wall_sec_serial"),
+        "wall_sec_parallel": old.get("wall_sec_parallel"),
+        "best_energy_per_event_j": old.get("best_energy_per_event_j"),
+        "baseline_energy_per_event_j":
+            old.get("baseline_energy_per_event_j"),
+        "energy_saving_pct": old.get("energy_saving_pct"),
+        "dominated_baseline": old.get("dominated_baseline"),
+        "outputs_identical": old.get("outputs_identical"),
+        "resume_identical": old.get("resume_identical"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "figure": "opt --quick",
+        "cpu_count": cpus,
+        "wall_sec_serial": round(serial, 4),
+        "wall_sec_parallel": round(parallel, 4),
+        "strategy": summary["strategy"],
+        "budget": summary["budget"],
+        "trials": summary["trials"],
+        "front_size": len(summary["front"]),
+        "hypervolume": summary["hypervolume"],
+        "baseline_energy_per_event_j": baseline,
+        "best_energy_per_event_j": best,
+        "energy_saving_pct": round(saving_pct, 2),
+        "dominated_baseline": summary["dominated_baseline"],
+        "outputs_identical": identical,
+        "resume_identical": resume_identical,
+        "history": history,
+    }
+    print(f"opt --quick  --jobs 1 {serial:8.3f} s |"
+          f" --jobs {jobs_n} {parallel:8.3f} s")
+    print(f"energy/event: default {baseline:.4g} J -> best {best:.4g} J"
+          f"  ({saving_pct:+.1f}%)")
+    print(f"front dominates default: {summary['dominated_baseline']} |"
+          f" outputs byte-identical: {identical} |"
+          f" interrupted+resume identical: {resume_identical}")
+    write_doc(out, doc)
+    ok = (identical and resume_identical
+          and summary["dominated_baseline"])
+    return 0 if ok else 1
+
+
 # --- telemetry overhead -------------------------------------------------------
 
 def timed_quick_sweep(cli, out_dir, telemetry, repetitions=5):
@@ -384,6 +500,11 @@ def main() -> int:
             rest = rest[1:]
         label = rest[0] if rest else ""
         return telemetry_mode(cli, cli_stripped, label)
+    if args and args[0] == "opt":
+        cli = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "aetr-sweep")
+        label = args[2] if len(args) > 2 else ""
+        return opt_mode(cli, label)
     if args and args[0] == "faults":
         cli = args[1] if len(args) > 1 else str(
             ROOT / "build" / "bench" / "aetr-sweep")
