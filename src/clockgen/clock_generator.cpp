@@ -82,15 +82,7 @@ void ClockGenerator::set_shutdown_enabled(bool enabled) {
   rebuild_schedule();
 }
 
-void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
-  if (capture_pending_) {
-    throw std::logic_error(
-        "ClockGenerator: capture while another request is in flight "
-        "(AER 4-phase handshake should serialise requests)");
-  }
-  capture_pending_ = true;
-  const Time delta = elapsed();
-  const bool was_asleep = schedule_.is_asleep_at(delta);
+Time ClockGenerator::wake_latency_for(bool was_asleep) {
   // Restart-latency variation: a jittered wakeup stretches the wake
   // latency of this capture only (the draw happens before measure() so
   // the sample edge itself shifts, exactly like real restart slew).
@@ -104,53 +96,88 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
       ++faults_->counters().wake_jitter_events;
     }
   }
+  return wake;
+}
+
+std::uint64_t ClockGenerator::settle_capture(
+    const SamplingSchedule::Measurement& m, Time delta, bool was_asleep,
+    Time wake, Time sample_abs) {
+  // Close the books on the interval [origin_, sample edge].
+  if (was_asleep) {
+    // Ring ran for the full schedule, paused, and restarted at the
+    // request; it has been running again since the request instant.
+    awake_accum_ += schedule_.awake_span() + (m.sample_edge - delta);
+    sampling_cycles_accum_ +=
+        schedule_.cycles_until(schedule_.awake_span()) +
+        static_cast<std::uint64_t>((m.sample_edge - delta - wake) / tmin()) +
+        1;
+    ++wakeups_;
+  } else {
+    awake_accum_ += std::min(m.sample_edge, schedule_.awake_span());
+    sampling_cycles_accum_ += schedule_.cycles_until(m.sample_edge);
+  }
+  ++captures_;
+  if (tel_.tracing()) {
+    trace_closed_interval(sample_abs - m.sample_edge, m.sample_edge,
+                          was_asleep, delta);
+  }
+  origin_ = sample_abs;  // the sample edge is the new counter origin
+  // Period jitter accumulates in the timestamp counter: the latched
+  // tick count gains a zero-mean error with sigma growing as
+  // sqrt(ticks) (independent per-cycle jitter).
+  std::uint64_t ticks = m.ticks;
+  if (faults_ != nullptr && !m.saturated) {
+    const double sig = faults_->plan().clock.period_jitter_rel;
+    if (sig > 0.0) {
+      const double err =
+          faults_->rng(fault::Site::kClock)
+              .normal(0.0, sig * std::sqrt(static_cast<double>(m.ticks) + 1.0));
+      const auto jit = static_cast<std::int64_t>(std::llround(err));
+      if (jit != 0) ++faults_->counters().tick_jitter_events;
+      ticks = static_cast<std::uint64_t>(std::max<std::int64_t>(
+          0, static_cast<std::int64_t>(m.ticks) + jit));
+    }
+  }
+  return ticks;
+}
+
+void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
+  if (capture_pending_) {
+    throw std::logic_error(
+        "ClockGenerator: capture while another request is in flight "
+        "(AER 4-phase handshake should serialise requests)");
+  }
+  capture_pending_ = true;
+  const Time delta = elapsed();
+  const bool was_asleep = schedule_.is_asleep_at(delta);
+  const Time wake = wake_latency_for(was_asleep);
   const auto m = schedule_.measure(delta, sync_edges, wake);
   const Time sample_abs = origin_ + m.sample_edge;
 
   sched_.schedule_at(
       sample_abs, [this, m, delta, was_asleep, wake, done = std::move(done)] {
-        // Close the books on the interval [origin_, sample edge].
-        if (was_asleep) {
-          // Ring ran for the full schedule, paused, and restarted at the
-          // request; it has been running again since the request instant.
-          awake_accum_ += schedule_.awake_span() + (m.sample_edge - delta);
-          sampling_cycles_accum_ +=
-              schedule_.cycles_until(schedule_.awake_span()) +
-              static_cast<std::uint64_t>(
-                  (m.sample_edge - delta - wake) / tmin()) +
-              1;
-          ++wakeups_;
-        } else {
-          awake_accum_ += std::min(m.sample_edge, schedule_.awake_span());
-          sampling_cycles_accum_ += schedule_.cycles_until(m.sample_edge);
-        }
-        ++captures_;
-        if (tel_.tracing()) {
-          trace_closed_interval(sched_.now() - m.sample_edge, m.sample_edge,
-                                was_asleep, delta);
-        }
-        origin_ = sched_.now();  // the sample edge is the new counter origin
+        const std::uint64_t ticks =
+            settle_capture(m, delta, was_asleep, wake, sched_.now());
         capture_pending_ = false;
-        // Period jitter accumulates in the timestamp counter: the latched
-        // tick count gains a zero-mean error with sigma growing as
-        // sqrt(ticks) (independent per-cycle jitter).
-        std::uint64_t ticks = m.ticks;
-        if (faults_ != nullptr && !m.saturated) {
-          const double sig = faults_->plan().clock.period_jitter_rel;
-          if (sig > 0.0) {
-            const double err = faults_->rng(fault::Site::kClock)
-                                   .normal(0.0, sig * std::sqrt(
-                                                    static_cast<double>(
-                                                        m.ticks) +
-                                                    1.0));
-            const auto jit = static_cast<std::int64_t>(std::llround(err));
-            if (jit != 0) ++faults_->counters().tick_jitter_events;
-            ticks = static_cast<std::uint64_t>(std::max<std::int64_t>(
-                0, static_cast<std::int64_t>(m.ticks) + jit));
-          }
-        }
         done(sched_.now(), ticks, m.saturated);
       });
+}
+
+ClockGenerator::CaptureResult ClockGenerator::capture_now(
+    std::uint32_t sync_edges, Time req_abs) {
+  if (capture_pending_) {
+    throw std::logic_error(
+        "ClockGenerator: capture while another request is in flight "
+        "(AER 4-phase handshake should serialise requests)");
+  }
+  const Time delta = req_abs - origin_;
+  const bool was_asleep = schedule_.is_asleep_at(delta);
+  const Time wake = wake_latency_for(was_asleep);
+  const auto m = schedule_.measure(delta, sync_edges, wake);
+  const Time sample_abs = origin_ + m.sample_edge;
+  const std::uint64_t ticks =
+      settle_capture(m, delta, was_asleep, wake, sample_abs);
+  return {sample_abs, ticks, m.saturated};
 }
 
 void ClockGenerator::trace_closed_interval(Time old_origin, Time end_rel,

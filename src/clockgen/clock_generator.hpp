@@ -77,6 +77,20 @@ class ClockGenerator {
   /// Only one capture may be in flight (guaranteed by the AER handshake).
   void capture_request(std::uint32_t sync_edges, CaptureFn done);
 
+  /// Analytic capture for the fast path: identical measurement, fault
+  /// lotteries, accounting and telemetry as capture_request followed by its
+  /// scheduled sample-edge callback, but computed immediately from the
+  /// request's absolute time instead of materialising the edge as a DES
+  /// event. `req_abs` is the instant REQ rises; it may lie ahead of
+  /// sched_.now() — the caller owns the timeline and guarantees nothing
+  /// else touches this block in between.
+  struct CaptureResult {
+    Time edge;            ///< absolute sampling-edge time
+    std::uint64_t ticks;  ///< latched timestamp-counter value
+    bool saturated;       ///< counter hit the saturation marker
+  };
+  CaptureResult capture_now(std::uint32_t sync_edges, Time req_abs);
+
   /// True when the sampling clock is currently shut down.
   [[nodiscard]] bool asleep() const;
 
@@ -94,6 +108,14 @@ class ClockGenerator {
 
  private:
   void rebuild_schedule();
+  /// Wake latency for this capture, including the restart-jitter lottery.
+  [[nodiscard]] Time wake_latency_for(bool was_asleep);
+  /// Close the books on the interval ending at the sample edge: activity
+  /// accounting, capture count, retroactive tracing, origin reset and the
+  /// period-jitter lottery. Returns the (possibly jittered) latched ticks.
+  std::uint64_t settle_capture(const SamplingSchedule::Measurement& m,
+                               Time delta, bool was_asleep, Time wake,
+                               Time sample_abs);
   [[nodiscard]] Time elapsed() const { return sched_.now() - origin_; }
   /// Materialise the FSM trace of a just-closed inter-capture interval:
   /// between captures the division level is a pure function of elapsed

@@ -9,23 +9,48 @@ DividerCascade::DividerCascade(sim::ClockLine& input, unsigned stages)
   if (stages == 0 || stages > 16) {
     throw std::invalid_argument("DividerCascade: stages must be in [1,16]");
   }
-  input.on_rising([this](Time t, Time period) {
-    ++input_edges_;
-    const std::uint64_t before = count_;
-    count_ = (count_ + 1) & (divide_ratio() - 1);
-    // A ripple counter's stage i toggles when all lower bits roll over;
-    // total toggles per increment = trailing ones of the previous value + 1.
-    std::uint64_t v = before;
-    std::uint64_t toggles = 1;
-    while ((v & 1u) != 0 && toggles < stages_) {
-      ++toggles;
-      v >>= 1;
-    }
-    ff_toggles_ += toggles;
-    if (count_ == 0) {
-      out_.tick(t, period * static_cast<Time::Rep>(divide_ratio()));
-    }
-  });
+  input.on_rising(
+      [this](Time t, Time period) {
+        ++input_edges_;
+        const std::uint64_t before = count_;
+        count_ = (count_ + 1) & (divide_ratio() - 1);
+        // A ripple counter's stage i toggles when all lower bits roll over;
+        // total toggles per increment = trailing ones of the previous value
+        // + 1, capped at the stage count.
+        std::uint64_t v = before;
+        std::uint64_t toggles = 1;
+        while ((v & 1u) != 0 && toggles < stages_) {
+          ++toggles;
+          v >>= 1;
+        }
+        ff_toggles_ += toggles;
+        if (count_ == 0) {
+          out_.tick(t, period * static_cast<Time::Rep>(divide_ratio()));
+        }
+      },
+      [this](std::uint64_t n, Time last, Time period) {
+        // Closed form for n increments from count_. Stage i flips on the
+        // increment v -> v+1 iff 2^i divides v+1, so its flips over the run
+        // count the multiples of 2^i in (count_, count_ + n] — summing that
+        // over stages reproduces the per-edge trailing-ones rule exactly.
+        const std::uint64_t c = count_;
+        const std::uint64_t ratio = divide_ratio();
+        input_edges_ += n;
+        for (unsigned i = 0; i < stages_; ++i) {
+          ff_toggles_ += ((c + n) >> i) - (c >> i);
+        }
+        count_ = (c + n) & (ratio - 1);
+        const std::uint64_t outputs = (c + n) / ratio;
+        if (outputs != 0) {
+          // The m-th rollover lands on input edge index m*ratio - c - 1
+          // (0-based from the first edge of this run).
+          const std::uint64_t last_idx = outputs * ratio - c - 1;
+          const Time t_last =
+              last - period * static_cast<Time::Rep>(n - 1 - last_idx);
+          out_.advance(outputs, t_last,
+                       period * static_cast<Time::Rep>(ratio));
+        }
+      });
 }
 
 }  // namespace aetr::clockgen

@@ -1,5 +1,6 @@
 #include "clockgen/pausible.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace aetr::clockgen {
@@ -31,6 +32,22 @@ void PausibleClock::rising_edge() {
   line_.tick(sched_.now(), cfg_.period);
   if (!running_) return;
   next_rising_ = sched_.now() + cfg_.period;
+  pending_edge_ = sched_.schedule_at(next_rising_, [this] { rising_edge(); });
+}
+
+void PausibleClock::advance_to(Time t) {
+  if (grant_active_ || !waiting_.empty()) {
+    throw std::logic_error(
+        "PausibleClock::advance_to: port busy; edges may be postponed");
+  }
+  if (!running_ || next_rising_ > t) return;
+  const auto n =
+      static_cast<std::uint64_t>((t - next_rising_) / cfg_.period) + 1;
+  const Time last = next_rising_ + cfg_.period * static_cast<Time::Rep>(n - 1);
+  sched_.cancel(pending_edge_);
+  line_.advance(n, last, cfg_.period);
+  last_rising_ = last;
+  next_rising_ = last + cfg_.period;
   pending_edge_ = sched_.schedule_at(next_rising_, [this] { rising_edge(); });
 }
 

@@ -56,6 +56,14 @@ class PausibleClock {
   /// port; the clock cannot produce a rising edge until `hold` later.
   void request(GrantFn done);
 
+  /// Analytic idle-skip: publish every free-running rising edge up to and
+  /// including `t` in one ClockLine::advance call, then reschedule the
+  /// pending DES edge past `t`. Bit-identical to step-ticking. Only legal
+  /// while the port is quiet — throws std::logic_error when a grant is in
+  /// flight or queued (a held grant postpones edges, which is exactly the
+  /// state the closed form cannot skip).
+  void advance_to(Time t);
+
   [[nodiscard]] sim::ClockLine& line() { return line_; }
   [[nodiscard]] bool running() const { return running_; }
 

@@ -33,7 +33,8 @@ void RingOscillator::start() {
   running_ = true;
   sleep_requested_ = false;
   run_start_ = sched_.now();
-  pending_ = sched_.schedule_after(jittered_period(), [this] { edge(); });
+  next_edge_ = sched_.now() + jittered_period();
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
 }
 
 void RingOscillator::sleep() {
@@ -54,8 +55,8 @@ void RingOscillator::wake() {
   run_start_ = sched_.now();
   // The restart transient lasts wake_latency; the first complete cycle
   // (and hence the first usable edge) closes one period after that.
-  pending_ = sched_.schedule_after(cfg_.wake_latency + jittered_period(),
-                                   [this] { edge(); });
+  next_edge_ = sched_.now() + cfg_.wake_latency + jittered_period();
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
 }
 
 void RingOscillator::edge() {
@@ -65,9 +66,44 @@ void RingOscillator::edge() {
     running_ = false;
     awake_accum_ += sched_.now() - run_start_;
     pending_ = sim::EventId{};
+    next_edge_ = Time::max();
     return;
   }
-  pending_ = sched_.schedule_after(jittered_period(), [this] { edge(); });
+  next_edge_ = sched_.now() + jittered_period();
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
+}
+
+void RingOscillator::advance_to(Time t) {
+  if (cfg_.jitter_stddev > 0.0) {
+    throw std::logic_error(
+        "RingOscillator::advance_to: jittered ring must be step-ticked");
+  }
+  if (!running_ || next_edge_ > t) return;
+  if (sleep_requested_) {
+    // SLEEP already latched: exactly one more edge fires, then the loop
+    // freezes — mirror the edge() stop branch at the edge instant.
+    const Time e = next_edge_;
+    sched_.cancel(pending_);
+    pending_ = sim::EventId{};
+    next_edge_ = Time::max();
+    line_.advance(1, e, nominal_period_);
+    sleep_requested_ = false;
+    running_ = false;
+    awake_accum_ += e - run_start_;
+    return;
+  }
+  const auto n = static_cast<std::uint64_t>(
+      (t - next_edge_) / nominal_period_) + 1;
+  const Time last =
+      next_edge_ + nominal_period_ * static_cast<Time::Rep>(n - 1);
+  sched_.cancel(pending_);
+  line_.advance(n, last, nominal_period_);
+  if (sleep_requested_) {
+    throw std::logic_error(
+        "RingOscillator::advance_to: a subscriber paused the ring mid-run");
+  }
+  next_edge_ = last + nominal_period_;
+  pending_ = sched_.schedule_at(next_edge_, [this] { edge(); });
 }
 
 Time RingOscillator::awake_time() const {

@@ -50,6 +50,15 @@ class RingOscillator {
   /// produces its first edge wake_latency later. No-op when running.
   void wake();
 
+  /// Analytic idle-skip: publish every edge up to and including `t` in
+  /// closed form (one ClockLine::advance call), then reschedule the single
+  /// pending DES edge past `t`. Bit-identical to letting the scheduler
+  /// dispatch each edge. Requires a deterministic ring (throws
+  /// std::logic_error when cycle jitter is enabled — skipping would change
+  /// the per-cycle RNG sequence) and that no line subscriber pauses the
+  /// ring mid-run (throws if one requested SLEEP during the advance).
+  void advance_to(Time t);
+
   [[nodiscard]] bool running() const { return running_; }
   [[nodiscard]] sim::ClockLine& line() { return line_; }
 
@@ -71,6 +80,7 @@ class RingOscillator {
   Time nominal_period_;
   sim::ClockLine line_;
   sim::EventId pending_{};
+  Time next_edge_{Time::max()};
   bool running_{false};
   bool sleep_requested_{false};
   Time awake_accum_{Time::zero()};

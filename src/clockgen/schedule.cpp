@@ -132,35 +132,68 @@ SamplingSchedule::Measurement SamplingSchedule::measure(
     m.saturated = true;
     return m;
   }
-  Time edge = first_edge_at_or_after(delta);
-  if (edge == Time::max()) {
-    // Request landed inside the final sampling period before shutdown; the
-    // pending request keeps the clock alive at the slowest period.
-    m.sample_edge = awake_span() + period_of_level(top_level_) *
-                                       static_cast<Time::Rep>(sync_edges);
-    m.ticks = saturation_ticks();
-    m.saturated = true;
-    return m;
+  // Hot path (one call per captured spike): find the first edge once, then
+  // step edge-to-edge carrying the level along, instead of re-deriving the
+  // level from scratch per synchroniser edge the way chained
+  // first_edge_at_or_after calls would. Identical boundary rules: an edge
+  // landing on (or past) a level boundary becomes the boundary instant —
+  // the next level's first edge — and stepping off the top level means
+  // shutdown would interrupt the synchroniser.
+  std::uint32_t k;
+  Time edge;
+  if (delta <= Time::zero()) {
+    edge = Time::zero();
+    k = 0;
+  } else {
+    k = level_at(delta);
+    const Time s = level_starts_[k];
+    const Time p = period_of_level(k);
+    edge = s + p * ceil_div((delta - s).count_ps(), p.count_ps());
+    if (edge >= level_starts_[k + 1]) {
+      if (k < top_level_) {
+        edge = level_starts_[k + 1];
+        ++k;
+      } else {
+        // Request landed inside the final sampling period before shutdown;
+        // the pending request keeps the clock alive at the slowest period.
+        m.sample_edge = awake_span() + period_of_level(top_level_) *
+                                           static_cast<Time::Rep>(sync_edges);
+        m.ticks = saturation_ticks();
+        m.saturated = true;
+        return m;
+      }
+    }
   }
   for (std::uint32_t i = 0; i < sync_edges; ++i) {
-    const Time next = first_edge_at_or_after(edge + Time::ps(1));
-    if (next == Time::max()) {
-      // Shutdown would occur while the request is being synchronised; the
-      // FSM checks request() before shutting down, so the clock keeps
-      // ticking at the slowest period until the sample completes.
-      edge = awake_span() +
-             period_of_level(top_level_) *
-                 static_cast<Time::Rep>(sync_edges - i - 1);
-      m.ticks = saturation_ticks();
-      m.sample_edge = edge;
-      m.saturated = true;
-      return m;
+    Time next = edge + period_of_level(k);
+    if (next >= level_starts_[k + 1]) {
+      if (k < top_level_) {
+        next = level_starts_[k + 1];
+        ++k;
+      } else {
+        // Shutdown would occur while the request is being synchronised; the
+        // FSM checks request() before shutting down, so the clock keeps
+        // ticking at the slowest period until the sample completes.
+        edge = awake_span() +
+               period_of_level(top_level_) *
+                   static_cast<Time::Rep>(sync_edges - i - 1);
+        m.ticks = saturation_ticks();
+        m.sample_edge = edge;
+        m.saturated = true;
+        return m;
+      }
     }
     edge = next;
   }
   m.sample_edge = edge;
-  m.ticks = counter_at_edge(edge);
-  m.saturated = m.ticks >= saturation_ticks();
+  // counter_at_edge with the level already in hand (edge ∈ [S_k, S_k+1)).
+  const std::uint64_t sat = saturation_ticks();
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(cfg_.theta_div) * ((std::uint64_t{1} << k) - 1);
+  const auto idx = static_cast<std::uint64_t>(
+      (edge - level_starts_[k]) / period_of_level(k));
+  m.ticks = std::min(base + idx * (std::uint64_t{1} << k), sat);
+  m.saturated = m.ticks >= sat;
   return m;
 }
 

@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace aetr::cochlea {
 
 /// Direct-form-II-transposed biquad. Coefficients are normalised (a0 = 1).
@@ -18,11 +20,16 @@ class Biquad {
   /// `q`, for sample rate `fs` (RBJ cookbook "BPF, constant 0 dB peak").
   [[nodiscard]] static Biquad bandpass(double f0, double q, double fs);
 
-  /// Process one sample.
+  /// Process one sample. The state registers flush subnormals to zero:
+  /// during long silent stretches an IIR tail decays geometrically into
+  /// the subnormal range, where x86 cores take a microcode assist per
+  /// operation — the flush caps the tail at zero (inaudible by ~300 dB)
+  /// instead. BiquadBankSoA applies the identical guard, so scalar and
+  /// SIMD paths stay bit-identical.
   [[nodiscard]] double step(double x) {
     const double y = b0_ * x + z1_;
-    z1_ = b1_ * x - a1_ * y + z2_;
-    z2_ = b2_ * x - a2_ * y;
+    z1_ = simd::flush_subnormal(b1_ * x - a1_ * y + z2_);
+    z2_ = simd::flush_subnormal(b2_ * x - a2_ * y);
     return y;
   }
 
@@ -30,6 +37,14 @@ class Biquad {
 
   /// Magnitude response at frequency `f` for sample rate `fs`.
   [[nodiscard]] double magnitude(double f, double fs) const;
+
+  /// Normalised coefficients, for SoA repacking (BiquadBankSoA).
+  struct Coeffs {
+    double b0, b1, b2, a1, a2;
+  };
+  [[nodiscard]] Coeffs coefficients() const {
+    return Coeffs{b0_, b1_, b2_, a1_, a2_};
+  }
 
  private:
   double b0_{1.0}, b1_{0.0}, b2_{0.0};

@@ -48,16 +48,16 @@ CochleaModel::CochleaModel(CochleaConfig config)
     throw std::invalid_argument(
         "CochleaModel: channels*ears exceeds the 10-bit AER address space");
   }
-  filters_.reserve(cfg_.ears * cfg_.channels);
   neurons_.reserve(cfg_.ears * cfg_.channels);
   for (std::size_t ear = 0; ear < cfg_.ears; ++ear) {
     for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
-      filters_.push_back(
+      bank_.add(
           Biquad::bandpass(centres_[ch], cfg_.quality, cfg_.sample_rate));
       neurons_.emplace_back(cfg_.threshold, cfg_.leak_per_sec,
                             cfg_.refractory);
     }
   }
+  band_.assign(cfg_.ears * cfg_.channels, 0.0);
   envelopes_.assign(cfg_.ears * cfg_.channels, cfg_.agc.target);
 }
 
@@ -90,10 +90,15 @@ aer::EventStream CochleaModel::process(const std::vector<double>& audio,
   for (std::size_t n = 0; n < audio.size(); ++n) {
     const double sample_time_sec = static_cast<double>(n) * dt;
     for (std::size_t ear = 0; ear < cfg_.ears; ++ear) {
+      // All of one ear's channels share the input sample, so the whole
+      // ear advances through the SoA bank as one SIMD block.
       const double gain = ear == 0 ? 1.0 : 1.0 + cfg_.ear_skew;
+      const std::size_t base = ear * cfg_.channels;
+      bank_.step_block(audio[n] * gain, base, cfg_.channels,
+                       band_.data() + base);
       for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
-        const std::size_t idx = ear * cfg_.channels + ch;
-        const double band = filters_[idx].step(audio[n] * gain);
+        const std::size_t idx = base + ch;
+        const double band = band_[idx];
         double drive = std::max(band, 0.0);  // half-wave rectification
         if (cfg_.agc.enabled) {
           // Slow envelope follower steering the channel gain towards the
@@ -122,7 +127,7 @@ aer::EventStream CochleaModel::process(const std::vector<double>& audio,
 }
 
 void CochleaModel::reset() {
-  for (auto& f : filters_) f.reset();
+  bank_.reset();
   for (auto& n : neurons_) n.reset();
   envelopes_.assign(envelopes_.size(), cfg_.agc.target);
 }

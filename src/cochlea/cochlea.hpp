@@ -14,6 +14,7 @@
 
 #include "aer/event.hpp"
 #include "cochlea/biquad.hpp"
+#include "cochlea/filterbank.hpp"
 #include "util/time.hpp"
 
 namespace aetr::cochlea {
@@ -99,8 +100,12 @@ class CochleaModel {
  private:
   CochleaConfig cfg_;
   std::vector<double> centres_;
-  // Indexed [ear * channels + channel].
-  std::vector<Biquad> filters_;
+  // Lanes indexed [ear * channels + channel]. The filterbank is SoA so
+  // one packed instruction steps two channels (see cochlea/filterbank.hpp);
+  // the rectify/AGC/neuron stage consumes its per-sample output from
+  // band_ in the same lane order the old AoS loop used.
+  BiquadBankSoA bank_;
+  std::vector<double> band_;
   std::vector<IafNeuron> neurons_;
   std::vector<double> envelopes_;
 };

@@ -1,0 +1,59 @@
+#include "cochlea/filterbank.hpp"
+
+#include <cassert>
+
+#include "util/simd.hpp"
+
+namespace aetr::cochlea {
+
+void BiquadBankSoA::add(const Biquad& section) {
+  const Biquad::Coeffs c = section.coefficients();
+  b0_.push_back(c.b0);
+  b1_.push_back(c.b1);
+  b2_.push_back(c.b2);
+  a1_.push_back(c.a1);
+  a2_.push_back(c.a2);
+  z1_.push_back(0.0);
+  z2_.push_back(0.0);
+}
+
+void BiquadBankSoA::reset() {
+  z1_.assign(z1_.size(), 0.0);
+  z2_.assign(z2_.size(), 0.0);
+}
+
+void BiquadBankSoA::step_block(double x, std::size_t begin, std::size_t n,
+                               double* band) {
+  assert(begin + n <= lanes());
+  std::size_t i = begin;
+  double* out = band;
+  if (simd::active_isa() != simd::Isa::kScalar) {
+    const simd::Vec2d vx{x};
+    for (; i + 2 <= begin + n; i += 2, out += 2) {
+      const simd::Vec2d b0 = simd::Vec2d::load(&b0_[i]);
+      const simd::Vec2d b1 = simd::Vec2d::load(&b1_[i]);
+      const simd::Vec2d b2 = simd::Vec2d::load(&b2_[i]);
+      const simd::Vec2d a1 = simd::Vec2d::load(&a1_[i]);
+      const simd::Vec2d a2 = simd::Vec2d::load(&a2_[i]);
+      simd::Vec2d z1 = simd::Vec2d::load(&z1_[i]);
+      const simd::Vec2d z2 = simd::Vec2d::load(&z2_[i]);
+      // Biquad::step(), two lanes wide: y = b0*x + z1;
+      // z1' = flush(b1*x - a1*y + z2); z2' = flush(b2*x - a2*y).
+      const simd::Vec2d y = b0 * vx + z1;
+      z1 = (b1 * vx - a1 * y + z2).flush_subnormals();
+      const simd::Vec2d nz2 = (b2 * vx - a2 * y).flush_subnormals();
+      z1.store(&z1_[i]);
+      nz2.store(&z2_[i]);
+      y.store(out);
+    }
+  }
+  // Scalar fallback and odd tail lane.
+  for (; i < begin + n; ++i, ++out) {
+    const double y = b0_[i] * x + z1_[i];
+    z1_[i] = simd::flush_subnormal(b1_[i] * x - a1_[i] * y + z2_[i]);
+    z2_[i] = simd::flush_subnormal(b2_[i] * x - a2_[i] * y);
+    *out = y;
+  }
+}
+
+}  // namespace aetr::cochlea

@@ -1,0 +1,48 @@
+// Structure-of-arrays biquad filterbank — the SIMD hot path of the
+// cochlea model.
+//
+// The AoS CochleaModel loop stepped 128 independent Biquad objects per
+// audio sample, one virtual-free but scalar step each. Repacking the
+// coefficients and state registers into contiguous per-field arrays lets
+// one packed instruction advance two channels at once (util/simd.hpp:
+// SSE2/NEON, scalar fallback), with all channels of one ear sharing the
+// broadcast input sample.
+//
+// Bit-exactness contract: step_block() performs exactly the operations of
+// Biquad::step() in the same order per lane — including the subnormal
+// flush on the state registers — so the SoA bank, the scalar fallback,
+// and a loop over Biquad objects all produce byte-identical output
+// (asserted in tests/test_cochlea.cpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cochlea/biquad.hpp"
+
+namespace aetr::cochlea {
+
+/// A bank of independent DF2T biquads stored field-major (SoA).
+class BiquadBankSoA {
+ public:
+  BiquadBankSoA() = default;
+
+  /// Append one section (its state starts zeroed).
+  void add(const Biquad& section);
+
+  [[nodiscard]] std::size_t lanes() const { return b0_.size(); }
+
+  /// Step lanes [begin, begin+n) with the shared input `x`; writes each
+  /// lane's output into band[0..n). Dispatches to the SIMD kernel unless
+  /// the runtime backend is scalar (simd::active_isa()).
+  void step_block(double x, std::size_t begin, std::size_t n, double* band);
+
+  /// Zero every state register.
+  void reset();
+
+ private:
+  std::vector<double> b0_, b1_, b2_, a1_, a2_;
+  std::vector<double> z1_, z2_;
+};
+
+}  // namespace aetr::cochlea

@@ -199,6 +199,10 @@ const std::map<std::string, ScenarioSetter>& scenario_setters() {
        [](ScenarioConfig& s, const std::string& v) {
          s.attach_mcu = parse_bool(v, "run.attach_mcu");
        }},
+      {"run.fast_forward",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.fast_forward = parse_bool(v, "run.fast_forward");
+       }},
       // Fault plan.
       {"fault.seed",
        [](ScenarioConfig& s, const std::string& v) {
@@ -525,6 +529,7 @@ std::string dump_scenario(const ScenarioConfig& s) {
      << '\n';
   os << "run.final_flush = " << (s.final_flush ? "true" : "false") << '\n';
   os << "run.attach_mcu = " << (s.attach_mcu ? "true" : "false") << '\n';
+  os << "run.fast_forward = " << (s.fast_forward ? "true" : "false") << '\n';
   const fault::FaultPlan& f = s.faults;
   os << "fault.seed = " << f.seed << '\n';
   os << "fault.aer.drop_req_prob = " << f.aer.drop_req_prob << '\n';

@@ -75,6 +75,12 @@ struct ScenarioConfig {
   bool strict_protocol = false;     ///< throw on AER violations
   bool final_flush = true;          ///< drain FIFO residue at the end
   bool attach_mcu = true;           ///< decode the I2S stream
+  /// Idle-skip fast path (core/fast_path.hpp): replay the run analytically
+  /// when nothing observes the DES timeline — bit-identical results, no
+  /// per-spike scheduler events. Off preserves the reference event-driven
+  /// path. Ignored (reference path) whenever telemetry is active, the fault
+  /// plan injects anything, or a FIFO drain timeout is set.
+  bool fast_forward = true;
   TelemetryChoice telemetry;        ///< off / runner-owned / borrowed
 
   /// Throws std::invalid_argument on the first inconsistency (probability

@@ -114,4 +114,56 @@ void AerFrontEnd::handle_request(Time t) {
       });
 }
 
+AerFrontEnd::FastCapture AerFrontEnd::fast_capture_begin(std::uint16_t addr,
+                                                         Time req_abs) {
+  std::uint32_t sync = cfg_.sync_stages;
+  if (cfg_.metastability_prob > 0.0 &&
+      rng_.bernoulli(cfg_.metastability_prob)) {
+    ++sync;  // the first FF went metastable; one extra edge to resolve
+    ++metastable_;
+    tel_.instant("metastable", req_abs);
+  }
+  const aer::Event request{addr, req_abs};
+  std::uint16_t latched = request.address;
+  if (faults_ != nullptr &&
+      faults_->roll(fault::Site::kAddrBus,
+                    faults_->plan().aer.addr_bit_flip_prob)) {
+    latched ^= static_cast<std::uint16_t>(
+        1u << faults_->pick_bit(fault::Site::kAddrBus, aer::kAddressBits));
+    ++faults_->counters().addr_flips;
+  }
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.begin("capture", req_abs,
+               {{"addr", static_cast<double>(request.address)}});
+  }
+  const auto cap = clkgen_.capture_now(sync, req_abs);
+  return FastCapture{request, latched, cap.edge, cap.ticks, cap.saturated};
+}
+
+void AerFrontEnd::fast_capture_commit(const FastCapture& c) {
+  const aer::AetrWord word = c.saturated
+                                 ? aer::AetrWord::saturated(c.latched)
+                                 : aer::AetrWord::make(c.latched, c.ticks);
+  ++events_;
+  if (word.is_saturated()) {
+    ++saturated_;
+    tel_.instant("ts_rollover", c.edge);
+  }
+  tel_.end("capture", c.edge);
+  if (isi_hist_ != nullptr) [[unlikely]] {
+    if (have_last_edge_) isi_hist_->add((c.edge - last_edge_).to_sec());
+    last_edge_ = c.edge;
+    have_last_edge_ = true;
+  }
+  if (cfg_.keep_records) {
+    if (cfg_.max_records > 0 && records_.size() >= cfg_.max_records) {
+      records_.erase(records_.begin(),
+                     records_.begin() +
+                         static_cast<std::ptrdiff_t>(records_.size() / 2));
+    }
+    records_.push_back(CaptureRecord{c.request, c.edge, word});
+  }
+  if (word_fn_) word_fn_(word, c.edge);
+}
+
 }  // namespace aetr::frontend

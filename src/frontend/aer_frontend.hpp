@@ -86,6 +86,24 @@ class AerFrontEnd {
   /// capture was restarted.
   bool resync(Time now);
 
+  // --- fast path -----------------------------------------------------------
+  // The analytic interpreter (core/fast_path) bypasses the AER wire: it
+  // hands the address and the REQ-rise instant straight to the front-end.
+  // begin() performs everything handle_request does up to and including the
+  // clock-generator measurement (same RNG draw order, so fault and
+  // metastability lotteries stay bit-identical); commit() performs the
+  // sample-edge work (word, counters, records, word_fn_) and is deferred so
+  // the caller can order it against other timeline activity at the edge.
+  struct FastCapture {
+    aer::Event request;     ///< ground-truth address + REQ rise time
+    std::uint16_t latched;  ///< address as latched (post fault lottery)
+    Time edge;              ///< absolute sample-edge time
+    std::uint64_t ticks;    ///< latched timestamp-counter value
+    bool saturated;         ///< counter hit the saturation marker
+  };
+  FastCapture fast_capture_begin(std::uint16_t addr, Time req_abs);
+  void fast_capture_commit(const FastCapture& c);
+
  private:
   void handle_request(Time t);
 

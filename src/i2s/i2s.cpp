@@ -39,6 +39,13 @@ void I2sMaster::request_drain(Time now) {
   drain_start_ = now;
   tel_.begin("drain", now,
              {{"backlog", static_cast<double>(fifo_.size())}});
+  if (external_drive_) {
+    // Same deadline send_next() would have scheduled (backlog is non-empty
+    // here, so the DES path always schedules rather than finishing).
+    batch_remaining_ = fifo_.size();
+    next_due_ = now + word_time();
+    return;
+  }
   send_next(fifo_.size());
 }
 
@@ -54,21 +61,22 @@ std::uint32_t I2sMaster::apply_line_noise(std::uint32_t raw) {
   return raw;
 }
 
-void I2sMaster::complete_drain() {
+void I2sMaster::complete_drain(Time now) {
   draining_ = false;
-  busy_accum_ += sched_.now() - drain_start_;
-  tel_.end("drain", sched_.now());
-  if (drain_done_fn_) drain_done_fn_(sched_.now());
+  busy_accum_ += now - drain_start_;
+  tel_.end("drain", now);
+  if (drain_done_fn_) drain_done_fn_(now);
 }
 
-void I2sMaster::finish_drain() {
+void I2sMaster::finish_drain(Time now) {
   if (!crc_active_ || batch_words_.empty()) {
-    complete_drain();
+    complete_drain(now);
     return;
   }
   // CRC batch framing: one extra word slot carries the CRC-32 of the words
   // the shifter transmitted this drain. The CRC word rides the same noisy
   // line as the payload.
+  assert(!external_drive_);  // fault runs (CRC framing) never fast-forward
   const std::uint32_t crc = crc32_words(batch_words_);
   batch_words_.clear();
   sched_.schedule_after(word_time(), [this, crc] {
@@ -78,18 +86,18 @@ void I2sMaster::finish_drain() {
       tel_.instant("crc_word", sched_.now());
     }
     if (word_fn_) word_fn_(aer::AetrWord{apply_line_noise(crc)}, sched_.now());
-    complete_drain();
+    complete_drain(sched_.now());
   });
 }
 
 void I2sMaster::send_next(std::size_t remaining_in_batch) {
   if (fifo_.empty() || remaining_in_batch == 0) {
-    finish_drain();
+    finish_drain(sched_.now());
     return;
   }
   sched_.schedule_after(word_time(), [this, remaining_in_batch] {
     if (fifo_.empty()) {  // defensive: nothing to send after all
-      finish_drain();
+      finish_drain(sched_.now());
       return;
     }
     const aer::AetrWord word = fifo_.pop(sched_.now());
@@ -112,6 +120,39 @@ void I2sMaster::send_next(std::size_t remaining_in_batch) {
         cfg_.drain_until_empty ? fifo_.size() : remaining_in_batch - 1;
     send_next(next_remaining);
   });
+}
+
+void I2sMaster::step_word(Time now) {
+  assert(external_drive_ && draining_ && now == next_due_);
+  next_due_ = Time::max();
+  if (fifo_.empty()) {  // defensive: nothing to send after all
+    finish_drain(now);
+    return;
+  }
+  const aer::AetrWord word = fifo_.pop(now);
+  ++words_sent_;
+  bits_shifted_ += cfg_.word_bits;
+  if (tel_.tracing()) [[unlikely]] {
+    tel_.instant("word", now,
+                 {{"remaining", static_cast<double>(fifo_.size())}});
+  }
+  if (faults_ != nullptr && !fifo_.last_pop_parity_ok()) {
+    // Parity-checked read caught a cell upset: the slot was consumed but
+    // the corrupt word is suppressed instead of forwarded.
+  } else {
+    std::uint32_t raw = word.raw();
+    if (faults_ != nullptr) raw = apply_line_noise(raw);
+    if (crc_active_) batch_words_.push_back(word.raw());
+    if (word_fn_) word_fn_(aer::AetrWord{raw}, now);
+  }
+  const std::size_t next_remaining =
+      cfg_.drain_until_empty ? fifo_.size() : batch_remaining_ - 1;
+  if (fifo_.empty() || next_remaining == 0) {
+    finish_drain(now);
+    return;
+  }
+  batch_remaining_ = next_remaining;
+  next_due_ = now + word_time();
 }
 
 I2sWireSerializer::I2sWireSerializer(sim::Scheduler& sched, I2sConfig config)

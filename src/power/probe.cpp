@@ -16,7 +16,8 @@ void PowerProbe::arm(Time until) {
   until_ = until;
   last_ = source_();
   primed_ = true;
-  sched_.schedule_after(window_, [this] { tick(); });
+  next_tick_ = sched_.now() + window_;
+  pending_ = sched_.schedule_at(next_tick_, [this] { tick(); });
 }
 
 void PowerProbe::tick() {
@@ -30,7 +31,34 @@ void PowerProbe::tick() {
   samples_.push_back(s);
   last_ = now;
   if (sched_.now() + window_ <= until_) {
-    sched_.schedule_after(window_, [this] { tick(); });
+    next_tick_ = sched_.now() + window_;
+    pending_ = sched_.schedule_at(next_tick_, [this] { tick(); });
+  } else {
+    next_tick_ = Time::max();
+    pending_ = sim::EventId{};
+  }
+}
+
+void PowerProbe::advance_to(Time t) {
+  if (!primed_ || next_tick_ == Time::max() || next_tick_ > t) return;
+  // One snapshot covers the whole span by the caller's idle-gap guarantee.
+  const ActivityTotals now = source_();
+  sched_.cancel(pending_);
+  pending_ = sim::EventId{};
+  while (next_tick_ != Time::max() && next_tick_ <= t) {
+    const ActivityTotals delta = now.since(last_);
+    PowerSample s;
+    s.end = next_tick_;
+    s.start = s.end - window_;
+    s.average_w = model_.average_power_w(delta);
+    s.events = delta.events;
+    samples_.push_back(s);
+    last_ = now;
+    next_tick_ = next_tick_ + window_ <= until_ ? next_tick_ + window_
+                                                : Time::max();
+  }
+  if (next_tick_ != Time::max()) {
+    pending_ = sched_.schedule_at(next_tick_, [this] { tick(); });
   }
 }
 

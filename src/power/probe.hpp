@@ -38,6 +38,14 @@ class PowerProbe {
   /// Arm the probe from now until `until` (schedules the sampling grid).
   void arm(Time until);
 
+  /// Analytic idle-skip: emit every sampling window ending at or before `t`
+  /// in closed form and reschedule the pending grid event past `t`.
+  /// Precondition (the caller's idle-gap guarantee): the activity source
+  /// returns the same totals throughout (now, t] — the source is snapshot
+  /// once, so the first skipped window absorbs the whole delta and the rest
+  /// read zero, exactly what per-window sampling would have recorded.
+  void advance_to(Time t);
+
   [[nodiscard]] const std::vector<PowerSample>& samples() const {
     return samples_;
   }
@@ -71,6 +79,8 @@ class PowerProbe {
   PowerModel model_;
   Time window_;
   Time until_{Time::zero()};
+  Time next_tick_{Time::max()};
+  sim::EventId pending_{};
   ActivityTotals last_{};
   bool primed_{false};
   std::vector<PowerSample> samples_;

@@ -4,15 +4,31 @@
 
 namespace aetr::sim {
 
-std::size_t ClockLine::on_rising(EdgeFn fn) {
-  subscribers_.push_back(std::move(fn));
+std::size_t ClockLine::on_rising(EdgeFn fn, BulkFn bulk) {
+  subscribers_.push_back(Subscriber{std::move(fn), std::move(bulk)});
   return subscribers_.size() - 1;
 }
 
 void ClockLine::tick(Time edge_time, Time period) {
   ++edges_;
   last_edge_ = edge_time;
-  for (auto& fn : subscribers_) fn(edge_time, period);
+  for (auto& s : subscribers_) s.fn(edge_time, period);
+}
+
+void ClockLine::advance(std::uint64_t n, Time last_edge, Time period) {
+  if (n == 0) return;
+  edges_ += n;
+  last_edge_ = last_edge;
+  const Time first = last_edge - period * static_cast<Time::Rep>(n - 1);
+  for (auto& s : subscribers_) {
+    if (s.bulk) {
+      s.bulk(n, last_edge, period);
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        s.fn(first + period * static_cast<Time::Rep>(i), period);
+      }
+    }
+  }
 }
 
 FixedClock::FixedClock(Scheduler& sched, Time period, Time first_edge)

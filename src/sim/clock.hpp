@@ -24,12 +24,27 @@ class ClockLine {
  public:
   /// Edge callback: (edge_time, current_period).
   using EdgeFn = std::function<void(Time, Time)>;
+  /// Bulk callback: (n_edges, last_edge_time, period) — `n_edges` evenly
+  /// spaced rising edges ending at `last_edge_time`, delivered as one call.
+  using BulkFn = std::function<void(std::uint64_t, Time, Time)>;
 
-  /// Subscribe to rising edges; returns a subscriber index.
-  std::size_t on_rising(EdgeFn fn);
+  /// Subscribe to rising edges; returns a subscriber index. A subscriber
+  /// may also provide a bulk handler that advance() uses to absorb a whole
+  /// run of periodic edges in closed form; the two handlers must leave the
+  /// subscriber in bit-identical state for the same edge sequence.
+  std::size_t on_rising(EdgeFn fn, BulkFn bulk = {});
 
   /// Publish one rising edge with the given period to all subscribers.
   void tick(Time edge_time, Time period);
+
+  /// Publish `n` evenly spaced edges ending at `last_edge` in one call.
+  /// Subscribers with a bulk handler get a single callback; the rest are
+  /// ticked per edge (correct, just not fast). Equivalent to calling
+  /// tick() n times except for subscriber interleaving: bulk publishes to
+  /// each subscriber in turn rather than edge by edge, so it must only be
+  /// used on nets whose subscribers do not observe each other mid-run
+  /// (the clockgen counters qualify).
+  void advance(std::uint64_t n, Time last_edge, Time period);
 
   /// Total rising edges published on this net (activity counter input).
   [[nodiscard]] std::uint64_t edge_count() const { return edges_; }
@@ -38,7 +53,11 @@ class ClockLine {
   [[nodiscard]] Time last_edge() const { return last_edge_; }
 
  private:
-  std::vector<EdgeFn> subscribers_;
+  struct Subscriber {
+    EdgeFn fn;
+    BulkFn bulk;
+  };
+  std::vector<Subscriber> subscribers_;
   std::uint64_t edges_{0};
   Time last_edge_{Time::zero()};
 };

@@ -292,4 +292,40 @@ void Scheduler::run_until(Time t) {
 
 bool Scheduler::run_next() { return step(Time::max()); }
 
+Time Scheduler::next_event_time() {
+  prune_heap();
+  Time best = heap_.empty() ? Time::max() : heap_.top().t;
+  if (levels_ != 0) {
+    // The earliest occupied bucket of the lowest occupied level contains the
+    // wheel minimum: finer levels are empty, same-level buckets with larger
+    // digits start strictly later, and any coarser event differs from now()
+    // in a higher digit (upwards — events are never in the past), so it lies
+    // beyond every event that shares those digits. A multi-node bucket is
+    // scanned in place — no cursor movement, no cascade, no side effects.
+    const auto level = static_cast<unsigned>(std::countr_zero(levels_));
+    const unsigned index = min_index(level);
+    const Bucket& b = buckets_[level * kSlotsPerLevel + index];
+    for (std::int32_t cur = b.head; cur >= 0;
+         cur = meta_[static_cast<std::size_t>(cur)].next) {
+      const Time t = meta_[static_cast<std::size_t>(cur)].t;
+      if (t < best) best = t;
+    }
+  }
+  return best;
+}
+
+void Scheduler::fast_forward_to(Time t) {
+  if (t < now_) {
+    throw std::logic_error("Scheduler: fast_forward_to into the past (" +
+                           t.to_string() + " < " + now_.to_string() + ")");
+  }
+  if (next_event_time() < t) {
+    throw std::logic_error(
+        "Scheduler: fast_forward_to(" + t.to_string() +
+        ") would jump over a pending event at " +
+        next_event_time().to_string());
+  }
+  advance_now_to(t);
+}
+
 }  // namespace aetr::sim

@@ -111,6 +111,23 @@ class Scheduler {
   /// Process the single earliest event; returns false if queue empty.
   bool run_next();
 
+  // --- gap query / fast-forward -------------------------------------------
+  /// Timestamp of the earliest pending event, or Time::max() when the queue
+  /// is empty. Non-destructive: nothing is dispatched, now() does not move
+  /// and no bucket cascades (a multi-node coarse bucket is scanned in
+  /// place). This is the gap-query half of the fast-forward contract: a
+  /// caller that knows its own next action time can test
+  /// `next_event_time() >= t` and skip the idle stretch.
+  [[nodiscard]] Time next_event_time();
+
+  /// Advance now() straight to `t` across a verified gap. Throws
+  /// std::logic_error if an event is pending strictly before `t` — the
+  /// caller's gap query was stale and jumping would reorder dispatches.
+  /// Events scheduled exactly at `t` stay pending (they dispatch after any
+  /// state the caller applies at `t`, matching the schedule-then-run order
+  /// of a callback that runs at `t` itself).
+  void fast_forward_to(Time t);
+
   [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
 

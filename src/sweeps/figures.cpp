@@ -181,10 +181,12 @@ core::InterfaceConfig fig8_config(std::uint32_t theta, bool divide) {
 
 double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
                           std::uint64_t seed,
-                          const telemetry::SessionOptions& tel = {}) {
+                          const telemetry::SessionOptions& tel = {},
+                          bool fast_forward = true) {
   core::ScenarioConfig sc;
   sc.interface = cfg;
   sc.telemetry = core::TelemetryChoice::owned(tel);
+  sc.fast_forward = fast_forward;
   if (rate_hz <= 0.0) {
     // "Absence of spikes": a long idle window, clock long shut down.
     sc.cooldown = Time::sec(2.0);
@@ -221,8 +223,10 @@ FigureResult fig8_impl(const FigureOptions& opt) {
     const auto theta = static_cast<std::uint32_t>(ctx.point.at("theta"));
     const double rate = ctx.point.at("rate");
     const auto cfg = fig8_config(theta ? theta : 64, theta != 0);
-    const double p = fig8_measure_power(cfg, rate, ctx.seed,
-                                        job_telemetry(opt, "fig8", ctx.index));
+    const double p =
+        fig8_measure_power(cfg, rate, ctx.seed,
+                           job_telemetry(opt, "fig8", ctx.index),
+                           opt.fast_forward);
     JobOutput out;
     out.values = {p};
     out.rows = {{fmt("%g", ctx.point.at("theta")), fmt("%.6g", rate),
@@ -323,7 +327,7 @@ FigureResult ablation_ndiv_impl(const FigureOptions& opt) {
   SweepGrid grid;
   grid.axis("n_div", ndivs);
 
-  const auto job = [n_events](const JobContext& ctx) {
+  const auto job = [n_events, &opt](const JobContext& ctx) {
     const auto n_div = static_cast<std::uint32_t>(ctx.point.at("n_div"));
     clockgen::ScheduleConfig sc;
     sc.theta_div = 64;
@@ -337,6 +341,7 @@ FigureResult ablation_ndiv_impl(const FigureOptions& opt) {
       sc.interface.clock.theta_div = 64;
       sc.interface.clock.n_div = n_div;
       sc.interface.front_end.keep_records = false;
+      sc.fast_forward = opt.fast_forward;
       gen::PoissonSource src{rate_hz, 128, seed};
       const auto n =
           static_cast<std::size_t>(std::clamp(rate_hz * 0.3, 200.0, 5000.0));
@@ -450,6 +455,7 @@ FigureResult ablation_agreement_impl(const FigureOptions& opt) {
     core::ScenarioConfig run_sc;
     run_sc.interface.clock.theta_div = theta;
     run_sc.interface.fifo.batch_threshold = 512;
+    run_sc.fast_forward = opt.fast_forward;
     gen::PoissonSource src{rate, 128, ctx.seed, Time::ns(130.0)};
     const auto events = gen::take(src, n_events);
     run_sc.telemetry = core::TelemetryChoice::owned(
@@ -534,9 +540,11 @@ FigureResult faults_impl(const FigureOptions& opt) {
   SweepGrid grid;
   grid.axis("level", levels);
 
+  const bool fast_forward = opt.fast_forward;
   const auto scenario_at = [=](double level) {
     core::ScenarioConfig sc;
     sc.interface.fifo.batch_threshold = 64;
+    sc.fast_forward = fast_forward;
     if (level > 0.0) sc.faults = fault::scaled_plan(level, fault_seed);
     return sc;
   };

@@ -41,6 +41,12 @@ struct FigureOptions {
   /// any `jobs` value. No-ops when the build has AETR_TELEMETRY=0.
   bool trace = false;
   bool metrics = false;
+  /// Idle-skip fast path for the figures that run the DES pipeline (see
+  /// core/fast_path.hpp). Results are bit-identical either way; turning it
+  /// off (`aetr-sweep --no-fast-forward`) forces the reference event-driven
+  /// path — the CI determinism job diffs the two. Figures that enable
+  /// per-job telemetry fall back to the reference path regardless.
+  bool fast_forward = true;
   /// Forwarded to runtime::SweepOptions::progress.
   std::function<void(std::size_t, std::size_t)> progress;
 };

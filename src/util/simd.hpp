@@ -1,0 +1,184 @@
+// Portable two-lane double-precision SIMD wrapper (SSE2 / NEON / scalar).
+//
+// Vec2d is a value type over two doubles whose arithmetic compiles to
+// packed instructions where the target has them and to plain scalar code
+// otherwise. Every operation maps to exactly one IEEE-754 operation per
+// lane in the written order (no FMA contraction, no reassociation), so a
+// kernel written with Vec2d is bit-identical to the equivalent scalar
+// loop — the property the cochlea filterbank tests assert.
+//
+// Dispatch is resolved at runtime, once: active_isa() reports which
+// backend this process uses, honouring an AETR_SIMD=scalar environment
+// override so the scalar fallback stays testable on any machine. Kernels
+// (e.g. cochlea::BiquadBankSoA) select their implementation through it.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define AETR_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define AETR_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace aetr::simd {
+
+/// Which backend Vec2d arithmetic runs on in this process.
+enum class Isa { kScalar, kSse2, kNeon };
+
+[[nodiscard]] constexpr const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kSse2: return "sse2";
+    case Isa::kNeon: return "neon";
+    default: return "scalar";
+  }
+}
+
+/// The backend compiled into this binary.
+[[nodiscard]] constexpr Isa compiled_isa() {
+#if defined(AETR_SIMD_SSE2)
+  return Isa::kSse2;
+#elif defined(AETR_SIMD_NEON)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+/// Runtime-selected backend: the compiled one, unless AETR_SIMD=scalar
+/// forces the fallback. Evaluated once per process.
+[[nodiscard]] inline Isa active_isa() {
+  static const Isa isa = [] {
+    const char* env = std::getenv("AETR_SIMD");
+    if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+      return Isa::kScalar;
+    }
+    return compiled_isa();
+  }();
+  return isa;
+}
+
+/// Doubles with magnitude at or below this flush to zero in
+/// flush_subnormals() — the boundary of the IEEE subnormal range, where
+/// x86 cores fall off the fast path by orders of magnitude.
+inline constexpr double kSubnormalThreshold =
+    std::numeric_limits<double>::min();
+
+/// Two packed doubles. All operations are lane-wise, one IEEE op each.
+struct Vec2d {
+#if defined(AETR_SIMD_SSE2)
+  __m128d v;
+  Vec2d() : v{_mm_setzero_pd()} {}
+  explicit Vec2d(__m128d raw) : v{raw} {}
+  explicit Vec2d(double broadcast) : v{_mm_set1_pd(broadcast)} {}
+  [[nodiscard]] static Vec2d load(const double* p) {
+    return Vec2d{_mm_loadu_pd(p)};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  [[nodiscard]] Vec2d operator+(Vec2d o) const {
+    return Vec2d{_mm_add_pd(v, o.v)};
+  }
+  [[nodiscard]] Vec2d operator-(Vec2d o) const {
+    return Vec2d{_mm_sub_pd(v, o.v)};
+  }
+  [[nodiscard]] Vec2d operator*(Vec2d o) const {
+    return Vec2d{_mm_mul_pd(v, o.v)};
+  }
+  [[nodiscard]] Vec2d max(Vec2d o) const {
+    return Vec2d{_mm_max_pd(v, o.v)};
+  }
+  /// Lanes whose magnitude is at or below the subnormal threshold become
+  /// +0.0; every normal value passes through bit-unchanged.
+  [[nodiscard]] Vec2d flush_subnormals() const {
+    const __m128d sign = _mm_set1_pd(-0.0);
+    const __m128d mag = _mm_andnot_pd(sign, v);
+    const __m128d keep = _mm_cmpgt_pd(mag, _mm_set1_pd(kSubnormalThreshold));
+    return Vec2d{_mm_and_pd(v, keep)};
+  }
+#elif defined(AETR_SIMD_NEON)
+  float64x2_t v;
+  Vec2d() : v{vdupq_n_f64(0.0)} {}
+  explicit Vec2d(float64x2_t raw) : v{raw} {}
+  explicit Vec2d(double broadcast) : v{vdupq_n_f64(broadcast)} {}
+  [[nodiscard]] static Vec2d load(const double* p) {
+    return Vec2d{vld1q_f64(p)};
+  }
+  void store(double* p) const { vst1q_f64(p, v); }
+  [[nodiscard]] Vec2d operator+(Vec2d o) const {
+    return Vec2d{vaddq_f64(v, o.v)};
+  }
+  [[nodiscard]] Vec2d operator-(Vec2d o) const {
+    return Vec2d{vsubq_f64(v, o.v)};
+  }
+  [[nodiscard]] Vec2d operator*(Vec2d o) const {
+    return Vec2d{vmulq_f64(v, o.v)};
+  }
+  [[nodiscard]] Vec2d max(Vec2d o) const {
+    return Vec2d{vmaxq_f64(v, o.v)};
+  }
+  [[nodiscard]] Vec2d flush_subnormals() const {
+    const float64x2_t mag = vabsq_f64(v);
+    const uint64x2_t keep =
+        vcgtq_f64(mag, vdupq_n_f64(kSubnormalThreshold));
+    return Vec2d{vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(v), keep))};
+  }
+#else
+  double v[2];
+  Vec2d() : v{0.0, 0.0} {}
+  explicit Vec2d(double broadcast) : v{broadcast, broadcast} {}
+  [[nodiscard]] static Vec2d load(const double* p) {
+    Vec2d r;
+    r.v[0] = p[0];
+    r.v[1] = p[1];
+    return r;
+  }
+  void store(double* p) const {
+    p[0] = v[0];
+    p[1] = v[1];
+  }
+  [[nodiscard]] Vec2d operator+(Vec2d o) const {
+    Vec2d r;
+    r.v[0] = v[0] + o.v[0];
+    r.v[1] = v[1] + o.v[1];
+    return r;
+  }
+  [[nodiscard]] Vec2d operator-(Vec2d o) const {
+    Vec2d r;
+    r.v[0] = v[0] - o.v[0];
+    r.v[1] = v[1] - o.v[1];
+    return r;
+  }
+  [[nodiscard]] Vec2d operator*(Vec2d o) const {
+    Vec2d r;
+    r.v[0] = v[0] * o.v[0];
+    r.v[1] = v[1] * o.v[1];
+    return r;
+  }
+  [[nodiscard]] Vec2d max(Vec2d o) const {
+    Vec2d r;
+    r.v[0] = v[0] > o.v[0] ? v[0] : o.v[0];
+    r.v[1] = v[1] > o.v[1] ? v[1] : o.v[1];
+    return r;
+  }
+  [[nodiscard]] Vec2d flush_subnormals() const {
+    Vec2d r = *this;
+    if (std::fabs(r.v[0]) <= kSubnormalThreshold) r.v[0] = 0.0;
+    if (std::fabs(r.v[1]) <= kSubnormalThreshold) r.v[1] = 0.0;
+    return r;
+  }
+#endif
+};
+
+/// Scalar flush with the same semantics as Vec2d::flush_subnormals().
+[[nodiscard]] inline double flush_subnormal(double x) {
+  return std::fabs(x) <= kSubnormalThreshold ? 0.0 : x;
+}
+
+}  // namespace aetr::simd

@@ -4,11 +4,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <limits>
 #include <map>
 
 #include "cochlea/audio.hpp"
 #include "cochlea/biquad.hpp"
 #include "cochlea/cochlea.hpp"
+#include "cochlea/filterbank.hpp"
+#include "util/simd.hpp"
 
 namespace aetr::cochlea {
 namespace {
@@ -267,6 +271,102 @@ TEST(AudioSynth, WordDrivesHighEventRateBursts) {
   int peak = 0;
   for (const auto& [w, n] : window_counts) peak = std::max(peak, n);
   EXPECT_GT(peak * 100, 25000);  // >25 kevt/s peak
+}
+
+TEST(FilterbankSoA, BitIdenticalToBiquadLoopOnAudioVectors) {
+  // The SoA/SIMD bank must reproduce the scalar Biquad reference
+  // bit-for-bit on real audio — the contract that lets CochleaModel swap
+  // the AoS loop out without changing any downstream spike train.
+  const double fs = 48e3;
+  const auto centres = log_spaced_centres(100.0, 10e3, 64);
+  std::vector<Biquad> reference;
+  BiquadBankSoA bank;
+  for (const double f0 : centres) {
+    const auto s = Biquad::bandpass(f0, 6.0, fs);
+    reference.push_back(s);
+    bank.add(s);
+  }
+  AudioSynth synth{fs, 11};
+  auto audio = synth.word(AudioSynth::demo_word());
+  synth.add_background(audio, 0.02);
+
+  std::vector<double> band(centres.size());
+  for (const double x : audio) {
+    bank.step_block(x, 0, centres.size(), band.data());
+    for (std::size_t ch = 0; ch < centres.size(); ++ch) {
+      const double want = reference[ch].step(x);
+      ASSERT_EQ(band[ch], want) << "channel " << ch;
+    }
+  }
+}
+
+TEST(FilterbankSoA, OddLaneCountUsesScalarTail) {
+  const double fs = 48e3;
+  std::vector<Biquad> reference;
+  BiquadBankSoA bank;
+  for (const double f0 : {300.0, 1000.0, 3300.0}) {
+    const auto s = Biquad::bandpass(f0, 6.0, fs);
+    reference.push_back(s);
+    bank.add(s);
+  }
+  AudioSynth synth{fs, 5};
+  const auto audio = synth.tone(1000.0, 0.5, 50_ms);
+  std::vector<double> band(3);
+  for (const double x : audio) {
+    bank.step_block(x, 0, 3, band.data());
+    for (std::size_t ch = 0; ch < 3; ++ch) {
+      ASSERT_EQ(band[ch], reference[ch].step(x));
+    }
+  }
+}
+
+TEST(Biquad, SilenceDecaysToExactZeroNotSubnormals) {
+  // Denormal guard: after an impulse, a long silent stretch must drive the
+  // filter state to exact zero instead of a subnormal tail (which costs a
+  // microcode assist per operation on x86).
+  auto f = Biquad::bandpass(1000.0, 6.0, 48e3);
+  (void)f.step(1.0);
+  double y = 0.0;
+  for (int i = 0; i < 4'000'000; ++i) {
+    y = f.step(0.0);
+    ASSERT_NE(std::fpclassify(y), FP_SUBNORMAL) << "sample " << i;
+  }
+  EXPECT_EQ(y, 0.0);
+}
+
+TEST(Simd, Vec2dLanesMatchScalarArithmetic) {
+  using simd::Vec2d;
+  const double a[2] = {1.5, -3.25};
+  const double b[2] = {-0.75, 2.0};
+  double out[2];
+  (Vec2d::load(a) + Vec2d::load(b)).store(out);
+  EXPECT_EQ(out[0], a[0] + b[0]);
+  EXPECT_EQ(out[1], a[1] + b[1]);
+  (Vec2d::load(a) - Vec2d::load(b)).store(out);
+  EXPECT_EQ(out[0], a[0] - b[0]);
+  EXPECT_EQ(out[1], a[1] - b[1]);
+  (Vec2d::load(a) * Vec2d::load(b)).store(out);
+  EXPECT_EQ(out[0], a[0] * b[0]);
+  EXPECT_EQ(out[1], a[1] * b[1]);
+  Vec2d::load(a).max(Vec2d::load(b)).store(out);
+  EXPECT_EQ(out[0], 1.5);
+  EXPECT_EQ(out[1], 2.0);
+}
+
+TEST(Simd, FlushSubnormalsMatchesScalarHelper) {
+  using simd::Vec2d;
+  const double cases[] = {0.0,   -0.0, 1e-320, -1e-320,
+                          5e-324, std::numeric_limits<double>::min(),
+                          1e-300, -1.0};
+  for (std::size_t i = 0; i + 2 <= std::size(cases); ++i) {
+    double out[2];
+    Vec2d::load(&cases[i]).flush_subnormals().store(out);
+    EXPECT_EQ(out[0], simd::flush_subnormal(cases[i])) << i;
+    EXPECT_EQ(out[1], simd::flush_subnormal(cases[i + 1])) << i;
+  }
+  // The smallest normal is flushed too (<=), everything above survives.
+  EXPECT_EQ(simd::flush_subnormal(std::numeric_limits<double>::min()), 0.0);
+  EXPECT_EQ(simd::flush_subnormal(1e-300), 1e-300);
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+// Property-style bit-exactness tests for the analytic idle-skip advance:
+// random pause/resume (and request) schedules are replayed twice — once
+// letting the scheduler dispatch every edge, once absorbing each gap with
+// advance_to() + Scheduler::fast_forward_to() — and every observable
+// counter must match exactly. This is the contract core/fast_path.hpp
+// builds on (docs/SIMULATOR.md "Fast path").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "clockgen/divider.hpp"
+#include "clockgen/pausible.hpp"
+#include "clockgen/ring_oscillator.hpp"
+#include "power/model.hpp"
+#include "power/probe.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace aetr::clockgen {
+namespace {
+
+using namespace time_literals;
+
+// --- Scheduler gap-query API ------------------------------------------------
+
+TEST(SchedulerFastForward, NextEventTimeIsNonDestructive) {
+  sim::Scheduler sched;
+  int fired = 0;
+  sched.schedule_at(Time::ns(50), [&] { ++fired; });
+  sched.schedule_at(Time::ns(10), [&] { ++fired; });
+  EXPECT_EQ(sched.next_event_time(), Time::ns(10));
+  EXPECT_EQ(sched.next_event_time(), Time::ns(10));  // idempotent
+  EXPECT_EQ(sched.now(), Time::zero());
+  EXPECT_EQ(fired, 0);
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.next_event_time(), Time::max());
+}
+
+TEST(SchedulerFastForward, FastForwardToRefusesToSkipEvents) {
+  sim::Scheduler sched;
+  sched.schedule_at(Time::ns(10), [] {});
+  EXPECT_THROW(sched.fast_forward_to(Time::ns(11)), std::logic_error);
+  // An event exactly at the target stays pending.
+  sched.fast_forward_to(Time::ns(10));
+  EXPECT_EQ(sched.now(), Time::ns(10));
+  EXPECT_EQ(sched.next_event_time(), Time::ns(10));
+  sched.run();
+  EXPECT_THROW(sched.fast_forward_to(Time::ns(5)), std::logic_error);
+}
+
+// --- RingOscillator + DividerCascade ---------------------------------------
+
+struct RingState {
+  std::uint64_t cycles, wakeups, div_in, div_toggles, div_out;
+  Time awake, last_edge, div_last, now;
+
+  bool operator==(const RingState&) const = default;
+};
+
+// Drive a deterministic ring + divider through a random sleep/wake
+// schedule. `analytic` replays each inter-action gap with advance_to();
+// the reference dispatches every edge through the scheduler.
+RingState run_ring_schedule(std::uint64_t seed, bool analytic) {
+  sim::Scheduler sched;
+  RingOscillatorConfig cfg;
+  cfg.stages = 5;
+  cfg.stage_delay = 1_ns;  // 10 ns period
+  RingOscillator osc{sched, cfg};
+  DividerCascade div{osc.line(), 3};
+  osc.start();
+
+  Xoshiro256StarStar rng{seed};
+  Time t = Time::zero();
+  for (int i = 0; i < 40; ++i) {
+    // Gaps span sub-period to many-period lengths, at 1 ps granularity so
+    // actions land on and off edge instants.
+    t = t + Time::ps(static_cast<Time::Rep>(1 + rng.uniform_int(400'000)));
+    if (analytic) {
+      osc.advance_to(t);
+      sched.fast_forward_to(t);
+    } else {
+      sched.run_until(t);
+    }
+    // Random action; redundant sleep/wake calls are no-ops on both paths.
+    switch (rng.uniform_int(3)) {
+      case 0: osc.sleep(); break;
+      case 1: osc.wake(); break;
+      default: break;  // just a gap
+    }
+  }
+  const Time end = t + 3_us;
+  if (analytic) {
+    osc.advance_to(end);
+    sched.fast_forward_to(end);
+  } else {
+    sched.run_until(end);
+  }
+  return RingState{osc.cycles(),          osc.wakeups(),
+                   div.input_edges(),     div.ff_toggles(),
+                   div.line().edge_count(), osc.awake_time(),
+                   osc.line().last_edge(), div.line().last_edge(),
+                   sched.now()};
+}
+
+TEST(RingOscillatorAdvance, MatchesStepTickingOverRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const RingState stepped = run_ring_schedule(seed, false);
+    const RingState analytic = run_ring_schedule(seed, true);
+    EXPECT_EQ(stepped, analytic) << "seed " << seed;
+    EXPECT_GT(stepped.cycles, 0u) << "seed " << seed;
+  }
+}
+
+TEST(RingOscillatorAdvance, JitteredRingRefusesAnalyticSkip) {
+  sim::Scheduler sched;
+  RingOscillatorConfig cfg;
+  cfg.jitter_stddev = 0.01;
+  RingOscillator osc{sched, cfg};
+  osc.start();
+  EXPECT_THROW(osc.advance_to(1_us), std::logic_error);
+}
+
+// --- PausibleClock ----------------------------------------------------------
+
+struct PausibleState {
+  std::uint64_t edges, grants, contentions;
+  Time last_edge, stretch, now;
+
+  bool operator==(const PausibleState&) const = default;
+};
+
+PausibleState run_pausible_schedule(std::uint64_t seed, bool analytic) {
+  sim::Scheduler sched;
+  PausibleClockConfig cfg;
+  cfg.seed = seed;
+  PausibleClock clk{sched, cfg};
+  clk.start();
+
+  Xoshiro256StarStar rng{seed ^ 0x9e3779b97f4a7c15ull};
+  std::uint64_t granted = 0;
+  Time t = Time::zero();
+  for (int i = 0; i < 30; ++i) {
+    // A quiet gap the analytic path absorbs...
+    t = t + Time::ps(static_cast<Time::Rep>(1 + rng.uniform_int(3'000'000)));
+    if (analytic) {
+      clk.advance_to(t);
+      sched.fast_forward_to(t);
+    } else {
+      sched.run_until(t);
+    }
+    // ...then a port request, settled by normal stepping on both paths
+    // (grants postpone edges, which advance_to must not skip over).
+    clk.request([&](Time) { ++granted; });
+    t = t + cfg.period * 4;
+    sched.run_until(t);
+  }
+  EXPECT_EQ(granted, 30u);
+  return PausibleState{clk.line().edge_count(), clk.grants(),
+                       clk.contentions(),       clk.line().last_edge(),
+                       clk.total_stretch(),     sched.now()};
+}
+
+TEST(PausibleClockAdvance, MatchesStepTickingOverRandomSchedules) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const PausibleState stepped = run_pausible_schedule(seed, false);
+    const PausibleState analytic = run_pausible_schedule(seed, true);
+    EXPECT_EQ(stepped, analytic) << "seed " << seed;
+    EXPECT_GT(stepped.edges, 0u) << "seed " << seed;
+  }
+}
+
+TEST(PausibleClockAdvance, BusyPortRefusesAnalyticSkip) {
+  sim::Scheduler sched;
+  PausibleClock clk{sched};
+  clk.start();
+  clk.request([](Time) {});
+  EXPECT_THROW(clk.advance_to(1_us), std::logic_error);
+}
+
+// --- PowerProbe -------------------------------------------------------------
+
+TEST(PowerProbeAdvance, MatchesStepTickingAcrossIdleGaps) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::vector<power::PowerSample> runs[2];
+    for (int pass = 0; pass < 2; ++pass) {
+      const bool analytic = pass == 1;
+      sim::Scheduler sched;
+      power::ActivityTotals totals;
+      power::PowerProbe probe{
+          sched, [&] { return totals; }, power::PowerModel{}, 100_us};
+      const Time until = Time::ms(20.0);
+      probe.arm(until);
+
+      Xoshiro256StarStar rng{seed};
+      Time t = Time::zero();
+      for (int i = 0; i < 12; ++i) {
+        t = t + Time::us(static_cast<double>(50 + rng.uniform_int(1500)));
+        if (analytic) {
+          probe.advance_to(t);
+          sched.fast_forward_to(t);
+        } else {
+          sched.run_until(t);
+        }
+        // A burst of activity lands at t, after any window ending at t —
+        // identical ordering on both paths.
+        totals.window = t;
+        totals.events += rng.uniform_int(50);
+        totals.fifo_writes += rng.uniform_int(100);
+        totals.osc_awake = totals.osc_awake + Time::us(3.0);
+      }
+      if (analytic) {
+        probe.advance_to(until);
+        sched.fast_forward_to(until);
+      } else {
+        sched.run_until(until);
+      }
+      runs[pass] = probe.samples();
+    }
+    ASSERT_EQ(runs[0].size(), runs[1].size()) << "seed " << seed;
+    ASSERT_GT(runs[0].size(), 100u) << "seed " << seed;
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[0][i].start, runs[1][i].start);
+      EXPECT_EQ(runs[0][i].end, runs[1][i].end);
+      EXPECT_EQ(runs[0][i].events, runs[1][i].events);
+      // Bit-exact power: both paths must run the same arithmetic.
+      EXPECT_EQ(runs[0][i].average_w, runs[1][i].average_w)
+          << "seed " << seed << " sample " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aetr::clockgen

@@ -1,0 +1,219 @@
+// Bit-exactness of the idle-skip fast path (core/fast_path.hpp): every
+// RunResult field must be byte-identical with run.fast_forward on vs off,
+// across rates that exercise the shutdown ladder, FIFO overflow, both
+// overflow policies, metastability, and the no-MCU/no-flush corners. Also
+// covers the fault-plan eligibility rule: a plan whose probabilities are
+// all zero must not force the reference path (satellite of ISSUE 6).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "buffer/fifo.hpp"
+#include "core/fast_path.hpp"
+#include "core/scenario.hpp"
+#include "fault/fault_plan.hpp"
+#include "gen/sources.hpp"
+#include "opt/optimizer.hpp"
+#include "sweeps/figures.hpp"
+
+namespace aetr::core {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+// Compare every observable RunResult field bit-exactly.
+void expect_identical(const RunResult& f, const RunResult& r) {
+  EXPECT_EQ(f.events_in, r.events_in);
+  EXPECT_EQ(f.words_out, r.words_out);
+  EXPECT_EQ(f.fifo_overflows, r.fifo_overflows);
+  EXPECT_EQ(f.batches, r.batches);
+  EXPECT_EQ(f.handshakes, r.handshakes);
+  EXPECT_EQ(f.caviar_violations, r.caviar_violations);
+  EXPECT_EQ(f.protocol_violations, r.protocol_violations);
+  EXPECT_EQ(f.sim_end, r.sim_end);
+  EXPECT_EQ(bits(f.average_power_w), bits(r.average_power_w));
+  EXPECT_EQ(f.activity.osc_awake, r.activity.osc_awake);
+  EXPECT_EQ(f.activity.sampling_cycles, r.activity.sampling_cycles);
+  EXPECT_EQ(f.activity.wakeups, r.activity.wakeups);
+  EXPECT_EQ(f.activity.window, r.activity.window);
+  EXPECT_EQ(f.activity.fifo_writes, r.activity.fifo_writes);
+  EXPECT_EQ(f.activity.fifo_reads, r.activity.fifo_reads);
+  EXPECT_EQ(f.activity.i2s_bits, r.activity.i2s_bits);
+  EXPECT_EQ(f.activity.events, r.activity.events);
+  EXPECT_EQ(bits(f.error.abs_err_sec), bits(r.error.abs_err_sec));
+  EXPECT_EQ(f.error.events, r.error.events);
+  EXPECT_EQ(f.error.saturated, r.error.saturated);
+  ASSERT_EQ(f.records.size(), r.records.size());
+  for (std::size_t i = 0; i < f.records.size(); ++i) {
+    EXPECT_EQ(f.records[i].word.raw(), r.records[i].word.raw()) << i;
+    EXPECT_EQ(f.records[i].sample_edge, r.records[i].sample_edge) << i;
+    EXPECT_EQ(f.records[i].request.time, r.records[i].request.time) << i;
+    EXPECT_EQ(f.records[i].request.address, r.records[i].request.address) << i;
+  }
+  ASSERT_EQ(f.decoded.size(), r.decoded.size());
+  for (std::size_t i = 0; i < f.decoded.size(); ++i) {
+    EXPECT_EQ(f.decoded[i].reconstructed_time,
+              r.decoded[i].reconstructed_time) << i;
+    EXPECT_EQ(f.decoded[i].address, r.decoded[i].address) << i;
+  }
+  ASSERT_EQ(f.delivery_latency_sec.size(), r.delivery_latency_sec.size());
+  for (std::size_t i = 0; i < f.delivery_latency_sec.size(); ++i) {
+    EXPECT_EQ(bits(f.delivery_latency_sec[i]),
+              bits(r.delivery_latency_sec[i])) << i;
+  }
+}
+
+RunResult run_with(ScenarioConfig sc, const aer::EventStream& events,
+                   bool fast_forward) {
+  sc.fast_forward = fast_forward;
+  return run_scenario(sc, events);
+}
+
+TEST(FastPathScenario, BitIdenticalAcrossRatesAndCorners) {
+  for (const double rate : {500.0, 5e4, 8e5}) {
+    for (const unsigned variant : {0u, 1u, 2u, 3u}) {
+      SCOPED_TRACE(testing::Message() << "rate=" << rate
+                                      << " variant=" << variant);
+      ScenarioConfig base;
+      base.interface.fifo.batch_threshold = variant >= 2 ? 16u : 64u;
+      if (variant >= 2) base.interface.fifo.capacity_words = 24;
+      if (variant == 3) {
+        base.interface.fifo.overflow_policy =
+            buffer::OverflowPolicy::kDropOldest;
+        base.final_flush = false;
+        base.attach_mcu = false;
+      }
+      base.interface.front_end.metastability_prob =
+          (variant & 1u) != 0 ? 0.01 : 0.0;
+      base.cooldown = Time::ms(2.0);
+      gen::PoissonSource src{rate, 64, 42};
+      const auto events = gen::take(src, 1500);
+
+      ASSERT_TRUE(fast_path_eligible(base, /*telemetry_active=*/false));
+      expect_identical(run_with(base, events, true),
+                       run_with(base, events, false));
+    }
+  }
+}
+
+TEST(FastPathScenario, EmptyStreamBitIdentical) {
+  ScenarioConfig sc;
+  sc.cooldown = Time::sec(0.5);
+  expect_identical(run_with(sc, {}, true), run_with(sc, {}, false));
+}
+
+TEST(FastPathScenario, ZeroProbabilityFaultPlanStaysOnFastPath) {
+  // A plan with sites configured but every probability zero injects
+  // nothing; FaultPlan::any() is probability-based, so it must not force
+  // the reference path...
+  fault::FaultPlan zero;
+  zero.aer.drop_req_prob = 0.0;
+  zero.aer.addr_bit_flip_prob = 0.0;
+  zero.fifo.cell_bit_flip_prob = 0.0;
+  ASSERT_FALSE(zero.any());
+
+  ScenarioConfig with_zero_plan;
+  with_zero_plan.faults = zero;
+  ASSERT_TRUE(fast_path_eligible(with_zero_plan, false));
+
+  // ...and its fast-forward run must be byte-identical to the fault-free
+  // fast-forward baseline (and to both reference runs).
+  gen::PoissonSource src{5e4, 64, 7};
+  const auto events = gen::take(src, 1200);
+  ScenarioConfig fault_free;
+  const auto baseline = run_with(fault_free, events, true);
+  expect_identical(run_with(with_zero_plan, events, true), baseline);
+  expect_identical(run_with(with_zero_plan, events, false), baseline);
+}
+
+TEST(FastPathScenario, ActiveFaultPlanFallsBackToReference) {
+  fault::FaultPlan plan = fault::scaled_plan(0.5, 99);
+  ScenarioConfig sc;
+  sc.faults = plan;
+  EXPECT_FALSE(fast_path_eligible(sc, false));
+  // Borrowed/owned telemetry and drain timeouts also disqualify.
+  ScenarioConfig timed;
+  timed.interface.drain_timeout = Time::us(50.0);
+  EXPECT_FALSE(fast_path_eligible(timed, false));
+  ScenarioConfig plain;
+  EXPECT_FALSE(fast_path_eligible(plain, /*telemetry_active=*/true));
+  plain.fast_forward = false;
+  EXPECT_FALSE(fast_path_eligible(plain, false));
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f{path};
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(FastPathSweeps, QuickFigureCsvsByteIdenticalOnVsOff) {
+  // The acceptance bar of ISSUE 6: quick fig6/fig8/faults sweeps must
+  // produce byte-identical CSV artifacts whether the fast path is engaged
+  // or not (the CI fastpath-determinism job re-checks this via the CLI).
+  struct Figure {
+    const char* name;
+    sweeps::FigureResult (*run)(const sweeps::FigureOptions&);
+  };
+  const Figure figures[] = {{"fig6", sweeps::run_fig6},
+                            {"fig8", sweeps::run_fig8},
+                            {"faults", sweeps::run_faults}};
+  const auto dir =
+      std::filesystem::temp_directory_path() / "aetr_fastpath_sweeps";
+  std::filesystem::remove_all(dir);
+  for (const auto& fig : figures) {
+    SCOPED_TRACE(fig.name);
+    sweeps::FigureOptions on;
+    on.jobs = 1;
+    on.quick = true;
+    on.fast_forward = true;
+    on.out_dir = (dir / fig.name / "on").string();
+    sweeps::FigureOptions off = on;
+    off.fast_forward = false;
+    off.out_dir = (dir / fig.name / "off").string();
+    const auto r_on = fig.run(on);
+    const auto r_off = fig.run(off);
+    EXPECT_EQ(slurp(r_on.csv_path), slurp(r_off.csv_path));
+    EXPECT_EQ(slurp(r_on.points_csv_path), slurp(r_off.points_csv_path));
+    EXPECT_FALSE(slurp(r_on.csv_path).empty());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FastPathSweeps, QuickOptArtifactsByteIdenticalOnVsOff) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "aetr_fastpath_opt";
+  std::filesystem::remove_all(dir);
+  opt::OptOptions options;
+  options.jobs = 1;
+  options.budget = 8;
+  options.workload.n_events = 600;
+  const auto space = opt::SearchSpace::default_space();
+
+  ScenarioConfig base_on;
+  options.out_dir = (dir / "on").string();
+  const auto on = opt::optimize(space, base_on, options);
+
+  ScenarioConfig base_off;
+  base_off.fast_forward = false;
+  options.out_dir = (dir / "off").string();
+  const auto off = opt::optimize(space, base_off, options);
+
+  ASSERT_EQ(on.artifacts.size(), off.artifacts.size());
+  for (std::size_t i = 0; i < on.artifacts.size(); ++i) {
+    EXPECT_EQ(slurp(on.artifacts[i]), slurp(off.artifacts[i]))
+        << on.artifacts[i] << " vs " << off.artifacts[i];
+    EXPECT_FALSE(slurp(on.artifacts[i]).empty()) << on.artifacts[i];
+  }
+  EXPECT_EQ(on.hypervolume, off.hypervolume);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace aetr::core

@@ -2,7 +2,7 @@
 // and the design-space optimizer.
 //
 //   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|all
-//              [--jobs N] [--seed S] [--out DIR] [--quick]
+//              [--jobs N] [--seed S] [--out DIR] [--quick] [--no-fast-forward]
 //              [--trace] [--metrics] [--report FILE] [--quiet]
 //   aetr-sweep opt [--strategy factorial|random|halving] [--budget N]
 //              [--objectives energy,error[,loss,latency]] [--space FILE]
@@ -62,6 +62,8 @@ int usage(std::ostream& os) {
         "  --seed S       root seed (default: per-figure)\n"
         "  --out DIR      output directory (default: results/ or $AETR_OUT)\n"
         "  --quick        reduced grid, paper checks skipped\n"
+        "  --no-fast-forward  force the reference event-driven path\n"
+        "                 (outputs are bit-identical; see docs/SIMULATOR.md)\n"
         "  --trace        per-job Chrome trace JSON + CSV (DES figures:\n"
         "                 fig8, ablation-agreement; see docs/OBSERVABILITY.md)\n"
         "  --metrics      per-job sampled-metrics CSV (same figures)\n"
@@ -86,6 +88,7 @@ int run_opt(int argc, char** argv, bool* usage_error) {
   std::string space_file;
   bool quick = false;
   bool quiet = false;
+  bool fast_forward = true;
   double rate_hz = 0.0;
   std::size_t events = 0;
   for (int i = 2; i < argc; ++i) {
@@ -157,6 +160,8 @@ int run_opt(int argc, char** argv, bool* usage_error) {
         opt.interrupt_after = static_cast<std::size_t>(v);
       } else if (arg == "--quick") {
         quick = true;
+      } else if (arg == "--no-fast-forward") {
+        fast_forward = false;
       } else if (arg == "--trace") {
         opt.trace = true;
       } else if (arg == "--metrics") {
@@ -189,7 +194,8 @@ int run_opt(int argc, char** argv, bool* usage_error) {
     const aetr::opt::SearchSpace space =
         space_file.empty() ? aetr::opt::SearchSpace::default_space()
                            : aetr::opt::SearchSpace::parse_file(space_file);
-    const aetr::core::ScenarioConfig base;  // the paper-default scenario
+    aetr::core::ScenarioConfig base;  // the paper-default scenario
+    base.fast_forward = fast_forward;
     const auto result = aetr::opt::optimize(space, base, opt);
     if (!quiet) {
       std::printf("== opt — %s, budget %zu, %zu evaluations run ==\n",
@@ -306,6 +312,8 @@ int main(int argc, char** argv) {
       cli.report_path = s;
     } else if (arg == "--quick") {
       cli.fig.quick = true;
+    } else if (arg == "--no-fast-forward") {
+      cli.fig.fast_forward = false;
     } else if (arg == "--trace") {
       cli.fig.trace = true;
     } else if (arg == "--metrics") {
