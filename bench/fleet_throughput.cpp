@@ -1,0 +1,75 @@
+// Fleet simulation throughput and energy proportionality (ISSUE 7
+// acceptance numbers). Runs run_fleet() across fleet sizes at a fixed
+// per-node activity and emits a JSON array on stdout, one entry per N,
+// consumed by `tools/bench_report.py fleet` (the `fleet_report` CMake
+// target) into BENCH_fleet.json.
+//
+// Two numbers matter per N: node-phase throughput in events/sec/core
+// (how fast the sharded node runs burn through simulated events — the
+// scaling headline), and energy per delivered event (the fleet-level
+// figure of merit: it should fall as N grows while the uplink is
+// uncontended, then climb once contention drops deliveries).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "fleet/fleet.hpp"
+#include "util/time.hpp"
+
+int main() {
+  constexpr std::size_t kFleetSizes[] = {1, 8, 64, 256};
+  constexpr std::size_t kEventsPerNode = 300;
+  constexpr int kReps = 2;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t cores = hw != 0u ? hw : 1u;
+
+  std::printf("[\n");
+  bool first = true;
+  for (const std::size_t n : kFleetSizes) {
+    aetr::fleet::FleetConfig cfg;
+    cfg.base.interface.front_end.keep_records = false;
+    cfg.base.interface.fifo.batch_threshold = 64;
+    cfg.nodes = n;
+    cfg.rate_hz = 30e3;
+    cfg.events_per_node = kEventsPerNode;
+    cfg.rate_spread = 0.1;
+    cfg.link.bandwidth_words_per_sec = 4e6;
+    cfg.seed = 20260809;
+
+    aetr::fleet::FleetResult result;
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      result = aetr::fleet::run_fleet(cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall = std::chrono::duration<double>(t1 - t0).count();
+      if (rep == 0 || wall < best) best = wall;
+    }
+
+    const double total_events = static_cast<double>(result.events_in_total);
+    const double events_per_sec = best > 0.0 ? total_events / best : 0.0;
+    std::printf(
+        "%s {\"nodes\": %zu, \"events_total\": %.0f,"
+        " \"wall_sec\": %.6f, \"events_per_sec\": %.0f,"
+        " \"events_per_sec_per_core\": %.0f,"
+        " \"delivered_fraction\": %.6f,"
+        " \"energy_per_delivered_uj\": %.4f,"
+        " \"latency_p99_ms\": %.4f}",
+        first ? "" : ",\n", n, total_events, best, events_per_sec,
+        events_per_sec / static_cast<double>(cores),
+        result.delivered_fraction(),
+        result.energy_per_delivered_j() * 1e6,
+        result.latency_p99_sec * 1e3);
+    first = false;
+    if (result.delivered_total == 0u) {
+      std::printf("\n]\n");
+      std::fprintf(stderr,
+                   "fleet_throughput: fleet of %zu delivered nothing\n", n);
+      return 1;
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}

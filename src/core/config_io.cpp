@@ -384,6 +384,11 @@ std::string suggest_scenario_key(const std::string& key) {
   return nearest_key(key, scenario_keys());
 }
 
+std::string suggest_key(const std::string& key,
+                        const std::vector<std::string>& candidates) {
+  return nearest_key(key, candidates);
+}
+
 void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
                         const std::string& value) {
   if (const auto it = scenario_setters().find(key);

@@ -62,4 +62,12 @@ void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
 /// nothing is close enough to be a plausible typo.
 [[nodiscard]] std::string suggest_scenario_key(const std::string& key);
 
+/// The candidate nearest to `key` by edit distance, or "" when nothing is
+/// within the typo threshold. The generic engine behind
+/// suggest_scenario_key(), exposed so layered config formats (fleet files
+/// accept fleet.* keys *plus* every scenario key) can suggest across their
+/// combined key set instead of re-implementing the distance metric.
+[[nodiscard]] std::string suggest_key(const std::string& key,
+                                      const std::vector<std::string>& candidates);
+
 }  // namespace aetr::core

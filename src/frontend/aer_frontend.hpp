@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "aer/channel.hpp"
@@ -22,6 +21,7 @@
 #include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/inplace_function.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -51,7 +51,12 @@ struct CaptureRecord {
 /// The AER-to-AETR sampling unit.
 class AerFrontEnd {
  public:
-  using WordFn = std::function<void(aer::AetrWord, Time)>;
+  /// Per-word downstream delivery. Invoked once per timestamped event — the
+  /// hottest callback in the pipeline — so it is a small-buffer
+  /// InplaceFunction, not a std::function: typical captures (a component
+  /// pointer or two) store inline and dispatch without an allocator
+  /// round-trip (asserted in tests/test_word_path_alloc.cpp).
+  using WordFn = util::InplaceFunction<void(aer::AetrWord, Time)>;
 
   AerFrontEnd(sim::Scheduler& sched, aer::AerChannel& channel,
               clockgen::ClockGenerator& clkgen, FrontEndConfig config = {});

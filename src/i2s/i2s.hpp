@@ -21,6 +21,7 @@
 #include "fault/injector.hpp"
 #include "sim/scheduler.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace aetr::i2s {
@@ -37,8 +38,11 @@ struct I2sConfig {
 /// Word-level I2S master draining the AETR FIFO in batches.
 class I2sMaster {
  public:
-  /// Downstream word delivery: (word, completion time).
-  using WordFn = std::function<void(aer::AetrWord, Time)>;
+  /// Downstream word delivery: (word, completion time). One invocation per
+  /// word on the wire — hot enough that this is a small-buffer
+  /// InplaceFunction (inline captures, no allocator round-trip), matching
+  /// frontend::AerFrontEnd::WordFn.
+  using WordFn = util::InplaceFunction<void(aer::AetrWord, Time)>;
 
   I2sMaster(sim::Scheduler& sched, buffer::AetrFifo& fifo,
             I2sConfig config = {});

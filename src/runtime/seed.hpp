@@ -35,4 +35,16 @@ namespace aetr::runtime {
   return splitmix64(root_seed + index * 0x9E3779B97F4A7C15ull);
 }
 
+/// Independent seed *streams* within one job: stream `stream` of job `index`
+/// under `root_seed`. A fleet node needs several uncorrelated random streams
+/// (its event source, its fault plan, its heterogeneity draw); deriving them
+/// as derive_seed(node_seed, stream) nests two splitmix64 avalanches, so
+/// streams of one node are mutually independent AND no stream of node i can
+/// collide with a stream of node j sharing the same root (each nesting level
+/// is a bijection per root). Stable across platforms and thread counts.
+[[nodiscard]] constexpr std::uint64_t derive_substream_seed(
+    std::uint64_t root_seed, std::uint64_t index, std::uint64_t stream) {
+  return derive_seed(derive_seed(root_seed, index), stream);
+}
+
 }  // namespace aetr::runtime

@@ -667,6 +667,9 @@ const std::vector<FigureDef>& figures() {
        &run_ablation_agreement},
       {"faults", "R1 — accuracy/power degradation vs. injected fault rate",
        &run_faults},
+      {"fleet",
+       "F2 — fleet energy-per-delivered-event and latency tails vs. N nodes",
+       &run_fleet_figure},
   };
   return defs;
 }

@@ -81,6 +81,12 @@ FigureResult run_ablation_agreement(const FigureOptions& opt);
 /// fraction and power vs. the fault level, with the zero level checked
 /// bit-identical against a fault-free baseline.
 FigureResult run_faults(const FigureOptions& opt);
+/// F2: fleet-level energy proportionality — energy-per-delivered-event and
+/// delivery-latency tails vs. fleet size N at several activity levels, N
+/// interfaces contending for one bandwidth-limited gateway uplink
+/// (fleet/fleet.hpp). Writes aetr_fleet.csv, aetr_fleet_points.csv and
+/// aetr_fleet_summary.json.
+FigureResult run_fleet_figure(const FigureOptions& opt);
 
 /// Registry shared by the CLI and the bench mains.
 struct FigureDef {

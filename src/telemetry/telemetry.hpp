@@ -175,6 +175,12 @@ class MetricsRegistry {
   }
   [[nodiscard]] double last(const std::string& name) const;
 
+  /// Registered histograms in registration order (name, histogram).
+  [[nodiscard]] const std::deque<std::pair<std::string, LogHistogram>>&
+  histograms() const {
+    return histograms_;
+  }
+
   /// Two-section CSV: the snapshot grid (time_ms + one column per probe in
   /// registration order), then the histograms as long-format rows.
   void write_csv(const std::string& path) const;

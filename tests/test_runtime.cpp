@@ -76,6 +76,38 @@ TEST(RuntimeSeed, IndependentOfJobCountAndOrder) {
   }
 }
 
+TEST(RuntimeSeed, SubstreamsAreCollisionFreeAcrossFleetNodeIds) {
+  // The fleet gives every node several independent streams
+  // (events / faults / heterogeneity). Across 10k node ids and all three
+  // streams — plus the per-node roots themselves — nothing may collide.
+  using runtime::derive_substream_seed;
+  constexpr std::uint64_t kRoot = 0xF1EE7u;
+  constexpr std::uint64_t kNodes = 10'000;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t node = 0; node < kNodes; ++node) {
+    seen.insert(derive_seed(kRoot, node));
+    for (std::uint64_t stream = 0; stream < 3; ++stream) {
+      seen.insert(derive_substream_seed(kRoot, node, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), kNodes * 4);
+}
+
+TEST(RuntimeSeed, SubstreamDerivationIsNestedDeriveSeed) {
+  // The documented definition: substream s of node i is
+  // derive_seed(derive_seed(root, i), s) — a node's stream set depends only
+  // on its own derived root, never on the fleet-level layout.
+  using runtime::derive_substream_seed;
+  static_assert(derive_substream_seed(9, 4, 2) ==
+                derive_seed(derive_seed(9, 4), 2));
+  for (std::uint64_t node : {0ull, 1ull, 63ull, 1023ull}) {
+    for (std::uint64_t stream : {0ull, 1ull, 2ull}) {
+      EXPECT_EQ(derive_substream_seed(42, node, stream),
+                derive_seed(derive_seed(42, node), stream));
+    }
+  }
+}
+
 // --- grid --------------------------------------------------------------------
 
 TEST(SweepGrid, RowMajorDecode) {
@@ -262,6 +294,74 @@ TEST(OrderedCollector, ReordersOutOfOrderArrivals) {
   sink.end();
   EXPECT_EQ(out.str(), "i\n0\n1\n2\n3\n");
   EXPECT_EQ(collector.done(), 4u);
+}
+
+namespace {
+
+// Runs `n` single-row jobs through an OrderedCollector in the completion
+// order given by `order` (a permutation of 0..n-1) and returns the CSV body.
+std::string collect_in_order(std::size_t n,
+                             const std::vector<std::size_t>& order) {
+  std::ostringstream out;
+  runtime::CsvSink sink{out};
+  sink.begin({"i"});
+  runtime::OrderedCollector collector{n, &sink};
+  for (std::size_t idx : order) {
+    collector.add(idx, {{std::to_string(idx)}});
+  }
+  sink.end();
+  EXPECT_EQ(collector.done(), n);
+  return out.str();
+}
+
+}  // namespace
+
+TEST(OrderedCollector, AdversarialCompletionOrdersAtFleetSizes) {
+  // Fleet node phases hand the collector completions in whatever order the
+  // work-stealing pool finishes them. Whatever that order is, the flushed
+  // rows must come out 0..n-1. Worst cases: strictly reverse (every row
+  // buffers until the last arrival) and a deterministic pseudo-random shuffle.
+  for (std::size_t n : {64u, 1024u}) {
+    std::string expect = "i\n";
+    for (std::size_t i = 0; i < n; ++i) expect += std::to_string(i) + "\n";
+
+    std::vector<std::size_t> reverse(n);
+    for (std::size_t i = 0; i < n; ++i) reverse[i] = n - 1 - i;
+    EXPECT_EQ(collect_in_order(n, reverse), expect) << "reverse, n=" << n;
+
+    // Deterministic shuffle via an LCG Fisher-Yates (no std::random_device;
+    // the test must be reproducible byte-for-byte).
+    std::vector<std::size_t> shuffled(n);
+    for (std::size_t i = 0; i < n; ++i) shuffled[i] = i;
+    std::uint64_t state = 0x9E3779B97F4A7C15ull ^ n;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      std::swap(shuffled[i], shuffled[(state >> 33) % (i + 1)]);
+    }
+    EXPECT_EQ(collect_in_order(n, shuffled), expect) << "shuffle, n=" << n;
+  }
+}
+
+TEST(OrderedCollector, FlushesTheLongestReadyPrefixImmediately) {
+  // Rows must stream out as soon as the prefix is contiguous — a collector
+  // that buffers everything until done() == n would pass the tests above
+  // but stall sinks that stream to disk mid-sweep.
+  std::ostringstream out;
+  runtime::CsvSink sink{out};
+  sink.begin({"i"});
+  runtime::OrderedCollector collector{6, &sink};
+  collector.add(1, {{"1"}});
+  collector.add(2, {{"2"}});
+  EXPECT_EQ(out.str(), "i\n");  // hole at 0: nothing may flush
+  collector.add(0, {{"0"}});
+  EXPECT_EQ(out.str(), "i\n0\n1\n2\n");  // prefix 0..2 flushes at once
+  collector.add(5, {{"5"}});
+  EXPECT_EQ(out.str(), "i\n0\n1\n2\n");  // hole at 3 blocks 5
+  collector.add(4, {{"4"}});
+  collector.add(3, {{"3"}});
+  sink.end();
+  EXPECT_EQ(out.str(), "i\n0\n1\n2\n3\n4\n5\n");
+  EXPECT_EQ(collector.done(), 6u);
 }
 
 TEST(Sinks, CsvEscapingAndJsonShape) {

@@ -1,0 +1,132 @@
+// Proves the per-word delivery path is allocation-free now that the word
+// callbacks (frontend::AerFrontEnd::WordFn, i2s::I2sMaster::WordFn) are
+// util::InplaceFunction instead of std::function: the captures the library
+// actually installs — a component `this` pointer, or the scenario runner's
+// two-reference MCU+harvest closure — must store inline, and assigning plus
+// dispatching them must never touch the global allocator. Global operator
+// new/delete are replaced in this binary with counting versions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "aer/event.hpp"
+#include "frontend/aer_frontend.hpp"
+#include "i2s/i2s.hpp"
+#include "util/time.hpp"
+
+namespace {
+std::uint64_t g_allocs = 0;  // test binary is single-threaded
+}
+
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++g_allocs;
+  const auto a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) & ~(a - 1);  // aligned_alloc contract
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace aetr {
+namespace {
+
+using WordFn = frontend::AerFrontEnd::WordFn;
+
+// The two WordFn types must stay interchangeable (core wires the frontend's
+// words into the I2S master's consumer contract).
+static_assert(
+    std::is_same_v<frontend::AerFrontEnd::WordFn, i2s::I2sMaster::WordFn>);
+
+struct FakeSink {
+  std::uint64_t words{0};
+  std::uint64_t last_addr{0};
+  Time last_at{Time::zero()};
+  void on_word(aer::AetrWord w, Time t) {
+    ++words;
+    last_addr = w.address();
+    last_at = t;
+  }
+};
+
+struct FakeHarvester {
+  Time latest{Time::zero()};
+  void harvest(Time t) { latest = t; }
+};
+
+// The library's real capture shapes must be inline-storable by construction:
+// the interface installs a bare `this` (core/interface.cpp), the scenario
+// runner a two-reference MCU+harvest closure (core/scenario.cpp).
+static_assert(WordFn::stores_inline<
+              decltype([p = static_cast<FakeSink*>(nullptr)](
+                           aer::AetrWord w, Time t) { p->on_word(w, t); })>());
+static_assert(WordFn::stores_inline<
+              decltype([p = static_cast<FakeSink*>(nullptr),
+                        h = static_cast<FakeHarvester*>(nullptr)](
+                           aer::AetrWord w, Time t) {
+                p->on_word(w, t);
+                h->harvest(t);
+              })>());
+
+TEST(WordPathAlloc, InstallAndDispatchAreAllocationFree) {
+  FakeSink sink;
+  FakeHarvester harvester;
+  WordFn fn;
+  const std::uint64_t before = g_allocs;
+  // Re-install every round (components are re-wired between runs) and push
+  // a batch of words through: the steady-state word path must stay off the
+  // allocator entirely — install included.
+  for (int round = 0; round < 10; ++round) {
+    fn = [&sink, &harvester](aer::AetrWord w, Time t) {
+      sink.on_word(w, t);
+      harvester.harvest(t);
+    };
+    ASSERT_TRUE(static_cast<bool>(fn));
+    for (std::uint32_t i = 0; i < 1024; ++i) {
+      fn(aer::AetrWord::make(static_cast<std::uint16_t>(i & 0x3FF), i),
+         Time::ns(130.0 * (i + 1)));
+    }
+  }
+  EXPECT_EQ(g_allocs, before) << "per-word path touched the allocator";
+  EXPECT_EQ(sink.words, 10u * 1024u);
+  EXPECT_EQ(sink.last_addr, 1023u & 0x3FFu);
+  EXPECT_EQ(harvester.latest, Time::ns(130.0 * 1024));
+}
+
+TEST(WordPathAlloc, MoveTransfersTheInlineCallable) {
+  FakeSink sink;
+  WordFn a = [&sink](aer::AetrWord w, Time t) { sink.on_word(w, t); };
+  const std::uint64_t before = g_allocs;
+  WordFn b = std::move(a);  // the on_word(std::move(fn)) handoff
+  ASSERT_TRUE(static_cast<bool>(b));
+  b(aer::AetrWord::make(7, 1), Time::ns(1.0));
+  EXPECT_EQ(g_allocs, before) << "moving an inline WordFn allocated";
+  EXPECT_EQ(sink.words, 1u);
+  EXPECT_EQ(sink.last_addr, 7u);
+}
+
+}  // namespace
+}  // namespace aetr

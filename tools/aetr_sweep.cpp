@@ -1,9 +1,13 @@
 // aetr-sweep — unified sweep driver for the figure/ablation reproductions
 // and the design-space optimizer.
 //
-//   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|all
+//   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|faults|fleet|all
 //              [--jobs N] [--seed S] [--out DIR] [--quick] [--no-fast-forward]
 //              [--trace] [--metrics] [--report FILE] [--quiet]
+//
+// `all` runs every figure in the sweeps::figures() registry — the fig/
+// ablation set plus the faults and fleet figures — so the CI determinism
+// gates (`all --quick` with fast path on vs off) exercise each of them.
 //   aetr-sweep opt [--strategy factorial|random|halving] [--budget N]
 //              [--objectives energy,error[,loss,latency]] [--space FILE]
 //              [--events N] [--rate HZ] [--fault-level X] [--resume]

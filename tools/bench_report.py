@@ -30,6 +30,13 @@ Two modes, selected by the first argument:
       and records the wall clocks plus the degradation series
       -> BENCH_faults.json. Also exposed as the `faults_report` target.
 
+  tools/bench_report.py fleet [path/to/aetr-sweep] [fleet_throughput] [label]
+      Fleet simulation (fleet/fleet.hpp): node-phase throughput in
+      events/sec/core and energy-per-delivered-event across fleet sizes
+      from the fleet_throughput bench, plus the `aetr-sweep fleet --quick`
+      --jobs 1 vs N byte-identity gate (CSV + summary JSON)
+      -> BENCH_fleet.json. Also exposed as the `fleet_report` target.
+
   tools/bench_report.py opt [path/to/aetr-sweep] [label]
       Design-space optimizer: runs `aetr-sweep opt --quick` at --jobs 1
       and --jobs max(4, cpu_count), checks the Pareto-front artifacts are
@@ -330,8 +337,13 @@ def fastpath_mode(cli, bench, label):
                 "mcu_decode_one": 30,
                 "harvest_callback": 20,
                 "sampling_schedule_measure": 15,
-                "word_fn_std_function_chain": 20,
+                "word_fn_callback_chain": 20,
             },
+            "word_fn_note": "the per-word callbacks are now"
+                            " util::InplaceFunction (inline storage, no"
+                            " allocator round-trip; see"
+                            " tests/test_word_path_alloc.cpp) — the history"
+                            " entries record the std::function-era numbers",
         },
         "outputs_identical": csvs_identical and series_identical,
         "history": history,
@@ -432,6 +444,97 @@ def faults_mode(cli, label):
     print(f"faults --quick  --jobs 1 {serial['wall_sec']:8.3f} s |"
           f" --jobs {jobs_n} {parallel['wall_sec']:8.3f} s |"
           f" outputs byte-identical: {identical}")
+    write_doc(out, doc)
+    return 0 if identical else 1
+
+
+# --- sensor fleet -------------------------------------------------------------
+
+FLEET_ARTIFACTS = ("aetr_fleet.csv", "aetr_fleet_points.csv",
+                   "aetr_fleet_summary.json")
+
+
+def run_fleet_sweep(cli, jobs, out_dir):
+    proc = subprocess.run(
+        [cli, "fleet", "--quick", "--jobs", str(jobs), "--quiet",
+         "--out", str(out_dir)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"error: aetr-sweep fleet --jobs {jobs} exited "
+              f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+        return None
+    return True
+
+
+def fleet_mode(cli, bench, label):
+    out = ROOT / "BENCH_fleet.json"
+    for path, target in ((cli, "aetr_sweep"), (bench, "fleet_throughput")):
+        if not pathlib.Path(path).exists():
+            print(f"error: binary not found: {path}", file=sys.stderr)
+            print(f"build it first: cmake --build build --target {target}",
+                  file=sys.stderr)
+            return 1
+    cpus = os.cpu_count() or 1
+    jobs_n = max(4, cpus)
+
+    # Per-N wall clock + figure-of-merit series from the bench (node phase
+    # parallelised over all cores; per-core numbers stay host-comparable).
+    proc = subprocess.run([bench], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {bench} exited {proc.returncode}:\n{proc.stderr}",
+              file=sys.stderr)
+        return 1
+    series = json.loads(proc.stdout)
+
+    # Determinism gate: the quick fleet figure must be byte-identical for
+    # any --jobs value, summary JSON included.
+    with tempfile.TemporaryDirectory(prefix="aetr_fleet_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        (tmp / "j1").mkdir()
+        (tmp / "jN").mkdir()
+        if run_fleet_sweep(cli, 1, tmp / "j1") is None:
+            return 1
+        if run_fleet_sweep(cli, jobs_n, tmp / "jN") is None:
+            return 1
+        identical = all(
+            (tmp / "j1" / f).read_bytes() == (tmp / "jN" / f).read_bytes()
+            for f in FLEET_ARTIFACTS
+        )
+
+    peak_evps_core = max(e["events_per_sec_per_core"] for e in series)
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "peak_events_per_sec_per_core":
+            old.get("peak_events_per_sec_per_core"),
+        "series": [
+            {k: e.get(k) for k in ("nodes", "events_per_sec_per_core",
+                                   "energy_per_delivered_uj",
+                                   "delivered_fraction")}
+            for e in old.get("series", [])
+        ],
+        "outputs_identical": old.get("outputs_identical"),
+        "cpu_count": old.get("cpu_count"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "cpu_count": cpus,
+        "series": series,
+        "peak_events_per_sec_per_core": round(peak_evps_core),
+        "outputs_identical": identical,
+        "history": history,
+    }
+    for e in series:
+        print(f"N {e['nodes']:>5d}  {e['events_per_sec']:>12.0f} evt/s"
+              f"  ({e['events_per_sec_per_core']:>10.0f} /core)"
+              f"  delivered {e['delivered_fraction']:.4f}"
+              f"  {e['energy_per_delivered_uj']:.3f} uJ/evt"
+              f"  p99 {e['latency_p99_ms']:.3f} ms")
+    print(f"peak {peak_evps_core:.0f} evt/s/core on {cpus} CPU(s);"
+          f" fleet --quick outputs byte-identical across --jobs:"
+          f" {identical}")
     write_doc(out, doc)
     return 0 if identical else 1
 
@@ -660,6 +763,13 @@ def main() -> int:
             ROOT / "build" / "bench" / "fastpath_throughput")
         label = args[3] if len(args) > 3 else ""
         return fastpath_mode(cli, bench, label)
+    if args and args[0] == "fleet":
+        cli = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "aetr-sweep")
+        bench = args[2] if len(args) > 2 else str(
+            ROOT / "build" / "bench" / "fleet_throughput")
+        label = args[3] if len(args) > 3 else ""
+        return fleet_mode(cli, bench, label)
     if args and args[0] == "opt":
         cli = args[1] if len(args) > 1 else str(
             ROOT / "build" / "bench" / "aetr-sweep")
