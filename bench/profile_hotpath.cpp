@@ -1,0 +1,92 @@
+// Hot-path breakdown of run_scenario() under the scoped sampling profiler
+// (util/profiler.hpp): one full DES run with the MCU attached exercises all
+// four instrumented sites (mcu decode, latency harvest, schedule measure,
+// I2S word path). Emits a JSON object on stdout, consumed by
+// `tools/bench_report.py profile` (the `profile_report` CMake target) into
+// BENCH_profile.json.
+//
+// Self-checking: a run with the profiler disabled must leave every counter
+// at zero (the zero-cost contract), and the enabled run must record calls
+// at every site — a silent zero means an instrumentation point got lost.
+#include <chrono>
+#include <cstdio>
+
+#include "core/scenario.hpp"
+#include "gen/sources.hpp"
+#include "util/profiler.hpp"
+
+namespace {
+
+using aetr::Time;
+using aetr::util::ProfSite;
+
+double run_once(const aetr::core::ScenarioConfig& sc,
+                const aetr::aer::EventStream& events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = aetr::core::run_scenario(sc, events);
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)r;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kRate = 5e4;       // the paper's mid-rate sweet spot
+  constexpr std::size_t kEvents = 20000;
+
+  aetr::core::ScenarioConfig sc;
+  sc.interface.front_end.keep_records = false;
+  sc.interface.fifo.batch_threshold = 64;
+  sc.cooldown = Time::ms(2.0);
+  // The profiler's clock reads force the reference event-driven path to be
+  // representative; the fast path skips the very code being profiled.
+  sc.fast_forward = false;
+  aetr::gen::PoissonSource src{kRate, 128, 20260809};
+  const auto events = aetr::gen::take(src, kEvents);
+
+  // Zero-cost contract: with the profiler off, no site may record anything.
+  aetr::util::profiler_set_enabled(false);
+  aetr::util::profiler_reset();
+  const double wall_off = run_once(sc, events);
+  for (std::size_t i = 0; i < aetr::util::kProfSiteCount; ++i) {
+    const auto st = aetr::util::profiler_stats(static_cast<ProfSite>(i));
+    if (st.calls != 0 || st.ns != 0) {
+      std::fprintf(stderr,
+                   "profile_hotpath: site %s recorded %llu calls with the "
+                   "profiler disabled\n",
+                   aetr::util::to_string(static_cast<ProfSite>(i)),
+                   static_cast<unsigned long long>(st.calls));
+      return 1;
+    }
+  }
+
+  aetr::util::profiler_set_enabled(true);
+  const double wall_on = run_once(sc, events);
+  aetr::util::profiler_set_enabled(false);
+
+  // Every site must have fired: the run decodes words (mcu_decode,
+  // word_path), harvests delivery latencies (harvest) and drives the
+  // sampling clock (schedule_measure).
+  for (std::size_t i = 0; i < aetr::util::kProfSiteCount; ++i) {
+    const auto st = aetr::util::profiler_stats(static_cast<ProfSite>(i));
+    if (st.calls == 0) {
+      std::fprintf(stderr,
+                   "profile_hotpath: site %s recorded no calls — lost "
+                   "instrumentation point?\n",
+                   aetr::util::to_string(static_cast<ProfSite>(i)));
+      return 1;
+    }
+  }
+
+  const double overhead_pct =
+      wall_off > 0.0 ? (wall_on - wall_off) / wall_off * 100.0 : 0.0;
+  std::printf(
+      "{\"rate_hz\": %g, \"events\": %zu,"
+      " \"wall_sec_off\": %.6f, \"wall_sec_on\": %.6f,"
+      " \"profiling_overhead_pct\": %.2f,"
+      " \"profile\": %s}\n",
+      kRate, kEvents, wall_off, wall_on, overhead_pct,
+      aetr::util::profiler_report_json().c_str());
+  return 0;
+}

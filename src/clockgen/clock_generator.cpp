@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/profiler.hpp"
+
 namespace aetr::clockgen {
 namespace {
 
@@ -151,7 +153,10 @@ void ClockGenerator::capture_request(std::uint32_t sync_edges, CaptureFn done) {
   const Time delta = elapsed();
   const bool was_asleep = schedule_.is_asleep_at(delta);
   const Time wake = wake_latency_for(was_asleep);
-  const auto m = schedule_.measure(delta, sync_edges, wake);
+  const auto m = [&] {
+    util::ProfScope prof{util::ProfSite::kScheduleMeasure};
+    return schedule_.measure(delta, sync_edges, wake);
+  }();
   const Time sample_abs = origin_ + m.sample_edge;
 
   sched_.schedule_at(
@@ -173,7 +178,10 @@ ClockGenerator::CaptureResult ClockGenerator::capture_now(
   const Time delta = req_abs - origin_;
   const bool was_asleep = schedule_.is_asleep_at(delta);
   const Time wake = wake_latency_for(was_asleep);
-  const auto m = schedule_.measure(delta, sync_edges, wake);
+  const auto m = [&] {
+    util::ProfScope prof{util::ProfSite::kScheduleMeasure};
+    return schedule_.measure(delta, sync_edges, wake);
+  }();
   const Time sample_abs = origin_ + m.sample_edge;
   const std::uint64_t ticks =
       settle_capture(m, delta, was_asleep, wake, sample_abs);

@@ -203,6 +203,10 @@ const std::map<std::string, ScenarioSetter>& scenario_setters() {
        [](ScenarioConfig& s, const std::string& v) {
          s.fast_forward = parse_bool(v, "run.fast_forward");
        }},
+      {"run.energy_ledger",
+       [](ScenarioConfig& s, const std::string& v) {
+         s.energy_ledger = parse_bool(v, "run.energy_ledger");
+       }},
       // Fault plan.
       {"fault.seed",
        [](ScenarioConfig& s, const std::string& v) {
@@ -535,6 +539,7 @@ std::string dump_scenario(const ScenarioConfig& s) {
   os << "run.final_flush = " << (s.final_flush ? "true" : "false") << '\n';
   os << "run.attach_mcu = " << (s.attach_mcu ? "true" : "false") << '\n';
   os << "run.fast_forward = " << (s.fast_forward ? "true" : "false") << '\n';
+  os << "run.energy_ledger = " << (s.energy_ledger ? "true" : "false") << '\n';
   const fault::FaultPlan& f = s.faults;
   os << "fault.seed = " << f.seed << '\n';
   os << "fault.aer.drop_req_prob = " << f.aer.drop_req_prob << '\n';

@@ -9,6 +9,7 @@
 #include "core/fast_path.hpp"
 #include "mcu/consumer.hpp"
 #include "sim/scheduler.hpp"
+#include "util/profiler.hpp"
 
 namespace aetr::core {
 
@@ -189,6 +190,7 @@ RunResult run_scenario(const ScenarioConfig& scenario,
   std::vector<double> latencies;
   std::size_t harvested = 0;
   const auto harvest = [&latencies, &harvested, &mcu](Time now) {
+    util::ProfScope prof{util::ProfSite::kHarvest};
     const auto& evs = mcu.events();
     for (; harvested < evs.size(); ++harvested) {
       latencies.push_back((now - evs[harvested].reconstructed_time).to_sec());
@@ -327,6 +329,21 @@ RunResult run_scenario(const ScenarioConfig& scenario,
     if (span > 0.0) {
       r.input_rate_hz = static_cast<double>(events.size() - 1) / span;
     }
+  }
+  if (scenario.energy_ledger) {
+    // Post-hoc arithmetic over the counters gathered above — filling the
+    // ledger cannot perturb the run or its fast-path eligibility.
+    obs::LedgerInputs in;
+    in.activity = r.activity;
+    in.calibration = iface.power_model().calibration();
+    in.tick_unit = r.tick_unit;
+    in.words = r.words_out;
+    in.batches = r.batches;
+    in.events_in = r.events_in;
+    in.delivered = scenario.attach_mcu ? r.decoded.size() : r.words_out;
+    in.buffer_dropped = r.fifo_overflows;
+    in.include_mcu = scenario.attach_mcu;
+    r.ledger = obs::EnergyLedger::from_run(in);
   }
   return r;
 }

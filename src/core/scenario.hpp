@@ -17,6 +17,7 @@
 #include "core/interface.hpp"
 #include "fault/fault_plan.hpp"
 #include "gen/sources.hpp"
+#include "obs/ledger.hpp"
 #include "power/model.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -81,6 +82,11 @@ struct ScenarioConfig {
   /// path. Ignored (reference path) whenever telemetry is active, the fault
   /// plan injects anything, or a FIFO drain timeout is set.
   bool fast_forward = true;
+  /// Fill RunResult::ledger (obs::EnergyLedger) from the run's counters.
+  /// Pure post-hoc arithmetic: never perturbs the run, never disqualifies
+  /// the fast path, and off leaves RunResult bit-identical to a build
+  /// without the ledger.
+  bool energy_ledger = false;
   TelemetryChoice telemetry;        ///< off / runner-owned / borrowed
 
   /// Throws std::invalid_argument on the first inconsistency (probability
@@ -114,6 +120,9 @@ struct RunResult {
   std::uint64_t protocol_violations{0};
   // Faults (all zero when the scenario's plan is empty)
   fault::FaultCounters faults;
+  /// Energy-attribution ledger (obs). Default-constructed (enabled ==
+  /// false, all zeros) unless ScenarioConfig::energy_ledger asked for it.
+  obs::EnergyLedger ledger;
   // Timeline
   Time sim_end{Time::zero()};
   double input_rate_hz{0.0};  ///< measured from the stream span

@@ -30,10 +30,14 @@ double to_unit(std::uint64_t bits) {
 }
 
 /// Fixed prefix of a node job's `values` before the (t_event, t_accept)
-/// pairs; keep in sync with pack_node()/unpack_node().
+/// pairs; keep in sync with pack_node()/unpack_node(). When the fleet rolls
+/// up health, a fixed-size ledger tail (stage energies + state residencies)
+/// rides AFTER the pairs, so the disabled layout is untouched.
 constexpr std::size_t kNodeScalars = 10;
+constexpr std::size_t kLedgerTail = obs::kStageCount + obs::kStateCount;
 
-void pack_node(const core::RunResult& r, runtime::JobOutput& out) {
+void pack_node(const core::RunResult& r, bool health,
+               runtime::JobOutput& out) {
   const double sim_end_sec = r.sim_end.to_sec();
   out.values = {r.average_power_w * sim_end_sec,
                 r.average_power_w,
@@ -45,12 +49,34 @@ void pack_node(const core::RunResult& r, runtime::JobOutput& out) {
                 static_cast<double>(r.faults.injected_total()),
                 static_cast<double>(r.faults.recovered_total()),
                 static_cast<double>(r.delivery_latency_sec.size())};
-  out.values.reserve(kNodeScalars + 2 * r.decoded.size());
+  out.values.reserve(kNodeScalars + 2 * r.decoded.size() +
+                     (health ? kLedgerTail : 0));
   for (std::size_t j = 0; j < r.decoded.size(); ++j) {
     const double t_event = r.decoded[j].reconstructed_time.to_sec();
     out.values.push_back(t_event);
     out.values.push_back(t_event + r.delivery_latency_sec[j]);
   }
+  if (health) {
+    for (const double e : r.ledger.stage_energy_j) out.values.push_back(e);
+    for (const double s : r.ledger.state_sec) out.values.push_back(s);
+  }
+}
+
+/// Rebuild a node's ledger from its packed tail (outcome counts are filled
+/// in after the link phase has decided every event's fate).
+obs::EnergyLedger unpack_ledger(const std::vector<double>& v,
+                                std::size_t pairs) {
+  obs::EnergyLedger led;
+  led.enabled = true;
+  led.window_sec = v[2];  // node sim_end, pre-truncation
+  const std::size_t tail = kNodeScalars + 2 * pairs;
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    led.stage_energy_j[s] = v[tail + s];
+  }
+  for (std::size_t s = 0; s < obs::kStateCount; ++s) {
+    led.state_sec[s] = v[tail + obs::kStageCount + s];
+  }
+  return led;
 }
 
 NodeResult unpack_node(const FleetConfig& cfg, std::size_t node,
@@ -247,6 +273,9 @@ core::ScenarioConfig node_scenario(const FleetConfig& config,
         config.fault_level,
         runtime::derive_substream_seed(config.seed, node, kStreamFaults));
   }
+  // The ledger is post-hoc arithmetic: turning it on cannot change the
+  // node's RunResult, only annotate it.
+  if (config.health) sc.energy_ledger = true;
   return sc;
 }
 
@@ -277,7 +306,7 @@ FleetResult run_fleet(const FleetConfig& config, const FleetOptions& options) {
     const auto r = core::run_scenario(node_scenario(config, node),
                                       node_stream(config, node));
     runtime::JobOutput out;
-    pack_node(r, out);
+    pack_node(r, config.health, out);
     return out;
   };
   const auto report = runtime::run_sweep(grid, job, so, nullptr);
@@ -291,10 +320,14 @@ FleetResult run_fleet(const FleetConfig& config, const FleetOptions& options) {
   }
   std::vector<std::vector<Offer>> offers(config.gateways);
   double max_sim_end = 0.0;
+  if (config.health) res.health.node_ledgers.reserve(config.nodes);
   for (std::size_t i = 0; i < config.nodes; ++i) {
     const auto& v = report.outputs[i].values;
     NodeResult n = unpack_node(config, i, v);
     const std::size_t g = i % config.gateways;
+    const auto pairs = static_cast<std::size_t>(v[kNodeScalars - 1]);
+    obs::EnergyLedger led;
+    if (config.health) led = unpack_ledger(v, pairs);
     // Constant-power budget model: the node goes dark the instant its
     // accumulated energy crosses the budget.
     double death_sec = std::numeric_limits<double>::infinity();
@@ -303,10 +336,12 @@ FleetResult run_fleet(const FleetConfig& config, const FleetOptions& options) {
       if (death_sec < n.sim_end_sec) {
         n.budget_exhausted = true;
         n.energy_j = config.node_energy_budget_j;  // it stopped burning there
+        // Same constant-power truncation for the ledger: every stage and
+        // residency shrinks by the fraction of the window the node lived.
+        if (config.health) obs::scale(led, death_sec / n.sim_end_sec);
         n.sim_end_sec = death_sec;
       }
     }
-    const auto pairs = static_cast<std::size_t>(v[kNodeScalars - 1]);
     for (std::size_t j = 0; j < pairs; ++j) {
       const double t_event = v[kNodeScalars + 2 * j];
       const double t_accept = v[kNodeScalars + 2 * j + 1];
@@ -325,6 +360,7 @@ FleetResult run_fleet(const FleetConfig& config, const FleetOptions& options) {
     res.dropped_dead_total += n.dropped_dead;
     max_sim_end = std::max(max_sim_end, n.sim_end_sec);
     res.nodes.push_back(n);
+    if (config.health) res.health.node_ledgers.push_back(led);
   }
 
   std::vector<double> latencies;
@@ -344,6 +380,47 @@ FleetResult run_fleet(const FleetConfig& config, const FleetOptions& options) {
   res.latency_p50_sec = quantile_sorted(latencies, 0.50);
   res.latency_p99_sec = quantile_sorted(latencies, 0.99);
   res.latency_p999_sec = quantile_sorted(latencies, 0.999);
+
+  // Health roll-up: now that the link phase has decided every event's fate,
+  // book each node's outcome counts, finalize its energy split, and sum the
+  // ledgers element-wise into the fleet ledger.
+  if (config.health) {
+    FleetHealth& h = res.health;
+    h.enabled = true;
+    std::vector<double> energies, powers, fracs;
+    energies.reserve(config.nodes);
+    powers.reserve(config.nodes);
+    fracs.reserve(config.nodes);
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      const NodeResult& n = res.nodes[i];
+      obs::EnergyLedger& led = h.node_ledgers[i];
+      using obs::Outcome;
+      auto& oe = led.outcome_events;
+      oe[static_cast<std::size_t>(Outcome::kDelivered)] = n.delivered;
+      oe[static_cast<std::size_t>(Outcome::kBufferDropped)] =
+          n.fifo_overflows;
+      const std::uint64_t accounted = n.decoded + n.fifo_overflows;
+      oe[static_cast<std::size_t>(Outcome::kFaultLost)] =
+          n.events_in > accounted ? n.events_in - accounted : 0u;
+      oe[static_cast<std::size_t>(Outcome::kLinkDropped)] = n.dropped_link;
+      oe[static_cast<std::size_t>(Outcome::kBudgetDead)] = n.dropped_dead;
+      led.finalize_outcomes();
+      obs::accumulate(h.fleet, led);
+      energies.push_back(n.energy_j);
+      powers.push_back(n.average_power_w);
+      fracs.push_back(n.delivered_fraction());
+    }
+    h.fleet.finalize_outcomes();
+    std::sort(energies.begin(), energies.end());
+    std::sort(powers.begin(), powers.end());
+    std::sort(fracs.begin(), fracs.end());
+    h.node_energy_p50_j = quantile_sorted(energies, 0.50);
+    h.node_energy_p99_j = quantile_sorted(energies, 0.99);
+    h.node_power_p50_w = quantile_sorted(powers, 0.50);
+    h.node_power_p99_w = quantile_sorted(powers, 0.99);
+    h.delivered_frac_p50 = quantile_sorted(fracs, 0.50);
+    h.delivered_frac_min = fracs.front();
+  }
 
   // Fleet-level telemetry: value-capturing probes (safe to move with the
   // result) plus the per-node energy histogram, snapshotted once at the

@@ -40,6 +40,7 @@
 
 #include "aer/event.hpp"
 #include "core/scenario.hpp"
+#include "obs/ledger.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace aetr::fleet {
@@ -88,6 +89,11 @@ struct FleetConfig {
   /// instant (budget / average power — the constant-power approximation the
   /// node model justifies) are dropped as dead, not offered to the link.
   double node_energy_budget_j = 0.0;
+  /// Health roll-up: run every node with its energy ledger on and aggregate
+  /// per-node ledgers into FleetResult::health (fleet EnergyLedger with
+  /// drop-cause attribution + percentile summaries). Post-hoc arithmetic
+  /// only — off leaves FleetResult bit-identical to a build without it.
+  bool health = false;
   /// Root seed; every per-node stream derives from (seed, node, stream).
   std::uint64_t seed = 1;
 
@@ -134,6 +140,24 @@ struct GatewayResult {
   }
 };
 
+/// Fleet health roll-up (FleetConfig::health): the per-node energy ledgers
+/// and their aggregate. The fleet ledger's stages, states and outcome
+/// counts are the exact element-wise sum of the node ledgers (asserted in
+/// tests); its outcome energies are re-finalized over the aggregate counts.
+struct FleetHealth {
+  bool enabled{false};
+  obs::EnergyLedger fleet;  ///< roll-up; outcome counts = drop-cause totals
+  std::vector<obs::EnergyLedger> node_ledgers;  ///< node-id order, finalized
+  // Percentile summaries over the per-node scalars (quantile = the
+  // ceil(q*n)-th order statistic, same method as the latency quantiles).
+  double node_energy_p50_j{0.0};
+  double node_energy_p99_j{0.0};
+  double node_power_p50_w{0.0};
+  double node_power_p99_w{0.0};
+  double delivered_frac_p50{0.0};
+  double delivered_frac_min{0.0};  ///< the unhealthiest node
+};
+
 /// Everything a fleet run measures.
 struct FleetResult {
   std::vector<NodeResult> nodes;       ///< node-id order
@@ -152,6 +176,9 @@ struct FleetResult {
   /// fleet.* probes plus the per-node energy histogram
   /// ("fleet.node_energy_j"), snapshotted once at the fleet's sim end.
   telemetry::MetricsRegistry metrics;
+  /// Health roll-up; default-constructed (enabled == false, empty) unless
+  /// FleetConfig::health asked for it.
+  FleetHealth health;
 
   [[nodiscard]] double delivered_fraction() const {
     return events_in_total != 0u

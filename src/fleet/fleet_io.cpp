@@ -45,6 +45,12 @@ std::uint64_t parse_uint(const std::string& v, const std::string& key) {
   return static_cast<std::uint64_t>(d);
 }
 
+bool parse_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  throw std::runtime_error("fleet: bad bool for " + key + ": '" + v + "'");
+}
+
 using Setter = std::function<void(FleetConfig&, const std::string&)>;
 
 const std::map<std::string, Setter>& fleet_setters() {
@@ -79,6 +85,10 @@ const std::map<std::string, Setter>& fleet_setters() {
        [](FleetConfig& c, const std::string& v) {
          c.node_energy_budget_j =
              parse_double(v, "fleet.node_energy_budget_j");
+       }},
+      {"fleet.health",
+       [](FleetConfig& c, const std::string& v) {
+         c.health = parse_bool(v, "fleet.health");
        }},
       {"fleet.seed",
        [](FleetConfig& c, const std::string& v) {
@@ -181,6 +191,7 @@ std::string dump_fleet(const FleetConfig& c) {
   os << "fleet.rate_spread = " << c.rate_spread << '\n';
   os << "fleet.fault_level = " << c.fault_level << '\n';
   os << "fleet.node_energy_budget_j = " << c.node_energy_budget_j << '\n';
+  os << "fleet.health = " << (c.health ? "true" : "false") << '\n';
   os << "fleet.seed = " << c.seed << '\n';
   os << "link.bandwidth_words_per_sec = " << c.link.bandwidth_words_per_sec
      << '\n';

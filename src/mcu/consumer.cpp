@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "i2s/framing.hpp"
+#include "util/profiler.hpp"
 
 namespace aetr::mcu {
 
@@ -146,6 +147,7 @@ void McuConsumer::on_word(aer::AetrWord word, Time arrival) {
 }
 
 void McuConsumer::decode_one(aer::AetrWord word, Time arrival) {
+  util::ProfScope prof{util::ProfSite::kMcuDecode};
   const aer::TimedEvent ev = decoder_.decode(word);
   if (ev.saturated) tel_.instant("saturated_decode", arrival);
   events_.push_back(ev);

@@ -1,0 +1,217 @@
+#include "obs/ledger.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "mcu/power.hpp"
+
+namespace aetr::obs {
+
+namespace {
+
+std::size_t idx(Stage s) { return static_cast<std::size_t>(s); }
+std::size_t idx(ClockState s) { return static_cast<std::size_t>(s); }
+std::size_t idx(Outcome o) { return static_cast<std::size_t>(o); }
+
+/// %.17g round-trips any double exactly, so two writes of the same ledger
+/// are byte-identical and a reader recovers the exact values.
+std::string g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kStatic: return "static";
+    case Stage::kClockGen: return "clockgen";
+    case Stage::kFrontend: return "frontend";
+    case Stage::kFifo: return "fifo";
+    case Stage::kI2s: return "i2s";
+    case Stage::kSpi: return "spi";
+    case Stage::kMcu: return "mcu";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(ClockState s) {
+  switch (s) {
+    case ClockState::kActive: return "active";
+    case ClockState::kPaused: return "paused";
+    case ClockState::kOscOff: return "osc_off";
+    case ClockState::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(Outcome o) {
+  switch (o) {
+    case Outcome::kDelivered: return "delivered";
+    case Outcome::kBufferDropped: return "buffer_dropped";
+    case Outcome::kFaultLost: return "fault_lost";
+    case Outcome::kLinkDropped: return "link_dropped";
+    case Outcome::kBudgetDead: return "budget_dead";
+    case Outcome::kCount: break;
+  }
+  return "?";
+}
+
+double EnergyLedger::interface_energy_j() const {
+  double e = 0.0;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    if (s != idx(Stage::kMcu)) e += stage_energy_j[s];
+  }
+  return e;
+}
+
+double EnergyLedger::total_energy_j() const {
+  double e = 0.0;
+  for (const double s : stage_energy_j) e += s;
+  return e;
+}
+
+double EnergyLedger::energy_per_delivered_j() const {
+  const std::uint64_t n = events(Outcome::kDelivered);
+  return n != 0u ? total_energy_j() / static_cast<double>(n) : 0.0;
+}
+
+void EnergyLedger::finalize_outcomes() {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : outcome_events) total += n;
+  outcome_energy_j.fill(0.0);
+  const double e = total_energy_j();
+  if (total == 0u) {
+    outcome_energy_j[idx(Outcome::kDelivered)] = e;
+    return;
+  }
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    outcome_energy_j[o] = e * static_cast<double>(outcome_events[o]) /
+                          static_cast<double>(total);
+  }
+}
+
+EnergyLedger EnergyLedger::from_run(const LedgerInputs& in) {
+  EnergyLedger led;
+  led.enabled = true;
+  const power::ActivityTotals& a = in.activity;
+  const power::PowerCalibration& cal = in.calibration;
+  led.window_sec = a.window.to_sec();
+
+  // Stage energies: the exact per-unit terms PowerModel::energy_j sums, so
+  // Σ stages == the model's total up to addition reordering (well under the
+  // 1e-12 J reconciliation bound for any realistic window).
+  led.stage_energy_j[idx(Stage::kStatic)] = cal.static_w * a.window.to_sec();
+  led.stage_energy_j[idx(Stage::kClockGen)] =
+      cal.osc_domain_w * a.osc_awake.to_sec() +
+      cal.sampling_cycle_j * static_cast<double>(a.sampling_cycles) +
+      cal.wakeup_j * static_cast<double>(a.wakeups);
+  led.stage_energy_j[idx(Stage::kFrontend)] =
+      cal.event_j * static_cast<double>(a.events);
+  led.stage_energy_j[idx(Stage::kFifo)] =
+      cal.fifo_access_j * static_cast<double>(a.fifo_writes + a.fifo_reads);
+  led.stage_energy_j[idx(Stage::kI2s)] =
+      cal.i2s_bit_j * static_cast<double>(a.i2s_bits);
+  led.stage_energy_j[idx(Stage::kSpi)] =
+      cal.spi_bit_j * static_cast<double>(a.spi_bits);
+  if (in.include_mcu) {
+    led.stage_energy_j[idx(Stage::kMcu)] =
+        mcu::batch_mcu_energy(mcu::McuDuty{a.window, in.words, in.batches})
+            .energy_j;
+  }
+
+  // State residency, in closed form from the counted activity: at division
+  // level k one sampling cycle spans 2^k * Tmin of which exactly Tmin is
+  // full-rate work, so cycles * Tmin is the active time whatever schedule
+  // of levels produced it.
+  const double active =
+      static_cast<double>(a.sampling_cycles) * in.tick_unit.to_sec();
+  const double awake = a.osc_awake.to_sec();
+  led.state_sec[idx(ClockState::kActive)] = std::min(active, awake);
+  led.state_sec[idx(ClockState::kPaused)] = std::max(awake - active, 0.0);
+  led.state_sec[idx(ClockState::kOscOff)] =
+      std::max(led.window_sec - awake, 0.0);
+
+  led.outcome_events[idx(Outcome::kDelivered)] = in.delivered;
+  led.outcome_events[idx(Outcome::kBufferDropped)] = in.buffer_dropped;
+  const std::uint64_t accounted = in.delivered + in.buffer_dropped;
+  led.outcome_events[idx(Outcome::kFaultLost)] =
+      in.events_in > accounted ? in.events_in - accounted : 0u;
+  led.finalize_outcomes();
+  return led;
+}
+
+void accumulate(EnergyLedger& into, const EnergyLedger& from) {
+  into.enabled = into.enabled || from.enabled;
+  into.window_sec = std::max(into.window_sec, from.window_sec);
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    into.stage_energy_j[s] += from.stage_energy_j[s];
+  }
+  for (std::size_t s = 0; s < kStateCount; ++s) {
+    into.state_sec[s] += from.state_sec[s];
+  }
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    into.outcome_events[o] += from.outcome_events[o];
+  }
+}
+
+void scale(EnergyLedger& ledger, double factor) {
+  for (double& e : ledger.stage_energy_j) e *= factor;
+  for (double& s : ledger.state_sec) s *= factor;
+  ledger.window_sec *= factor;
+}
+
+void write_ledger_csv(const EnergyLedger& ledger, const std::string& path) {
+  std::ofstream os{path};
+  if (!os) return;
+  os << "section,name,value,unit\n";
+  os << "meta,enabled," << (ledger.enabled ? 1 : 0) << ",bool\n";
+  os << "meta,window," << g17(ledger.window_sec) << ",s\n";
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    os << "stage," << to_string(static_cast<Stage>(s)) << ','
+       << g17(ledger.stage_energy_j[s]) << ",J\n";
+  }
+  for (std::size_t s = 0; s < kStateCount; ++s) {
+    os << "state," << to_string(static_cast<ClockState>(s)) << ','
+       << g17(ledger.state_sec[s]) << ",s\n";
+  }
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    os << "outcome_events," << to_string(static_cast<Outcome>(o)) << ','
+       << ledger.outcome_events[o] << ",events\n";
+  }
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    os << "outcome_energy," << to_string(static_cast<Outcome>(o)) << ','
+       << g17(ledger.outcome_energy_j[o]) << ",J\n";
+  }
+  os << "total,interface," << g17(ledger.interface_energy_j()) << ",J\n";
+  os << "total,all," << g17(ledger.total_energy_j()) << ",J\n";
+}
+
+void write_collapsed_stack(const EnergyLedger& ledger,
+                           const std::string& path) {
+  std::ofstream os{path};
+  if (!os) return;
+  // Two-level frames, integer picojoule weights: each outcome's share of
+  // the total is re-split over the stages, so the flame graph reads
+  // "where did the joules for THIS outcome go". Zero weights are skipped —
+  // flamegraph.pl treats absent and zero identically.
+  const double total = ledger.total_energy_j();
+  for (std::size_t o = 0; o < kOutcomeCount; ++o) {
+    const double oe = ledger.outcome_energy_j[o];
+    if (oe <= 0.0) continue;
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const double share =
+          total > 0.0 ? oe * ledger.stage_energy_j[s] / total : 0.0;
+      const long long pj = std::llround(share * 1e12);
+      if (pj <= 0) continue;
+      os << to_string(static_cast<Outcome>(o)) << ';'
+         << to_string(static_cast<Stage>(s)) << ' ' << pj << '\n';
+    }
+  }
+}
+
+}  // namespace aetr::obs

@@ -1,0 +1,157 @@
+// aetr::obs — the energy-attribution ledger.
+//
+// The paper's central claim is energy *proportionality*: energy spent should
+// track information extracted. power::PowerModel reports one total per run;
+// this ledger splits that total three ways so every joule is attributable:
+//
+//  * per pipeline STAGE (static floor, clockgen, frontend, FIFO, I2S, SPI,
+//    MCU) — the same per-unit terms PowerModel::energy_j sums, kept separate,
+//    so the ledger reconciles with the model to within 1e-12 J by
+//    construction (asserted in tests/test_obs.cpp);
+//  * per clock STATE residency (active / paused / oscillator-off) — the
+//    energest-style accounting: at division level k one sampling cycle spans
+//    2^k * Tmin of which Tmin is full-rate work, so active time is exactly
+//    sampling_cycles * Tmin, the rest of the oscillator-awake window is
+//    division-gated "paused" time, and everything else is shutdown;
+//  * per OUTCOME (delivered / buffer-dropped / fault-lost, plus the fleet's
+//    link-dropped / budget-dead) — total energy split proportionally over
+//    where the input events ended up, the EventF2S-style
+//    energy-per-delivered-information view.
+//
+// The ledger is pure post-hoc arithmetic over RunResult counters and
+// ActivityTotals: filling it never perturbs the run (fast-path runs stay
+// eligible), it holds only fixed-size arrays (no allocation, enabled or
+// not), and a disabled ledger leaves RunResult bit-identical to a build
+// without it. The CSV and collapsed-stack writers are deterministic —
+// byte-identical for any --jobs — and the stack file loads directly into
+// speedscope / FlameGraph (`flamegraph.pl aetr_*_stack.txt`).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "power/model.hpp"
+#include "util/time.hpp"
+
+namespace aetr::obs {
+
+/// Pipeline stages energy is attributed to. kStatic is the always-on fabric
+/// floor; kClockGen bundles the oscillator domain, the divided sampling
+/// edges and the restart transients (one clock subsystem, three terms).
+enum class Stage : std::size_t {
+  kStatic,
+  kClockGen,
+  kFrontend,
+  kFifo,
+  kI2s,
+  kSpi,
+  kMcu,
+  kCount,
+};
+
+/// Clock-domain residency states (the energest triple).
+enum class ClockState : std::size_t {
+  kActive,  ///< full-rate sampling work: cycles * Tmin
+  kPaused,  ///< oscillator awake but division-gated
+  kOscOff,  ///< oscillator shut down
+  kCount,
+};
+
+/// Where an input event ended up. The first three are node-level; the last
+/// two only accrue in a fleet run's link phase.
+enum class Outcome : std::size_t {
+  kDelivered,
+  kBufferDropped,  ///< FIFO overflow
+  kFaultLost,      ///< injected fault ate it (residual, clamped >= 0)
+  kLinkDropped,    ///< lost uplink arbitration (fleet)
+  kBudgetDead,     ///< node energy budget exhausted first (fleet)
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Stage s);
+[[nodiscard]] const char* to_string(ClockState s);
+[[nodiscard]] const char* to_string(Outcome o);
+
+constexpr std::size_t kStageCount = static_cast<std::size_t>(Stage::kCount);
+constexpr std::size_t kStateCount =
+    static_cast<std::size_t>(ClockState::kCount);
+constexpr std::size_t kOutcomeCount =
+    static_cast<std::size_t>(Outcome::kCount);
+
+/// Everything from_run() needs, decoupled from core::RunResult so obs can
+/// sit below core in the module graph.
+struct LedgerInputs {
+  power::ActivityTotals activity;
+  power::PowerCalibration calibration;
+  Time tick_unit{Time::zero()};  ///< Tmin — one full-rate sampling period
+  std::uint64_t words{0};        ///< MCU-side words received
+  std::uint64_t batches{0};      ///< MCU-side wake bursts
+  std::uint64_t events_in{0};
+  std::uint64_t delivered{0};       ///< events the consumer reconstructed
+  std::uint64_t buffer_dropped{0};  ///< FIFO overflows
+  bool include_mcu{false};          ///< charge the downstream MCU stage too
+};
+
+/// The per-run energy-attribution ledger. Fixed-size storage only; a
+/// default-constructed ledger (enabled == false, all zeros) is what every
+/// run that did not ask for one carries.
+struct EnergyLedger {
+  bool enabled{false};
+  double window_sec{0.0};
+  std::array<double, kStageCount> stage_energy_j{};
+  std::array<double, kStateCount> state_sec{};
+  std::array<std::uint64_t, kOutcomeCount> outcome_events{};
+  std::array<double, kOutcomeCount> outcome_energy_j{};
+
+  [[nodiscard]] double stage_j(Stage s) const {
+    return stage_energy_j[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double state_s(ClockState s) const {
+    return state_sec[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t events(Outcome o) const {
+    return outcome_events[static_cast<std::size_t>(o)];
+  }
+  [[nodiscard]] double outcome_j(Outcome o) const {
+    return outcome_energy_j[static_cast<std::size_t>(o)];
+  }
+
+  /// Interface-side energy: every stage except the downstream MCU. This is
+  /// the quantity that reconciles with PowerModel::energy_j /
+  /// RunResult::average_power_w * window (within 1e-12 J).
+  [[nodiscard]] double interface_energy_j() const;
+  /// Interface + MCU.
+  [[nodiscard]] double total_energy_j() const;
+  /// Energy per delivered event — the figure of merit. 0 if none delivered.
+  [[nodiscard]] double energy_per_delivered_j() const;
+
+  /// (Re)split total_energy_j() across outcomes proportionally to
+  /// outcome_events. With no events at all, the whole total is booked under
+  /// kDelivered: idle readiness is the cost of the service, not a loss.
+  /// Call again after mutating outcome_events (the fleet link phase does).
+  void finalize_outcomes();
+
+  /// Build a ledger from one run's counters. Pure arithmetic — allocates
+  /// nothing, reads nothing but `in`.
+  [[nodiscard]] static EnergyLedger from_run(const LedgerInputs& in);
+};
+
+/// Element-wise sum (the fleet roll-up primitive): stages, states and
+/// outcome counts add; window_sec takes the max (fleet wall time).
+/// finalize_outcomes() is NOT re-run — callers decide when.
+void accumulate(EnergyLedger& into, const EnergyLedger& from);
+
+/// Scale every energy and residency by `factor` (the fleet's constant-power
+/// budget-death truncation). Outcome counts are left alone.
+void scale(EnergyLedger& ledger, double factor);
+
+/// Deterministic long-format CSV: section,name,energy_j/seconds/events.
+void write_ledger_csv(const EnergyLedger& ledger, const std::string& path);
+
+/// Collapsed-stack file ("outcome;stage <picojoules>" per line, integer
+/// weights) loadable by speedscope and Brendan Gregg's flamegraph.pl.
+void write_collapsed_stack(const EnergyLedger& ledger,
+                           const std::string& path);
+
+}  // namespace aetr::obs

@@ -10,6 +10,7 @@
 #include "analysis/error.hpp"
 #include "core/scenario.hpp"
 #include "gen/sources.hpp"
+#include "obs/ledger.hpp"
 #include "power/model.hpp"
 #include "runtime/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -182,24 +183,33 @@ core::InterfaceConfig fig8_config(std::uint32_t theta, bool divide) {
 double fig8_measure_power(const core::InterfaceConfig& cfg, double rate_hz,
                           std::uint64_t seed,
                           const telemetry::SessionOptions& tel = {},
-                          bool fast_forward = true) {
+                          bool fast_forward = true,
+                          const std::string& ledger_stem = {}) {
   core::ScenarioConfig sc;
   sc.interface = cfg;
   sc.telemetry = core::TelemetryChoice::owned(tel);
   sc.fast_forward = fast_forward;
+  sc.energy_ledger = !ledger_stem.empty();
+  core::RunResult r;
   if (rate_hz <= 0.0) {
     // "Absence of spikes": a long idle window, clock long shut down.
     sc.cooldown = Time::sec(2.0);
-    return core::run_scenario(sc, {}).average_power_w;
+    r = core::run_scenario(sc, {});
+  } else {
+    // Enough events for a stable average, enough window to see shutdown.
+    const auto n_events =
+        static_cast<std::size_t>(std::clamp(rate_hz * 0.5, 300.0, 20000.0));
+    gen::LfsrRateSource src{rate_hz, Frequency::mhz(30.0), 128,
+                            static_cast<std::uint32_t>(seed),
+                            static_cast<std::uint32_t>(seed >> 32)};
+    sc.cooldown = Time::ms(0.1);
+    r = core::run_scenario(sc, src, n_events);
   }
-  // Enough events for a stable average, enough window to see shutdown.
-  const auto n_events =
-      static_cast<std::size_t>(std::clamp(rate_hz * 0.5, 300.0, 20000.0));
-  gen::LfsrRateSource src{rate_hz, Frequency::mhz(30.0), 128,
-                          static_cast<std::uint32_t>(seed),
-                          static_cast<std::uint32_t>(seed >> 32)};
-  sc.cooldown = Time::ms(0.1);
-  return core::run_scenario(sc, src, n_events).average_power_w;
+  if (sc.energy_ledger) {
+    obs::write_ledger_csv(r.ledger, ledger_stem + "_ledger.csv");
+    obs::write_collapsed_stack(r.ledger, ledger_stem + "_stack.txt");
+  }
+  return r.average_power_w;
 }
 
 FigureResult fig8_impl(const FigureOptions& opt) {
@@ -223,10 +233,16 @@ FigureResult fig8_impl(const FigureOptions& opt) {
     const auto theta = static_cast<std::uint32_t>(ctx.point.at("theta"));
     const double rate = ctx.point.at("rate");
     const auto cfg = fig8_config(theta ? theta : 64, theta != 0);
+    std::string ledger_stem;
+    if (opt.ledger) {
+      char stem[96];
+      std::snprintf(stem, sizeof stem, "aetr_fig8_j%03zu", ctx.index);
+      ledger_stem = util::artifact_path(stem, opt.out_dir);
+    }
     const double p =
         fig8_measure_power(cfg, rate, ctx.seed,
                            job_telemetry(opt, "fig8", ctx.index),
-                           opt.fast_forward);
+                           opt.fast_forward, ledger_stem);
     JobOutput out;
     out.values = {p};
     out.rows = {{fmt("%g", ctx.point.at("theta")), fmt("%.6g", rate),

@@ -41,6 +41,14 @@ struct FigureOptions {
   /// any `jobs` value. No-ops when the build has AETR_TELEMETRY=0.
   bool trace = false;
   bool metrics = false;
+  /// Per-job energy-attribution ledgers (obs/ledger.hpp) for the figures
+  /// that run the DES pipeline (fig8) and the fleet health roll-up for the
+  /// fleet figure. Each job writes aetr_<figure>_j<NNN>_ledger.csv and
+  /// _stack.txt (collapsed-stack flame graph) next to the series CSVs; the
+  /// fleet figure writes aetr_fleet_health.csv. Byte-identical for any
+  /// `jobs` value, and — unlike telemetry — the ledger never disqualifies
+  /// the fast path.
+  bool ledger = false;
   /// Idle-skip fast path for the figures that run the DES pipeline (see
   /// core/fast_path.hpp). Results are bit-identical either way; turning it
   /// off (`aetr-sweep --no-fast-forward`) forces the reference event-driven

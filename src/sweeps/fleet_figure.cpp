@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "fleet/fleet.hpp"
+#include "obs/ledger.hpp"
 #include "runtime/seed.hpp"
 #include "sweeps/figures.hpp"
 #include "util/artifacts.hpp"
@@ -41,11 +42,12 @@ struct FleetCell {
 
 fleet::FleetConfig cell_config(std::size_t nodes, double activity,
                                std::uint64_t seed, bool quick,
-                               bool fast_forward) {
+                               bool fast_forward, bool health) {
   fleet::FleetConfig cfg;
   cfg.base.interface.fifo.batch_threshold = 64;
   cfg.base.interface.front_end.keep_records = false;
   cfg.base.fast_forward = fast_forward;
+  cfg.health = health;
   cfg.nodes = nodes;
   cfg.gateways = 1;
   cfg.rate_hz = 30e3 * activity;
@@ -103,8 +105,8 @@ FigureResult fleet_impl(const FigureOptions& opt) {
   for (const std::size_t n : fleet_sizes) {
     for (const double activity : activities) {
       const std::uint64_t cell_seed = runtime::derive_seed(root, cell_index);
-      const auto cfg =
-          cell_config(n, activity, cell_seed, opt.quick, opt.fast_forward);
+      const auto cfg = cell_config(n, activity, cell_seed, opt.quick,
+                                   opt.fast_forward, opt.ledger);
       fleet::FleetOptions fo;
       fo.jobs = opt.jobs;
       if (opt.progress) {
@@ -220,6 +222,62 @@ FigureResult fleet_impl(const FigureOptions& opt) {
     js << "  ]\n}\n";
   }
 
+  // Health roll-up artifacts (--ledger): one wide CSV row per grid cell
+  // with the fleet ledger's stage/state/outcome attribution and percentile
+  // summaries, plus a per-cell ledger CSV + collapsed stack so the report
+  // command (and flamegraph.pl) can render each cell. Cells run serially,
+  // every number is sim-side, and the formats are fixed — byte-identical
+  // for any --jobs value.
+  if (opt.ledger) {
+    const std::string health_csv =
+        util::artifact_path("aetr_fleet_health.csv", opt.out_dir);
+    std::ofstream hs{health_csv};
+    hs << "nodes,activity";
+    for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+      hs << ",e_" << obs::to_string(static_cast<obs::Stage>(s)) << "_j";
+    }
+    for (std::size_t s = 0; s < obs::kStateCount; ++s) {
+      hs << ",t_" << obs::to_string(static_cast<obs::ClockState>(s)) << "_s";
+    }
+    for (std::size_t o = 0; o < obs::kOutcomeCount; ++o) {
+      hs << ",n_" << obs::to_string(static_cast<obs::Outcome>(o));
+    }
+    for (std::size_t o = 0; o < obs::kOutcomeCount; ++o) {
+      hs << ",e_" << obs::to_string(static_cast<obs::Outcome>(o)) << "_j";
+    }
+    hs << ",node_energy_p50_j,node_energy_p99_j,node_power_p50_w"
+          ",node_power_p99_w,delivered_frac_p50,delivered_frac_min\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const fleet::FleetHealth& h = cells[i].result.health;
+      hs << cells[i].nodes << ',' << ffmt("%g", cells[i].activity);
+      for (const double e : h.fleet.stage_energy_j) {
+        hs << ',' << ffmt("%.17g", e);
+      }
+      for (const double s : h.fleet.state_sec) hs << ',' << ffmt("%.17g", s);
+      for (const std::uint64_t n_ev : h.fleet.outcome_events) {
+        hs << ',' << n_ev;
+      }
+      for (const double e : h.fleet.outcome_energy_j) {
+        hs << ',' << ffmt("%.17g", e);
+      }
+      hs << ',' << ffmt("%.17g", h.node_energy_p50_j) << ','
+         << ffmt("%.17g", h.node_energy_p99_j) << ','
+         << ffmt("%.17g", h.node_power_p50_w) << ','
+         << ffmt("%.17g", h.node_power_p99_w) << ','
+         << ffmt("%.17g", h.delivered_frac_p50) << ','
+         << ffmt("%.17g", h.delivered_frac_min) << '\n';
+
+      char stem[96];
+      std::snprintf(stem, sizeof stem, "aetr_fleet_c%03zu", i);
+      obs::write_ledger_csv(
+          h.fleet,
+          util::artifact_path(std::string{stem} + "_ledger.csv", opt.out_dir));
+      obs::write_collapsed_stack(
+          h.fleet,
+          util::artifact_path(std::string{stem} + "_stack.txt", opt.out_dir));
+    }
+  }
+
   std::vector<Check> checks;
   if (!opt.quick) {
     const double act_hi = activities.back();
@@ -240,8 +298,8 @@ FigureResult fleet_impl(const FigureOptions& opt) {
           ++idx;
         }
       }
-      const auto fc =
-          cell_config(1, act_hi, cell_seed, opt.quick, opt.fast_forward);
+      const auto fc = cell_config(1, act_hi, cell_seed, opt.quick,
+                                  opt.fast_forward, opt.ledger);
       const auto plain =
           core::run_scenario(fleet::node_scenario(fc, 0),
                              fleet::node_stream(fc, 0));

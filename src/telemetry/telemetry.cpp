@@ -109,6 +109,14 @@ void TraceSession::write_chrome_json(const std::string& path) const {
     if (!first) os << ",\n";
     first = false;
   };
+  // Process metadata: Perfetto groups the track lanes under the process
+  // row, which renders as "(pid 1)" without an explicit process_name.
+  comma();
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+     << "\"args\":{\"name\":\"aetr\"}}";
+  comma();
+  os << "{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":1,"
+     << "\"args\":{\"sort_index\":0}}";
   // Track-name metadata events: tid n renders as the named block lane.
   for (std::size_t i = 0; i < track_names_.size(); ++i) {
     comma();
@@ -197,7 +205,11 @@ void MetricsRegistry::snapshot(Time t) {
 double MetricsRegistry::last(const std::string& name) const {
   if (snapshots_.empty()) return 0.0;
   for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (names_[i] == name) return snapshots_.back().values[i];
+    if (names_[i] == name) {
+      // A probe registered after the last snapshot has no column in it yet.
+      const auto& values = snapshots_.back().values;
+      return i < values.size() ? values[i] : 0.0;
+    }
   }
   return 0.0;
 }

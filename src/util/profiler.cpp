@@ -1,0 +1,85 @@
+#include "util/profiler.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace aetr::util {
+
+namespace detail {
+
+namespace {
+
+bool env_wants_profile() {
+  const char* v = std::getenv("AETR_PROFILE");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+}  // namespace
+
+std::atomic<bool> g_prof_enabled{env_wants_profile()};
+ProfSlot g_prof_slots[kProfSiteCount];
+
+}  // namespace detail
+
+const char* to_string(ProfSite s) {
+  switch (s) {
+    case ProfSite::kMcuDecode: return "mcu_decode";
+    case ProfSite::kHarvest: return "harvest";
+    case ProfSite::kScheduleMeasure: return "schedule_measure";
+    case ProfSite::kWordPath: return "word_path";
+    case ProfSite::kCount: break;
+  }
+  return "?";
+}
+
+void profiler_set_enabled(bool on) {
+  detail::g_prof_enabled.store(on, std::memory_order_relaxed);
+}
+
+void profiler_reset() {
+  for (auto& slot : detail::g_prof_slots) {
+    slot.calls.store(0, std::memory_order_relaxed);
+    slot.ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+ProfStats profiler_stats(ProfSite site) {
+  const auto& slot = detail::g_prof_slots[static_cast<std::size_t>(site)];
+  ProfStats st;
+  st.calls = slot.calls.load(std::memory_order_relaxed);
+  st.ns = slot.ns.load(std::memory_order_relaxed);
+  return st;
+}
+
+std::string profiler_report_json() {
+  std::uint64_t total_ns = 0;
+  ProfStats stats[kProfSiteCount];
+  for (std::size_t i = 0; i < kProfSiteCount; ++i) {
+    stats[i] = profiler_stats(static_cast<ProfSite>(i));
+    total_ns += stats[i].ns;
+  }
+  std::string out = "{\"sites\": [";
+  char buf[160];
+  for (std::size_t i = 0; i < kProfSiteCount; ++i) {
+    const double frac =
+        total_ns != 0u
+            ? static_cast<double>(stats[i].ns) / static_cast<double>(total_ns)
+            : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"site\": \"%s\", \"calls\": %llu, \"ns\": %llu, "
+                  "\"frac\": %.6f}",
+                  i == 0 ? "" : ", ", to_string(static_cast<ProfSite>(i)),
+                  static_cast<unsigned long long>(stats[i].calls),
+                  static_cast<unsigned long long>(stats[i].ns), frac);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "], \"total_ns\": %llu}",
+                static_cast<unsigned long long>(total_ns));
+  out += buf;
+  return out;
+}
+
+}  // namespace aetr::util

@@ -17,6 +17,7 @@
 
 #include "aer/event.hpp"
 #include "core/scenario.hpp"
+#include "fault/fault_plan.hpp"
 #include "gen/sources.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
@@ -275,6 +276,53 @@ TEST(Metrics, LogHistogramRoundTripsThroughCsv) {
   std::remove(path.c_str());
 }
 
+TEST(Metrics, HistogramsAccessorKeepsRegistrationOrder) {
+  MetricsRegistry reg;
+  LogHistogram* b = reg.log_histogram("b", 1e-6, 1.0, 4);
+  LogHistogram* a = reg.log_histogram("a", 1e-6, 1.0, 4);
+  LogHistogram* c = reg.log_histogram("c", 1e-3, 10.0, 8);
+  ASSERT_EQ(reg.histograms().size(), 3u);
+  EXPECT_EQ(reg.histograms()[0].first, "b");  // registration, not name, order
+  EXPECT_EQ(reg.histograms()[1].first, "a");
+  EXPECT_EQ(reg.histograms()[2].first, "c");
+  // Deque storage: earlier pointers stay valid across later registrations.
+  EXPECT_EQ(&reg.histograms()[0].second, b);
+  EXPECT_EQ(&reg.histograms()[1].second, a);
+  EXPECT_EQ(&reg.histograms()[2].second, c);
+  b->add(1e-3);
+  EXPECT_EQ(reg.histograms()[0].second.total(), 1.0);
+  // Histograms are not snapshot columns: the grid is unaffected.
+  reg.snapshot(Time::zero());
+  EXPECT_TRUE(reg.snapshots().back().values.empty());
+  EXPECT_TRUE(reg.names().empty());
+}
+
+TEST(Metrics, SnapshotGridEdgeCases) {
+  MetricsRegistry reg;
+  // Empty registry: last() is 0, a snapshot is an empty (but counted) row.
+  EXPECT_DOUBLE_EQ(reg.last("missing"), 0.0);
+  reg.snapshot(Time::ms(1.0));
+  ASSERT_EQ(reg.snapshots().size(), 1u);
+  EXPECT_TRUE(reg.snapshots()[0].values.empty());
+  EXPECT_DOUBLE_EQ(reg.last("missing"), 0.0);
+  // A probe registered after a snapshot has no column in that row yet:
+  // last() must answer 0, not read past the short row.
+  reg.probe("late", [] { return 42.0; });
+  EXPECT_DOUBLE_EQ(reg.last("late"), 0.0);
+  reg.snapshot(Time::ms(2.0));
+  EXPECT_DOUBLE_EQ(reg.last("late"), 42.0);
+  ASSERT_EQ(reg.snapshots()[0].values.size(), 0u);
+  ASSERT_EQ(reg.snapshots()[1].values.size(), 1u);
+  // The CSV keeps every row; the pre-registration row is just narrower.
+  const std::string path = testing::TempDir() + "aetr_metrics_edge.csv";
+  reg.write_csv(path);
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("time_ms,late\n"), std::string::npos);
+  EXPECT_NE(text.find("\n1\n"), std::string::npos);
+  EXPECT_NE(text.find("\n2,42\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 // --- TraceSession -----------------------------------------------------------
 
 TEST(Trace, SpanNestingAndOrderingSurviveExport) {
@@ -350,6 +398,27 @@ TEST(Trace, RaiiSpanClosesOnDestructionAndIsIdempotent) {
   EXPECT_EQ(ev[2].ts, 7_ns);
   EXPECT_EQ(ev[3].phase, TraceSession::Phase::kEnd);
   EXPECT_EQ(ev[3].ts, 9_ns);
+}
+
+TEST(Trace, ChromeExportNamesTheProcess) {
+  TraceSession trace;
+  const auto t = trace.track("block");
+  trace.instant(t, "tick", 5_ns);
+  const std::string path = testing::TempDir() + "aetr_trace_proc.json";
+  trace.write_chrome_json(path);
+  const std::string text = slurp(path);
+  EXPECT_TRUE(JsonParser{text}.valid()) << text;
+  // Perfetto renders the process row as "(pid 1)" without these.
+  const auto proc = text.find(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"aetr\"}}");
+  ASSERT_NE(proc, std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"process_sort_index\""), std::string::npos);
+  // Process metadata precedes the per-track thread_name lanes.
+  const auto lane = text.find("\"name\":\"thread_name\"");
+  ASSERT_NE(lane, std::string::npos);
+  EXPECT_LT(proc, lane);
+  std::remove(path.c_str());
 }
 
 TEST(Trace, EventCapDropsAreCountedNotSilent) {
@@ -493,6 +562,36 @@ TEST(Integration, IdenticalRunsProduceByteIdenticalArtifacts) {
     std::remove(o->telemetry.options().trace_csv_path.c_str());
     std::remove(o->telemetry.options().metrics_csv_path.c_str());
   }
+}
+
+TEST(Integration, FaultProbesAgreeWithRunResultCounters) {
+  if (!compiled_in()) GTEST_SKIP() << "built with AETR_TELEMETRY=0";
+  SessionOptions so;
+  so.metrics = true;
+  so.metrics_window = Time::ms(0.5);
+  TelemetrySession session{so};
+  core::ScenarioConfig sc;
+  sc.interface.fifo.batch_threshold = 32;
+  sc.telemetry = core::TelemetryChoice::borrowed(&session);
+  // An active fault plan (like telemetry itself) forces the fast path to
+  // fall back to the reference event-driven run; the fault.* probes and
+  // RunResult::faults read the same injector counters, so whatever path
+  // executed they can never disagree.
+  sc.fast_forward = true;
+  sc.faults = fault::scaled_plan(0.05, 99);  // the quick faults-figure level
+  ASSERT_TRUE(sc.faults.any());
+  const auto r = core::run_scenario(sc, pipeline_stream());
+  ASSERT_GT(r.faults.injected_total(), 0u) << "fault plan injected nothing";
+  ASSERT_FALSE(session.metrics().snapshots().empty());
+  const auto& m = session.metrics();
+  EXPECT_EQ(m.last("fault.injected"),
+            static_cast<double>(r.faults.injected_total()));
+  EXPECT_EQ(m.last("fault.recovered"),
+            static_cast<double>(r.faults.recovered_total()));
+  EXPECT_EQ(m.last("fault.watchdog_resyncs"),
+            static_cast<double>(r.faults.watchdog_resyncs));
+  EXPECT_EQ(m.last("fault.crc_rejected_words"),
+            static_cast<double>(r.faults.crc_rejected_words));
 }
 
 TEST(Integration, TelemetryDoesNotChangeRunResults) {

@@ -3,7 +3,7 @@
 //
 //   aetr-sweep fig6|fig8|ablation-ndiv|ablation-agreement|faults|fleet|all
 //              [--jobs N] [--seed S] [--out DIR] [--quick] [--no-fast-forward]
-//              [--trace] [--metrics] [--report FILE] [--quiet]
+//              [--trace] [--metrics] [--ledger] [--report FILE] [--quiet]
 //
 // `all` runs every figure in the sweeps::figures() registry — the fig/
 // ablation set plus the faults and fleet figures — so the CI determinism
@@ -12,6 +12,7 @@
 //              [--objectives energy,error[,loss,latency]] [--space FILE]
 //              [--events N] [--rate HZ] [--fault-level X] [--resume]
 //              [--interrupt-after N] [common options]
+//   aetr-sweep report [--in DIR] [--out DIR]
 //   aetr-sweep list
 //
 // Runs the selected figure's parameter grid on the work-stealing runtime
@@ -32,10 +33,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/report.hpp"
 #include "opt/optimizer.hpp"
 #include "runtime/sweep.hpp"
 #include "sweeps/figures.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/artifacts.hpp"
 
 namespace {
 
@@ -61,6 +64,9 @@ int usage(std::ostream& os) {
   }
   os << "  opt\n      multi-objective design-space search over "
         "ScenarioConfig (docs/OPTIMIZER.md)\n";
+  os << "  report\n      render observability artifacts (ledgers, metrics, "
+        "stacks) into one\n      self-contained HTML dashboard "
+        "(docs/OBSERVABILITY.md)\n";
   os << "\noptions:\n"
         "  --jobs N       worker threads (default: hardware concurrency)\n"
         "  --seed S       root seed (default: per-figure)\n"
@@ -71,6 +77,8 @@ int usage(std::ostream& os) {
         "  --trace        per-job Chrome trace JSON + CSV (DES figures:\n"
         "                 fig8, ablation-agreement; see docs/OBSERVABILITY.md)\n"
         "  --metrics      per-job sampled-metrics CSV (same figures)\n"
+        "  --ledger       per-job energy-attribution ledger CSV + collapsed\n"
+        "                 stack (fig8); fleet health roll-up (fleet)\n"
         "  --report FILE  write sweep metrics as JSON\n"
         "  --quiet        suppress tables and progress\n"
         "\nopt options:\n"
@@ -83,7 +91,11 @@ int usage(std::ostream& os) {
         "  --rate HZ             workload event rate (default 50e3)\n"
         "  --fault-level X       robust mode: scaled_plan(X) per trial\n"
         "  --resume              continue from aetr_opt_checkpoint.csv\n"
-        "  --interrupt-after N   stop (exit 4) after N evaluations\n";
+        "  --interrupt-after N   stop (exit 4) after N evaluations\n"
+        "\nreport options:\n"
+        "  --in DIR       artifact directory to render (default: the same\n"
+        "                 results/ or $AETR_OUT directory sweeps write to)\n"
+        "  --out DIR      where aetr_report.html goes (default: --in)\n";
   return 2;
 }
 
@@ -230,6 +242,52 @@ int run_opt(int argc, char** argv, bool* usage_error) {
   }
 }
 
+int run_report(int argc, char** argv, bool* usage_error) {
+  std::string in_dir;
+  std::string out_dir;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "aetr-sweep: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--in") {
+      const char* s = next();
+      if (!s) { *usage_error = true; return 2; }
+      in_dir = s;
+    } else if (arg == "--out") {
+      const char* s = next();
+      if (!s) { *usage_error = true; return 2; }
+      out_dir = s;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::cerr << "aetr-sweep: unknown option '" << arg << "'\n";
+      *usage_error = true;
+      return 2;
+    }
+  }
+  if (in_dir.empty()) in_dir = aetr::util::artifact_dir();
+  if (out_dir.empty()) out_dir = in_dir;
+  try {
+    const auto summary = aetr::obs::render_report(in_dir, out_dir);
+    if (!quiet) {
+      std::printf("report: %zu ledgers, %zu stacks, %zu metrics CSVs, "
+                  "%zu health CSVs, %zu profiles -> %s\n",
+                  summary.ledgers, summary.stacks, summary.metrics,
+                  summary.health, summary.profiles, summary.out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "aetr-sweep: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 void write_json_report(const std::string& path,
                        const std::vector<std::pair<std::string,
                                                    aetr::sweeps::FigureResult>>&
@@ -278,6 +336,12 @@ int main(int argc, char** argv) {
     if (usage_error) return usage(std::cerr);
     return rc;
   }
+  if (cmd == "report") {
+    bool usage_error = false;
+    const int rc = run_report(argc, argv, &usage_error);
+    if (usage_error) return usage(std::cerr);
+    return rc;
+  }
   if (cmd == "all") {
     for (const auto& d : aetr::sweeps::figures()) cli.figures.push_back(d.name);
   } else if (aetr::sweeps::find_figure(cmd)) {
@@ -322,6 +386,8 @@ int main(int argc, char** argv) {
       cli.fig.trace = true;
     } else if (arg == "--metrics") {
       cli.fig.metrics = true;
+    } else if (arg == "--ledger") {
+      cli.fig.ledger = true;
     } else if (arg == "--quiet") {
       cli.quiet = true;
     } else {

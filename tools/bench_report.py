@@ -46,6 +46,23 @@ Two modes, selected by the first argument:
       front strictly dominates it -> BENCH_opt.json. Also exposed as the
       `opt_report` target.
 
+  tools/bench_report.py profile [path/to/profile_hotpath] [label]
+      Hot-path profiler breakdown (util/profiler.hpp): runs the
+      profile_hotpath bench — one full DES run under the scoped sampling
+      profiler — and records per-site calls/ns/fractions for the four
+      instrumented sites (mcu decode, harvest, schedule measure, word
+      path) plus the profiler's measured overhead -> BENCH_profile.json.
+      The bench self-checks the zero-cost contract (profiler off ->
+      every counter zero). Also exposed as the `profile_report` target.
+
+  tools/bench_report.py validate [BENCH_*.json ...]
+      Structural validator for the BENCH_*.json perf records (no args:
+      every BENCH_*.json at the repo root). Checks each document carries
+      a string label, a string date, a list-valued history, and only
+      JSON-representable scalar/list/dict values — the shape every mode
+      above writes and the CI observability job gates on. Pure standard
+      library; exits non-zero listing each violation.
+
   tools/bench_report.py telemetry [path/to/aetr-sweep] [stripped-sweep] [label]
       Telemetry overhead on the fig8 quick sweep -> BENCH_telemetry.json.
       Always records the *recording* cost (no flags vs --trace --metrics
@@ -646,6 +663,135 @@ def opt_mode(cli, label):
     return 0 if ok else 1
 
 
+# --- hot-path profiler --------------------------------------------------------
+
+def profile_mode(bench, label):
+    out = ROOT / "BENCH_profile.json"
+    if not pathlib.Path(bench).exists():
+        print(f"error: profile bench binary not found: {bench}",
+              file=sys.stderr)
+        print("build it first: cmake --build build --target profile_hotpath",
+              file=sys.stderr)
+        return 1
+    # AETR_PROFILE would also work; the bench toggles the profiler itself so
+    # the disabled-run zero-cost self-check can run first in-process.
+    proc = subprocess.run([bench], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {bench} exited {proc.returncode}:\n{proc.stderr}",
+              file=sys.stderr)
+        return 1
+    run = json.loads(proc.stdout)
+
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "wall_sec_off": old.get("wall_sec_off"),
+        "profiling_overhead_pct": old.get("profiling_overhead_pct"),
+        "site_frac": {
+            s.get("site"): s.get("frac")
+            for s in old.get("profile", {}).get("sites", [])
+        },
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "figure": "profile_hotpath",
+        "cpu_count": os.cpu_count() or 1,
+        "rate_hz": run["rate_hz"],
+        "events": run["events"],
+        "wall_sec_off": run["wall_sec_off"],
+        "wall_sec_on": run["wall_sec_on"],
+        "profiling_overhead_pct": run["profiling_overhead_pct"],
+        "profile": run["profile"],
+        "history": history,
+    }
+    total_ns = run["profile"]["total_ns"]
+    for site in run["profile"]["sites"]:
+        print(f"{site['site']:>18s}  {site['calls']:>10d} calls"
+              f"  {site['ns'] / 1e6:>10.3f} ms  {site['frac'] * 100:5.1f}%")
+    print(f"profiled {total_ns / 1e6:.3f} ms across "
+          f"{len(run['profile']['sites'])} sites; profiler overhead "
+          f"{run['profiling_overhead_pct']:+.1f}% "
+          f"({run['wall_sec_off']:.3f} s -> {run['wall_sec_on']:.3f} s)")
+    write_doc(out, doc)
+    return 0
+
+
+# --- BENCH_*.json structural validation ---------------------------------------
+
+def check_json_shape(value, path, errors, depth=0):
+    """Every value must be a JSON scalar, list, or dict — anything else
+    means a mode wrote something json.dumps coerced unexpectedly."""
+    if depth > 12:
+        errors.append(f"{path}: nesting deeper than 12 levels")
+        return
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return
+    if isinstance(value, list):
+        for i, v in enumerate(value):
+            check_json_shape(v, f"{path}[{i}]", errors, depth + 1)
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            if not isinstance(k, str):
+                errors.append(f"{path}: non-string key {k!r}")
+            check_json_shape(v, f"{path}.{k}", errors, depth + 1)
+        return
+    errors.append(f"{path}: unexpected type {type(value).__name__}")
+
+
+def validate_one(path):
+    """Structural checks shared by every BENCH_*.json; returns error list."""
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path.name}: unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path.name}: top level is {type(doc).__name__}, not object"]
+    for key in ("label", "date"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"{path.name}: missing or non-string '{key}'")
+    history = doc.get("history")
+    if not isinstance(history, list):
+        errors.append(f"{path.name}: missing or non-list 'history'")
+    else:
+        for i, entry in enumerate(history):
+            if not isinstance(entry, dict):
+                errors.append(
+                    f"{path.name}: history[{i}] is not an object")
+            elif not isinstance(entry.get("label"), str):
+                errors.append(
+                    f"{path.name}: history[{i}] missing string 'label'")
+    check_json_shape(doc, path.name, errors)
+    return errors
+
+
+def validate_mode(paths):
+    if paths:
+        files = [pathlib.Path(p) for p in paths]
+    else:
+        files = sorted(ROOT.glob("BENCH_*.json"))
+    if not files:
+        print("validate: no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for f in files:
+        errors = validate_one(f)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(f"FAIL {e}", file=sys.stderr)
+        else:
+            doc = json.loads(f.read_text())
+            print(f"ok   {f.name}  ({len(doc.get('history', []))} history"
+                  f" entries)")
+    if failures:
+        print(f"validate: {failures}/{len(files)} files failed",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
 # --- telemetry overhead -------------------------------------------------------
 
 def timed_quick_sweep(cli, out_dir, telemetry, repetitions=5):
@@ -770,6 +916,13 @@ def main() -> int:
             ROOT / "build" / "bench" / "fleet_throughput")
         label = args[3] if len(args) > 3 else ""
         return fleet_mode(cli, bench, label)
+    if args and args[0] == "profile":
+        bench = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "profile_hotpath")
+        label = args[2] if len(args) > 2 else ""
+        return profile_mode(bench, label)
+    if args and args[0] == "validate":
+        return validate_mode(args[1:])
     if args and args[0] == "opt":
         cli = args[1] if len(args) > 1 else str(
             ROOT / "build" / "bench" / "aetr-sweep")
