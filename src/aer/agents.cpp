@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/blob.hpp"
+
 namespace aetr::aer {
 
 AerSender::AerSender(sim::Scheduler& sched, AerChannel& channel,
@@ -52,9 +54,67 @@ void AerSender::launch(const Event& ev) {
   channel_.drive_addr(ev.address);
   sched_.schedule_after(timing_.addr_setup, [this, ev] {
     req_rise_time_ = sched_.now();
-    sent_.push_back(Event{ev.address, req_rise_time_});
+    if (keep_sent_) sent_.push_back(Event{ev.address, req_rise_time_});
     channel_.assert_req();
   });
+}
+
+void AerSender::save_state(BlobWriter& w) const {
+  w.u64(queue_.size());
+  for (const auto& ev : queue_) {
+    w.u16(ev.address);
+    w.time(ev.time);
+  }
+  w.u64(sent_.size());
+  for (const auto& ev : sent_) {
+    w.u16(ev.address);
+    w.time(ev.time);
+  }
+  const auto ls = latency_.state();
+  w.u64(ls.n);
+  w.f64(ls.mean);
+  w.f64(ls.m2);
+  w.f64(ls.min);
+  w.f64(ls.max);
+  w.time(req_rise_time_);
+  w.time(earliest_next_launch_);
+  w.b(busy_);
+  w.b(keep_sent_);
+  w.b(pending_launch_.valid());
+}
+
+void AerSender::restore_state(BlobReader& r) {
+  queue_.clear();
+  const auto nq = r.u64();
+  for (std::uint64_t i = 0; i < nq; ++i) {
+    const auto addr = r.u16();
+    queue_.push_back(Event{addr, r.time()});
+  }
+  sent_.clear();
+  const auto ns = r.u64();
+  sent_.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    const auto addr = r.u16();
+    sent_.push_back(Event{addr, r.time()});
+  }
+  RunningStats::State ls{};
+  ls.n = r.u64();
+  ls.mean = r.f64();
+  ls.m2 = r.f64();
+  ls.min = r.f64();
+  ls.max = r.f64();
+  latency_.set_state(ls);
+  req_rise_time_ = r.time();
+  earliest_next_launch_ = r.time();
+  busy_ = r.b();
+  keep_sent_ = r.b();
+  const bool had_pending = r.b();
+  // Re-arm the launch timer. maybe_launch() recomputes
+  // max(front.time, earliest_next_launch_, now()); since the timer was
+  // pending at snapshot time t, its launch time was > t >= submit time, so
+  // the max is attained by one of the two serialized terms and the re-armed
+  // absolute time is identical to the saved run's.
+  if (had_pending) maybe_launch();
 }
 
 ImmediateAckReceiver::ImmediateAckReceiver(sim::Scheduler& sched,

@@ -53,6 +53,23 @@ class AerSender {
     return latency_;
   }
 
+  /// True while the next-event launch timer is armed. This is the one
+  /// standing timer the sender owns; the session counts it when deciding
+  /// whether the scheduler is quiescent.
+  [[nodiscard]] bool launch_pending() const { return pending_launch_.valid(); }
+
+  /// When true, launched events are no longer appended to sent(); bounds
+  /// memory for endless serve-mode streams (disables latency scoring).
+  void set_keep_sent(bool keep) { keep_sent_ = keep; }
+
+  /// Serialize queue/results/latency state. The launch timer itself is not
+  /// serialized: restore_state() re-arms it via maybe_launch(), which
+  /// recomputes the identical absolute launch time (max of the serialized
+  /// front-event time and earliest_next_launch_, both >= the snapshot's
+  /// sched.now() whenever the timer was pending).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   void maybe_launch();
   void launch(const Event& ev);
@@ -66,6 +83,7 @@ class AerSender {
   Time req_rise_time_{Time::zero()};
   Time earliest_next_launch_{Time::zero()};
   bool busy_{false};
+  bool keep_sent_{true};
   sim::EventId pending_launch_{};
 };
 

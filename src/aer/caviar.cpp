@@ -1,5 +1,7 @@
 #include "aer/caviar.hpp"
 
+#include "util/blob.hpp"
+
 namespace aetr::aer {
 
 CaviarChecker::CaviarChecker(AerChannel& channel, Time bound) : bound_{bound} {
@@ -17,6 +19,43 @@ CaviarChecker::CaviarChecker(AerChannel& channel, Time bound) : bound_{bound} {
       if (t - req_rise_ > bound_) violations_.push_back({req_rise_, t});
     }
   });
+}
+
+void CaviarChecker::save_state(BlobWriter& w) const {
+  w.time(req_rise_);
+  w.b(in_flight_);
+  w.u64(checked_);
+  w.u64(violations_.size());
+  for (const auto& v : violations_) {
+    w.time(v.req_rise);
+    w.time(v.completed);
+  }
+  const auto ds = durations_.state();
+  w.u64(ds.n);
+  w.f64(ds.mean);
+  w.f64(ds.m2);
+  w.f64(ds.min);
+  w.f64(ds.max);
+}
+
+void CaviarChecker::restore_state(BlobReader& r) {
+  req_rise_ = r.time();
+  in_flight_ = r.b();
+  checked_ = r.u64();
+  violations_.clear();
+  const auto nv = r.u64();
+  violations_.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    const Time rise = r.time();
+    violations_.push_back({rise, r.time()});
+  }
+  RunningStats::State ds{};
+  ds.n = r.u64();
+  ds.mean = r.f64();
+  ds.m2 = r.f64();
+  ds.min = r.f64();
+  ds.max = r.f64();
+  durations_.set_state(ds);
 }
 
 }  // namespace aetr::aer

@@ -38,6 +38,10 @@ class CaviarChecker {
   /// Handshake duration statistics (seconds).
   [[nodiscard]] const RunningStats& durations() const { return durations_; }
 
+  /// Serialize monitor state (bound_ comes from the constructor).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   Time bound_;
   Time req_rise_{Time::zero()};

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/blob.hpp"
+
 namespace aetr::aer {
 
 void AerChannel::violation(const std::string& what) {
@@ -82,6 +84,41 @@ void AerChannel::deassert_ack() {
   ack_ = false;
   ++handshakes_;
   for (auto& fn : ack_observers_) fn(false, sched_.now());
+}
+
+void AerChannel::save_state(BlobWriter& w) const {
+  if (runt_pending_ || runt_dip_) {
+    throw std::logic_error("AerChannel: save_state with runt in flight");
+  }
+  w.b(req_);
+  w.b(ack_);
+  w.u16(addr_);
+  w.time(last_req_rise_);
+  w.u64(handshakes_);
+  w.b(strict_);
+  w.u64(violations_.size());
+  for (const auto& v : violations_) {
+    w.time(v.time);
+    w.str(v.description);
+  }
+}
+
+void AerChannel::restore_state(BlobReader& r) {
+  runt_pending_ = false;
+  runt_dip_ = false;
+  req_ = r.b();
+  ack_ = r.b();
+  addr_ = r.u16();
+  last_req_rise_ = r.time();
+  handshakes_ = r.u64();
+  strict_ = r.b();
+  violations_.clear();
+  const auto nv = r.u64();
+  violations_.reserve(nv);
+  for (std::uint64_t i = 0; i < nv; ++i) {
+    const Time t = r.time();
+    violations_.push_back({t, r.str()});
+  }
 }
 
 }  // namespace aetr::aer

@@ -18,6 +18,11 @@
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::aer {
 
 /// One observable protocol violation on the channel.
@@ -80,6 +85,18 @@ class AerChannel {
   void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
 
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  /// True while a scheduled runt-pulse dip/recovery event is outstanding;
+  /// the session may not snapshot until both have fired.
+  [[nodiscard]] bool runt_in_flight() const {
+    return runt_pending_ || runt_dip_;
+  }
+
+  /// Serialize wire/counter state (quiescent: no runt events in flight).
+  /// Observers are not serialized — they are re-registered when the
+  /// component graph is reconstructed, in the same order.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   void violation(const std::string& what);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/blob.hpp"
+
 namespace aetr::buffer {
 
 AetrFifo::AetrFifo(FifoConfig config) : cfg_{config} {
@@ -115,6 +117,35 @@ void AetrFifo::attach_telemetry(telemetry::TelemetrySession* session) {
                                  static_cast<double>(cfg_.capacity_words) * 2.0,
                                  4);
   }
+}
+
+void AetrFifo::save_state(BlobWriter& w) const {
+  w.u64(cfg_.batch_threshold);
+  w.u64(data_.size());
+  for (const auto& word : data_) w.u32(word.raw());
+  w.b(armed_);
+  w.b(last_pop_parity_ok_);
+  w.u64(pushes_);
+  w.u64(pops_);
+  w.u64(overflows_);
+  w.u64(underflows_);
+  w.u64(max_occupancy_);
+}
+
+void AetrFifo::restore_state(BlobReader& r) {
+  cfg_.batch_threshold = static_cast<std::size_t>(r.u64());
+  data_.clear();
+  const auto n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    data_.push_back(aer::AetrWord{r.u32()});
+  }
+  armed_ = r.b();
+  last_pop_parity_ok_ = r.b();
+  pushes_ = r.u64();
+  pops_ = r.u64();
+  overflows_ = r.u64();
+  underflows_ = r.u64();
+  max_occupancy_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace aetr::buffer

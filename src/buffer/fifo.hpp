@@ -16,6 +16,11 @@
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::buffer {
 
 /// What a full FIFO does with the next arriving word.
@@ -80,6 +85,11 @@ class AetrFifo {
   [[nodiscard]] std::uint64_t overflows() const { return overflows_; }
   [[nodiscard]] std::uint64_t underflows() const { return underflows_; }
   [[nodiscard]] std::size_t max_occupancy() const { return max_occupancy_; }
+
+  /// Serialize contents + counters (batch_threshold is runtime-mutable via
+  /// SPI, so it travels with the state).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   FifoConfig cfg_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/blob.hpp"
 #include "util/profiler.hpp"
 
 namespace aetr::clockgen {
@@ -229,6 +230,38 @@ ClockActivity ClockGenerator::activity() const {
   a.wakeups = wakeups_;
   a.captures = captures_;
   return a;
+}
+
+void ClockGenerator::save_state(BlobWriter& w) const {
+  if (capture_pending_) {
+    throw std::logic_error("ClockGenerator: save_state with capture pending");
+  }
+  w.u32(cfg_.theta_div);
+  w.u32(cfg_.n_div);
+  w.b(cfg_.divide_enabled);
+  w.b(cfg_.shutdown_enabled);
+  w.time(origin_);
+  w.time(awake_accum_);
+  w.u64(sampling_cycles_accum_);
+  w.u64(wakeups_);
+  w.u64(captures_);
+}
+
+void ClockGenerator::restore_state(BlobReader& r) {
+  cfg_.theta_div = r.u32();
+  cfg_.n_div = r.u32();
+  cfg_.divide_enabled = r.b();
+  cfg_.shutdown_enabled = r.b();
+  // Rebuild the schedule directly from the restored config — unlike
+  // rebuild_schedule(), no settling or telemetry: the saved accumulators
+  // already contain everything up to the saved origin.
+  schedule_ = SamplingSchedule{to_schedule_config(cfg_)};
+  origin_ = r.time();
+  awake_accum_ = r.time();
+  sampling_cycles_accum_ = r.u64();
+  wakeups_ = r.u64();
+  captures_ = r.u64();
+  capture_pending_ = false;
 }
 
 }  // namespace aetr::clockgen

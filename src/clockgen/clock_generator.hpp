@@ -19,6 +19,11 @@
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::clockgen {
 
 /// Clock generator parameters. Defaults follow the paper: 120 MHz ring,
@@ -105,6 +110,12 @@ class ClockGenerator {
 
   /// Period-jitter / wake-latency-variation lotteries. Null is inert.
   void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
+  /// Serialize runtime config + settled accumulators. Requires no capture
+  /// in flight (the schedule between captures is a pure function of config
+  /// and origin, so nothing else needs saving).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   void rebuild_schedule();

@@ -1,441 +1,564 @@
 #include "core/config_io.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <fstream>
-#include <functional>
-#include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/key_schema.hpp"
 
 namespace aetr::core {
 namespace {
 
-/// Trim leading/trailing whitespace.
-std::string trim(const std::string& s) {
-  const auto first = s.find_first_not_of(" \t");
-  if (first == std::string::npos) return "";
-  const auto last = s.find_last_not_of(" \t");
-  return s.substr(first, last - first + 1);
+using keyio::parse_bool;
+using keyio::parse_double;
+using keyio::parse_uint;
+
+const char* fmt(bool b) { return b ? "true" : "false"; }
+
+KeySchema<InterfaceConfig> make_interface_schema() {
+  KeySchema<InterfaceConfig> s{"config"};
+  s.comment("aetr interface configuration");
+  s.add(
+      "clock.ring_mhz",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.ring_frequency =
+            Frequency::mhz(parse_double(v, "clock.ring_mhz"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.clock.ring_frequency.to_mhz();
+      });
+  s.add(
+      "clock.ref_divider_stages",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.ref_divider_stages =
+            static_cast<unsigned>(parse_uint(v, "clock.ref_divider_stages"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.clock.ref_divider_stages;
+      });
+  s.add(
+      "clock.sampling_divider_stages",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.sampling_divider_stages = static_cast<unsigned>(
+            parse_uint(v, "clock.sampling_divider_stages"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.clock.sampling_divider_stages;
+      });
+  s.add(
+      "clock.theta_div",
+      [](InterfaceConfig& c, const std::string& v) {
+        const auto t = parse_uint(v, "clock.theta_div");
+        if (t == 0 || t > 4096) {
+          throw std::runtime_error("config: clock.theta_div out of range");
+        }
+        c.clock.theta_div = static_cast<std::uint32_t>(t);
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.clock.theta_div;
+      });
+  s.add(
+      "clock.n_div",
+      [](InterfaceConfig& c, const std::string& v) {
+        const auto n = parse_uint(v, "clock.n_div");
+        if (n > 30) {
+          throw std::runtime_error("config: clock.n_div out of range");
+        }
+        c.clock.n_div = static_cast<std::uint32_t>(n);
+      },
+      [](std::ostream& os, const InterfaceConfig& c) { os << c.clock.n_div; });
+  s.add(
+      "clock.divide_enabled",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.divide_enabled = parse_bool(v, "clock.divide_enabled");
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << fmt(c.clock.divide_enabled);
+      });
+  s.add(
+      "clock.shutdown_enabled",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.shutdown_enabled = parse_bool(v, "clock.shutdown_enabled");
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << fmt(c.clock.shutdown_enabled);
+      });
+  s.add(
+      "clock.wake_latency_ns",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.clock.wake_latency = Time::ns(parse_double(v, "clock.wake_latency_ns"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.clock.wake_latency.to_ns();
+      });
+  s.add(
+      "frontend.sync_stages",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.front_end.sync_stages =
+            static_cast<std::uint32_t>(parse_uint(v, "frontend.sync_stages"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.front_end.sync_stages;
+      });
+  s.add(
+      "frontend.metastability_prob",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.front_end.metastability_prob =
+            parse_double(v, "frontend.metastability_prob");
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.front_end.metastability_prob;
+      });
+  s.add(
+      "frontend.keep_records",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.front_end.keep_records = parse_bool(v, "frontend.keep_records");
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << fmt(c.front_end.keep_records);
+      });
+  s.add(
+      "fifo.capacity_words",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.fifo.capacity_words =
+            static_cast<std::size_t>(parse_uint(v, "fifo.capacity_words"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.fifo.capacity_words;
+      });
+  s.add(
+      "fifo.batch_threshold",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.fifo.batch_threshold =
+            static_cast<std::size_t>(parse_uint(v, "fifo.batch_threshold"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.fifo.batch_threshold;
+      });
+  s.add(
+      "fifo.overflow_policy",
+      [](InterfaceConfig& c, const std::string& v) {
+        if (v == "drop_newest") {
+          c.fifo.overflow_policy = buffer::OverflowPolicy::kDropNewest;
+        } else if (v == "drop_oldest") {
+          c.fifo.overflow_policy = buffer::OverflowPolicy::kDropOldest;
+        } else {
+          throw std::runtime_error(
+              "config: fifo.overflow_policy must be drop_newest or "
+              "drop_oldest: " +
+              v);
+        }
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << (c.fifo.overflow_policy == buffer::OverflowPolicy::kDropOldest
+                   ? "drop_oldest"
+                   : "drop_newest");
+      });
+  s.add(
+      "i2s.sck_mhz",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.i2s.sck = Frequency::mhz(parse_double(v, "i2s.sck_mhz"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.i2s.sck.to_mhz();
+      });
+  s.add(
+      "i2s.word_bits",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.i2s.word_bits = static_cast<unsigned>(parse_uint(v, "i2s.word_bits"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) { os << c.i2s.word_bits; });
+  s.add(
+      "i2s.drain_until_empty",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.i2s.drain_until_empty = parse_bool(v, "i2s.drain_until_empty");
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << fmt(c.i2s.drain_until_empty);
+      });
+  s.add(
+      "drain_timeout_us",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.drain_timeout = Time::us(parse_double(v, "drain_timeout_us"));
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.drain_timeout.to_us();
+      });
+  s.add(
+      "power.static_uw",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.calibration.static_w = parse_double(v, "power.static_uw") * 1e-6;
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.calibration.static_w * 1e6;
+      });
+  s.add(
+      "power.osc_domain_mw",
+      [](InterfaceConfig& c, const std::string& v) {
+        c.calibration.osc_domain_w =
+            parse_double(v, "power.osc_domain_mw") * 1e-3;
+      },
+      [](std::ostream& os, const InterfaceConfig& c) {
+        os << c.calibration.osc_domain_w * 1e3;
+      });
+  return s;
 }
 
-bool parse_bool(const std::string& v, const std::string& key) {
-  if (v == "true" || v == "1" || v == "on") return true;
-  if (v == "false" || v == "0" || v == "off") return false;
-  throw std::runtime_error("config: bad boolean for " + key + ": " + v);
-}
-
-double parse_double(const std::string& v, const std::string& key) {
-  std::size_t pos = 0;
-  double d = 0.0;
-  try {
-    d = std::stod(v, &pos);
-  } catch (const std::exception&) {
-    throw std::runtime_error("config: bad number for " + key + ": " + v);
-  }
-  if (pos != v.size()) {
-    throw std::runtime_error("config: trailing junk for " + key + ": " + v);
-  }
-  return d;
-}
-
-std::uint64_t parse_uint(const std::string& v, const std::string& key) {
-  const double d = parse_double(v, key);
-  if (d < 0.0 || d != std::floor(d)) {
-    throw std::runtime_error("config: expected non-negative integer for " +
-                             key + ": " + v);
-  }
-  return static_cast<std::uint64_t>(d);
-}
-
-using Setter = std::function<void(InterfaceConfig&, const std::string&)>;
-
-const std::map<std::string, Setter>& setters() {
-  static const std::map<std::string, Setter> kSetters{
-      {"clock.ring_mhz",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.ring_frequency =
-             Frequency::mhz(parse_double(v, "clock.ring_mhz"));
-       }},
-      {"clock.ref_divider_stages",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.ref_divider_stages = static_cast<unsigned>(
-             parse_uint(v, "clock.ref_divider_stages"));
-       }},
-      {"clock.sampling_divider_stages",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.sampling_divider_stages = static_cast<unsigned>(
-             parse_uint(v, "clock.sampling_divider_stages"));
-       }},
-      {"clock.theta_div",
-       [](InterfaceConfig& c, const std::string& v) {
-         const auto t = parse_uint(v, "clock.theta_div");
-         if (t == 0 || t > 4096) {
-           throw std::runtime_error("config: clock.theta_div out of range");
-         }
-         c.clock.theta_div = static_cast<std::uint32_t>(t);
-       }},
-      {"clock.n_div",
-       [](InterfaceConfig& c, const std::string& v) {
-         const auto n = parse_uint(v, "clock.n_div");
-         if (n > 30) {
-           throw std::runtime_error("config: clock.n_div out of range");
-         }
-         c.clock.n_div = static_cast<std::uint32_t>(n);
-       }},
-      {"clock.divide_enabled",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.divide_enabled = parse_bool(v, "clock.divide_enabled");
-       }},
-      {"clock.shutdown_enabled",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.shutdown_enabled = parse_bool(v, "clock.shutdown_enabled");
-       }},
-      {"clock.wake_latency_ns",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.clock.wake_latency =
-             Time::ns(parse_double(v, "clock.wake_latency_ns"));
-       }},
-      {"frontend.sync_stages",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.front_end.sync_stages =
-             static_cast<std::uint32_t>(parse_uint(v, "frontend.sync_stages"));
-       }},
-      {"frontend.metastability_prob",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.front_end.metastability_prob =
-             parse_double(v, "frontend.metastability_prob");
-       }},
-      {"frontend.keep_records",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.front_end.keep_records = parse_bool(v, "frontend.keep_records");
-       }},
-      {"fifo.capacity_words",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.fifo.capacity_words =
-             static_cast<std::size_t>(parse_uint(v, "fifo.capacity_words"));
-       }},
-      {"fifo.batch_threshold",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.fifo.batch_threshold =
-             static_cast<std::size_t>(parse_uint(v, "fifo.batch_threshold"));
-       }},
-      {"fifo.overflow_policy",
-       [](InterfaceConfig& c, const std::string& v) {
-         if (v == "drop_newest") {
-           c.fifo.overflow_policy = buffer::OverflowPolicy::kDropNewest;
-         } else if (v == "drop_oldest") {
-           c.fifo.overflow_policy = buffer::OverflowPolicy::kDropOldest;
-         } else {
-           throw std::runtime_error(
-               "config: fifo.overflow_policy must be drop_newest or "
-               "drop_oldest: " + v);
-         }
-       }},
-      {"i2s.sck_mhz",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.i2s.sck = Frequency::mhz(parse_double(v, "i2s.sck_mhz"));
-       }},
-      {"i2s.word_bits",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.i2s.word_bits =
-             static_cast<unsigned>(parse_uint(v, "i2s.word_bits"));
-       }},
-      {"i2s.drain_until_empty",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.i2s.drain_until_empty = parse_bool(v, "i2s.drain_until_empty");
-       }},
-      {"drain_timeout_us",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.drain_timeout = Time::us(parse_double(v, "drain_timeout_us"));
-       }},
-      {"power.static_uw",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.calibration.static_w = parse_double(v, "power.static_uw") * 1e-6;
-       }},
-      {"power.osc_domain_mw",
-       [](InterfaceConfig& c, const std::string& v) {
-         c.calibration.osc_domain_w =
-             parse_double(v, "power.osc_domain_mw") * 1e-3;
-       }},
+/// A telemetry.* key switches the scenario's telemetry choice to owned
+/// options, mutating the current owned options when already owned (a
+/// borrowed in-process session cannot be named in a file).
+template <typename Set>
+KeySchema<ScenarioConfig>::Apply tel_apply(Set set) {
+  return [set](ScenarioConfig& s, const std::string& v) {
+    telemetry::SessionOptions opts =
+        s.telemetry.mode() == TelemetryChoice::Mode::kOwned
+            ? s.telemetry.options()
+            : telemetry::SessionOptions{};
+    set(opts, v);
+    s.telemetry = TelemetryChoice::owned(opts);
   };
-  return kSetters;
 }
 
-using ScenarioSetter = std::function<void(ScenarioConfig&, const std::string&)>;
-
-/// Scenario-only keys; interface keys fall through to setters() applied to
-/// scenario.interface, so the two key namespaces stay disjoint by design.
-const std::map<std::string, ScenarioSetter>& scenario_setters() {
-  static const std::map<std::string, ScenarioSetter> kSetters{
-      // Sensor-side wire timing.
-      {"sender.addr_setup_ns",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.sender.addr_setup = Time::ns(parse_double(v, "sender.addr_setup_ns"));
-       }},
-      {"sender.req_release_ns",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.sender.req_release =
-             Time::ns(parse_double(v, "sender.req_release_ns"));
-       }},
-      {"sender.min_gap_ns",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.sender.min_gap = Time::ns(parse_double(v, "sender.min_gap_ns"));
-       }},
-      // Harness behaviour.
-      {"run.cooldown_us",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.cooldown = Time::us(parse_double(v, "run.cooldown_us"));
-       }},
-      {"run.strict_protocol",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.strict_protocol = parse_bool(v, "run.strict_protocol");
-       }},
-      {"run.final_flush",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.final_flush = parse_bool(v, "run.final_flush");
-       }},
-      {"run.attach_mcu",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.attach_mcu = parse_bool(v, "run.attach_mcu");
-       }},
-      {"run.fast_forward",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.fast_forward = parse_bool(v, "run.fast_forward");
-       }},
-      {"run.energy_ledger",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.energy_ledger = parse_bool(v, "run.energy_ledger");
-       }},
-      // Fault plan.
-      {"fault.seed",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.seed = parse_uint(v, "fault.seed");
-       }},
-      {"fault.aer.drop_req_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.aer.drop_req_prob = parse_double(v, "fault.aer.drop_req_prob");
-       }},
-      {"fault.aer.stuck_ack_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.aer.stuck_ack_prob =
-             parse_double(v, "fault.aer.stuck_ack_prob");
-       }},
-      {"fault.aer.addr_bit_flip_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.aer.addr_bit_flip_prob =
-             parse_double(v, "fault.aer.addr_bit_flip_prob");
-       }},
-      {"fault.aer.runt_req_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.aer.runt_req_prob =
-             parse_double(v, "fault.aer.runt_req_prob");
-       }},
-      {"fault.aer.runt_width_ns",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.aer.runt_width =
-             Time::ns(parse_double(v, "fault.aer.runt_width_ns"));
-       }},
-      {"fault.clock.period_jitter_rel",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.clock.period_jitter_rel =
-             parse_double(v, "fault.clock.period_jitter_rel");
-       }},
-      {"fault.clock.wake_jitter_rel",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.clock.wake_jitter_rel =
-             parse_double(v, "fault.clock.wake_jitter_rel");
-       }},
-      {"fault.fifo.cell_bit_flip_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.fifo.cell_bit_flip_prob =
-             parse_double(v, "fault.fifo.cell_bit_flip_prob");
-       }},
-      {"fault.spi.word_bit_flip_prob",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.spi.word_bit_flip_prob =
-             parse_double(v, "fault.spi.word_bit_flip_prob");
-       }},
-      {"fault.i2s.bit_error_rate",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.i2s.bit_error_rate =
-             parse_double(v, "fault.i2s.bit_error_rate");
-       }},
-      {"fault.recovery.watchdog",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.recovery.watchdog = parse_bool(v, "fault.recovery.watchdog");
-       }},
-      {"fault.recovery.watchdog_timeout_us",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.recovery.watchdog_timeout =
-             Time::us(parse_double(v, "fault.recovery.watchdog_timeout_us"));
-       }},
-      {"fault.recovery.fifo_parity",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.recovery.fifo_parity =
-             parse_bool(v, "fault.recovery.fifo_parity");
-       }},
-      {"fault.recovery.crc_frames",
-       [](ScenarioConfig& s, const std::string& v) {
-         s.faults.recovery.crc_frames =
-             parse_bool(v, "fault.recovery.crc_frames");
-       }},
-  };
-  return kSetters;
+/// Dump view of the telemetry options: a borrowed session dumps as the
+/// defaults (telemetry off), which is what a fresh load reproduces.
+telemetry::SessionOptions tel_view(const ScenarioConfig& s) {
+  return s.telemetry.mode() == TelemetryChoice::Mode::kOwned
+             ? s.telemetry.options()
+             : telemetry::SessionOptions{};
 }
 
-/// The telemetry.* keys mutate a SessionOptions that load_scenario folds
-/// into a TelemetryChoice once the whole file is parsed.
-using TelemetrySetter =
-    std::function<void(telemetry::SessionOptions&, const std::string&)>;
-
-const std::map<std::string, TelemetrySetter>& telemetry_setters() {
-  static const std::map<std::string, TelemetrySetter> kSetters{
-      {"telemetry.trace",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.trace = parse_bool(v, "telemetry.trace");
-       }},
-      {"telemetry.metrics",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.metrics = parse_bool(v, "telemetry.metrics");
-       }},
-      {"telemetry.metrics_window_ms",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.metrics_window =
-             Time::ms(parse_double(v, "telemetry.metrics_window_ms"));
-       }},
-      {"telemetry.trace_json_path",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.trace_json_path = v;
-       }},
-      {"telemetry.trace_csv_path",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.trace_csv_path = v;
-       }},
-      {"telemetry.metrics_csv_path",
-       [](telemetry::SessionOptions& o, const std::string& v) {
-         o.metrics_csv_path = v;
-       }},
-  };
-  return kSetters;
-}
-
-/// Classic two-row Levenshtein distance, for the unknown-key suggestions.
-std::size_t edit_distance(const std::string& a, const std::string& b) {
-  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    cur[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
-      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
-    }
-    std::swap(prev, cur);
-  }
-  return prev[b.size()];
-}
-
-/// Nearest key among `candidates`, or "" when nothing is within the typo
-/// threshold (a third of the key's length, but at least two edits — short
-/// keys still deserve a hint, unrelated keys must not produce one).
-std::string nearest_key(const std::string& key,
-                        const std::vector<std::string>& candidates) {
-  const std::size_t threshold = std::max<std::size_t>(2, key.size() / 3);
-  std::size_t best = threshold + 1;
-  std::string match;
-  for (const auto& c : candidates) {
-    const std::size_t d = edit_distance(key, c);
-    if (d < best) {
-      best = d;
-      match = c;
-    }
-  }
-  return match;
-}
-
-/// "config: unknown key at line N: <key>", plus a did-you-mean hint when a
-/// known key is plausibly what the author typed.
-[[noreturn]] void throw_unknown_key(const std::string& key,
-                                    std::size_t line_no,
-                                    const std::vector<std::string>& known) {
-  std::string msg = "config: unknown key";
-  if (line_no != 0) msg += " at line " + std::to_string(line_no);
-  msg += ": " + key;
-  if (const std::string hint = nearest_key(key, known); !hint.empty()) {
-    msg += " (did you mean '" + hint + "'?)";
-  }
-  throw std::runtime_error(msg);
-}
-
-std::vector<std::string> interface_keys() {
-  std::vector<std::string> keys;
-  for (const auto& [key, setter] : setters()) keys.push_back(key);
-  return keys;
+KeySchema<ScenarioConfig> make_scenario_schema() {
+  KeySchema<ScenarioConfig> s{"config"};
+  s.comment("aetr scenario configuration");
+  // Every interface key applies to scenario.interface, so an
+  // InterfaceConfig file is a valid scenario file.
+  s.extend<InterfaceConfig>(
+      interface_schema(),
+      [](ScenarioConfig& c) -> InterfaceConfig& { return c.interface; },
+      [](const ScenarioConfig& c) -> const InterfaceConfig& {
+        return c.interface;
+      });
+  // Sensor-side wire timing.
+  s.add(
+      "sender.addr_setup_ns",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.sender.addr_setup = Time::ns(parse_double(v, "sender.addr_setup_ns"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.sender.addr_setup.to_ns();
+      });
+  s.add(
+      "sender.req_release_ns",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.sender.req_release =
+            Time::ns(parse_double(v, "sender.req_release_ns"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.sender.req_release.to_ns();
+      });
+  s.add(
+      "sender.min_gap_ns",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.sender.min_gap = Time::ns(parse_double(v, "sender.min_gap_ns"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.sender.min_gap.to_ns();
+      });
+  // Session lifecycle (formerly run.*; the old spellings are accepted as
+  // deprecated aliases for one release).
+  s.add(
+      "session.cooldown_us",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.cooldown = Time::us(parse_double(v, "session.cooldown_us"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.cooldown.to_us();
+      });
+  s.add(
+      "session.strict_protocol",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.strict_protocol = parse_bool(v, "session.strict_protocol");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.strict_protocol);
+      });
+  s.add(
+      "session.final_flush",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.final_flush = parse_bool(v, "session.final_flush");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.final_flush);
+      });
+  s.add(
+      "session.attach_mcu",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.attach_mcu = parse_bool(v, "session.attach_mcu");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.attach_mcu);
+      });
+  s.add(
+      "session.fast_forward",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.fast_forward = parse_bool(v, "session.fast_forward");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.fast_forward);
+      });
+  s.add(
+      "session.energy_ledger",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.energy_ledger = parse_bool(v, "session.energy_ledger");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.energy_ledger);
+      });
+  s.add(
+      "session.max_buffered_events",
+      [](ScenarioConfig& c, const std::string& v) {
+        const auto n = parse_uint(v, "session.max_buffered_events");
+        if (n == 0) {
+          throw std::runtime_error(
+              "config: session.max_buffered_events must be > 0");
+        }
+        c.session.max_buffered_events = static_cast<std::size_t>(n);
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.session.max_buffered_events;
+      });
+  s.add(
+      "session.snapshot_interval_sec",
+      [](ScenarioConfig& c, const std::string& v) {
+        const double sec = parse_double(v, "session.snapshot_interval_sec");
+        if (sec < 0.0) {
+          throw std::runtime_error(
+              "config: session.snapshot_interval_sec must be >= 0");
+        }
+        c.session.snapshot_interval_sec = sec;
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.session.snapshot_interval_sec;
+      });
+  s.alias("run.cooldown_us", "session.cooldown_us");
+  s.alias("run.strict_protocol", "session.strict_protocol");
+  s.alias("run.final_flush", "session.final_flush");
+  s.alias("run.attach_mcu", "session.attach_mcu");
+  s.alias("run.fast_forward", "session.fast_forward");
+  s.alias("run.energy_ledger", "session.energy_ledger");
+  // Fault plan.
+  s.add(
+      "fault.seed",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.seed = parse_uint(v, "fault.seed");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) { os << c.faults.seed; });
+  s.add(
+      "fault.aer.drop_req_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.aer.drop_req_prob = parse_double(v, "fault.aer.drop_req_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.aer.drop_req_prob;
+      });
+  s.add(
+      "fault.aer.stuck_ack_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.aer.stuck_ack_prob =
+            parse_double(v, "fault.aer.stuck_ack_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.aer.stuck_ack_prob;
+      });
+  s.add(
+      "fault.aer.addr_bit_flip_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.aer.addr_bit_flip_prob =
+            parse_double(v, "fault.aer.addr_bit_flip_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.aer.addr_bit_flip_prob;
+      });
+  s.add(
+      "fault.aer.runt_req_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.aer.runt_req_prob =
+            parse_double(v, "fault.aer.runt_req_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.aer.runt_req_prob;
+      });
+  s.add(
+      "fault.aer.runt_width_ns",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.aer.runt_width =
+            Time::ns(parse_double(v, "fault.aer.runt_width_ns"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.aer.runt_width.to_ns();
+      });
+  s.add(
+      "fault.clock.period_jitter_rel",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.clock.period_jitter_rel =
+            parse_double(v, "fault.clock.period_jitter_rel");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.clock.period_jitter_rel;
+      });
+  s.add(
+      "fault.clock.wake_jitter_rel",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.clock.wake_jitter_rel =
+            parse_double(v, "fault.clock.wake_jitter_rel");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.clock.wake_jitter_rel;
+      });
+  s.add(
+      "fault.fifo.cell_bit_flip_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.fifo.cell_bit_flip_prob =
+            parse_double(v, "fault.fifo.cell_bit_flip_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.fifo.cell_bit_flip_prob;
+      });
+  s.add(
+      "fault.spi.word_bit_flip_prob",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.spi.word_bit_flip_prob =
+            parse_double(v, "fault.spi.word_bit_flip_prob");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.spi.word_bit_flip_prob;
+      });
+  s.add(
+      "fault.i2s.bit_error_rate",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.i2s.bit_error_rate =
+            parse_double(v, "fault.i2s.bit_error_rate");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.i2s.bit_error_rate;
+      });
+  s.add(
+      "fault.recovery.watchdog",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.recovery.watchdog = parse_bool(v, "fault.recovery.watchdog");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.faults.recovery.watchdog);
+      });
+  s.add(
+      "fault.recovery.watchdog_timeout_us",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.recovery.watchdog_timeout =
+            Time::us(parse_double(v, "fault.recovery.watchdog_timeout_us"));
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << c.faults.recovery.watchdog_timeout.to_us();
+      });
+  s.add(
+      "fault.recovery.fifo_parity",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.recovery.fifo_parity =
+            parse_bool(v, "fault.recovery.fifo_parity");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.faults.recovery.fifo_parity);
+      });
+  s.add(
+      "fault.recovery.crc_frames",
+      [](ScenarioConfig& c, const std::string& v) {
+        c.faults.recovery.crc_frames =
+            parse_bool(v, "fault.recovery.crc_frames");
+      },
+      [](std::ostream& os, const ScenarioConfig& c) {
+        os << fmt(c.faults.recovery.crc_frames);
+      });
+  // Telemetry.
+  s.add("telemetry.trace",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.trace = parse_bool(v, "telemetry.trace");
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << fmt(tel_view(c).trace);
+        });
+  s.add("telemetry.metrics",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.metrics = parse_bool(v, "telemetry.metrics");
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << fmt(tel_view(c).metrics);
+        });
+  s.add("telemetry.metrics_window_ms",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.metrics_window =
+              Time::ms(parse_double(v, "telemetry.metrics_window_ms"));
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << tel_view(c).metrics_window.to_ms();
+        });
+  s.add("telemetry.trace_json_path",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.trace_json_path = v;
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << tel_view(c).trace_json_path;
+        });
+  s.add("telemetry.trace_csv_path",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.trace_csv_path = v;
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << tel_view(c).trace_csv_path;
+        });
+  s.add("telemetry.metrics_csv_path",
+        tel_apply([](telemetry::SessionOptions& o, const std::string& v) {
+          o.metrics_csv_path = v;
+        }),
+        [](std::ostream& os, const ScenarioConfig& c) {
+          os << tel_view(c).metrics_csv_path;
+        });
+  return s;
 }
 
 }  // namespace
 
-std::vector<std::string> scenario_keys() {
-  std::vector<std::string> keys;
-  for (const auto& [key, setter] : setters()) keys.push_back(key);
-  for (const auto& [key, setter] : scenario_setters()) keys.push_back(key);
-  for (const auto& [key, setter] : telemetry_setters()) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
-  return keys;
+const KeySchema<InterfaceConfig>& interface_schema() {
+  static const KeySchema<InterfaceConfig> schema = make_interface_schema();
+  return schema;
 }
 
+const KeySchema<ScenarioConfig>& scenario_schema() {
+  static const KeySchema<ScenarioConfig> schema = make_scenario_schema();
+  return schema;
+}
+
+std::vector<std::string> scenario_keys() { return scenario_schema().keys(); }
+
 std::string suggest_scenario_key(const std::string& key) {
-  return nearest_key(key, scenario_keys());
+  return scenario_schema().suggest(key);
 }
 
 std::string suggest_key(const std::string& key,
                         const std::vector<std::string>& candidates) {
-  return nearest_key(key, candidates);
+  return keyio::nearest_key(key, candidates);
 }
 
 void apply_scenario_key(ScenarioConfig& scenario, const std::string& key,
                         const std::string& value) {
-  if (const auto it = scenario_setters().find(key);
-      it != scenario_setters().end()) {
-    it->second(scenario, value);
-    return;
-  }
-  if (const auto it = telemetry_setters().find(key);
-      it != telemetry_setters().end()) {
-    telemetry::SessionOptions opts =
-        scenario.telemetry.mode() == TelemetryChoice::Mode::kOwned
-            ? scenario.telemetry.options()
-            : telemetry::SessionOptions{};
-    it->second(opts, value);
-    scenario.telemetry = TelemetryChoice::owned(opts);
-    return;
-  }
-  if (const auto it = setters().find(key); it != setters().end()) {
-    it->second(scenario.interface, value);
-    return;
-  }
-  throw_unknown_key(key, 0, scenario_keys());
+  scenario_schema().apply(scenario, key, value);
 }
 
 InterfaceConfig load_config(std::istream& is) {
   InterfaceConfig config;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    const auto eq = stripped.find('=');
-    if (eq == std::string::npos) {
-      throw std::runtime_error("config: line " + std::to_string(line_no) +
-                               " is not 'key = value': " + stripped);
-    }
-    const std::string key = trim(stripped.substr(0, eq));
-    const std::string value = trim(stripped.substr(eq + 1));
-    const auto it = setters().find(key);
-    if (it == setters().end()) throw_unknown_key(key, line_no, interface_keys());
-    it->second(config, value);
-  }
+  keyio::parse_stream(is, "config",
+                      [&](const std::string& key, const std::string& value,
+                          std::size_t line_no) {
+                        interface_schema().apply(config, key, value, line_no);
+                      });
   return config;
 }
 
@@ -447,75 +570,17 @@ InterfaceConfig load_config_file(const std::string& path) {
 
 std::string dump_config(const InterfaceConfig& c) {
   std::ostringstream os;
-  os << "# aetr interface configuration\n";
-  os << "clock.ring_mhz = " << c.clock.ring_frequency.to_mhz() << '\n';
-  os << "clock.ref_divider_stages = " << c.clock.ref_divider_stages << '\n';
-  os << "clock.sampling_divider_stages = " << c.clock.sampling_divider_stages
-     << '\n';
-  os << "clock.theta_div = " << c.clock.theta_div << '\n';
-  os << "clock.n_div = " << c.clock.n_div << '\n';
-  os << "clock.divide_enabled = "
-     << (c.clock.divide_enabled ? "true" : "false") << '\n';
-  os << "clock.shutdown_enabled = "
-     << (c.clock.shutdown_enabled ? "true" : "false") << '\n';
-  os << "clock.wake_latency_ns = " << c.clock.wake_latency.to_ns() << '\n';
-  os << "frontend.sync_stages = " << c.front_end.sync_stages << '\n';
-  os << "frontend.metastability_prob = " << c.front_end.metastability_prob
-     << '\n';
-  os << "frontend.keep_records = "
-     << (c.front_end.keep_records ? "true" : "false") << '\n';
-  os << "fifo.capacity_words = " << c.fifo.capacity_words << '\n';
-  os << "fifo.batch_threshold = " << c.fifo.batch_threshold << '\n';
-  os << "fifo.overflow_policy = "
-     << (c.fifo.overflow_policy == buffer::OverflowPolicy::kDropOldest
-             ? "drop_oldest"
-             : "drop_newest")
-     << '\n';
-  os << "i2s.sck_mhz = " << c.i2s.sck.to_mhz() << '\n';
-  os << "i2s.word_bits = " << c.i2s.word_bits << '\n';
-  os << "i2s.drain_until_empty = "
-     << (c.i2s.drain_until_empty ? "true" : "false") << '\n';
-  os << "drain_timeout_us = " << c.drain_timeout.to_us() << '\n';
-  os << "power.static_uw = " << c.calibration.static_w * 1e6 << '\n';
-  os << "power.osc_domain_mw = " << c.calibration.osc_domain_w * 1e3 << '\n';
+  interface_schema().dump(os, c);
   return os.str();
 }
 
 ScenarioConfig load_scenario(std::istream& is) {
   ScenarioConfig scenario;
-  telemetry::SessionOptions tel_opts;
-  bool tel_seen = false;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    const auto eq = stripped.find('=');
-    if (eq == std::string::npos) {
-      throw std::runtime_error("config: line " + std::to_string(line_no) +
-                               " is not 'key = value': " + stripped);
-    }
-    const std::string key = trim(stripped.substr(0, eq));
-    const std::string value = trim(stripped.substr(eq + 1));
-    if (const auto it = scenario_setters().find(key);
-        it != scenario_setters().end()) {
-      it->second(scenario, value);
-      continue;
-    }
-    if (const auto it = telemetry_setters().find(key);
-        it != telemetry_setters().end()) {
-      it->second(tel_opts, value);
-      tel_seen = true;
-      continue;
-    }
-    if (const auto it = setters().find(key); it != setters().end()) {
-      it->second(scenario.interface, value);
-      continue;
-    }
-    throw_unknown_key(key, line_no, scenario_keys());
-  }
-  if (tel_seen) scenario.telemetry = TelemetryChoice::owned(tel_opts);
+  keyio::parse_stream(is, "config",
+                      [&](const std::string& key, const std::string& value,
+                          std::size_t line_no) {
+                        scenario_schema().apply(scenario, key, value, line_no);
+                      });
   scenario.validate();
   return scenario;
 }
@@ -528,53 +593,7 @@ ScenarioConfig load_scenario_file(const std::string& path) {
 
 std::string dump_scenario(const ScenarioConfig& s) {
   std::ostringstream os;
-  os << "# aetr scenario configuration\n";
-  os << dump_config(s.interface);
-  os << "sender.addr_setup_ns = " << s.sender.addr_setup.to_ns() << '\n';
-  os << "sender.req_release_ns = " << s.sender.req_release.to_ns() << '\n';
-  os << "sender.min_gap_ns = " << s.sender.min_gap.to_ns() << '\n';
-  os << "run.cooldown_us = " << s.cooldown.to_us() << '\n';
-  os << "run.strict_protocol = " << (s.strict_protocol ? "true" : "false")
-     << '\n';
-  os << "run.final_flush = " << (s.final_flush ? "true" : "false") << '\n';
-  os << "run.attach_mcu = " << (s.attach_mcu ? "true" : "false") << '\n';
-  os << "run.fast_forward = " << (s.fast_forward ? "true" : "false") << '\n';
-  os << "run.energy_ledger = " << (s.energy_ledger ? "true" : "false") << '\n';
-  const fault::FaultPlan& f = s.faults;
-  os << "fault.seed = " << f.seed << '\n';
-  os << "fault.aer.drop_req_prob = " << f.aer.drop_req_prob << '\n';
-  os << "fault.aer.stuck_ack_prob = " << f.aer.stuck_ack_prob << '\n';
-  os << "fault.aer.addr_bit_flip_prob = " << f.aer.addr_bit_flip_prob << '\n';
-  os << "fault.aer.runt_req_prob = " << f.aer.runt_req_prob << '\n';
-  os << "fault.aer.runt_width_ns = " << f.aer.runt_width.to_ns() << '\n';
-  os << "fault.clock.period_jitter_rel = " << f.clock.period_jitter_rel
-     << '\n';
-  os << "fault.clock.wake_jitter_rel = " << f.clock.wake_jitter_rel << '\n';
-  os << "fault.fifo.cell_bit_flip_prob = " << f.fifo.cell_bit_flip_prob
-     << '\n';
-  os << "fault.spi.word_bit_flip_prob = " << f.spi.word_bit_flip_prob << '\n';
-  os << "fault.i2s.bit_error_rate = " << f.i2s.bit_error_rate << '\n';
-  os << "fault.recovery.watchdog = "
-     << (f.recovery.watchdog ? "true" : "false") << '\n';
-  os << "fault.recovery.watchdog_timeout_us = "
-     << f.recovery.watchdog_timeout.to_us() << '\n';
-  os << "fault.recovery.fifo_parity = "
-     << (f.recovery.fifo_parity ? "true" : "false") << '\n';
-  os << "fault.recovery.crc_frames = "
-     << (f.recovery.crc_frames ? "true" : "false") << '\n';
-  // A borrowed session cannot be named in a file; it dumps as defaults
-  // (telemetry off), which is what a fresh load of this text reproduces.
-  const telemetry::SessionOptions defaults;
-  const telemetry::SessionOptions& t =
-      s.telemetry.mode() == TelemetryChoice::Mode::kOwned
-          ? s.telemetry.options()
-          : defaults;
-  os << "telemetry.trace = " << (t.trace ? "true" : "false") << '\n';
-  os << "telemetry.metrics = " << (t.metrics ? "true" : "false") << '\n';
-  os << "telemetry.metrics_window_ms = " << t.metrics_window.to_ms() << '\n';
-  os << "telemetry.trace_json_path = " << t.trace_json_path << '\n';
-  os << "telemetry.trace_csv_path = " << t.trace_csv_path << '\n';
-  os << "telemetry.metrics_csv_path = " << t.metrics_csv_path << '\n';
+  scenario_schema().dump(os, s);
   return os.str();
 }
 

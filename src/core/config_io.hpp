@@ -16,9 +16,23 @@
 #include <string>
 #include <vector>
 
+#include "core/key_schema.hpp"
 #include "core/scenario.hpp"
 
 namespace aetr::core {
+
+/// The declarative schema behind load_config()/dump_config(): every
+/// interface key with its parser and dumper. Exposed so layered formats
+/// (scenario, fleet) and tools can share one table instead of
+/// re-implementing key fall-through.
+[[nodiscard]] const KeySchema<InterfaceConfig>& interface_schema();
+
+/// The declarative schema behind load_scenario()/dump_scenario(): the
+/// interface schema grafted onto scenario.interface, plus sender.*,
+/// session.* (with deprecated run.* aliases), fault.* and telemetry.*.
+/// opt::SearchSpace validates its axes against this table, and the fleet
+/// config extends it onto FleetConfig::base.
+[[nodiscard]] const KeySchema<ScenarioConfig>& scenario_schema();
 
 /// Parse a configuration stream on top of default values.
 /// Throws std::runtime_error on syntax errors, unknown keys, or values
@@ -31,9 +45,11 @@ InterfaceConfig load_config_file(const std::string& path);
 /// Render every tunable of `config` in load_config() syntax.
 std::string dump_config(const InterfaceConfig& config);
 
-/// Parse a full scenario (interface keys plus sender.*, run.*, fault.* and
-/// telemetry.*) on top of default values. Every interface key is accepted
-/// unchanged, so an InterfaceConfig file is a valid scenario file.
+/// Parse a full scenario (interface keys plus sender.*, session.*, fault.*
+/// and telemetry.*) on top of default values. Every interface key is
+/// accepted unchanged, so an InterfaceConfig file is a valid scenario file.
+/// The pre-Session run.* spellings are accepted as deprecated aliases of
+/// session.* (warned once per process) for one release.
 ScenarioConfig load_scenario(std::istream& is);
 
 /// Load a scenario file; throws std::runtime_error on failure.

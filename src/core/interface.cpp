@@ -1,5 +1,7 @@
 #include "core/interface.hpp"
 
+#include "util/blob.hpp"
+
 namespace aetr::core {
 
 AerToI2sInterface::AerToI2sInterface(sim::Scheduler& sched,
@@ -36,10 +38,9 @@ AerToI2sInterface::AerToI2sInterface(sim::Scheduler& sched,
     }
     if (word.is_saturated()) irq_.raise(Irq::kWakeup);
     if (cfg_.drain_timeout > Time::zero() && was_empty) {
-      // Latency bound: this word must leave within drain_timeout.
-      sched_.schedule_after(cfg_.drain_timeout, [this] {
-        if (!fifo_.empty()) i2s_.request_drain(sched_.now());
-      });
+      // Latency bound: this word must leave within drain_timeout. Tracked
+      // as an explicit deadline so a session snapshot can re-arm it.
+      arm_drain_deadline(now + cfg_.drain_timeout);
     }
   });
   fifo_.on_threshold([this](Time now) {
@@ -54,6 +55,14 @@ AerToI2sInterface::AerToI2sInterface(sim::Scheduler& sched,
     irq_.raise(Irq::kProtocolError);
   });
   map_registers();
+}
+
+void AerToI2sInterface::arm_drain_deadline(Time deadline) {
+  drain_deadlines_.push_back(deadline);
+  sched_.schedule_at(deadline, [this] {
+    if (!drain_deadlines_.empty()) drain_deadlines_.pop_front();
+    if (!fifo_.empty()) i2s_.request_drain(sched_.now());
+  });
 }
 
 void AerToI2sInterface::map_registers() {
@@ -174,6 +183,37 @@ double AerToI2sInterface::average_power_w() const {
 
 power::PowerBreakdown AerToI2sInterface::power_breakdown() const {
   return power_.breakdown(activity());
+}
+
+void AerToI2sInterface::save_state(BlobWriter& w) const {
+  channel_.save_state(w);
+  clkgen_.save_state(w);
+  front_end_.save_state(w);
+  fifo_.save_state(w);
+  i2s_.save_state(w);
+  bus_.save_state(w);
+  spi_slave_.save_state(w);
+  irq_.save_state(w);
+  w.b(spi_readout_);
+  w.u32(readout_latch_);
+  w.u64(drain_deadlines_.size());
+  for (const Time t : drain_deadlines_) w.time(t);
+}
+
+void AerToI2sInterface::restore_state(BlobReader& r) {
+  channel_.restore_state(r);
+  clkgen_.restore_state(r);
+  front_end_.restore_state(r);
+  fifo_.restore_state(r);
+  i2s_.restore_state(r);
+  bus_.restore_state(r);
+  spi_slave_.restore_state(r);
+  irq_.restore_state(r);
+  spi_readout_ = r.b();
+  readout_latch_ = r.u32();
+  drain_deadlines_.clear();
+  const auto nd = r.u64();
+  for (std::uint64_t i = 0; i < nd; ++i) arm_drain_deadline(r.time());
 }
 
 }  // namespace aetr::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 
 #include "aer/channel.hpp"
@@ -94,8 +95,27 @@ class AerToI2sInterface {
   [[nodiscard]] power::PowerBreakdown power_breakdown() const;
   [[nodiscard]] const power::PowerModel& power_model() const { return power_; }
 
+  // --- snapshot/restore -----------------------------------------------------
+  /// Outstanding drain-timeout deadlines (one standing DES timer each).
+  /// The session counts these when testing scheduler quiescence.
+  [[nodiscard]] std::size_t drain_deadline_count() const {
+    return drain_deadlines_.size();
+  }
+
+  /// Serialize every block's state plus the interface's own registers and
+  /// drain-timeout deadlines. Requires a quiescent point: no capture in
+  /// flight, no I2S drain running, no runt overlay pending.
+  void save_state(BlobWriter& w) const;
+
+  /// Restore into a freshly constructed interface with an identical config.
+  /// Re-arms one DES timer per saved drain deadline (the scheduler clock
+  /// must already be restored so absolute re-arm times are in the future
+  /// or at now()).
+  void restore_state(BlobReader& r);
+
  private:
   void map_registers();
+  void arm_drain_deadline(Time deadline);
 
   sim::Scheduler& sched_;
   InterfaceConfig cfg_;
@@ -110,6 +130,9 @@ class AerToI2sInterface {
   power::PowerModel power_;
   bool spi_readout_{false};        ///< CTRL bit2: MCU polls the FIFO over SPI
   std::uint32_t readout_latch_{0};  ///< word latched by a kFifoData0 read
+  /// Absolute deadlines of outstanding drain-timeout timers, oldest first
+  /// (timers fire with a constant delta, so arming order is deadline order).
+  std::deque<Time> drain_deadlines_;
 };
 
 }  // namespace aetr::core

@@ -1,5 +1,7 @@
 #include "core/interrupt.hpp"
 
+#include "util/blob.hpp"
+
 namespace aetr::core {
 
 void InterruptController::update(bool before) {
@@ -24,6 +26,18 @@ void InterruptController::set_mask(std::uint8_t mask) {
   const bool before = line();
   mask_ = mask;
   update(before);
+}
+
+void InterruptController::save_state(BlobWriter& w) const {
+  w.u8(status_);
+  w.u8(mask_);
+  w.u64(raises_);
+}
+
+void InterruptController::restore_state(BlobReader& r) {
+  status_ = r.u8();
+  mask_ = r.u8();
+  raises_ = r.u64();
 }
 
 }  // namespace aetr::core

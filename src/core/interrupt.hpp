@@ -13,6 +13,11 @@
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::core {
 
 /// Interrupt source bits.
@@ -51,6 +56,10 @@ class InterruptController {
   [[nodiscard]] bool line() const { return (status_ & mask_) != 0; }
 
   [[nodiscard]] std::uint64_t raises() const { return raises_; }
+
+  /// Serialize status/mask/counter.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   void update(bool before);

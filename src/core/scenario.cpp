@@ -1,15 +1,9 @@
 #include "core/scenario.hpp"
 
-#include <optional>
 #include <stdexcept>
 #include <string>
-#include <utility>
 
-#include "aer/caviar.hpp"
-#include "core/fast_path.hpp"
-#include "mcu/consumer.hpp"
-#include "sim/scheduler.hpp"
-#include "util/profiler.hpp"
+#include "core/session.hpp"
 
 namespace aetr::core {
 
@@ -21,75 +15,6 @@ void check_prob(double p, const char* what) {
                                 " must be a probability in [0, 1]");
   }
 }
-
-/// Self-rearming snapshot tick: samples every registered probe on the
-/// metrics grid. Armed only up to the last input event so the grid never
-/// extends the simulated timeline (RunResult must be telemetry-invariant).
-struct MetricsGrid {
-  telemetry::TelemetrySession* tel;
-  sim::Scheduler* sched;
-  Time pitch;
-  Time until;
-
-  void arm(Time at) {
-    sched->schedule_at(at, [this] {
-      tel->metrics().snapshot(sched->now());
-      const Time next = sched->now() + pitch;
-      if (next <= until) arm(next);
-    });
-  }
-};
-
-/// Handshake watchdog (RecoveryConfig::watchdog): a periodic link check
-/// that repairs the two ways an injected wire fault can wedge the 4-phase
-/// handshake — a REQ edge the synchroniser missed (re-delivered to the
-/// front-end) and a lost ACK fall (ACK re-driven low). Both repairs demand
-/// the suspect state to persist across two consecutive ticks with no
-/// completed handshake in between, so the nanosecond-scale transients of a
-/// healthy handshake can never trip it. The timer re-arms only while the
-/// link or the sender still has work, so an idle run winds down naturally.
-struct Watchdog {
-  sim::Scheduler* sched;
-  aer::AerChannel* ch;
-  frontend::AerFrontEnd* fe;
-  aer::AerSender* sender;
-  fault::FaultInjector* faults;
-  Time period;
-
-  int suspect_ticks{0};
-  std::uint64_t suspect_handshakes{0};
-
-  void arm() {
-    sched->schedule_after(period, [this] { check(); });
-  }
-
-  void check() {
-    const bool stuck_ack = ch->ack() && !ch->req() && !fe->in_flight();
-    const bool lost_req = ch->req() && !ch->ack() && !fe->in_flight();
-    if ((stuck_ack || lost_req) &&
-        (suspect_ticks == 0 || ch->handshakes() == suspect_handshakes)) {
-      ++suspect_ticks;
-      if (suspect_ticks == 1) suspect_handshakes = ch->handshakes();
-      if (suspect_ticks >= 2) {
-        suspect_ticks = 0;
-        if (stuck_ack) {
-          // Phase 4 never completed: re-drive ACK low so the sender's
-          // ack-fall observer finally fires and the stream resumes.
-          ch->deassert_ack();
-          ++faults->counters().ack_recoveries;
-        } else if (fe->resync(ch->last_req_rise())) {
-          // The wire still shows the (dropped or runt-aborted) request;
-          // ground truth keeps the original REQ rise so the recovery
-          // latency lands in the timestamp error where it belongs.
-          ++faults->counters().watchdog_resyncs;
-        }
-      }
-    } else {
-      suspect_ticks = 0;
-    }
-    if (sender->backlog() > 0 || ch->req() || ch->ack()) arm();
-  }
-};
 
 }  // namespace
 
@@ -145,207 +70,14 @@ void ScenarioConfig::validate() const {
 
 RunResult run_scenario(const ScenarioConfig& scenario,
                        const aer::EventStream& events) {
-  scenario.validate();
-  sim::Scheduler sched;
-
-  // Resolve the run's telemetry session per the scenario's choice.
-  std::optional<telemetry::TelemetrySession> owned_tel;
-  telemetry::TelemetrySession* tel = nullptr;
-  switch (scenario.telemetry.mode()) {
-    case TelemetryChoice::Mode::kBorrowed:
-      tel = scenario.telemetry.session();
-      break;
-    case TelemetryChoice::Mode::kOwned:
-      if (telemetry::compiled_in() && scenario.telemetry.options().any()) {
-        owned_tel.emplace(scenario.telemetry.options());
-        tel = &*owned_tel;
-      }
-      break;
-    case TelemetryChoice::Mode::kOff:
-      break;
-  }
-  if (tel != nullptr) {
-    tel->set_clock([&sched] { return sched.now(); });
-    sched.set_telemetry(tel);  // components pick it up at construction
-  }
-
-  // An empty plan attaches no injector at all: the fault hooks stay null
-  // and the run is bit-identical to one with no fault plumbing.
-  std::optional<fault::FaultInjector> injector;
-  if (scenario.faults.any()) injector.emplace(scenario.faults);
-  fault::FaultInjector* faults = injector ? &*injector : nullptr;
-
-  AerToI2sInterface iface{sched, scenario.interface, faults};
-  iface.aer_in().set_strict(scenario.strict_protocol);
-  aer::AerSender sender{sched, iface.aer_in(), scenario.sender};
-  aer::CaviarChecker caviar{iface.aer_in()};
-  mcu::McuConsumer mcu{iface.tick_unit(),
-                       iface.saturation_span() == Time::max()
-                           ? Time::zero()
-                           : iface.saturation_span()};
-  // Delivery-latency log: every word (or CRC-gated batch) the MCU accepts
-  // appends decoded events; the gap between acceptance time and each
-  // event's reconstructed instant is the batching latency RunResult
-  // reports (and the optimizer's p99-latency objective minimises).
-  std::vector<double> latencies;
-  std::size_t harvested = 0;
-  const auto harvest = [&latencies, &harvested, &mcu](Time now) {
-    util::ProfScope prof{util::ProfSite::kHarvest};
-    const auto& evs = mcu.events();
-    for (; harvested < evs.size(); ++harvested) {
-      latencies.push_back((now - evs[harvested].reconstructed_time).to_sec());
-    }
-  };
-  if (scenario.attach_mcu) {
-    iface.on_i2s_word([&mcu, &harvest](aer::AetrWord w, Time t) {
-      mcu.on_word(w, t);
-      harvest(t);
-    });
-    mcu.attach_faults(faults);
-  }
-
-  // Blocks without a scheduler reference get the session explicitly.
-  iface.fifo().attach_telemetry(tel);
-  if (scenario.attach_mcu) mcu.attach_telemetry(tel);
-
-  telemetry::BlockTelemetry run_tel{tel, "runner"};
-  if (auto* m = run_tel.metrics()) {
-    m->probe("sched.events_dispatched", [&sched] {
-      return static_cast<double>(sched.processed());
-    });
-    m->probe("sched.scheduled", [&sched] {
-      return static_cast<double>(sched.stats().scheduled);
-    });
-    m->probe("sched.wheel_dispatches", [&sched] {
-      return static_cast<double>(sched.stats().wheel_dispatches);
-    });
-    m->probe("sched.heap_dispatches", [&sched] {
-      return static_cast<double>(sched.stats().heap_dispatches);
-    });
-    m->probe("sched.cascaded", [&sched] {
-      return static_cast<double>(sched.stats().cascaded);
-    });
-    m->probe("sched.pending", [&sched] {
-      return static_cast<double>(sched.pending());
-    });
-    m->probe("power.avg_w", [&iface] { return iface.average_power_w(); });
-    if (faults != nullptr) {
-      // The fault.* probes read the injector's counters — the same fields
-      // RunResult::faults is copied from, so the two can never disagree.
-      m->probe("fault.injected", [faults] {
-        return static_cast<double>(faults->counters().injected_total());
-      });
-      m->probe("fault.recovered", [faults] {
-        return static_cast<double>(faults->counters().recovered_total());
-      });
-      m->probe("fault.watchdog_resyncs", [faults] {
-        return static_cast<double>(faults->counters().watchdog_resyncs);
-      });
-      m->probe("fault.crc_rejected_words", [faults] {
-        return static_cast<double>(faults->counters().crc_rejected_words);
-      });
-    }
-  }
-
-  std::optional<MetricsGrid> grid;
-  if (tel != nullptr && tel->metrics_on() && !events.empty()) {
-    grid.emplace(MetricsGrid{tel, &sched, tel->options().metrics_window,
-                             events.back().time});
-    grid->arm(Time::zero());
-  }
-
-  // Handshake watchdog: armed only when a wire fault that can wedge the
-  // link is actually injected (and recovery is enabled), so fault-free
-  // runs schedule nothing extra.
-  std::optional<Watchdog> watchdog;
-  if (faults != nullptr && scenario.faults.aer.any() &&
-      scenario.faults.recovery.watchdog) {
-    watchdog.emplace(Watchdog{&sched, &iface.aer_in(), &iface.front_end(),
-                              &sender, faults,
-                              scenario.faults.recovery.watchdog_timeout});
-    watchdog->arm();
-  }
-
-  telemetry::Span run_span{
-      tel, "runner", "run_scenario",
-      {{"events", static_cast<double>(events.size())}}};
-
-  // Fault-free, unobserved runs replay analytically (bit-identical — see
-  // core/fast_path.hpp); everything else takes the reference DES path.
-  std::optional<FastPathOutcome> fast;
-  if (fast_path_eligible(scenario, tel != nullptr)) {
-    fast = run_fast_path(sched, iface, scenario, events);
-  } else {
-    sender.submit_stream(events);
-    sched.run();
-    if (scenario.final_flush && !iface.fifo().empty()) {
-      iface.i2s_master().request_drain(sched.now());
-      sched.run();
-    }
-  }
-  // Cooldown so the power window reflects the post-stream idle period too.
-  sched.run_until(sched.now() + scenario.cooldown);
-  // Flush any CRC-gated batch still pending on the MCU side.
-  if (scenario.attach_mcu) {
-    mcu.finish(sched.now());
-    harvest(sched.now());
-  }
-
-  run_span.close();
-  if (tel != nullptr) {
-    if (tel->metrics_on()) tel->metrics().snapshot(sched.now());
-    // The clock closure captures this frame's scheduler; detach it before
-    // a harness-owned session outlives the run.
-    tel->set_clock({});
-  }
-  if (owned_tel) owned_tel->write_artifacts();
-
-  RunResult r;
-  r.activity = iface.activity();
-  r.average_power_w = iface.average_power_w();
-  r.breakdown = iface.power_breakdown();
-  r.records = iface.front_end().records();
-  r.error = analysis::analyze_records(r.records, iface.tick_unit(),
-                                      iface.saturation_span());
-  r.decoded = mcu.events();
-  r.delivery_latency_sec = std::move(latencies);
-  r.events_in = events.size();
-  r.words_out = iface.i2s_master().words_sent();
-  r.fifo_overflows = iface.fifo().overflows();
-  r.batches = mcu.batches();
-  // The fast path computes the wire-level outcomes arithmetically (the
-  // channel and its observers never see edges there).
-  r.handshakes = fast ? fast->handshakes : iface.aer_in().handshakes();
-  r.caviar_violations =
-      fast ? fast->caviar_violations : caviar.violations().size();
-  r.protocol_violations = iface.aer_in().violations().size();
-  if (faults != nullptr) r.faults = faults->counters();
-  r.sim_end = sched.now();
-  r.tick_unit = iface.tick_unit();
-  r.saturation_span = iface.saturation_span();
-  if (events.size() >= 2) {
-    const double span =
-        (events.back().time - events.front().time).to_sec();
-    if (span > 0.0) {
-      r.input_rate_hz = static_cast<double>(events.size() - 1) / span;
-    }
-  }
-  if (scenario.energy_ledger) {
-    // Post-hoc arithmetic over the counters gathered above — filling the
-    // ledger cannot perturb the run or its fast-path eligibility.
-    obs::LedgerInputs in;
-    in.activity = r.activity;
-    in.calibration = iface.power_model().calibration();
-    in.tick_unit = r.tick_unit;
-    in.words = r.words_out;
-    in.batches = r.batches;
-    in.events_in = r.events_in;
-    in.delivered = scenario.attach_mcu ? r.decoded.size() : r.words_out;
-    in.buffer_dropped = r.fifo_overflows;
-    in.include_mcu = scenario.attach_mcu;
-    r.ledger = obs::EnergyLedger::from_run(in);
-  }
-  return r;
+  // Thin wrapper over the incremental API (core/session.hpp): buffer the
+  // whole stream, then run it to completion. The Session reproduces the
+  // original batch runner call-for-call — construction order, standing
+  // timers, fast-path eligibility, telemetry spans — so results are
+  // bit-identical to the pre-Session run_scenario.
+  Session session{scenario};
+  session.feed_all(events);
+  return session.finish();
 }
 
 RunResult run_scenario(const ScenarioConfig& scenario, gen::SpikeSource& source,

@@ -67,6 +67,19 @@ class TelemetryChoice {
   telemetry::TelemetrySession* session_{nullptr};
 };
 
+/// Session-lifecycle limits (the `session.*` config keys): how much input a
+/// streaming core::Session may buffer before signalling backpressure, and
+/// how often a service harness (aetr-serve) checkpoints. Batch runs through
+/// run_scenario() never hit either limit.
+struct SessionLimits {
+  /// Fed-but-not-yet-submitted events the session holds before feed()
+  /// starts refusing input (the backpressure signal).
+  std::size_t max_buffered_events = std::size_t{1} << 20;
+  /// Periodic snapshot pitch for service mode; zero disables (snapshots
+  /// only on demand). Consumed by aetr-serve, not by the session itself.
+  double snapshot_interval_sec = 0.0;
+};
+
 /// Everything one run needs, in one place.
 struct ScenarioConfig {
   InterfaceConfig interface;        ///< per-block hardware configuration
@@ -87,6 +100,7 @@ struct ScenarioConfig {
   /// the fast path, and off leaves RunResult bit-identical to a build
   /// without the ledger.
   bool energy_ledger = false;
+  SessionLimits session;            ///< streaming-session lifecycle limits
   TelemetryChoice telemetry;        ///< off / runner-owned / borrowed
 
   /// Throws std::invalid_argument on the first inconsistency (probability

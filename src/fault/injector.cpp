@@ -2,6 +2,7 @@
 
 // Header-only constexpr utility; no link dependency on the runtime module.
 #include "runtime/seed.hpp"
+#include "util/blob.hpp"
 
 namespace aetr::fault {
 
@@ -24,5 +25,49 @@ make_streams(std::uint64_t seed) {
 
 FaultInjector::FaultInjector(const FaultPlan& plan)
     : plan_{plan}, rngs_{make_streams(plan.seed)} {}
+
+void FaultInjector::save_state(BlobWriter& w) const {
+  w.u64(counters_.req_dropped);
+  w.u64(counters_.ack_stuck);
+  w.u64(counters_.addr_flips);
+  w.u64(counters_.runt_pulses);
+  w.u64(counters_.tick_jitter_events);
+  w.u64(counters_.wake_jitter_events);
+  w.u64(counters_.fifo_bit_flips);
+  w.u64(counters_.spi_corrupted);
+  w.u64(counters_.i2s_bit_errors);
+  w.u64(counters_.watchdog_resyncs);
+  w.u64(counters_.ack_recoveries);
+  w.u64(counters_.runts_filtered);
+  w.u64(counters_.fifo_parity_drops);
+  w.u64(counters_.crc_rejected_batches);
+  w.u64(counters_.crc_rejected_words);
+  for (const auto& rng : rngs_) {
+    for (const auto s : rng.state()) w.u64(s);
+  }
+}
+
+void FaultInjector::restore_state(BlobReader& r) {
+  counters_.req_dropped = r.u64();
+  counters_.ack_stuck = r.u64();
+  counters_.addr_flips = r.u64();
+  counters_.runt_pulses = r.u64();
+  counters_.tick_jitter_events = r.u64();
+  counters_.wake_jitter_events = r.u64();
+  counters_.fifo_bit_flips = r.u64();
+  counters_.spi_corrupted = r.u64();
+  counters_.i2s_bit_errors = r.u64();
+  counters_.watchdog_resyncs = r.u64();
+  counters_.ack_recoveries = r.u64();
+  counters_.runts_filtered = r.u64();
+  counters_.fifo_parity_drops = r.u64();
+  counters_.crc_rejected_batches = r.u64();
+  counters_.crc_rejected_words = r.u64();
+  for (auto& rng : rngs_) {
+    std::array<std::uint64_t, 4> s{};
+    for (auto& v : s) v = r.u64();
+    rng.set_state(s);
+  }
+}
 
 }  // namespace aetr::fault

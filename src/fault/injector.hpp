@@ -15,6 +15,11 @@
 #include "fault/fault_plan.hpp"
 #include "util/rng.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::fault {
 
 /// Injection sites, one independent RNG stream each.
@@ -51,6 +56,11 @@ class FaultInjector {
   [[nodiscard]] unsigned pick_bit(Site s, unsigned bits) {
     return static_cast<unsigned>(rng(s).uniform_int(bits));
   }
+
+  /// Serialize counters + all per-site RNG streams (the plan itself is part
+  /// of the scenario config and travels with it).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   FaultPlan plan_;

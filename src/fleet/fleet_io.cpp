@@ -1,176 +1,143 @@
 #include "fleet/fleet_io.hpp"
 
-#include <algorithm>
 #include <cstdint>
 #include <fstream>
-#include <functional>
-#include <map>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/config_io.hpp"
+#include "core/key_schema.hpp"
 
 namespace aetr::fleet {
 
 namespace {
 
-std::string trim(const std::string& s) {
-  const auto begin = s.find_first_not_of(" \t\r\n");
-  if (begin == std::string::npos) return "";
-  const auto end = s.find_last_not_of(" \t\r\n");
-  return s.substr(begin, end - begin + 1);
+using core::KeySchema;
+using core::keyio::parse_bool;
+using core::keyio::parse_double;
+using core::keyio::parse_uint;
+
+KeySchema<FleetConfig> make_fleet_schema() {
+  KeySchema<FleetConfig> s{"fleet config"};
+  s.comment("aetr fleet configuration");
+  s.add(
+      "fleet.nodes",
+      [](FleetConfig& c, const std::string& v) {
+        c.nodes = static_cast<std::size_t>(parse_uint(v, "fleet.nodes"));
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.nodes; });
+  s.add(
+      "fleet.gateways",
+      [](FleetConfig& c, const std::string& v) {
+        c.gateways = static_cast<std::size_t>(parse_uint(v, "fleet.gateways"));
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.gateways; });
+  s.add(
+      "fleet.rate_hz",
+      [](FleetConfig& c, const std::string& v) {
+        c.rate_hz = parse_double(v, "fleet.rate_hz");
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.rate_hz; });
+  s.add(
+      "fleet.events_per_node",
+      [](FleetConfig& c, const std::string& v) {
+        c.events_per_node =
+            static_cast<std::size_t>(parse_uint(v, "fleet.events_per_node"));
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.events_per_node; });
+  s.add(
+      "fleet.rate_spread",
+      [](FleetConfig& c, const std::string& v) {
+        c.rate_spread = parse_double(v, "fleet.rate_spread");
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.rate_spread; });
+  s.add(
+      "fleet.fault_level",
+      [](FleetConfig& c, const std::string& v) {
+        c.fault_level = parse_double(v, "fleet.fault_level");
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.fault_level; });
+  s.add(
+      "fleet.node_energy_budget_j",
+      [](FleetConfig& c, const std::string& v) {
+        c.node_energy_budget_j = parse_double(v, "fleet.node_energy_budget_j");
+      },
+      [](std::ostream& os, const FleetConfig& c) {
+        os << c.node_energy_budget_j;
+      });
+  s.add(
+      "fleet.health",
+      [](FleetConfig& c, const std::string& v) {
+        c.health = parse_bool(v, "fleet.health");
+      },
+      [](std::ostream& os, const FleetConfig& c) {
+        os << (c.health ? "true" : "false");
+      });
+  s.add(
+      "fleet.seed",
+      [](FleetConfig& c, const std::string& v) {
+        c.seed = parse_uint(v, "fleet.seed");
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.seed; });
+  s.add(
+      "link.bandwidth_words_per_sec",
+      [](FleetConfig& c, const std::string& v) {
+        c.link.bandwidth_words_per_sec =
+            parse_double(v, "link.bandwidth_words_per_sec");
+      },
+      [](std::ostream& os, const FleetConfig& c) {
+        os << c.link.bandwidth_words_per_sec;
+      });
+  s.add(
+      "link.queue_words",
+      [](FleetConfig& c, const std::string& v) {
+        c.link.queue_words =
+            static_cast<std::size_t>(parse_uint(v, "link.queue_words"));
+      },
+      [](std::ostream& os, const FleetConfig& c) { os << c.link.queue_words; });
+  s.add(
+      "link.arbitration",
+      [](FleetConfig& c, const std::string& v) {
+        c.link.arbitration = parse_arbitration(v);
+      },
+      [](std::ostream& os, const FleetConfig& c) {
+        os << to_string(c.link.arbitration);
+      });
+  // Every scenario key (which itself embeds every interface key) applies
+  // to the per-node base scenario — one shared table instead of the old
+  // three-way fall-through.
+  s.comment("per-node base scenario");
+  s.extend<core::ScenarioConfig>(
+      core::scenario_schema(),
+      [](FleetConfig& c) -> core::ScenarioConfig& { return c.base; },
+      [](const FleetConfig& c) -> const core::ScenarioConfig& {
+        return c.base;
+      });
+  return s;
 }
 
-double parse_double(const std::string& v, const std::string& key) {
-  std::size_t pos = 0;
-  double d = 0.0;
-  try {
-    d = std::stod(v, &pos);
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  if (pos != v.size() || v.empty()) {
-    throw std::runtime_error("fleet: bad number for " + key + ": '" + v + "'");
-  }
-  return d;
-}
-
-std::uint64_t parse_uint(const std::string& v, const std::string& key) {
-  const double d = parse_double(v, key);
-  if (d < 0.0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
-    throw std::runtime_error("fleet: " + key +
-                             " must be a non-negative integer, got '" + v +
-                             "'");
-  }
-  return static_cast<std::uint64_t>(d);
-}
-
-bool parse_bool(const std::string& v, const std::string& key) {
-  if (v == "true" || v == "1") return true;
-  if (v == "false" || v == "0") return false;
-  throw std::runtime_error("fleet: bad bool for " + key + ": '" + v + "'");
-}
-
-using Setter = std::function<void(FleetConfig&, const std::string&)>;
-
-const std::map<std::string, Setter>& fleet_setters() {
-  static const std::map<std::string, Setter> setters{
-      {"fleet.nodes",
-       [](FleetConfig& c, const std::string& v) {
-         c.nodes = static_cast<std::size_t>(parse_uint(v, "fleet.nodes"));
-       }},
-      {"fleet.gateways",
-       [](FleetConfig& c, const std::string& v) {
-         c.gateways =
-             static_cast<std::size_t>(parse_uint(v, "fleet.gateways"));
-       }},
-      {"fleet.rate_hz",
-       [](FleetConfig& c, const std::string& v) {
-         c.rate_hz = parse_double(v, "fleet.rate_hz");
-       }},
-      {"fleet.events_per_node",
-       [](FleetConfig& c, const std::string& v) {
-         c.events_per_node =
-             static_cast<std::size_t>(parse_uint(v, "fleet.events_per_node"));
-       }},
-      {"fleet.rate_spread",
-       [](FleetConfig& c, const std::string& v) {
-         c.rate_spread = parse_double(v, "fleet.rate_spread");
-       }},
-      {"fleet.fault_level",
-       [](FleetConfig& c, const std::string& v) {
-         c.fault_level = parse_double(v, "fleet.fault_level");
-       }},
-      {"fleet.node_energy_budget_j",
-       [](FleetConfig& c, const std::string& v) {
-         c.node_energy_budget_j =
-             parse_double(v, "fleet.node_energy_budget_j");
-       }},
-      {"fleet.health",
-       [](FleetConfig& c, const std::string& v) {
-         c.health = parse_bool(v, "fleet.health");
-       }},
-      {"fleet.seed",
-       [](FleetConfig& c, const std::string& v) {
-         c.seed = parse_uint(v, "fleet.seed");
-       }},
-      {"link.bandwidth_words_per_sec",
-       [](FleetConfig& c, const std::string& v) {
-         c.link.bandwidth_words_per_sec =
-             parse_double(v, "link.bandwidth_words_per_sec");
-       }},
-      {"link.queue_words",
-       [](FleetConfig& c, const std::string& v) {
-         c.link.queue_words =
-             static_cast<std::size_t>(parse_uint(v, "link.queue_words"));
-       }},
-      {"link.arbitration",
-       [](FleetConfig& c, const std::string& v) {
-         c.link.arbitration = parse_arbitration(v);
-       }},
-  };
-  return setters;
-}
-
-[[noreturn]] void throw_unknown_key(const std::string& key,
-                                    std::size_t line_no) {
-  std::string msg = "fleet config: unknown key";
-  if (line_no != 0) msg += " at line " + std::to_string(line_no);
-  msg += ": " + key;
-  if (const std::string hint = core::suggest_key(key, fleet_keys());
-      !hint.empty()) {
-    msg += " (did you mean '" + hint + "'?)";
-  }
-  throw std::runtime_error(msg);
-}
-
-/// Apply one parsed assignment; `line_no` = 0 for single-key application.
-void apply_key(FleetConfig& config, const std::string& key,
-               const std::string& value, std::size_t line_no) {
-  if (const auto it = fleet_setters().find(key); it != fleet_setters().end()) {
-    it->second(config, value);
-    return;
-  }
-  const auto scenario = core::scenario_keys();
-  if (std::find(scenario.begin(), scenario.end(), key) != scenario.end()) {
-    core::apply_scenario_key(config.base, key, value);
-    return;
-  }
-  throw_unknown_key(key, line_no);
+const KeySchema<FleetConfig>& fleet_schema() {
+  static const KeySchema<FleetConfig> schema = make_fleet_schema();
+  return schema;
 }
 
 }  // namespace
 
-std::vector<std::string> fleet_keys() {
-  std::vector<std::string> keys;
-  for (const auto& [key, setter] : fleet_setters()) keys.push_back(key);
-  for (auto& key : core::scenario_keys()) keys.push_back(std::move(key));
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
+std::vector<std::string> fleet_keys() { return fleet_schema().keys(); }
 
 void apply_fleet_key(FleetConfig& config, const std::string& key,
                      const std::string& value) {
-  apply_key(config, key, value, 0);
+  fleet_schema().apply(config, key, value);
 }
 
 FleetConfig load_fleet(std::istream& is) {
   FleetConfig config;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string stripped = trim(line);
-    if (stripped.empty() || stripped[0] == '#') continue;
-    const auto eq = stripped.find('=');
-    if (eq == std::string::npos) {
-      throw std::runtime_error("fleet config: line " +
-                               std::to_string(line_no) +
-                               " is not 'key = value': " + stripped);
-    }
-    apply_key(config, trim(stripped.substr(0, eq)),
-              trim(stripped.substr(eq + 1)), line_no);
-  }
+  core::keyio::parse_stream(
+      is, "fleet config",
+      [&](const std::string& key, const std::string& value,
+          std::size_t line_no) {
+        fleet_schema().apply(config, key, value, line_no);
+      });
   config.validate();
   return config;
 }
@@ -183,22 +150,7 @@ FleetConfig load_fleet_file(const std::string& path) {
 
 std::string dump_fleet(const FleetConfig& c) {
   std::ostringstream os;
-  os << "# aetr fleet configuration\n";
-  os << "fleet.nodes = " << c.nodes << '\n';
-  os << "fleet.gateways = " << c.gateways << '\n';
-  os << "fleet.rate_hz = " << c.rate_hz << '\n';
-  os << "fleet.events_per_node = " << c.events_per_node << '\n';
-  os << "fleet.rate_spread = " << c.rate_spread << '\n';
-  os << "fleet.fault_level = " << c.fault_level << '\n';
-  os << "fleet.node_energy_budget_j = " << c.node_energy_budget_j << '\n';
-  os << "fleet.health = " << (c.health ? "true" : "false") << '\n';
-  os << "fleet.seed = " << c.seed << '\n';
-  os << "link.bandwidth_words_per_sec = " << c.link.bandwidth_words_per_sec
-     << '\n';
-  os << "link.queue_words = " << c.link.queue_words << '\n';
-  os << "link.arbitration = " << to_string(c.link.arbitration) << '\n';
-  os << "# per-node base scenario\n";
-  os << core::dump_scenario(c.base);
+  fleet_schema().dump(os, c);
   return os.str();
 }
 

@@ -1,6 +1,9 @@
 #include "frontend/aer_frontend.hpp"
 
+#include <stdexcept>
 #include <utility>
+
+#include "util/blob.hpp"
 
 namespace aetr::frontend {
 
@@ -164,6 +167,49 @@ void AerFrontEnd::fast_capture_commit(const FastCapture& c) {
     records_.push_back(CaptureRecord{c.request, c.edge, word});
   }
   if (word_fn_) word_fn_(word, c.edge);
+}
+
+void AerFrontEnd::save_state(BlobWriter& w) const {
+  if (in_flight_) {
+    throw std::logic_error("AerFrontEnd: save_state with capture in flight");
+  }
+  const auto rs = rng_.state();
+  for (auto s : rs) w.u64(s);
+  w.u64(records_.size());
+  for (const auto& rec : records_) {
+    w.u16(rec.request.address);
+    w.time(rec.request.time);
+    w.time(rec.sample_edge);
+    w.u32(rec.word.raw());
+  }
+  w.u64(events_);
+  w.u64(saturated_);
+  w.u64(metastable_);
+  w.time(last_edge_);
+  w.b(have_last_edge_);
+}
+
+void AerFrontEnd::restore_state(BlobReader& r) {
+  in_flight_ = false;
+  std::array<std::uint64_t, 4> rs{};
+  for (auto& s : rs) s = r.u64();
+  rng_.set_state(rs);
+  records_.clear();
+  const auto nr = r.u64();
+  records_.reserve(nr);
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    CaptureRecord rec;
+    rec.request.address = r.u16();
+    rec.request.time = r.time();
+    rec.sample_edge = r.time();
+    rec.word = aer::AetrWord{r.u32()};
+    records_.push_back(rec);
+  }
+  events_ = r.u64();
+  saturated_ = r.u64();
+  metastable_ = r.u64();
+  last_edge_ = r.time();
+  have_last_edge_ = r.b();
 }
 
 }  // namespace aetr::frontend

@@ -109,6 +109,12 @@ class AerFrontEnd {
   FastCapture fast_capture_begin(std::uint16_t addr, Time req_abs);
   void fast_capture_commit(const FastCapture& c);
 
+  /// Serialize RNG/records/counter state. Requires no capture in flight.
+  /// The isi histogram pointer is re-acquired via the telemetry session at
+  /// reconstruction; its contents are restored with the metrics registry.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   void handle_request(Time t);
 

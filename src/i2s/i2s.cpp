@@ -3,7 +3,10 @@
 #include <cassert>
 #include <utility>
 
+#include <stdexcept>
+
 #include "i2s/framing.hpp"
+#include "util/blob.hpp"
 #include "util/profiler.hpp"
 
 namespace aetr::i2s {
@@ -163,6 +166,25 @@ void I2sMaster::step_word(Time now) {
   }
   batch_remaining_ = next_remaining;
   next_due_ = now + word_time();
+}
+
+void I2sMaster::save_state(BlobWriter& w) const {
+  if (draining_) {
+    throw std::logic_error("I2sMaster: save_state while draining");
+  }
+  w.u64(words_sent_);
+  w.u64(bits_shifted_);
+  w.u64(drains_);
+  w.time(busy_accum_);
+}
+
+void I2sMaster::restore_state(BlobReader& r) {
+  draining_ = false;
+  batch_words_.clear();
+  words_sent_ = r.u64();
+  bits_shifted_ = r.u64();
+  drains_ = r.u64();
+  busy_accum_ = r.time();
 }
 
 I2sWireSerializer::I2sWireSerializer(sim::Scheduler& sched, I2sConfig config)

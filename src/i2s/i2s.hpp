@@ -24,6 +24,11 @@
 #include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::i2s {
 
 /// Serial-clock and framing parameters. The default SCK of 24.576 MHz
@@ -82,6 +87,12 @@ class I2sMaster {
   [[nodiscard]] std::uint64_t bits_shifted() const { return bits_shifted_; }
   [[nodiscard]] std::uint64_t drains() const { return drains_; }
   [[nodiscard]] Time busy_time() const { return busy_accum_; }
+
+  /// Serialize counters/accumulators. Requires no drain in flight (the
+  /// per-word DES callbacks cannot be serialized, so the session advances
+  /// past the drain first). crc_active_ is reconstructed by attach_faults.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   void send_next(std::size_t remaining_in_batch);

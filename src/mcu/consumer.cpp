@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "i2s/framing.hpp"
+#include "util/blob.hpp"
 #include "util/profiler.hpp"
 
 namespace aetr::mcu {
@@ -150,7 +151,7 @@ void McuConsumer::decode_one(aer::AetrWord word, Time arrival) {
   util::ProfScope prof{util::ProfSite::kMcuDecode};
   const aer::TimedEvent ev = decoder_.decode(word);
   if (ev.saturated) tel_.instant("saturated_decode", arrival);
-  events_.push_back(ev);
+  if (keep_events_) events_.push_back(ev);
 }
 
 void McuConsumer::reject_pending(Time now) {
@@ -182,6 +183,57 @@ void McuConsumer::attach_telemetry(telemetry::TelemetrySession* session) {
     });
     m->probe("mcu.bus_active_s", [this] { return bus_active_.to_sec(); });
   }
+}
+
+void McuConsumer::save_state(BlobWriter& w) const {
+  const auto ds = decoder_.state();
+  w.time(ds.clock);
+  w.u64(ds.decoded);
+  w.u64(ds.saturated);
+  w.u64(events_.size());
+  for (const auto& ev : events_) {
+    w.u16(ev.address);
+    w.time(ev.reconstructed_time);
+    w.b(ev.saturated);
+  }
+  w.u64(pending_.size());
+  for (const std::uint32_t raw : pending_) w.u32(raw);
+  w.u32(running_crc_);
+  w.u64(batches_);
+  w.u64(words_);
+  w.time(last_arrival_);
+  w.time(bus_active_);
+  w.b(any_);
+  w.b(keep_events_);
+}
+
+void McuConsumer::restore_state(BlobReader& r) {
+  AetrDecoder::State ds{};
+  ds.clock = r.time();
+  ds.decoded = r.u64();
+  ds.saturated = r.u64();
+  decoder_.set_state(ds);
+  events_.clear();
+  const auto ne = r.u64();
+  events_.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) {
+    aer::TimedEvent ev;
+    ev.address = r.u16();
+    ev.reconstructed_time = r.time();
+    ev.saturated = r.b();
+    events_.push_back(ev);
+  }
+  pending_.clear();
+  const auto np = r.u64();
+  pending_.reserve(np);
+  for (std::uint64_t i = 0; i < np; ++i) pending_.push_back(r.u32());
+  running_crc_ = r.u32();
+  batches_ = r.u64();
+  words_ = r.u64();
+  last_arrival_ = r.time();
+  bus_active_ = r.time();
+  any_ = r.b();
+  keep_events_ = r.b();
 }
 
 }  // namespace aetr::mcu

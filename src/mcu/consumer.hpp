@@ -18,6 +18,11 @@
 #include "telemetry/telemetry.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::mcu {
 
 /// Turns a sequence of AETR words back into absolute event times.
@@ -39,6 +44,19 @@ class AetrDecoder {
   [[nodiscard]] Time clock() const { return clock_; }
   [[nodiscard]] std::uint64_t decoded() const { return decoded_; }
   [[nodiscard]] std::uint64_t saturated() const { return saturated_; }
+
+  /// Raw accumulator state, for snapshot/restore.
+  struct State {
+    Time clock;
+    std::uint64_t decoded;
+    std::uint64_t saturated;
+  };
+  [[nodiscard]] State state() const { return {clock_, decoded_, saturated_}; }
+  void set_state(const State& s) {
+    clock_ = s.clock;
+    decoded_ = s.decoded;
+    saturated_ = s.saturated;
+  }
 
  private:
   Time tick_unit_;
@@ -132,6 +150,15 @@ class McuConsumer {
   /// End-of-run hook: flush (and reject) any CRC-pending payload.
   void finish(Time now);
 
+  /// When false, decoded events are no longer appended to events(); bounds
+  /// memory for endless serve-mode streams (disables latency harvesting).
+  void set_keep_events(bool keep) { keep_events_ = keep; }
+
+  /// Serialize decoder/batch state (crc_gate_ is reconstructed by
+  /// attach_faults at component reconstruction).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   void decode_one(aer::AetrWord word, Time arrival);
   void reject_pending(Time now);
@@ -148,6 +175,7 @@ class McuConsumer {
   Time last_arrival_{Time::zero()};
   Time bus_active_{Time::zero()};
   bool any_{false};
+  bool keep_events_{true};
   telemetry::BlockTelemetry tel_;
 };
 

@@ -105,13 +105,16 @@ SearchSpace& SearchSpace::add(ParamAxis axis) {
   if (axis.key.rfind("telemetry.", 0) == 0) {
     fail("axis '" + axis.key + "': telemetry keys cannot be searched");
   }
-  // Validate the key eagerly (with the config loader's did-you-mean hint)
-  // so a typo fails at space construction, not mid-optimisation.
-  const auto known = core::scenario_keys();
-  if (std::find(known.begin(), known.end(), axis.key) == known.end()) {
+  // Validate the key eagerly against the shared config schema (with its
+  // did-you-mean hint) so a typo fails at space construction, not
+  // mid-optimisation. Deprecated aliases (run.*) are accepted here just as
+  // the config loader accepts them.
+  const auto& schema = core::scenario_schema();
+  if (!schema.known(axis.key)) {
     std::string msg = "axis '" + axis.key + "': unknown scenario key";
-    const std::string hint = core::suggest_scenario_key(axis.key);
-    if (!hint.empty()) msg += " (did you mean '" + hint + "'?)";
+    if (const std::string hint = schema.suggest(axis.key); !hint.empty()) {
+      msg += " (did you mean '" + hint + "'?)";
+    }
     fail(msg);
   }
   for (const auto& existing : axes_) {
@@ -187,8 +190,8 @@ void SearchSpace::apply(core::ScenarioConfig& scenario,
          std::to_string(axes_.size()) + " axes");
   }
   for (std::size_t i = 0; i < axes_.size(); ++i) {
-    core::apply_scenario_key(scenario, axes_[i].key,
-                             axes_[i].format(values[i]));
+    core::scenario_schema().apply(scenario, axes_[i].key,
+                                  axes_[i].format(values[i]));
   }
 }
 

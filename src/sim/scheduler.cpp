@@ -328,4 +328,20 @@ void Scheduler::fast_forward_to(Time t) {
   advance_now_to(t);
 }
 
+void Scheduler::restore_clock_state(const ClockState& s) {
+  if (live_ != 0) {
+    throw std::logic_error(
+        "Scheduler: restore_clock_state with pending events");
+  }
+  if (s.now < now_) {
+    throw std::logic_error("Scheduler: restore_clock_state into the past");
+  }
+  advance_now_to(s.now);
+  next_seq_ = s.next_seq;
+  processed_ = s.processed;
+  stats_.cancelled = s.cancelled;
+  stats_.heap_dispatches = s.heap_dispatches;
+  stats_.cascaded = s.cascaded;
+}
+
 }  // namespace aetr::sim

@@ -167,6 +167,30 @@ class Scheduler {
     return Time::ps(Time::Rep{1} << kHorizonBits);
   }
 
+  // --- snapshot/restore ----------------------------------------------------
+  /// Clock-and-counter state for session snapshots. Callbacks cannot be
+  /// serialized, so a snapshot is only taken at a quiescent point where the
+  /// Session knows (and can re-arm) every pending event; this struct carries
+  /// the rest.
+  struct ClockState {
+    Time now;
+    std::uint64_t next_seq;
+    std::uint64_t processed;
+    std::uint64_t cancelled;
+    std::uint64_t heap_dispatches;
+    std::uint64_t cascaded;
+  };
+  [[nodiscard]] ClockState clock_state() const {
+    return {now_,           next_seq_,
+            processed_,     stats_.cancelled,
+            stats_.heap_dispatches, stats_.cascaded};
+  }
+  /// Restore the clock/counter state. Only valid on a scheduler with no
+  /// pending events (the restorer re-arms standing timers afterwards, which
+  /// then receive seq numbers >= next_seq exactly as the saved run's
+  /// re-armed timers did); throws std::logic_error otherwise.
+  void restore_clock_state(const ClockState& s);
+
  private:
   static constexpr unsigned kGroupBits = 8;                // 256 buckets/level
   static constexpr unsigned kSlotsPerLevel = 1u << kGroupBits;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/blob.hpp"
+
 namespace aetr::spi {
 
 void ConfigBus::map(Reg reg, ReadFn read, WriteFn write) {
@@ -78,6 +80,36 @@ void SpiSlave::sck_fall() {
   } else {
     miso_ = false;
   }
+}
+
+void ConfigBus::save_state(BlobWriter& w) const { w.u64(ignored_writes_); }
+
+void ConfigBus::restore_state(BlobReader& r) { ignored_writes_ = r.u64(); }
+
+void SpiSlave::save_state(BlobWriter& w) const {
+  w.i64(corrupt_bit_);
+  w.b(csn_);
+  w.b(miso_);
+  w.u32(bit_count_);
+  w.u16(shift_in_);
+  w.u8(shift_out_);
+  w.b(is_write_);
+  w.u8(addr_);
+  w.u64(transactions_);
+  w.u64(bits_clocked_);
+}
+
+void SpiSlave::restore_state(BlobReader& r) {
+  corrupt_bit_ = static_cast<int>(r.i64());
+  csn_ = r.b();
+  miso_ = r.b();
+  bit_count_ = static_cast<unsigned>(r.u32());
+  shift_in_ = r.u16();
+  shift_out_ = r.u8();
+  is_write_ = r.b();
+  addr_ = r.u8();
+  transactions_ = r.u64();
+  bits_clocked_ = r.u64();
 }
 
 SpiMaster::SpiMaster(sim::Scheduler& sched, SpiSlave& slave, Frequency sck)

@@ -19,6 +19,11 @@
 #include "sim/scheduler.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 namespace aetr::spi {
 
 /// Register addresses of the AER-to-I2S interface.
@@ -55,6 +60,11 @@ class ConfigBus {
 
   [[nodiscard]] std::uint64_t ignored_writes() const { return ignored_writes_; }
 
+  /// Serialize the ignored-write counter (the handler map is rebuilt when
+  /// the owning interface reconstructs).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   struct Slot {
     ReadFn read;
@@ -88,6 +98,10 @@ class SpiSlave {
   /// Config-word corruption lottery (one bit of a 16-bit frame flips on the
   /// MOSI sampling path). Null is inert.
   void attach_faults(fault::FaultInjector* faults) { faults_ = faults; }
+
+  /// Serialize mid-transaction shift state + counters.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   ConfigBus& bus_;

@@ -5,6 +5,9 @@
 #include <cstdio>
 #include <fstream>
 #include <numeric>
+#include <stdexcept>
+
+#include "util/blob.hpp"
 
 namespace aetr::telemetry {
 namespace {
@@ -237,7 +240,114 @@ void MetricsRegistry::write_csv(const std::string& path) const {
   }
 }
 
+// --- snapshot/restore -------------------------------------------------------
+
+void TraceSession::save_state(BlobWriter& w) const {
+  w.u64(track_names_.size());
+  for (const auto& n : track_names_) w.str(n);
+  w.u64(events_.size());
+  for (const Event& e : events_) {
+    w.u8(static_cast<std::uint8_t>(e.phase));
+    w.u32(e.track);
+    w.str(e.name);
+    w.time(e.ts);
+    w.time(e.dur);
+    w.u8(e.n_args);
+    for (std::uint8_t a = 0; a < e.n_args; ++a) {
+      w.str(e.args[a].key);
+      w.f64(e.args[a].value);
+    }
+  }
+  w.u64(dropped_);
+}
+
+void TraceSession::restore_state(BlobReader& r) {
+  track_names_.clear();
+  const auto nt = r.u64();
+  track_names_.reserve(nt);
+  for (std::uint64_t i = 0; i < nt; ++i) track_names_.push_back(r.str());
+  events_.clear();
+  const auto ne = r.u64();
+  events_.reserve(ne);
+  for (std::uint64_t i = 0; i < ne; ++i) {
+    Event e;
+    e.phase = static_cast<Phase>(r.u8());
+    e.track = r.u32();
+    e.name = intern(r.str());
+    e.ts = r.time();
+    e.dur = r.time();
+    e.n_args = r.u8();
+    for (std::uint8_t a = 0; a < e.n_args && a < 2; ++a) {
+      e.args[a].key = intern(r.str());
+      e.args[a].value = r.f64();
+    }
+    events_.push_back(e);
+  }
+  dropped_ = r.u64();
+}
+
+void MetricsRegistry::save_state(BlobWriter& w) const {
+  w.u64(snapshots_.size());
+  for (const Snapshot& s : snapshots_) {
+    w.time(s.at);
+    w.u64(s.values.size());
+    for (const double v : s.values) w.f64(v);
+  }
+  w.u64(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    w.str(name);
+    w.f64(h.total());
+    w.u64(h.bin_count());
+    for (std::size_t i = 0; i < h.bin_count(); ++i) w.f64(h.count(i));
+  }
+}
+
+void MetricsRegistry::restore_state(BlobReader& r) {
+  snapshots_.clear();
+  const auto ns = r.u64();
+  snapshots_.reserve(ns);
+  for (std::uint64_t i = 0; i < ns; ++i) {
+    Snapshot s;
+    s.at = r.time();
+    const auto nv = r.u64();
+    s.values.reserve(nv);
+    for (std::uint64_t v = 0; v < nv; ++v) s.values.push_back(r.f64());
+    snapshots_.push_back(std::move(s));
+  }
+  const auto nh = r.u64();
+  for (std::uint64_t i = 0; i < nh; ++i) {
+    const std::string name = r.str();
+    const double total = r.f64();
+    const auto bins = r.u64();
+    std::vector<double> counts;
+    counts.reserve(bins);
+    for (std::uint64_t b = 0; b < bins; ++b) counts.push_back(r.f64());
+    LogHistogram* h = nullptr;
+    for (auto& [n, hist] : histograms_) {
+      if (n == name) {
+        h = &hist;
+        break;
+      }
+    }
+    if (h == nullptr) {
+      throw std::runtime_error(
+          "MetricsRegistry::restore_state: histogram not registered: " + name);
+    }
+    h->set_counts(counts, total);
+  }
+}
+
 // --- TelemetrySession -------------------------------------------------------
+
+void TelemetrySession::save_state(BlobWriter& w) const {
+  trace_.save_state(w);
+  metrics_.save_state(w);
+}
+
+void TelemetrySession::restore_state(BlobReader& r) {
+  trace_.restore_state(r);
+  metrics_.restore_state(r);
+}
 
 void TelemetrySession::write_artifacts() const {
   if (trace_on() && !opt_.trace_json_path.empty()) {

@@ -40,6 +40,11 @@
 #include "util/histogram.hpp"
 #include "util/time.hpp"
 
+namespace aetr {
+class BlobWriter;
+class BlobReader;
+}  // namespace aetr
+
 #ifndef AETR_TELEMETRY
 #define AETR_TELEMETRY 1  // compiled in by default; -DAETR_TELEMETRY=0 strips
 #endif
@@ -127,6 +132,13 @@ class TraceSession {
   /// Compact CSV: track,phase,name,ts_ps,dur_ps,arg keys/values.
   void write_csv(const std::string& path) const;
 
+  /// Serialize tracks + events (names and arg keys stringized) + the drop
+  /// counter. restore_state() replaces the whole recording: names are
+  /// re-interned, so restored artifacts are byte-identical even though the
+  /// pointers differ.
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   void push(Phase phase, Track t, const char* name, Time ts, Time dur,
             std::initializer_list<TraceArg> args);
@@ -185,6 +197,12 @@ class MetricsRegistry {
   /// registration order), then the histograms as long-format rows.
   void write_csv(const std::string& path) const;
 
+  /// Serialize snapshot rows + histogram contents. Probes re-register at
+  /// component reconstruction; restore_state() requires every saved
+  /// histogram to exist already (matched by name, same geometry).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
+
  private:
   std::vector<std::string> names_;
   std::vector<SampleFn> samplers_;
@@ -236,6 +254,10 @@ class TelemetrySession {
 
   /// Write every configured artifact path.
   void write_artifacts() const;
+
+  /// Serialize/restore the recorded trace + metrics (options are config).
+  void save_state(BlobWriter& w) const;
+  void restore_state(BlobReader& r);
 
  private:
   SessionOptions opt_;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace aetr {
 
@@ -93,6 +94,14 @@ double LogHistogram::bin_hi(std::size_t i) const {
 }
 double LogHistogram::bin_center(std::size_t i) const {
   return std::sqrt(bin_lo(i) * bin_hi(i));
+}
+
+void LogHistogram::set_counts(const std::vector<double>& counts, double total) {
+  if (counts.size() != counts_.size()) {
+    throw std::runtime_error("LogHistogram::set_counts: bin count mismatch");
+  }
+  counts_ = counts;
+  total_ = total;
 }
 
 }  // namespace aetr

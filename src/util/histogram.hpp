@@ -59,6 +59,11 @@ class LogHistogram {
   [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double total() const { return total_; }
 
+  /// Overwrite bin counts and total, for snapshot/restore. The geometry
+  /// (lo/hi/bins_per_decade) must match the histogram being restored into;
+  /// a size mismatch throws.
+  void set_counts(const std::vector<double>& counts, double total);
+
  private:
   double log_lo_;
   double log_step_;

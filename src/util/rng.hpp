@@ -9,6 +9,7 @@
 //     pseudo-random spike streams for the power measurements (§5.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -45,6 +46,18 @@ class Xoshiro256StarStar {
 
   /// Exponentially distributed time span with the given mean span.
   Time exponential_time(Time mean);
+
+  /// Raw generator state, for snapshot/restore. A restored generator
+  /// continues the exact sequence the saved one would have produced.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   std::uint64_t s_[4];

@@ -28,6 +28,23 @@ class RunningStats {
 
   void reset() { *this = RunningStats{}; }
 
+  /// Raw accumulator state, for snapshot/restore.
+  struct State {
+    std::size_t n;
+    double mean;
+    double m2;
+    double min;
+    double max;
+  };
+  [[nodiscard]] State state() const { return {n_, mean_, m2_, min_, max_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+    min_ = s.min;
+    max_ = s.max;
+  }
+
  private:
   std::size_t n_{0};
   double mean_{0.0};

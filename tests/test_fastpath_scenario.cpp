@@ -1,5 +1,5 @@
 // Bit-exactness of the idle-skip fast path (core/fast_path.hpp): every
-// RunResult field must be byte-identical with run.fast_forward on vs off,
+// RunResult field must be byte-identical with session.fast_forward on vs off,
 // across rates that exercise the shutdown ladder, FIFO overflow, both
 // overflow policies, metastability, and the no-MCU/no-flush corners. Also
 // covers the fault-plan eligibility rule: a plan whose probabilities are

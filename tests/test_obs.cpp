@@ -352,7 +352,7 @@ TEST(Config, EnergyLedgerKeyRoundTrips) {
   core::ScenarioConfig sc;
   sc.energy_ledger = true;
   const std::string text = core::dump_scenario(sc);
-  EXPECT_NE(text.find("run.energy_ledger = true"), std::string::npos);
+  EXPECT_NE(text.find("session.energy_ledger = true"), std::string::npos);
   std::istringstream is{text};
   const auto back = core::load_scenario(is);
   EXPECT_TRUE(back.energy_ledger);

@@ -1,0 +1,459 @@
+// aetr-serve — service-mode harness over the incremental core::Session.
+//
+//   aetr-serve gen --out FILE [--events N] [--rate-hz R] [--seed S]
+//              [--addr-range A]
+//       Generate a deterministic Poisson stream: AEDAT 2.0 when FILE ends
+//       in .aedat, the line-oriented aer trace format otherwise.
+//
+//   aetr-serve run --in FILE|- [--config FILE] [--out-dir DIR]
+//              [--snapshot FILE] [--snapshot-interval-sec S] [--resume]
+//              [--no-history] [--pace-us N] [--pace-every N]
+//              [--stats-json FILE]
+//       Ingest a stream — an .aedat file, a trace file, a FIFO, or stdin
+//       ('-') — through a core::Session: feed each event as it arrives,
+//       advance simulated time under backpressure, checkpoint the full
+//       simulator state to --snapshot every session.snapshot_interval_sec
+//       of *simulated* time (atomically: tmp + rename, so a kill never
+//       leaves a torn blob), and on end-of-stream or SIGTERM/SIGINT drain
+//       gracefully: finish() the session and write the run summary.
+//
+//       With --resume the session first restores the last snapshot and
+//       skips the events it already consumed, continuing byte-identically
+//       to a run that was never interrupted — the CI serve-determinism job
+//       SIGKILLs a paced run mid-stream and diffs the resumed summary
+//       against an uninterrupted one.
+//
+//       summary.txt under --out-dir holds only deterministic counters (no
+//       wall-clock data), so `diff -r` across runs is meaningful.
+//       --stats-json lands wall-clock ingest/snapshot timings and peak RSS
+//       outside the out-dir for the BENCH_serve.json report.
+//
+// Exit codes: 0 = completed (including a graceful signal drain), 2 = usage
+// error, 3 = runtime failure.
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aer/aedat.hpp"
+#include "aer/event.hpp"
+#include "aer/trace.hpp"
+#include "core/config_io.hpp"
+#include "core/session.hpp"
+#include "gen/sources.hpp"
+#include "util/artifacts.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage(std::ostream& os) {
+  os << "usage:\n"
+        "  aetr-serve gen --out FILE [--events N] [--rate-hz R] [--seed S]"
+        " [--addr-range A]\n"
+        "  aetr-serve run --in FILE|- [--config FILE] [--out-dir DIR]\n"
+        "             [--snapshot FILE] [--snapshot-interval-sec S]"
+        " [--resume]\n"
+        "             [--no-history] [--pace-us N] [--pace-every N]"
+        " [--stats-json FILE]\n";
+  return &os == &std::cerr ? 2 : 0;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || *end) return false;
+  out = v;
+  return true;
+}
+
+bool parse_f64(const char* s, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end) return false;
+  out = v;
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+double wall_sec(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// gen
+
+int cmd_gen(int argc, char** argv) {
+  std::string out;
+  std::uint64_t events = 100000;
+  std::uint64_t seed = 1;
+  std::uint64_t addr_range = 256;
+  double rate_hz = 50e3;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (a == "--out" && has_next) {
+      out = argv[++i];
+    } else if (a == "--events" && has_next) {
+      if (!parse_u64(argv[++i], events)) return usage(std::cerr);
+    } else if (a == "--seed" && has_next) {
+      if (!parse_u64(argv[++i], seed)) return usage(std::cerr);
+    } else if (a == "--addr-range" && has_next) {
+      if (!parse_u64(argv[++i], addr_range) || addr_range == 0 ||
+          addr_range > 0xffff) {
+        return usage(std::cerr);
+      }
+    } else if (a == "--rate-hz" && has_next) {
+      if (!parse_f64(argv[++i], rate_hz) || rate_hz <= 0.0) {
+        return usage(std::cerr);
+      }
+    } else {
+      std::cerr << "aetr-serve gen: unknown argument " << a << '\n';
+      return usage(std::cerr);
+    }
+  }
+  if (out.empty()) {
+    std::cerr << "aetr-serve gen: --out is required\n";
+    return usage(std::cerr);
+  }
+  aetr::gen::PoissonSource source{rate_hz,
+                                  static_cast<std::uint16_t>(addr_range),
+                                  seed};
+  const aetr::aer::EventStream stream =
+      aetr::gen::take(source, static_cast<std::size_t>(events));
+  if (ends_with(out, ".aedat")) {
+    aetr::aer::save_aedat(out, stream);
+  } else {
+    aetr::aer::save_trace(out, stream);
+  }
+  std::cout << "aetr-serve: wrote " << stream.size() << " events to " << out
+            << '\n';
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// run
+
+struct RunArgs {
+  std::string in;
+  std::string config;
+  std::string out_dir;
+  std::string snapshot;
+  std::string stats_json;
+  double snapshot_interval_sec = -1.0;  // <0: take from the scenario config
+  bool resume = false;
+  bool keep_history = true;
+  std::uint64_t pace_us = 0;
+  std::uint64_t pace_every = 1000;
+};
+
+/// Incremental reader over the aer trace line format, so a FIFO or stdin
+/// pipe is consumed event-by-event instead of being materialised first.
+/// (.aedat input is a binary file format and is loaded whole.)
+class TraceFeed {
+ public:
+  explicit TraceFeed(std::istream& is) : is_{is} {}
+
+  std::optional<aetr::aer::Event> next() {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      const auto first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      std::istringstream ls{line};
+      aetr::Time::Rep t_ps = 0;
+      unsigned address = 0;
+      if (!(ls >> t_ps >> address) || address > aetr::aer::kAddressMask) {
+        throw std::runtime_error("aetr-serve: malformed trace line " +
+                                 std::to_string(line_no_) + ": " + line);
+      }
+      return aetr::aer::Event{static_cast<std::uint16_t>(address),
+                              aetr::Time::ps(t_ps)};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_{0};
+};
+
+void write_snapshot_atomic(const std::string& path,
+                           const std::vector<std::uint8_t>& blob) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f{tmp, std::ios::binary | std::ios::trunc};
+    if (!f) throw std::runtime_error("aetr-serve: cannot open " + tmp);
+    f.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    if (!f) throw std::runtime_error("aetr-serve: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("aetr-serve: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+std::vector<std::uint8_t> read_snapshot(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  if (!f) throw std::runtime_error("aetr-serve: cannot open " + path);
+  std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(f),
+                                 std::istreambuf_iterator<char>()};
+  return blob;
+}
+
+/// Deterministic run summary: counters only, no wall-clock data, so the CI
+/// kill/resume job can `diff` it against an uninterrupted run's.
+void write_summary(const std::string& path, const aetr::core::RunResult& r) {
+  std::ofstream os{path, std::ios::trunc};
+  if (!os) throw std::runtime_error("aetr-serve: cannot open " + path);
+  char buf[64];
+  const auto f64 = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string{buf};
+  };
+  os << "# aetr-serve run summary\n";
+  os << "events_in = " << r.events_in << '\n';
+  os << "words_out = " << r.words_out << '\n';
+  os << "batches = " << r.batches << '\n';
+  os << "fifo_overflows = " << r.fifo_overflows << '\n';
+  os << "handshakes = " << r.handshakes << '\n';
+  os << "caviar_violations = " << r.caviar_violations << '\n';
+  os << "protocol_violations = " << r.protocol_violations << '\n';
+  os << "decoded = " << r.decoded.size() << '\n';
+  os << "error.events = " << r.error.events << '\n';
+  os << "error.saturated = " << r.error.saturated << '\n';
+  os << "error.mean_rel = " << f64(r.error.mean_rel_error()) << '\n';
+  os << "faults.injected_total = " << r.faults.injected_total() << '\n';
+  os << "faults.recovered_total = " << r.faults.recovered_total() << '\n';
+  os << "faults.watchdog_resyncs = " << r.faults.watchdog_resyncs << '\n';
+  os << "faults.crc_rejected_words = " << r.faults.crc_rejected_words << '\n';
+  os << "sim_end_ps = " << r.sim_end.count_ps() << '\n';
+  os << "input_rate_hz = " << f64(r.input_rate_hz) << '\n';
+  os << "average_power_w = " << f64(r.average_power_w) << '\n';
+  if (!os) throw std::runtime_error("aetr-serve: write failed for " + path);
+}
+
+long max_rss_kb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return ru.ru_maxrss;
+}
+
+int cmd_run(const RunArgs& args) {
+  aetr::core::ScenarioConfig scenario;
+  if (!args.config.empty()) {
+    scenario = aetr::core::load_scenario_file(args.config);
+  }
+  const double interval_sec = args.snapshot_interval_sec >= 0.0
+                                  ? args.snapshot_interval_sec
+                                  : scenario.session.snapshot_interval_sec;
+  const bool snapshotting = !args.snapshot.empty() && interval_sec > 0.0;
+  const aetr::Time interval =
+      snapshotting ? aetr::Time::sec(interval_sec) : aetr::Time::zero();
+
+  aetr::core::Session session{scenario};
+  if (!args.keep_history) session.set_keep_history(false);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  double restore_sec = 0.0;
+  std::uint64_t to_skip = 0;
+  if (args.resume) {
+    const auto blob = read_snapshot(args.snapshot);
+    const auto r0 = std::chrono::steady_clock::now();
+    session.restore(blob);
+    restore_sec = wall_sec(r0);
+    // Everything the snapshot already consumed (submitted or still in the
+    // session's buffer) replays from the blob, not from the stream.
+    to_skip = session.events_fed();
+    std::cerr << "aetr-serve: resumed at " << session.position().count_ps()
+              << " ps, skipping " << to_skip << " already-fed events\n";
+  }
+
+  // Snapshot cadence on the *simulated* clock, anchored at multiples of
+  // the interval from zero so the schedule is a pure function of the
+  // stream, not of wall time or of where a previous run was killed.
+  aetr::Time next_snapshot = aetr::Time::zero();
+  if (snapshotting) {
+    while (next_snapshot <= session.position()) next_snapshot += interval;
+  }
+
+  std::uint64_t ingested = 0;
+  std::uint64_t snapshots = 0;
+  double snapshot_sec = 0.0;
+  bool drained_by_signal = false;
+
+  const auto pump = [&](const aetr::aer::Event& ev) -> bool {
+    if (to_skip > 0) {
+      --to_skip;
+      return g_stop == 0;
+    }
+    while (!session.feed(ev)) {
+      // Backpressure: the buffer is full of events at or before ev.time,
+      // so advancing to the stream position drains all of it.
+      session.advance_to(ev.time);
+    }
+    ++ingested;
+    if (snapshotting && ev.time >= next_snapshot) {
+      session.advance_to(next_snapshot);
+      const auto s0 = std::chrono::steady_clock::now();
+      write_snapshot_atomic(args.snapshot, session.snapshot());
+      snapshot_sec += wall_sec(s0);
+      ++snapshots;
+      while (next_snapshot <= ev.time) next_snapshot += interval;
+    }
+    if (args.pace_us > 0 && ingested % args.pace_every == 0) {
+      usleep(static_cast<useconds_t>(args.pace_us));
+    }
+    return g_stop == 0;
+  };
+
+  if (args.in != "-" && ends_with(args.in, ".aedat")) {
+    const aetr::aer::EventStream stream = aetr::aer::load_aedat(args.in);
+    for (const auto& ev : stream) {
+      if (!pump(ev)) {
+        drained_by_signal = true;
+        break;
+      }
+    }
+  } else if (args.in == "-") {
+    TraceFeed feed{std::cin};
+    while (auto ev = feed.next()) {
+      if (!pump(*ev)) {
+        drained_by_signal = true;
+        break;
+      }
+    }
+  } else {
+    std::ifstream f{args.in};
+    if (!f) throw std::runtime_error("aetr-serve: cannot open " + args.in);
+    TraceFeed feed{f};
+    while (auto ev = feed.next()) {
+      if (!pump(*ev)) {
+        drained_by_signal = true;
+        break;
+      }
+    }
+  }
+  const double ingest_sec = wall_sec(t0);
+
+  // Graceful drain: end-of-stream and SIGTERM land in the same place —
+  // run the buffered remainder to completion and write the summary.
+  const aetr::core::RunResult result = session.finish();
+  const std::string out_dir = aetr::util::artifact_dir(
+      args.out_dir.empty() ? "results/serve" : args.out_dir);
+  write_summary(out_dir + "/summary.txt", result);
+
+  if (!args.stats_json.empty()) {
+    std::ofstream js{args.stats_json, std::ios::trunc};
+    if (!js) {
+      throw std::runtime_error("aetr-serve: cannot open " + args.stats_json);
+    }
+    js << "{\n"
+       << "  \"ingested_events\": " << ingested << ",\n"
+       << "  \"ingest_sec\": " << ingest_sec << ",\n"
+       << "  \"events_per_sec\": "
+       << (ingest_sec > 0.0 ? static_cast<double>(ingested) / ingest_sec
+                            : 0.0)
+       << ",\n"
+       << "  \"snapshots\": " << snapshots << ",\n"
+       << "  \"snapshot_sec_total\": " << snapshot_sec << ",\n"
+       << "  \"snapshot_sec_mean\": "
+       << (snapshots > 0 ? snapshot_sec / static_cast<double>(snapshots)
+                         : 0.0)
+       << ",\n"
+       << "  \"restore_sec\": " << restore_sec << ",\n"
+       << "  \"max_rss_kb\": " << max_rss_kb() << ",\n"
+       << "  \"drained_by_signal\": " << (drained_by_signal ? "true" : "false")
+       << "\n}\n";
+  }
+
+  std::cout << "aetr-serve: " << (drained_by_signal ? "drained" : "completed")
+            << " after " << ingested << " events, " << snapshots
+            << " snapshots; summary in " << out_dir << "/summary.txt\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") return usage(std::cout);
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  try {
+    if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "run") {
+      RunArgs args;
+      for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        const bool has_next = i + 1 < argc;
+        if (a == "--in" && has_next) {
+          args.in = argv[++i];
+        } else if (a == "--config" && has_next) {
+          args.config = argv[++i];
+        } else if (a == "--out-dir" && has_next) {
+          args.out_dir = argv[++i];
+        } else if (a == "--snapshot" && has_next) {
+          args.snapshot = argv[++i];
+        } else if (a == "--snapshot-interval-sec" && has_next) {
+          if (!parse_f64(argv[++i], args.snapshot_interval_sec) ||
+              args.snapshot_interval_sec < 0.0) {
+            return usage(std::cerr);
+          }
+        } else if (a == "--stats-json" && has_next) {
+          args.stats_json = argv[++i];
+        } else if (a == "--resume") {
+          args.resume = true;
+        } else if (a == "--no-history") {
+          args.keep_history = false;
+        } else if (a == "--pace-us" && has_next) {
+          if (!parse_u64(argv[++i], args.pace_us)) return usage(std::cerr);
+        } else if (a == "--pace-every" && has_next) {
+          if (!parse_u64(argv[++i], args.pace_every) || args.pace_every == 0) {
+            return usage(std::cerr);
+          }
+        } else {
+          std::cerr << "aetr-serve run: unknown argument " << a << '\n';
+          return usage(std::cerr);
+        }
+      }
+      if (args.in.empty()) {
+        std::cerr << "aetr-serve run: --in is required\n";
+        return usage(std::cerr);
+      }
+      if (args.resume && args.snapshot.empty()) {
+        std::cerr << "aetr-serve run: --resume requires --snapshot\n";
+        return usage(std::cerr);
+      }
+      return cmd_run(args);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "aetr-serve: " << e.what() << '\n';
+    return 3;
+  }
+  std::cerr << "aetr-serve: unknown command " << cmd << '\n';
+  return usage(std::cerr);
+}

@@ -18,7 +18,7 @@ Two modes, selected by the first argument:
 
   tools/bench_report.py fastpath [path/to/aetr-sweep] [fastpath_throughput] [label]
       Idle-skip fast path (core/fast_path.hpp): per-rate single-thread
-      events/sec with run.fast_forward on vs off from the
+      events/sec with session.fast_forward on vs off from the
       fastpath_throughput bench, the fig6/fig8 --jobs 1 wall clocks on vs
       off, and the on-vs-off CSV byte-identity gate -> BENCH_fastpath.json.
       Also exposed as the `fastpath_report` target.
@@ -55,9 +55,19 @@ Two modes, selected by the first argument:
       The bench self-checks the zero-cost contract (profiler off ->
       every counter zero). Also exposed as the `profile_report` target.
 
+  tools/bench_report.py serve [path/to/aetr-serve] [label]
+      Streaming service harness (core::Session via aetr-serve): ingest
+      throughput over a generated event stream with --no-history (the
+      steady-state RSS ceiling), snapshot cadence cost (mean wall-clock
+      per snapshot), restore latency, and the snapshot-run vs
+      resumed-run summary byte-identity gate -> BENCH_serve.json. Also
+      exposed as the `serve_report` target.
+
   tools/bench_report.py validate [BENCH_*.json ...]
-      Structural validator for the BENCH_*.json perf records (no args:
-      every BENCH_*.json at the repo root). Checks each document carries
+      Structural validator for the BENCH_*.json perf records. With no
+      args the file list is not hardcoded anywhere: it is discovered by
+      globbing BENCH_*.json at the repo root, so a new mode's output is
+      validated the moment it first lands. Checks each document carries
       a string label, a string date, a list-valued history, and only
       JSON-representable scalar/list/dict values — the shape every mode
       above writes and the CI observability job gates on. Pure standard
@@ -717,6 +727,113 @@ def profile_mode(bench, label):
     return 0
 
 
+# --- streaming service (aetr-serve) -------------------------------------------
+
+SERVE_EVENTS = 100_000
+SERVE_RATE_HZ = 100_000
+SERVE_SNAPSHOT_INTERVAL_SEC = 0.1
+
+
+def run_serve(binary, argv):
+    proc = subprocess.run([binary] + argv, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: aetr-serve {' '.join(argv)} exited "
+              f"{proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+        return None
+    return True
+
+
+def serve_mode(binary, label):
+    out = ROOT / "BENCH_serve.json"
+    if not pathlib.Path(binary).exists():
+        print(f"error: aetr-serve binary not found: {binary}", file=sys.stderr)
+        print("build it first: cmake --build build --target aetr_serve",
+              file=sys.stderr)
+        return 1
+    with tempfile.TemporaryDirectory(prefix="aetr_serve_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        stream = tmp / "stream.trace"
+        if run_serve(binary, ["gen", "--out", str(stream),
+                              "--events", str(SERVE_EVENTS),
+                              "--rate-hz", str(SERVE_RATE_HZ),
+                              "--seed", "7"]) is None:
+            return 1
+        # Pure ingest throughput with per-event history dropped: the
+        # steady-state RSS ceiling an endless service run sits at.
+        if run_serve(binary, ["run", "--in", str(stream),
+                              "--out-dir", str(tmp / "ingest"),
+                              "--no-history",
+                              "--stats-json", str(tmp / "ingest.json")
+                              ]) is None:
+            return 1
+        ingest = json.loads((tmp / "ingest.json").read_text())
+        # Snapshotting run: periodic snapshots on the simulated clock,
+        # then a resume from the last snapshot — the resumed summary must
+        # match the snapshotting run's byte for byte (the kill-and-resume
+        # determinism contract; CI exercises the SIGKILL variant).
+        snap_args = ["run", "--in", str(stream),
+                     "--snapshot", str(tmp / "state.snap"),
+                     "--snapshot-interval-sec",
+                     str(SERVE_SNAPSHOT_INTERVAL_SEC)]
+        if run_serve(binary, snap_args + [
+                "--out-dir", str(tmp / "snap"),
+                "--stats-json", str(tmp / "snap.json")]) is None:
+            return 1
+        snap = json.loads((tmp / "snap.json").read_text())
+        if run_serve(binary, snap_args + [
+                "--out-dir", str(tmp / "resumed"), "--resume",
+                "--stats-json", str(tmp / "resumed.json")]) is None:
+            return 1
+        resumed = json.loads((tmp / "resumed.json").read_text())
+        resume_identical = ((tmp / "snap" / "summary.txt").read_bytes()
+                            == (tmp / "resumed" / "summary.txt").read_bytes())
+
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "events_per_sec": old.get("ingest", {}).get("events_per_sec"),
+        "max_rss_kb_no_history":
+            old.get("ingest", {}).get("max_rss_kb_no_history"),
+        "snapshot_sec_mean": old.get("snapshot", {}).get("sec_mean"),
+        "restore_sec": old.get("restore_sec"),
+        "resume_identical": old.get("resume_identical"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "cpu_count": os.cpu_count() or 1,
+        "events": SERVE_EVENTS,
+        "rate_hz": SERVE_RATE_HZ,
+        "ingest": {
+            "wall_sec": round(ingest["ingest_sec"], 4),
+            "events_per_sec": round(ingest["events_per_sec"]),
+            "max_rss_kb_no_history": ingest["max_rss_kb"],
+        },
+        "snapshot": {
+            "interval_sec": SERVE_SNAPSHOT_INTERVAL_SEC,
+            "count": snap["snapshots"],
+            "sec_total": round(snap["snapshot_sec_total"], 5),
+            "sec_mean": round(snap["snapshot_sec_mean"], 6),
+            "max_rss_kb": snap["max_rss_kb"],
+        },
+        "restore_sec": round(resumed["restore_sec"], 6),
+        "resume_identical": resume_identical,
+        "history": history,
+    }
+    print(f"ingest {SERVE_EVENTS} events"
+          f"        {ingest['ingest_sec']:8.3f} s"
+          f"  ({ingest['events_per_sec']:>12.0f} evt/s,"
+          f" RSS {ingest['max_rss_kb']} kB with --no-history)")
+    print(f"snapshots x{snap['snapshots']:<3d}"
+          f"               {snap['snapshot_sec_mean'] * 1e3:8.3f} ms mean"
+          f"  ({snap['snapshot_sec_total']:.4f} s total)")
+    print(f"restore                    "
+          f"{resumed['restore_sec'] * 1e3:8.3f} ms;"
+          f" resumed summary byte-identical: {resume_identical}")
+    write_doc(out, doc)
+    return 0 if resume_identical else 1
+
+
 # --- BENCH_*.json structural validation ---------------------------------------
 
 def check_json_shape(value, path, errors, depth=0):
@@ -921,6 +1038,11 @@ def main() -> int:
             ROOT / "build" / "bench" / "profile_hotpath")
         label = args[2] if len(args) > 2 else ""
         return profile_mode(bench, label)
+    if args and args[0] == "serve":
+        binary = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "aetr-serve")
+        label = args[2] if len(args) > 2 else ""
+        return serve_mode(binary, label)
     if args and args[0] == "validate":
         return validate_mode(args[1:])
     if args and args[0] == "opt":
