@@ -264,8 +264,9 @@ KeySchema<ScenarioConfig> make_scenario_schema() {
       [](std::ostream& os, const ScenarioConfig& c) {
         os << c.sender.min_gap.to_ns();
       });
-  // Session lifecycle (formerly run.*; the old spellings are accepted as
-  // deprecated aliases for one release).
+  // Session lifecycle (formerly run.*; the deprecated alias spellings were
+  // removed after their one-release grace period — run.* keys now fail with
+  // a did-you-mean suggestion like any other unknown key).
   s.add(
       "session.cooldown_us",
       [](ScenarioConfig& c, const std::string& v) {
@@ -340,12 +341,6 @@ KeySchema<ScenarioConfig> make_scenario_schema() {
       [](std::ostream& os, const ScenarioConfig& c) {
         os << c.session.snapshot_interval_sec;
       });
-  s.alias("run.cooldown_us", "session.cooldown_us");
-  s.alias("run.strict_protocol", "session.strict_protocol");
-  s.alias("run.final_flush", "session.final_flush");
-  s.alias("run.attach_mcu", "session.attach_mcu");
-  s.alias("run.fast_forward", "session.fast_forward");
-  s.alias("run.energy_ledger", "session.energy_ledger");
   // Fault plan.
   s.add(
       "fault.seed",

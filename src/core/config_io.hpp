@@ -29,7 +29,7 @@ namespace aetr::core {
 
 /// The declarative schema behind load_scenario()/dump_scenario(): the
 /// interface schema grafted onto scenario.interface, plus sender.*,
-/// session.* (with deprecated run.* aliases), fault.* and telemetry.*.
+/// session.*, fault.* and telemetry.*.
 /// opt::SearchSpace validates its axes against this table, and the fleet
 /// config extends it onto FleetConfig::base.
 [[nodiscard]] const KeySchema<ScenarioConfig>& scenario_schema();
@@ -48,8 +48,8 @@ std::string dump_config(const InterfaceConfig& config);
 /// Parse a full scenario (interface keys plus sender.*, session.*, fault.*
 /// and telemetry.*) on top of default values. Every interface key is
 /// accepted unchanged, so an InterfaceConfig file is a valid scenario file.
-/// The pre-Session run.* spellings are accepted as deprecated aliases of
-/// session.* (warned once per process) for one release.
+/// The pre-Session run.* alias spellings were removed after their
+/// one-release grace period; they now fail like any other unknown key.
 ScenarioConfig load_scenario(std::istream& is);
 
 /// Load a scenario file; throws std::runtime_error on failure.

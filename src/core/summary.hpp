@@ -1,0 +1,27 @@
+// Deterministic run summary: the canonical textual digest of a RunResult.
+//
+// Counters only — no wall-clock data, no pointers, no iteration-order
+// hazards — so two runs of the same scenario over the same stream produce
+// byte-identical summaries and `diff` across processes, transports, and
+// kill/resume cycles is meaningful. aetr-serve's summary.txt, the socket
+// gateway's per-session summaries, and the net determinism tests all share
+// this one writer.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace aetr::core {
+
+/// Write the canonical summary text for `r` to `os`.
+void write_run_summary(std::ostream& os, const RunResult& r);
+
+/// The canonical summary text as a string (what write_run_summary emits).
+[[nodiscard]] std::string run_summary_text(const RunResult& r);
+
+/// write_run_summary to a file, throwing std::runtime_error on I/O failure.
+void write_run_summary_file(const std::string& path, const RunResult& r);
+
+}  // namespace aetr::core

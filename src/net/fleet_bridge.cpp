@@ -1,0 +1,88 @@
+#include "net/fleet_bridge.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "core/config_io.hpp"
+#include "net/client.hpp"
+
+namespace aetr::net {
+namespace {
+
+struct Live {
+  std::size_t node{0};
+  std::optional<Client> client;
+  aer::EventStream stream;
+  std::size_t pos{0};
+};
+
+Client connect(const BridgeEndpoint& endpoint) {
+  if (!endpoint.uds_path.empty()) return Client::connect_uds(endpoint.uds_path);
+  return Client::connect_tcp(endpoint.tcp_host, endpoint.tcp_port);
+}
+
+}  // namespace
+
+BridgeResult run_fleet_bridge(const fleet::FleetConfig& config,
+                              const BridgeEndpoint& endpoint,
+                              const BridgeOptions& options) {
+  config.validate();
+  if (options.concurrency == 0) {
+    throw std::invalid_argument("fleet bridge: concurrency must be > 0");
+  }
+  BridgeResult result;
+  result.summaries.resize(config.nodes);
+
+  std::vector<Live> live;
+  std::size_t next_node = 0;
+
+  const auto open_next = [&]() {
+    if (next_node >= config.nodes) return false;
+    Live l;
+    l.node = next_node++;
+    l.stream = fleet::node_stream(config, l.node);
+    l.client.emplace(connect(endpoint));
+    const std::string name =
+        options.name_prefix + std::to_string(l.node);
+    const std::string config_text =
+        core::dump_scenario(fleet::node_scenario(config, l.node));
+    const HelloAck ack = l.client->hello(name, config_text);
+    // A resumed gateway reports what the session already consumed; skip it.
+    l.pos = std::min(static_cast<std::size_t>(ack.events_fed),
+                     l.stream.size());
+    live.push_back(std::move(l));
+    return true;
+  };
+
+  while (live.size() < options.concurrency && open_next()) {
+  }
+
+  SendOptions send_options;
+  send_options.chunk = options.chunk;
+
+  // Round-robin: one chunk per live session per turn. A finished session
+  // drains, records its summary, and hands its slot to the next node.
+  while (!live.empty()) {
+    for (std::size_t i = 0; i < live.size();) {
+      Live& l = live[i];
+      if (l.pos < l.stream.size()) {
+        const std::uint64_t sent =
+            l.client->send_some(l.stream, l.pos, options.chunk, send_options);
+        l.pos += static_cast<std::size_t>(sent);
+        result.events_streamed += sent;
+      }
+      if (l.pos >= l.stream.size()) {
+        result.summaries[l.node] = l.client->drain();
+        ++result.sessions;
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        open_next();
+        continue;
+      }
+      ++i;
+    }
+  }
+  return result;
+}
+
+}  // namespace aetr::net

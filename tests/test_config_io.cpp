@@ -228,6 +228,24 @@ TEST(ScenarioIo, UnknownKeySuggestsNearestKey) {
   }
 }
 
+TEST(ScenarioIo, RemovedRunAliasesAreRejected) {
+  // The pre-Session run.* spellings were deprecated aliases for exactly one
+  // release; they are gone now and must fail like any other unknown key.
+  for (const char* line : {"run.cooldown_us = 5\n", "run.fast_forward = on\n",
+                           "run.strict_protocol = on\n",
+                           "run.final_flush = off\n", "run.attach_mcu = on\n",
+                           "run.energy_ledger = on\n"}) {
+    std::stringstream ss{line};
+    try {
+      (void)load_scenario(ss);
+      FAIL() << "expected rejection of removed alias: " << line;
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string{e.what()}.find("unknown key"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
 TEST(ScenarioIo, SuggestScenarioKeyDistanceCutoff) {
   EXPECT_EQ(suggest_scenario_key("clock.n_dib"), "clock.n_div");
   EXPECT_EQ(suggest_scenario_key("colck.theta_div"), "clock.theta_div");

@@ -1,0 +1,194 @@
+// Socket-path crash recovery: SIGKILL the gateway process mid-stream with
+// two active sessions, restart it with resume enabled, reconnect, and
+// finish — both final summaries must be byte-identical to uninterrupted
+// batch runs of the same streams.
+//
+// The gateway runs in a fork()ed child so SIGKILL really destroys the
+// process (threads would survive an in-process simulation of this). fork()
+// happens before any thread exists in the test binary, so this file keeps
+// to plain fork/exec-free children calling Server::run().
+//
+// Snapshot interval 0.005 s: on these streams the periodic snapshot grid
+// falls on quiescent points, so the snapshotting run — and therefore the
+// killed-and-resumed run — equals the no-snapshot batch run exactly (the
+// same schedule-is-part-of-the-run contract docs/SERVICE.md documents; a
+// finer grid may legally perturb results and is deliberately not used
+// here).
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/config_io.hpp"
+#include "core/scenario.hpp"
+#include "core/summary.hpp"
+#include "gen/sources.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+using namespace aetr;
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    std::string tmpl = (fs::temp_directory_path() / "aetrrezXXXXXX").string();
+    char* made = ::mkdtemp(tmpl.data());
+    if (made == nullptr) throw std::runtime_error{"mkdtemp failed"};
+    path = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  [[nodiscard]] std::string str(const char* leaf) const {
+    return (path / leaf).string();
+  }
+};
+
+aer::EventStream poisson_stream(std::size_t n, std::uint64_t seed,
+                                double rate_hz) {
+  gen::PoissonSource source{rate_hz, 256, seed};
+  return gen::take(source, n);
+}
+
+// Fork a gateway child. exit_after_sessions == 0 runs until killed.
+pid_t spawn_gateway(const TempDir& tmp, bool resume,
+                    std::size_t exit_after_sessions) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error{"fork failed"};
+  if (pid == 0) {
+    try {
+      net::ServerOptions options;
+      options.uds_path = (tmp.path / "gw.sock").string();
+      options.gateway.snapshot_dir = tmp.path.string();
+      options.gateway.snapshot_interval_sec = 0.005;
+      options.gateway.resume = resume;
+      options.exit_after_sessions = exit_after_sessions;
+      net::Server server{std::move(options)};
+      server.run();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(1);
+    }
+  }
+  return pid;
+}
+
+net::Client connect_retry(const std::string& path) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return net::Client::connect_uds(path);
+    } catch (const std::runtime_error&) {
+      if (attempt > 200) throw;
+      ::usleep(10'000);
+    }
+  }
+}
+
+TEST(NetResume, SigkillWithTwoActiveSessionsResumesByteIdentically) {
+  const auto stream_a = poisson_stream(3000, 11, 50e3);
+  const auto stream_b = poisson_stream(2500, 22, 80e3);
+  TempDir tmp;
+  const auto sock = tmp.str("gw.sock");
+
+  // Phase 1: stream most of both sessions, interleaved, then SIGKILL the
+  // gateway with both sessions live. Credit accounting guarantees that
+  // everything send_some() returned as sent has been ingested server-side
+  // (the CREDIT reply comes back only after the pump ran), so the periodic
+  // snapshots up to that point are on disk when the process dies.
+  const pid_t first = spawn_gateway(tmp, /*resume=*/false, 0);
+  {
+    auto a = connect_retry(sock);
+    auto b = connect_retry(sock);
+    ASSERT_EQ(a.hello("alpha", "").events_fed, 0u);
+    ASSERT_EQ(b.hello("beta", "").events_fed, 0u);
+    net::SendOptions chunked;
+    chunked.chunk = 128;
+    std::size_t pos_a = 0;
+    std::size_t pos_b = 0;
+    while (pos_a < 2900 || pos_b < 2400) {
+      if (pos_a < 2900) pos_a += a.send_some(stream_a, pos_a, 128, chunked);
+      if (pos_b < 2400) pos_b += b.send_some(stream_b, pos_b, 128, chunked);
+    }
+  }  // clients close; sessions stay live (no DRAIN/BYE) — abandoned mid-run
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(first, &status, 0), first);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_TRUE(fs::exists(tmp.str("alpha.snap")));
+  ASSERT_TRUE(fs::exists(tmp.str("beta.snap")));
+
+  // Phase 2: restart with resume, reconnect, skip what the snapshot
+  // already holds, finish both sessions.
+  const pid_t second = spawn_gateway(tmp, /*resume=*/true, 2);
+  std::string summary_a;
+  std::string summary_b;
+  {
+    auto a = connect_retry(sock);
+    auto b = connect_retry(sock);
+    const auto ack_a = a.hello("alpha", "");
+    const auto ack_b = b.hello("beta", "");
+    // The snapshot can only hold events the client already sent — resuming
+    // never asks the client to rewind past its own progress.
+    ASSERT_GT(ack_a.events_fed, 0u);
+    ASSERT_LE(ack_a.events_fed, 2900u);
+    ASSERT_GT(ack_b.events_fed, 0u);
+    ASSERT_LE(ack_b.events_fed, 2400u);
+    a.send_events(stream_a, ack_a.events_fed);
+    b.send_events(stream_b, ack_b.events_fed);
+    summary_a = a.drain();
+    summary_b = b.drain();
+  }
+  ASSERT_EQ(::waitpid(second, &status, 0), second);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // The acceptance gate: resumed-over-sockets == uninterrupted batch.
+  const auto batch_a = core::run_summary_text(
+      core::run_scenario(core::ScenarioConfig{}, stream_a));
+  const auto batch_b = core::run_summary_text(
+      core::run_scenario(core::ScenarioConfig{}, stream_b));
+  EXPECT_EQ(summary_a, batch_a);
+  EXPECT_EQ(summary_b, batch_b);
+}
+
+TEST(NetResume, ResumeRejectsConfigMismatch) {
+  // A client reconnecting to a snapshot taken under a different scenario
+  // must be NACKed, not silently continued under the wrong physics.
+  const auto stream = poisson_stream(2000, 11, 50e3);
+  TempDir tmp;
+  const auto sock = tmp.str("gw.sock");
+
+  const pid_t first = spawn_gateway(tmp, /*resume=*/false, 0);
+  {
+    auto c = connect_retry(sock);
+    (void)c.hello("alpha", "");
+    net::SendOptions chunked;
+    chunked.chunk = 128;
+    std::size_t pos = 0;
+    while (pos < 1900) pos += c.send_some(stream, pos, 128, chunked);
+  }
+  ASSERT_EQ(::kill(first, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(first, &status, 0), first);
+  ASSERT_TRUE(fs::exists(tmp.str("alpha.snap")));
+
+  const pid_t second = spawn_gateway(tmp, /*resume=*/true, 1);
+  {
+    auto c = connect_retry(sock);
+    core::ScenarioConfig other;
+    other.sender.min_gap = Time::ns(500);
+    EXPECT_THROW((void)c.hello("alpha", core::dump_scenario(other)),
+                 std::runtime_error);
+  }
+  ASSERT_EQ(::waitpid(second, &status, 0), second);
+}
+
+}  // namespace

@@ -28,11 +28,39 @@
 //       --stats-json lands wall-clock ingest/snapshot timings and peak RSS
 //       outside the out-dir for the BENCH_serve.json report.
 //
+//   aetr-serve listen (--uds PATH | --tcp [--port P]) [--config FILE]
+//              [--out-dir DIR] [--snapshot-dir DIR]
+//              [--snapshot-interval-sec S] [--resume] [--credit-window N]
+//              [--max-sessions N] [--exit-after-sessions N]
+//              [--port-file FILE] [--no-history]
+//       The multi-session gateway (docs/SERVICE.md "Socket transport"):
+//       hosts one core::Session per connection over the framed wire
+//       protocol, each with its own periodic snapshots under
+//       --snapshot-dir and a per-session summary-<name>.txt under
+//       --out-dir. SIGTERM/SIGINT drains every live session before exit;
+//       --resume restores <name>.snap at HELLO so a SIGKILLed gateway
+//       continues byte-identically.
+//
+//   aetr-serve send --in FILE --name NAME (--uds PATH | --host H --port P)
+//              [--config FILE] [--chunk N] [--pace-us N] [--pace-every N]
+//              [--snapshot-every N]
+//       Stream a stream file into a gateway session and print the drained
+//       summary on stdout. Against a resumed gateway the HELLO_ACK's
+//       events_fed skips what the session already consumed.
+//
+//   aetr-serve bridge (--uds PATH | --host H --port P) [--fleet FILE]
+//              [--nodes N] [--events-per-node N] [--concurrency C]
+//              [--chunk N] [--out-dir DIR]
+//       Fleet bridge: stream every node of an aetr::fleet config as a live
+//       gateway session (round-robin interleaved DATA), writing each
+//       node's summary under --out-dir.
+//
 // Exit codes: 0 = completed (including a graceful signal drain), 2 = usage
 // error, 3 = runtime failure.
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -51,7 +79,12 @@
 #include "aer/trace.hpp"
 #include "core/config_io.hpp"
 #include "core/session.hpp"
+#include "core/summary.hpp"
+#include "fleet/fleet_io.hpp"
 #include "gen/sources.hpp"
+#include "net/client.hpp"
+#include "net/fleet_bridge.hpp"
+#include "net/server.hpp"
 #include "util/artifacts.hpp"
 
 namespace {
@@ -68,7 +101,24 @@ int usage(std::ostream& os) {
         "             [--snapshot FILE] [--snapshot-interval-sec S]"
         " [--resume]\n"
         "             [--no-history] [--pace-us N] [--pace-every N]"
-        " [--stats-json FILE]\n";
+        " [--stats-json FILE]\n"
+        "  aetr-serve listen (--uds PATH | --tcp [--port P])"
+        " [--config FILE]\n"
+        "             [--out-dir DIR] [--snapshot-dir DIR]"
+        " [--snapshot-interval-sec S]\n"
+        "             [--resume] [--credit-window N] [--max-sessions N]\n"
+        "             [--exit-after-sessions N] [--port-file FILE]"
+        " [--no-history]\n"
+        "  aetr-serve send --in FILE --name NAME"
+        " (--uds PATH | --host H --port P)\n"
+        "             [--config FILE] [--chunk N] [--pace-us N]"
+        " [--pace-every N]\n"
+        "             [--snapshot-every N]\n"
+        "  aetr-serve bridge (--uds PATH | --host H --port P)"
+        " [--fleet FILE]\n"
+        "             [--nodes N] [--events-per-node N] [--concurrency C]"
+        " [--chunk N]\n"
+        "             [--out-dir DIR]\n";
   return &os == &std::cerr ? 2 : 0;
 }
 
@@ -197,62 +247,6 @@ class TraceFeed {
   std::size_t line_no_{0};
 };
 
-void write_snapshot_atomic(const std::string& path,
-                           const std::vector<std::uint8_t>& blob) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f{tmp, std::ios::binary | std::ios::trunc};
-    if (!f) throw std::runtime_error("aetr-serve: cannot open " + tmp);
-    f.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
-    if (!f) throw std::runtime_error("aetr-serve: write failed for " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("aetr-serve: cannot rename " + tmp + " to " +
-                             path);
-  }
-}
-
-std::vector<std::uint8_t> read_snapshot(const std::string& path) {
-  std::ifstream f{path, std::ios::binary};
-  if (!f) throw std::runtime_error("aetr-serve: cannot open " + path);
-  std::vector<std::uint8_t> blob{std::istreambuf_iterator<char>(f),
-                                 std::istreambuf_iterator<char>()};
-  return blob;
-}
-
-/// Deterministic run summary: counters only, no wall-clock data, so the CI
-/// kill/resume job can `diff` it against an uninterrupted run's.
-void write_summary(const std::string& path, const aetr::core::RunResult& r) {
-  std::ofstream os{path, std::ios::trunc};
-  if (!os) throw std::runtime_error("aetr-serve: cannot open " + path);
-  char buf[64];
-  const auto f64 = [&buf](double v) {
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return std::string{buf};
-  };
-  os << "# aetr-serve run summary\n";
-  os << "events_in = " << r.events_in << '\n';
-  os << "words_out = " << r.words_out << '\n';
-  os << "batches = " << r.batches << '\n';
-  os << "fifo_overflows = " << r.fifo_overflows << '\n';
-  os << "handshakes = " << r.handshakes << '\n';
-  os << "caviar_violations = " << r.caviar_violations << '\n';
-  os << "protocol_violations = " << r.protocol_violations << '\n';
-  os << "decoded = " << r.decoded.size() << '\n';
-  os << "error.events = " << r.error.events << '\n';
-  os << "error.saturated = " << r.error.saturated << '\n';
-  os << "error.mean_rel = " << f64(r.error.mean_rel_error()) << '\n';
-  os << "faults.injected_total = " << r.faults.injected_total() << '\n';
-  os << "faults.recovered_total = " << r.faults.recovered_total() << '\n';
-  os << "faults.watchdog_resyncs = " << r.faults.watchdog_resyncs << '\n';
-  os << "faults.crc_rejected_words = " << r.faults.crc_rejected_words << '\n';
-  os << "sim_end_ps = " << r.sim_end.count_ps() << '\n';
-  os << "input_rate_hz = " << f64(r.input_rate_hz) << '\n';
-  os << "average_power_w = " << f64(r.average_power_w) << '\n';
-  if (!os) throw std::runtime_error("aetr-serve: write failed for " + path);
-}
-
 long max_rss_kb() {
   struct rusage ru {};
   if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
@@ -278,7 +272,7 @@ int cmd_run(const RunArgs& args) {
   double restore_sec = 0.0;
   std::uint64_t to_skip = 0;
   if (args.resume) {
-    const auto blob = read_snapshot(args.snapshot);
+    const auto blob = aetr::net::read_blob(args.snapshot);
     const auto r0 = std::chrono::steady_clock::now();
     session.restore(blob);
     restore_sec = wall_sec(r0);
@@ -316,7 +310,7 @@ int cmd_run(const RunArgs& args) {
     if (snapshotting && ev.time >= next_snapshot) {
       session.advance_to(next_snapshot);
       const auto s0 = std::chrono::steady_clock::now();
-      write_snapshot_atomic(args.snapshot, session.snapshot());
+      aetr::net::write_blob_atomic(args.snapshot, session.snapshot());
       snapshot_sec += wall_sec(s0);
       ++snapshots;
       while (next_snapshot <= ev.time) next_snapshot += interval;
@@ -361,7 +355,7 @@ int cmd_run(const RunArgs& args) {
   const aetr::core::RunResult result = session.finish();
   const std::string out_dir = aetr::util::artifact_dir(
       args.out_dir.empty() ? "results/serve" : args.out_dir);
-  write_summary(out_dir + "/summary.txt", result);
+  aetr::core::write_run_summary_file(out_dir + "/summary.txt", result);
 
   if (!args.stats_json.empty()) {
     std::ofstream js{args.stats_json, std::ios::trunc};
@@ -393,6 +387,275 @@ int cmd_run(const RunArgs& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// listen
+
+aetr::net::Server* g_server = nullptr;
+
+void on_listen_signal(int) {
+  // atomic store + pipe write: both async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+aetr::aer::EventStream load_stream(const std::string& path) {
+  return ends_with(path, ".aedat") ? aetr::aer::load_aedat(path)
+                                   : aetr::aer::load_trace(path);
+}
+
+int cmd_listen(int argc, char** argv) {
+  aetr::net::ServerOptions options;
+  std::string config;
+  std::string port_file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    std::uint64_t u = 0;
+    if (a == "--uds" && has_next) {
+      options.uds_path = argv[++i];
+    } else if (a == "--tcp") {
+      options.tcp = true;
+    } else if (a == "--port" && has_next) {
+      if (!parse_u64(argv[++i], u) || u > 65535) return usage(std::cerr);
+      options.tcp = true;
+      options.tcp_port = static_cast<int>(u);
+    } else if (a == "--port-file" && has_next) {
+      port_file = argv[++i];
+    } else if (a == "--config" && has_next) {
+      config = argv[++i];
+    } else if (a == "--out-dir" && has_next) {
+      options.gateway.out_dir = argv[++i];
+    } else if (a == "--snapshot-dir" && has_next) {
+      options.gateway.snapshot_dir = argv[++i];
+    } else if (a == "--snapshot-interval-sec" && has_next) {
+      if (!parse_f64(argv[++i], options.gateway.snapshot_interval_sec) ||
+          options.gateway.snapshot_interval_sec < 0.0) {
+        return usage(std::cerr);
+      }
+    } else if (a == "--resume") {
+      options.gateway.resume = true;
+    } else if (a == "--no-history") {
+      options.gateway.keep_history = false;
+    } else if (a == "--credit-window" && has_next) {
+      if (!parse_u64(argv[++i], options.gateway.credit_window) ||
+          options.gateway.credit_window == 0) {
+        return usage(std::cerr);
+      }
+    } else if (a == "--max-sessions" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0) return usage(std::cerr);
+      options.max_connections = static_cast<std::size_t>(u);
+    } else if (a == "--exit-after-sessions" && has_next) {
+      if (!parse_u64(argv[++i], u)) return usage(std::cerr);
+      options.exit_after_sessions = static_cast<std::size_t>(u);
+    } else {
+      std::cerr << "aetr-serve listen: unknown argument " << a << '\n';
+      return usage(std::cerr);
+    }
+  }
+  if (!options.tcp && options.uds_path.empty()) {
+    std::cerr << "aetr-serve listen: need --uds and/or --tcp\n";
+    return usage(std::cerr);
+  }
+  if (!config.empty()) {
+    options.gateway.default_scenario = aetr::core::load_scenario_file(config);
+  }
+  if (!options.gateway.out_dir.empty()) {
+    options.gateway.out_dir =
+        aetr::util::artifact_dir(options.gateway.out_dir);
+  }
+  if (!options.gateway.snapshot_dir.empty()) {
+    options.gateway.snapshot_dir =
+        aetr::util::artifact_dir(options.gateway.snapshot_dir);
+  }
+
+  aetr::net::Server server{std::move(options)};
+  if (!port_file.empty()) {
+    std::ofstream pf{port_file, std::ios::trunc};
+    pf << server.tcp_port() << '\n';
+    if (!pf) {
+      std::cerr << "aetr-serve listen: cannot write " << port_file << '\n';
+      return 3;
+    }
+  }
+  g_server = &server;
+  std::signal(SIGTERM, on_listen_signal);
+  std::signal(SIGINT, on_listen_signal);
+  std::cerr << "aetr-serve: listening"
+            << (server.tcp_port() != 0
+                    ? " tcp 127.0.0.1:" + std::to_string(server.tcp_port())
+                    : std::string{})
+            << '\n';
+  server.run();
+  g_server = nullptr;
+  std::cout << "aetr-serve: gateway drained after "
+            << server.sessions_completed() << " sessions\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// send
+
+int cmd_send(int argc, char** argv) {
+  std::string in;
+  std::string name;
+  std::string uds;
+  std::string host = "127.0.0.1";
+  std::string config;
+  int port = 0;
+  aetr::net::SendOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    std::uint64_t u = 0;
+    if (a == "--in" && has_next) {
+      in = argv[++i];
+    } else if (a == "--name" && has_next) {
+      name = argv[++i];
+    } else if (a == "--uds" && has_next) {
+      uds = argv[++i];
+    } else if (a == "--host" && has_next) {
+      host = argv[++i];
+    } else if (a == "--port" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0 || u > 65535) {
+        return usage(std::cerr);
+      }
+      port = static_cast<int>(u);
+    } else if (a == "--config" && has_next) {
+      config = argv[++i];
+    } else if (a == "--chunk" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0) return usage(std::cerr);
+      options.chunk = static_cast<std::size_t>(u);
+    } else if (a == "--pace-us" && has_next) {
+      if (!parse_u64(argv[++i], options.pace_us)) return usage(std::cerr);
+    } else if (a == "--pace-every" && has_next) {
+      if (!parse_u64(argv[++i], options.pace_every) ||
+          options.pace_every == 0) {
+        return usage(std::cerr);
+      }
+    } else if (a == "--snapshot-every" && has_next) {
+      if (!parse_u64(argv[++i], options.snapshot_every)) {
+        return usage(std::cerr);
+      }
+    } else {
+      std::cerr << "aetr-serve send: unknown argument " << a << '\n';
+      return usage(std::cerr);
+    }
+  }
+  if (in.empty() || name.empty() || (uds.empty() && port == 0)) {
+    std::cerr << "aetr-serve send: need --in, --name and a destination\n";
+    return usage(std::cerr);
+  }
+  std::string config_text;
+  if (!config.empty()) {
+    config_text =
+        aetr::core::dump_scenario(aetr::core::load_scenario_file(config));
+  }
+  const aetr::aer::EventStream stream = load_stream(in);
+
+  aetr::net::Client client = uds.empty()
+                                 ? aetr::net::Client::connect_tcp(host, port)
+                                 : aetr::net::Client::connect_uds(uds);
+  const aetr::net::HelloAck ack = client.hello(name, config_text);
+  const auto skip =
+      std::min(static_cast<std::size_t>(ack.events_fed), stream.size());
+  if (skip > 0) {
+    std::cerr << "aetr-serve send: session already consumed " << skip
+              << " events, skipping\n";
+  }
+  const std::uint64_t sent = client.send_events(stream, skip, options);
+  const std::string summary = client.drain();
+  std::cerr << "aetr-serve send: streamed " << sent << " events\n";
+  std::cout << summary;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// bridge
+
+int cmd_bridge(int argc, char** argv) {
+  std::string uds;
+  std::string host = "127.0.0.1";
+  std::string fleet_file;
+  std::string out_dir;
+  int port = 0;
+  bool have_nodes = false;
+  bool have_events = false;
+  std::uint64_t nodes = 0;
+  std::uint64_t events_per_node = 0;
+  aetr::net::BridgeOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    std::uint64_t u = 0;
+    if (a == "--uds" && has_next) {
+      uds = argv[++i];
+    } else if (a == "--host" && has_next) {
+      host = argv[++i];
+    } else if (a == "--port" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0 || u > 65535) {
+        return usage(std::cerr);
+      }
+      port = static_cast<int>(u);
+    } else if (a == "--fleet" && has_next) {
+      fleet_file = argv[++i];
+    } else if (a == "--nodes" && has_next) {
+      if (!parse_u64(argv[++i], nodes) || nodes == 0) return usage(std::cerr);
+      have_nodes = true;
+    } else if (a == "--events-per-node" && has_next) {
+      if (!parse_u64(argv[++i], events_per_node) || events_per_node == 0) {
+        return usage(std::cerr);
+      }
+      have_events = true;
+    } else if (a == "--concurrency" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0) return usage(std::cerr);
+      options.concurrency = static_cast<std::size_t>(u);
+    } else if (a == "--chunk" && has_next) {
+      if (!parse_u64(argv[++i], u) || u == 0) return usage(std::cerr);
+      options.chunk = static_cast<std::size_t>(u);
+    } else if (a == "--out-dir" && has_next) {
+      out_dir = argv[++i];
+    } else {
+      std::cerr << "aetr-serve bridge: unknown argument " << a << '\n';
+      return usage(std::cerr);
+    }
+  }
+  if (uds.empty() && port == 0) {
+    std::cerr << "aetr-serve bridge: need --uds or --host/--port\n";
+    return usage(std::cerr);
+  }
+  aetr::fleet::FleetConfig fleet;
+  if (!fleet_file.empty()) {
+    fleet = aetr::fleet::load_fleet_file(fleet_file);
+  } else {
+    fleet.nodes = 4;
+    fleet.events_per_node = 500;
+  }
+  if (have_nodes) fleet.nodes = static_cast<std::size_t>(nodes);
+  if (have_events) {
+    fleet.events_per_node = static_cast<std::size_t>(events_per_node);
+  }
+
+  aetr::net::BridgeEndpoint endpoint;
+  endpoint.uds_path = uds;
+  endpoint.tcp_host = host;
+  endpoint.tcp_port = port;
+  const aetr::net::BridgeResult result =
+      aetr::net::run_fleet_bridge(fleet, endpoint, options);
+
+  if (!out_dir.empty()) {
+    const std::string dir = aetr::util::artifact_dir(out_dir);
+    for (std::size_t i = 0; i < result.summaries.size(); ++i) {
+      const std::string path =
+          dir + "/summary-" + options.name_prefix + std::to_string(i) + ".txt";
+      std::ofstream os{path, std::ios::trunc};
+      if (!os) throw std::runtime_error("aetr-serve: cannot open " + path);
+      os << result.summaries[i];
+    }
+  }
+  std::cout << "aetr-serve bridge: " << result.sessions << " sessions, "
+            << result.events_streamed << " events streamed\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -405,6 +668,9 @@ int main(int argc, char** argv) {
 
   try {
     if (cmd == "gen") return cmd_gen(argc - 2, argv + 2);
+    if (cmd == "listen") return cmd_listen(argc - 2, argv + 2);
+    if (cmd == "send") return cmd_send(argc - 2, argv + 2);
+    if (cmd == "bridge") return cmd_bridge(argc - 2, argv + 2);
     if (cmd == "run") {
       RunArgs args;
       for (int i = 2; i < argc; ++i) {

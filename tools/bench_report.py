@@ -63,6 +63,15 @@ Two modes, selected by the first argument:
       resumed-run summary byte-identity gate -> BENCH_serve.json. Also
       exposed as the `serve_report` target.
 
+  tools/bench_report.py net [path/to/net_throughput] [path/to/aetr-serve] [label]
+      Framed socket transport (net/wire.hpp + net/server.hpp): pure codec
+      encode/decode events/sec and wire bytes per event, loopback UDS
+      ingest throughput end to end, total throughput across 1/2/4
+      concurrent sessions on the single-threaded gateway, and the
+      socket-vs-batch summary byte-identity gate via aetr-serve
+      listen/send -> BENCH_net.json. Also exposed as the `net_report`
+      target.
+
   tools/bench_report.py validate [BENCH_*.json ...]
       Structural validator for the BENCH_*.json perf records. With no
       args the file list is not hardcoded anywhere: it is discovered by
@@ -834,6 +843,119 @@ def serve_mode(binary, label):
     return 0 if resume_identical else 1
 
 
+# --- framed socket transport (aetr::net) --------------------------------------
+
+NET_EVENTS = 20_000
+NET_RATE_HZ = 50e3
+
+
+def net_mode(bench, serve, label):
+    """BENCH_net.json: codec + loopback ingest throughput from the
+    net_throughput bench, plus the socket-vs-batch summary byte-identity
+    gate driven through the aetr-serve listen/send CLI."""
+    out = ROOT / "BENCH_net.json"
+    for path, target in ((bench, "net_throughput"), (serve, "aetr_serve")):
+        if not pathlib.Path(path).exists():
+            print(f"error: binary not found: {path}", file=sys.stderr)
+            print(f"build it first: cmake --build build --target {target}",
+                  file=sys.stderr)
+            return 1
+
+    proc = subprocess.run([bench], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {bench} exited {proc.returncode}:\n{proc.stderr}",
+              file=sys.stderr)
+        return 1
+    series = json.loads(proc.stdout)
+    codec = next(e for e in series if e["bench"] == "codec")
+    ingest = [e for e in series if e["bench"] == "ingest"]
+
+    # Determinism gate: one session streamed over a Unix socket must yield
+    # a summary byte-identical to the batch `aetr-serve run` of the same
+    # stream (tests/test_net_server asserts the same for concurrent
+    # sessions and TCP; CI adds the SIGKILL/resume variant).
+    with tempfile.TemporaryDirectory(prefix="aetr_net_bench_") as tmp:
+        tmp = pathlib.Path(tmp)
+        stream = tmp / "stream.trace"
+        sock = tmp / "gw.sock"
+        if run_serve(serve, ["gen", "--out", str(stream),
+                             "--events", str(NET_EVENTS),
+                             "--rate-hz", str(NET_RATE_HZ),
+                             "--seed", "7"]) is None:
+            return 1
+        if run_serve(serve, ["run", "--in", str(stream),
+                             "--out-dir", str(tmp / "batch")]) is None:
+            return 1
+        gateway = subprocess.Popen(
+            [serve, "listen", "--uds", str(sock),
+             "--out-dir", str(tmp / "gw"), "--exit-after-sessions", "1"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True)
+        try:
+            sent = None
+            for _ in range(200):  # wait for the socket to come up
+                sent = subprocess.run(
+                    [serve, "send", "--in", str(stream), "--uds", str(sock),
+                     "--name", "bench"],
+                    capture_output=True, text=True)
+                if sent.returncode == 0 or gateway.poll() is not None:
+                    break
+                time.sleep(0.05)
+            if sent is None or sent.returncode != 0:
+                print(f"error: aetr-serve send failed:\n"
+                      f"{sent.stderr if sent else ''}", file=sys.stderr)
+                return 1
+        finally:
+            try:
+                gateway.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                gateway.kill()
+                gateway.wait()
+                print("error: gateway did not exit after the session",
+                      file=sys.stderr)
+                return 1
+        socket_identical = ((tmp / "batch" / "summary.txt").read_bytes()
+                            == (tmp / "gw" / "summary-bench.txt").read_bytes())
+
+    history = load_history(out, lambda old: {
+        "label": old.get("label", ""),
+        "date": old.get("date", ""),
+        "codec_events_per_sec": old.get("codec", {}).get("events_per_sec"),
+        "ingest_events_per_sec_1":
+            (old.get("ingest", [{}])[0] or {}).get("events_per_sec_total"),
+        "socket_identical": old.get("socket_identical"),
+    })
+    doc = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "cpu_count": os.cpu_count() or 1,
+        "codec": {
+            "events_per_sec": round(codec["events_per_sec"]),
+            "wire_bytes_per_event": codec["wire_bytes_per_event"],
+        },
+        "ingest": [
+            {
+                "sessions": e["sessions"],
+                "events_per_sec_total": round(e["events_per_sec_total"]),
+                "events_per_sec_per_session":
+                    round(e["events_per_sec_per_session"]),
+            }
+            for e in ingest
+        ],
+        "socket_identical": socket_identical,
+        "history": history,
+    }
+    print(f"codec                      "
+          f"{codec['events_per_sec']:>12.0f} evt/s"
+          f"  ({codec['wire_bytes_per_event']:.2f} wire B/evt)")
+    for e in ingest:
+        print(f"ingest x{e['sessions']:<2d} sessions       "
+              f"{e['events_per_sec_total']:>12.0f} evt/s total"
+              f"  ({e['events_per_sec_per_session']:>10.0f} /session)")
+    print(f"socket-vs-batch summary byte-identical: {socket_identical}")
+    write_doc(out, doc)
+    return 0 if socket_identical else 1
+
+
 # --- BENCH_*.json structural validation ---------------------------------------
 
 def check_json_shape(value, path, errors, depth=0):
@@ -1043,6 +1165,13 @@ def main() -> int:
             ROOT / "build" / "bench" / "aetr-serve")
         label = args[2] if len(args) > 2 else ""
         return serve_mode(binary, label)
+    if args and args[0] == "net":
+        bench = args[1] if len(args) > 1 else str(
+            ROOT / "build" / "bench" / "net_throughput")
+        serve = args[2] if len(args) > 2 else str(
+            ROOT / "build" / "bench" / "aetr-serve")
+        label = args[3] if len(args) > 3 else ""
+        return net_mode(bench, serve, label)
     if args and args[0] == "validate":
         return validate_mode(args[1:])
     if args and args[0] == "opt":
